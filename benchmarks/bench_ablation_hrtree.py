@@ -1,0 +1,88 @@
+"""Ablation — HR-tree (an R-tree per timestamp) vs SWST (Section II).
+
+The paper: HR-trees "can support efficient deletion, but they are not
+suitable for interval queries and require very large storage space."
+This bench quantifies all three claims on the shared workload.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import HRTree
+from repro.bench import build_swst, run_queries_swst
+from repro.datagen import GSTDGenerator, WorkloadConfig, generate_queries
+
+EXTENTS = [0.0, 0.10]
+
+
+@pytest.fixture(scope="module")
+def small_stream(params):
+    config = dataclasses.replace(params.stream,
+                                 num_objects=params.dataset_objects[0])
+    return GSTDGenerator(config).materialize()
+
+
+@pytest.fixture(scope="module")
+def hr_index(params, small_stream):
+    index = HRTree(page_size=params.index.page_size,
+                   buffer_capacity=params.index.buffer_capacity)
+    for report in small_stream:
+        index.report(report.oid, report.x, report.y, report.t)
+    yield index
+    index.close()
+
+
+@pytest.fixture(scope="module")
+def swst_small(params, small_stream):
+    index, _ = build_swst(small_stream, params.index)
+    yield index
+    index.close()
+
+
+@pytest.mark.parametrize("extent", EXTENTS,
+                         ids=[f"{e * 100:g}pct" for e in EXTENTS])
+def test_hrtree_search(benchmark, params, hr_index, swst_small, extent):
+    workload = WorkloadConfig(spatial_extent=0.01, temporal_extent=extent,
+                              temporal_domain=params.temporal_domain,
+                              count=max(params.query_count // 4, 5))
+    queries = generate_queries(params.index, workload, swst_small.now)
+
+    def run():
+        before = hr_index.stats.snapshot()
+        for query in queries:
+            if query.is_timeslice:
+                hr_index.query_timeslice(query.area, query.t_lo)
+            else:
+                hr_index.query_interval(query.area, query.t_lo, query.t_hi)
+        return hr_index.stats.diff(before).node_accesses
+
+    accesses = benchmark(run)
+    benchmark.extra_info["figure"] = "Ablation-HR"
+    benchmark.extra_info["temporal_extent"] = extent
+    benchmark.extra_info["accesses_per_query"] = round(
+        accesses / max(len(queries), 1), 2)
+    benchmark.extra_info["hr_pages"] = hr_index.live_pages()
+    benchmark.extra_info["swst_pages"] = swst_small.node_count()
+
+
+def test_hrtree_expiry_is_cheap(benchmark, params, small_stream):
+    """The one thing HR-trees do well: dropping whole old versions."""
+    def setup():
+        index = HRTree(page_size=params.index.page_size,
+                       buffer_capacity=params.index.buffer_capacity)
+        for report in small_stream:
+            index.report(report.oid, report.x, report.y, report.t)
+        return (index,), {}
+
+    def expire(index):
+        cutoff = index.now // 2
+        dropped = index.drop_versions_before(cutoff)
+        index.close()
+        return dropped
+
+    dropped = benchmark.pedantic(expire, setup=setup, rounds=1,
+                                 iterations=1)
+    benchmark.extra_info["figure"] = "Ablation-HR"
+    benchmark.extra_info["versions_dropped"] = dropped
+    assert dropped > 0

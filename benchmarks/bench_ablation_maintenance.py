@@ -1,0 +1,109 @@
+"""Ablation — sliding-window maintenance cost (Sections IV-C and V-A).
+
+Expiring one full window:
+
+* SWST drops the expired B+ tree of every spatial cell — O(pages), near
+  zero accesses per expired entry;
+* a 3D R-tree deletes each expired entry individually (with condensation
+  and re-insertion);
+* PIST deletes each expired *sub-entry* — splitting long entries multiplies
+  the work, the paper's core argument against adapting PIST to a sliding
+  window.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import PISTIndex, R3DIndex
+from repro.bench import build_swst
+from repro.bench.experiments import _closed_entries
+from repro.datagen import GSTDGenerator
+
+
+@pytest.fixture(scope="module")
+def short_stream(params):
+    config = dataclasses.replace(params.stream,
+                                 num_objects=params.dataset_objects[0])
+    horizon = 2 * params.index.w_max
+    return [r for r in GSTDGenerator(config).materialize() if r.t < horizon]
+
+
+def test_maintenance_swst_drop(benchmark, params, short_stream):
+    cutoff = params.index.w_max
+    expired = sum(1 for r in short_stream if r.t < cutoff)
+
+    def setup():
+        index, _ = build_swst(short_stream, params.index)
+        return (index,), {}
+
+    def drop(index):
+        before = index.stats.snapshot()
+        index.advance_time(2 * params.index.w_max)
+        accesses = index.stats.diff(before).node_accesses
+        index.close()
+        return accesses
+
+    accesses = benchmark.pedantic(drop, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "Ablation-M"
+    benchmark.extra_info["index"] = "SWST"
+    benchmark.extra_info["expired_entries"] = expired
+    benchmark.extra_info["accesses_per_entry"] = round(
+        accesses / max(expired, 1), 4)
+    assert accesses < max(expired, 1)
+
+
+def test_maintenance_r3d_per_entry_delete(benchmark, params, short_stream):
+    cutoff = params.index.w_max
+
+    def setup():
+        index = R3DIndex(page_size=params.index.page_size,
+                         buffer_capacity=params.index.buffer_capacity)
+        for report in short_stream:
+            index.report(report.oid, report.x, report.y, report.t)
+        return (index,), {}
+
+    def expire(index):
+        before = index.stats.snapshot()
+        removed = index.expire_before(cutoff)
+        accesses = index.stats.diff(before).node_accesses
+        index.close()
+        return removed, accesses
+
+    removed, accesses = benchmark.pedantic(expire, setup=setup, rounds=1,
+                                           iterations=1)
+    benchmark.extra_info["figure"] = "Ablation-M"
+    benchmark.extra_info["index"] = "3D R-tree"
+    benchmark.extra_info["expired_entries"] = removed
+    benchmark.extra_info["accesses_per_entry"] = round(
+        accesses / max(removed, 1), 2)
+    assert accesses > removed
+
+
+def test_maintenance_pist_per_subentry_delete(benchmark, params,
+                                              short_stream):
+    cutoff = params.index.w_max
+    closed = _closed_entries(short_stream, horizon=2 * params.index.w_max)
+
+    def setup():
+        index = PISTIndex(params.index.space, params.index.x_partitions,
+                          params.index.y_partitions, lam=params.index.slide,
+                          page_size=params.index.page_size,
+                          buffer_capacity=params.index.buffer_capacity)
+        index.build(closed)
+        return (index,), {}
+
+    def expire(index):
+        before = index.stats.snapshot()
+        removed = index.delete_expired(cutoff)
+        accesses = index.stats.diff(before).node_accesses
+        index.close()
+        return removed, accesses
+
+    removed, accesses = benchmark.pedantic(expire, setup=setup, rounds=1,
+                                           iterations=1)
+    benchmark.extra_info["figure"] = "Ablation-M"
+    benchmark.extra_info["index"] = "PIST"
+    benchmark.extra_info["expired_subentries"] = removed
+    benchmark.extra_info["accesses_per_entry"] = round(
+        accesses / max(removed, 1), 2)

@@ -1,0 +1,65 @@
+"""Ablation — SWST's two-tree modulo design vs per-slide sub-indexes.
+
+Section II: prior disk sliding-window indexes partition into one
+sub-index per time step so insert/expiry localise, "but a search may need
+to be performed on multiple sub-indexes.  Our index scheme also employs
+sub-indexes, but with an optimization to use only two of them."  This
+bench measures that trade on the paper's workload: a wave-index-style
+per-slide baseline pays a flat, high multi-sub-index search cost while
+SWST's cost scales with the query interval.
+"""
+
+import pytest
+
+from repro.baselines import WaveIndex
+from repro.bench import build_swst, run_queries_swst
+from repro.datagen import WorkloadConfig, generate_queries
+
+EXTENTS = [0.0, 0.10]
+
+
+@pytest.fixture(scope="module")
+def wave_index(params, stream):
+    index = WaveIndex(params.index)
+    for report in stream:
+        index.report(report.oid, report.x, report.y, report.t)
+    yield index
+    index.close()
+
+
+def _queries(params, index, extent):
+    workload = WorkloadConfig(spatial_extent=0.01, temporal_extent=extent,
+                              temporal_domain=params.temporal_domain,
+                              count=params.query_count)
+    return generate_queries(params.index, workload, index.now)
+
+
+@pytest.mark.parametrize("extent", EXTENTS,
+                         ids=[f"{e * 100:g}pct" for e in EXTENTS])
+def test_wave_search(benchmark, params, wave_index, extent):
+    queries = _queries(params, wave_index, extent)
+
+    def run():
+        before = wave_index.stats.snapshot()
+        for query in queries:
+            wave_index.query_interval(query.area, query.t_lo, query.t_hi)
+        return wave_index.stats.diff(before).node_accesses
+
+    accesses = benchmark(run)
+    benchmark.extra_info["figure"] = "Ablation-W"
+    benchmark.extra_info["index"] = "wave"
+    benchmark.extra_info["temporal_extent"] = extent
+    benchmark.extra_info["accesses_per_query"] = round(
+        accesses / max(len(queries), 1), 2)
+
+
+@pytest.mark.parametrize("extent", EXTENTS,
+                         ids=[f"{e * 100:g}pct" for e in EXTENTS])
+def test_swst_search_reference(benchmark, params, swst_index, extent):
+    queries = _queries(params, swst_index, extent)
+    batch = benchmark(run_queries_swst, swst_index, queries)
+    benchmark.extra_info["figure"] = "Ablation-W"
+    benchmark.extra_info["index"] = "SWST"
+    benchmark.extra_info["temporal_extent"] = extent
+    benchmark.extra_info["accesses_per_query"] = round(
+        batch.accesses_per_query, 2)

@@ -1,0 +1,44 @@
+"""Ablation — Z-curve spatial key bits on vs off.
+
+The paper's Fig. 9 discussion: "Encoding the spatial information in the
+key enabled us to greatly reduce the number of node accesses... Without
+the space filling curve, the spatial cells with very small and large query
+overlaps will require a similar number of node accesses."  This ablation
+quantifies that claim directly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import build_swst, run_queries_swst
+from repro.datagen import WorkloadConfig, generate_queries
+
+EXTENTS = [0.005, 0.01, 0.04]
+
+
+@pytest.fixture(scope="module")
+def indexes(params, stream):
+    with_z, _ = build_swst(stream, params.index)
+    without_z, _ = build_swst(
+        stream, dataclasses.replace(params.index, spatial_keys=False))
+    yield {"with-z": with_z, "without-z": without_z}
+    with_z.close()
+    without_z.close()
+
+
+@pytest.mark.parametrize("variant", ["with-z", "without-z"])
+@pytest.mark.parametrize("extent", EXTENTS,
+                         ids=[f"{e * 100:g}pct" for e in EXTENTS])
+def test_zcurve_ablation(benchmark, params, indexes, variant, extent):
+    index = indexes[variant]
+    workload = WorkloadConfig(spatial_extent=extent, temporal_extent=0.10,
+                              temporal_domain=params.temporal_domain,
+                              count=params.query_count)
+    queries = generate_queries(params.index, workload, index.now)
+    batch = benchmark(run_queries_swst, index, queries)
+    benchmark.extra_info["figure"] = "Ablation-Z"
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["spatial_extent"] = extent
+    benchmark.extra_info["accesses_per_query"] = round(
+        batch.accesses_per_query, 2)

@@ -1,0 +1,46 @@
+"""Fig. 10 — search node accesses vs query time interval (spatial 1%).
+
+Paper expectation: MV3R wins at timeslice queries (one R-tree version to
+visit); SWST wins once the interval exceeds ~4-5% of the temporal domain,
+because it touches at most two B+ trees per spatial cell while MV3R walks
+more and more versions.
+"""
+
+import pytest
+
+from repro.bench import run_queries_mv3r, run_queries_swst
+from repro.datagen import WorkloadConfig, generate_queries
+
+EXTENTS = [0.0, 0.05, 0.10, 0.15]
+
+
+def _queries(params, index, extent):
+    workload = WorkloadConfig(spatial_extent=0.01, temporal_extent=extent,
+                              temporal_domain=params.temporal_domain,
+                              count=params.query_count)
+    return generate_queries(params.index, workload, index.now)
+
+
+@pytest.mark.parametrize("extent", EXTENTS,
+                         ids=[f"{e * 100:g}pct" for e in EXTENTS])
+def test_fig10_swst_search(benchmark, params, swst_index, extent):
+    queries = _queries(params, swst_index, extent)
+    batch = benchmark(run_queries_swst, swst_index, queries)
+    benchmark.extra_info["figure"] = "Fig.10"
+    benchmark.extra_info["index"] = "SWST"
+    benchmark.extra_info["temporal_extent"] = extent
+    benchmark.extra_info["accesses_per_query"] = round(
+        batch.accesses_per_query, 2)
+
+
+@pytest.mark.parametrize("extent", EXTENTS,
+                         ids=[f"{e * 100:g}pct" for e in EXTENTS])
+def test_fig10_mv3r_search(benchmark, params, swst_index, mv3r_index,
+                           extent):
+    queries = _queries(params, swst_index, extent)
+    batch = benchmark(run_queries_mv3r, mv3r_index, queries)
+    benchmark.extra_info["figure"] = "Fig.10"
+    benchmark.extra_info["index"] = "MV3R"
+    benchmark.extra_info["temporal_extent"] = extent
+    benchmark.extra_info["accesses_per_query"] = round(
+        batch.accesses_per_query, 2)

@@ -1,0 +1,79 @@
+"""Fig. 11 — isPresent memo benefit with 4% long-duration entries.
+
+Paper expectation: with a small fraction of long-duration entries (0-20000
+here vs the usual 0-2000), the memo prunes the huge overlap region those
+entries induce, greatly reducing node accesses.  MV3R is unaffected by
+long durations (version splits absorb them) — the memo is what keeps SWST
+competitive on this workload.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import build_swst, run_queries_swst
+from repro.datagen import GSTDGenerator, WorkloadConfig, generate_queries
+
+EXTENTS = [0.0, 0.05, 0.10]
+
+
+@pytest.fixture(scope="module")
+def long_stream(params):
+    config = dataclasses.replace(params.stream,
+                                 num_objects=params.dataset_objects[-1],
+                                 long_fraction=0.04,
+                                 long_interval_hi=20000)
+    return GSTDGenerator(config).materialize()
+
+
+@pytest.fixture(scope="module")
+def long_config(params):
+    return dataclasses.replace(params.index, d_max=20000,
+                               duration_interval=1000)
+
+
+@pytest.fixture(scope="module")
+def with_memo(long_stream, long_config):
+    index, _ = build_swst(long_stream, long_config)
+    yield index
+    index.close()
+
+
+@pytest.fixture(scope="module")
+def without_memo(long_stream, long_config):
+    index, _ = build_swst(
+        long_stream, dataclasses.replace(long_config, use_memo=False))
+    yield index
+    index.close()
+
+
+def _queries(params, long_config, index, extent):
+    workload = WorkloadConfig(spatial_extent=0.01, temporal_extent=extent,
+                              temporal_domain=params.temporal_domain,
+                              count=params.query_count)
+    return generate_queries(long_config, workload, index.now)
+
+
+@pytest.mark.parametrize("extent", EXTENTS,
+                         ids=[f"{e * 100:g}pct" for e in EXTENTS])
+def test_fig11_with_memo(benchmark, params, long_config, with_memo, extent):
+    queries = _queries(params, long_config, with_memo, extent)
+    batch = benchmark(run_queries_swst, with_memo, queries)
+    benchmark.extra_info["figure"] = "Fig.11"
+    benchmark.extra_info["variant"] = "with memo"
+    benchmark.extra_info["temporal_extent"] = extent
+    benchmark.extra_info["accesses_per_query"] = round(
+        batch.accesses_per_query, 2)
+
+
+@pytest.mark.parametrize("extent", EXTENTS,
+                         ids=[f"{e * 100:g}pct" for e in EXTENTS])
+def test_fig11_without_memo(benchmark, params, long_config, with_memo,
+                            without_memo, extent):
+    queries = _queries(params, long_config, with_memo, extent)
+    batch = benchmark(run_queries_swst, without_memo, queries)
+    benchmark.extra_info["figure"] = "Fig.11"
+    benchmark.extra_info["variant"] = "without memo"
+    benchmark.extra_info["temporal_extent"] = extent
+    benchmark.extra_info["accesses_per_query"] = round(
+        batch.accesses_per_query, 2)

@@ -1,0 +1,61 @@
+"""Fig. 7 — insertion node accesses, SWST vs MV3R, vs dataset size.
+
+Paper expectation: the two indexes are *comparable* in insertion IOs (each
+SWST report costs two insertions + one deletion; each MV3R report one
+update + one insertion), both growing linearly with the record count.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import build_mv3r, build_swst
+from repro.datagen import GSTDGenerator
+
+
+def _stream(params, num_objects):
+    config = dataclasses.replace(params.stream, num_objects=num_objects)
+    return GSTDGenerator(config).materialize()
+
+
+@pytest.mark.parametrize("size_idx", [0, 1, -1],
+                         ids=["small", "medium", "large"])
+def test_fig7_swst_insertion(benchmark, params, size_idx):
+    reports = _stream(params, params.dataset_objects[size_idx])
+
+    def build():
+        index, result = build_swst(reports, params.index)
+        index.close()
+        return result
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "Fig.7"
+    benchmark.extra_info["index"] = "SWST"
+    benchmark.extra_info["records"] = result.records
+    benchmark.extra_info["node_accesses"] = result.node_accesses
+    benchmark.extra_info["accesses_per_record"] = round(
+        result.accesses_per_record, 3)
+    assert result.node_accesses > 0
+
+
+@pytest.mark.parametrize("size_idx", [0, 1, -1],
+                         ids=["small", "medium", "large"])
+def test_fig7_mv3r_insertion(benchmark, params, size_idx):
+    reports = _stream(params, params.dataset_objects[size_idx])
+
+    def build():
+        index, result = build_mv3r(reports,
+                                   page_size=params.index.page_size,
+                                   buffer_capacity=params.index
+                                   .buffer_capacity)
+        index.close()
+        return result
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "Fig.7"
+    benchmark.extra_info["index"] = "MV3R"
+    benchmark.extra_info["records"] = result.records
+    benchmark.extra_info["node_accesses"] = result.node_accesses
+    benchmark.extra_info["accesses_per_record"] = round(
+        result.accesses_per_record, 3)
+    assert result.node_accesses > 0

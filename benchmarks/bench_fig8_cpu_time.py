@@ -1,0 +1,38 @@
+"""Fig. 8 — insertion CPU time, SWST vs MV3R.
+
+Paper expectation: SWST's simple B+ tree insert/split path makes its
+insertion CPU roughly 5x cheaper than MV3R's R-tree heuristics
+(choose-subtree enlargement + quadratic splits + version copies).  The
+measured wall time of these two benchmarks is the figure.
+"""
+
+from repro.bench import build_mv3r, build_swst
+
+
+def test_fig8_swst_insert_cpu(benchmark, params, stream):
+    def build():
+        index, result = build_swst(stream, params.index)
+        index.close()
+        return result
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "Fig.8"
+    benchmark.extra_info["index"] = "SWST"
+    benchmark.extra_info["records"] = result.records
+    benchmark.extra_info["cpu_seconds"] = round(result.cpu_seconds, 4)
+
+
+def test_fig8_mv3r_insert_cpu(benchmark, params, stream):
+    def build():
+        index, result = build_mv3r(stream,
+                                   page_size=params.index.page_size,
+                                   buffer_capacity=params.index
+                                   .buffer_capacity)
+        index.close()
+        return result
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "Fig.8"
+    benchmark.extra_info["index"] = "MV3R"
+    benchmark.extra_info["records"] = result.records
+    benchmark.extra_info["cpu_seconds"] = round(result.cpu_seconds, 4)

@@ -1,0 +1,45 @@
+"""Fig. 9 — search node accesses vs query spatial extent (temporal 10%).
+
+Paper expectation: SWST beats MV3R up to ~4% spatial extent, with the gap
+growing as the extent shrinks; the Z-curve key bits keep small-overlap
+cells cheap.
+"""
+
+import pytest
+
+from repro.bench import run_queries_mv3r, run_queries_swst
+from repro.datagen import WorkloadConfig, generate_queries
+
+EXTENTS = [0.005, 0.01, 0.04]
+
+
+def _queries(params, index, extent):
+    workload = WorkloadConfig(spatial_extent=extent, temporal_extent=0.10,
+                              temporal_domain=params.temporal_domain,
+                              count=params.query_count)
+    return generate_queries(params.index, workload, index.now)
+
+
+@pytest.mark.parametrize("extent", EXTENTS,
+                         ids=[f"{e * 100:g}pct" for e in EXTENTS])
+def test_fig9_swst_search(benchmark, params, swst_index, extent):
+    queries = _queries(params, swst_index, extent)
+    batch = benchmark(run_queries_swst, swst_index, queries)
+    benchmark.extra_info["figure"] = "Fig.9"
+    benchmark.extra_info["index"] = "SWST"
+    benchmark.extra_info["spatial_extent"] = extent
+    benchmark.extra_info["accesses_per_query"] = round(
+        batch.accesses_per_query, 2)
+
+
+@pytest.mark.parametrize("extent", EXTENTS,
+                         ids=[f"{e * 100:g}pct" for e in EXTENTS])
+def test_fig9_mv3r_search(benchmark, params, swst_index, mv3r_index,
+                          extent):
+    queries = _queries(params, swst_index, extent)
+    batch = benchmark(run_queries_mv3r, mv3r_index, queries)
+    benchmark.extra_info["figure"] = "Fig.9"
+    benchmark.extra_info["index"] = "MV3R"
+    benchmark.extra_info["spatial_extent"] = extent
+    benchmark.extra_info["accesses_per_query"] = round(
+        batch.accesses_per_query, 2)

@@ -1,0 +1,33 @@
+"""Section V-E(b) — effect of the s-partition size.
+
+Paper expectation: very large s-partitions generate false positives (the
+column key range covers too many starts); very small ones scatter entries
+that satisfy the same query across many key ranges.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import build_swst, run_queries_swst
+from repro.datagen import WorkloadConfig, generate_queries
+
+S_PARTITIONS = [25, 100, 201, 400, 800]
+
+
+@pytest.mark.parametrize("sp", S_PARTITIONS, ids=[f"Sp{v}"
+                                                  for v in S_PARTITIONS])
+def test_spartition_sweep(benchmark, params, stream, sp):
+    config = dataclasses.replace(params.index, s_partitions=sp)
+    index, _ = build_swst(stream, config)
+    workload = WorkloadConfig(spatial_extent=0.01, temporal_extent=0.10,
+                              temporal_domain=params.temporal_domain,
+                              count=params.query_count)
+    queries = generate_queries(config, workload, index.now)
+    batch = benchmark(run_queries_swst, index, queries)
+    benchmark.extra_info["figure"] = "Sec.V-E(b)"
+    benchmark.extra_info["s_partitions"] = sp
+    benchmark.extra_info["s_interval"] = -(-config.w_max // sp)
+    benchmark.extra_info["accesses_per_query"] = round(
+        batch.accesses_per_query, 2)
+    index.close()

@@ -1,0 +1,32 @@
+"""Section V-E(a) — effect of the number of spatial grid cells.
+
+Paper expectation: too few cells lose intra-cell spatial discrimination;
+too many raise per-cell probing overhead.  The authors' sweet spot is
+300-600 cells at paper scale.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import build_swst, run_queries_swst
+from repro.datagen import WorkloadConfig, generate_queries
+
+GRIDS = [(2, 2), (5, 5), (10, 10), (20, 20), (30, 30)]
+
+
+@pytest.mark.parametrize("grid", GRIDS, ids=[f"{x}x{y}" for x, y in GRIDS])
+def test_spatial_cell_sweep(benchmark, params, stream, grid):
+    config = dataclasses.replace(params.index, x_partitions=grid[0],
+                                 y_partitions=grid[1])
+    index, _ = build_swst(stream, config)
+    workload = WorkloadConfig(spatial_extent=0.01, temporal_extent=0.10,
+                              temporal_domain=params.temporal_domain,
+                              count=params.query_count)
+    queries = generate_queries(config, workload, index.now)
+    batch = benchmark(run_queries_swst, index, queries)
+    benchmark.extra_info["figure"] = "Sec.V-E(a)"
+    benchmark.extra_info["cells"] = grid[0] * grid[1]
+    benchmark.extra_info["accesses_per_query"] = round(
+        batch.accesses_per_query, 2)
+    index.close()

@@ -1,0 +1,26 @@
+"""Regenerate every paper table/figure and write the report.
+
+Runs :func:`repro.bench.run_all` once and writes the rendered tables to
+``benchmarks/results/figures.txt`` (and to stdout, visible with ``-s``).
+This is the single entry point for the EXPERIMENTS.md numbers.
+"""
+
+import pathlib
+
+from repro.bench import run_all
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_regenerate_all_figures(benchmark, params):
+    results = benchmark.pedantic(run_all, args=(params,), rounds=1,
+                                 iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rendered = "\n\n".join(result.render() for result in results)
+    header = (f"SWST reproduction — all figures at scale "
+              f"'{params.name}'\n\n")
+    (RESULTS_DIR / "figures.txt").write_text(header + rendered + "\n")
+    print()
+    print(header + rendered)
+    benchmark.extra_info["figures"] = [r.exp_id for r in results]
+    assert len(results) == 14

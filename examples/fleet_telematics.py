@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Fleet telematics: tracking vehicles with mixed report rates.
+
+Telematics (the paper's second motivating domain): delivery vans report
+often while moving; parked trucks go quiet for long stretches, producing
+the *long-duration entries* that SWST's isPresent memo is designed for.
+Also demonstrates KNN dispatch and arbitrary deletion (a capability MV3R's
+partial persistency cannot offer).
+
+Run:  python examples/fleet_telematics.py
+"""
+
+import random
+
+from repro import Rect, SWSTConfig, SWSTIndex
+
+
+def main() -> None:
+    space = Rect(0, 0, 9999, 9999)
+    config = SWSTConfig(window=10000, slide=100, x_partitions=8,
+                        y_partitions=8, d_max=5000, duration_interval=250,
+                        space=space, page_size=2048)
+    index = SWSTIndex(config)
+    rng = random.Random(7)
+
+    # 40 vans move and report every ~50-200 units; 5 trucks park at the
+    # depot and stay silent for thousands of units.
+    DEPOT = Rect(4800, 4800, 5200, 5200)
+    vans = {oid: (rng.randrange(10000), rng.randrange(10000))
+            for oid in range(40)}
+    trucks = {oid: (rng.randrange(4800, 5201), rng.randrange(4800, 5201))
+              for oid in range(100, 105)}
+
+    events = []
+    for oid, (x, y) in trucks.items():
+        events.append((rng.randrange(0, 50), oid, x, y))
+    t = 0
+    positions = dict(vans)
+    while t < 15000:
+        t += rng.randrange(1, 10)
+        oid = rng.choice(list(vans))
+        x, y = positions[oid]
+        x = min(max(x + rng.randrange(-150, 151), 0), 9999)
+        y = min(max(y + rng.randrange(-150, 151), 0), 9999)
+        positions[oid] = (x, y)
+        events.append((t, oid, x, y))
+    # Parked trucks wake up late and report once more.
+    for oid, (x, y) in trucks.items():
+        events.append((15000 + rng.randrange(0, 100), oid, x, y))
+    events.sort()
+    for t, oid, x, y in events:
+        index.report(oid, x, y, t)
+    print(f"ingested {len(events)} reports from "
+          f"{len(vans) + len(trucks)} vehicles; now = {index.now}")
+
+    q_lo, q_hi = config.queriable_period(index.now)
+
+    # --- Who is at the depot right now? -------------------------------------
+    at_depot = index.query_timeslice(DEPOT, q_hi)
+    print(f"\nvehicles at the depot now: {sorted(at_depot.oids())}")
+
+    # --- Which vehicles passed through the depot recently? ------------------
+    visited = index.query_interval(DEPOT, q_hi - 5000, q_hi)
+    print(f"vehicles seen at the depot in the last 5000 units: "
+          f"{sorted(visited.oids())}")
+    print(f"  (query cost: {visited.stats.node_accesses} node accesses, "
+          f"{visited.stats.full_hits} full hits skipped refinement)")
+
+    # --- Dispatch: nearest 3 vehicles to an incident. ------------------------
+    incident = (7000, 2500)
+    nearest = index.query_knn(*incident, k=3, t_lo=q_hi)
+    print(f"\nnearest 3 vehicles to incident at {incident}:")
+    for entry in nearest:
+        dist = ((entry.x - incident[0]) ** 2
+                + (entry.y - incident[1]) ** 2) ** 0.5
+        print(f"  vehicle {entry.oid} at ({entry.x}, {entry.y}), "
+              f"{dist:.0f} units away")
+
+    # --- Right-to-erasure: purge one vehicle's entries. ----------------------
+    victim = 100
+    trail = index.object_history(victim)
+    print(f"\nvehicle {victim} has {len(trail)} queriable entries; "
+          f"erasing them")
+    removed = index.forget_object(victim)
+    print(f"deleted {removed} entries "
+          f"(SWST allows deleting any valid entry; MV3R cannot)")
+    remaining = index.query_interval(space, q_lo, q_hi).oids()
+    assert victim not in remaining
+    print(f"vehicle {victim} no longer appears in any query")
+
+    index.close()
+
+
+if __name__ == "__main__":
+    main()

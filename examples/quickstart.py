@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: the SWST public API in two minutes.
+
+Creates a small sliding-window index, feeds it a handful of moving-object
+reports, and runs every query type: timeslice, interval, logical-window
+and KNN.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Rect, SWSTConfig, SWSTIndex
+
+
+def main() -> None:
+    # A sliding window of 2 000 time units, sliding every 100, over a
+    # 1000 x 1000 spatial domain split into 5 x 5 grid cells.
+    config = SWSTConfig(
+        window=2000,
+        slide=100,
+        x_partitions=5,
+        y_partitions=5,
+        d_max=300,
+        duration_interval=50,
+        space=Rect(0, 0, 999, 999),
+    )
+    index = SWSTIndex(config)  # in-memory page file; pass path= for disk
+
+    # --- Closed entries: the full valid time is known up front. ----------
+    index.insert(oid=1, x=120, y=450, s=1000, d=50)   # valid [1000, 1050)
+    index.insert(oid=2, x=600, y=300, s=1005, d=200)  # valid [1005, 1205)
+
+    # --- Current entries: the end time is open until the next report. ----
+    index.report(oid=3, x=400, y=420, t=1010)
+    index.report(oid=3, x=410, y=430, t=1100)  # closes the 1010 entry
+    print("live objects:", sorted(index.current_objects()))
+
+    # --- Timeslice query: who was inside this rectangle at t = 1020? -----
+    area = Rect(0, 0, 700, 700)
+    at_1020 = index.query_timeslice(area, 1020)
+    print(f"\nat t=1020, {len(at_1020)} entries in {area}:")
+    for entry in at_1020:
+        print(f"  object {entry.oid} at ({entry.x}, {entry.y}), "
+              f"valid [{entry.s}, {entry.end})")
+
+    # --- Interval query with cost statistics. ----------------------------
+    between = index.query_interval(area, 1000, 1100)
+    print(f"\nvalid during [1000, 1100]: {sorted(between.oids())}")
+    print(f"  cost: {between.stats.node_accesses} node accesses, "
+          f"{between.stats.candidates} candidates, "
+          f"{between.stats.refined_out} refined out")
+
+    # --- Logical windows: shorter history for a restricted consumer. -----
+    index.advance_time(1600)
+    recent_only = index.query_interval(area, 0, 1600, window=500)
+    print(f"\nwith a 500-unit logical window: {sorted(recent_only.oids())}")
+
+    # --- KNN (the paper's future-work query type). ------------------------
+    nearest = index.query_knn(x=150, y=450, k=2, t_lo=1020)
+    print("\n2 nearest objects to (150, 450) at t=1020:",
+          [entry.oid for entry in nearest])
+
+    # --- Sliding-window maintenance happens automatically. ----------------
+    # Jumping past 2*Wmax drops the whole first window in O(pages).
+    index.advance_time(2 * config.w_max)
+    print(f"\nafter the window slid past everything: "
+          f"{len(index)} physical entries remain")
+
+    index.close()
+
+
+if __name__ == "__main__":
+    main()

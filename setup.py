@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed editable (``python setup.py develop`` or
+``pip install -e .``) on environments whose setuptools predates PEP 660
+wheel-less editable installs.
+"""
+
+from setuptools import setup
+
+setup()

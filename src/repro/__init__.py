@@ -1,0 +1,35 @@
+"""SWST reproduction: a disk-based index for sliding-window spatio-temporal
+data (Singh, Zhu & Jagadish, ICDE 2012).
+
+Public API::
+
+    from repro import SWSTIndex, SWSTConfig, Rect, Entry
+
+    index = SWSTIndex(SWSTConfig())
+    index.insert(oid=1, x=100, y=200, s=0, d=50)
+    result = index.query_timeslice(Rect(0, 0, 500, 500), t=25)
+
+Sub-packages:
+
+* ``repro.core`` — the SWST index itself.
+* ``repro.storage`` / ``repro.btree`` / ``repro.sfc`` — disk substrate.
+* ``repro.rtree`` / ``repro.mv3r`` / ``repro.baselines`` — the comparison
+  indexes used in the paper's evaluation.
+* ``repro.datagen`` — the GSTD synthetic stream generator and query
+  workloads.
+* ``repro.bench`` — the experiment harness regenerating every figure.
+"""
+
+from .core import Entry, QueryResult, QueryStats, Rect, SWSTConfig, SWSTIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Entry",
+    "QueryResult",
+    "QueryStats",
+    "Rect",
+    "SWSTConfig",
+    "SWSTIndex",
+    "__version__",
+]

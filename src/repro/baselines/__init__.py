@@ -1,0 +1,9 @@
+"""Baseline indexes: the correctness oracle and the historical comparators."""
+
+from .hrtree import HRTree
+from .naive import NaiveStore
+from .pist import PISTIndex
+from .r3d import R3DIndex
+from .wave import WaveIndex
+
+__all__ = ["HRTree", "NaiveStore", "PISTIndex", "R3DIndex", "WaveIndex"]

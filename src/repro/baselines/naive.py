@@ -1,0 +1,80 @@
+"""Naive in-memory scan store: the correctness oracle.
+
+Implements the *exact* sliding-window semantics of Section III-A (output
+relation, queriable period, current entries, logical windows) by linear
+scan over a Python list.  Slow but obviously correct — the test suite
+compares every index against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import SWSTConfig
+from ..core.records import Entry, Rect
+
+
+@dataclass
+class NaiveStore:
+    """Reference implementation of the sliding-window data model."""
+
+    config: SWSTConfig
+    closed: list[Entry] = field(default_factory=list)
+    current: dict[int, Entry] = field(default_factory=dict)
+    now: int = 0
+
+    def insert(self, oid: int, x: int, y: int, s: int,
+               d: int | None = None) -> None:
+        if s < self.now:
+            raise ValueError(f"out-of-order start timestamp {s}")
+        self.now = s
+        if d is not None:
+            self.closed.append(Entry(oid, x, y, s, d))
+            return
+        previous = self.current.get(oid)
+        if previous is not None and s > previous.s:
+            self.closed.append(Entry(previous.oid, previous.x, previous.y,
+                                     previous.s, s - previous.s))
+        self.current[oid] = Entry(oid, x, y, s, None)
+
+    def report(self, oid: int, x: int, y: int, t: int) -> None:
+        self.insert(oid, x, y, t, None)
+
+    def close_object(self, oid: int, t: int) -> bool:
+        self.now = max(self.now, t)
+        previous = self.current.pop(oid, None)
+        if previous is None:
+            return False
+        if t > previous.s:
+            self.closed.append(Entry(previous.oid, previous.x, previous.y,
+                                     previous.s, t - previous.s))
+        return True
+
+    def delete(self, oid: int, x: int, y: int, s: int,
+               d: int | None = None) -> bool:
+        target = Entry(oid, x, y, s, d)
+        if d is None:
+            if self.current.get(oid) == target:
+                del self.current[oid]
+                return True
+            return False
+        try:
+            self.closed.remove(target)
+            return True
+        except ValueError:
+            return False
+
+    def query_interval(self, area: Rect, t_lo: int, t_hi: int,
+                       window: int | None = None) -> list[Entry]:
+        q_lo, q_hi = self.config.queriable_period(self.now, window)
+        s_hi = min(q_hi, t_hi)
+        hits = [e for e in self.closed
+                if q_lo <= e.s <= s_hi and e.end > t_lo
+                and area.contains(e.x, e.y)]
+        hits.extend(e for e in self.current.values()
+                    if q_lo <= e.s <= s_hi and area.contains(e.x, e.y))
+        return hits
+
+    def query_timeslice(self, area: Rect, t: int,
+                        window: int | None = None) -> list[Entry]:
+        return self.query_interval(area, t, t, window)

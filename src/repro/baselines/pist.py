@@ -1,0 +1,161 @@
+"""PIST-style baseline (Botea et al., GeoInformatica 2008).
+
+PIST partitions space into a grid and gives each cell a composite B+ tree
+on ``(t_start, t_end)``.  Long entries are **split** into sub-entries of
+temporal length at most λ so that the search range
+``t_start ∈ [tl - λ, th]`` stays tight.
+
+The paper's Section V-A explains why PIST cannot be compared head-to-head
+as a sliding-window index: it needs the whole dataset up front (to pick
+partitions and λ), cannot store current entries, and its splitting makes
+window maintenance require many per-sub-entry deletions.  This
+implementation exists to reproduce those ablation arguments:
+
+* :meth:`build` — bulk construction from a complete history,
+* :meth:`query_interval` / :meth:`query_timeslice` — the λ-based search,
+* :meth:`delete_expired` — per-entry window maintenance whose cost the
+  ablation benchmark contrasts with SWST's O(pages) drop.
+"""
+
+from __future__ import annotations
+
+from ..btree.tree import BPlusTree
+from ..core.grid import SpatialGrid
+from ..core.records import Entry, RECORD_SIZE, Rect
+from ..storage.buffer import BufferPool
+from ..storage.pager import MEMORY, Pager
+
+_TIME_BITS = 40
+_TIME_LIMIT = 1 << _TIME_BITS
+
+
+def _key(ts: int, te: int) -> int:
+    if not (0 <= ts < _TIME_LIMIT and 0 <= te < _TIME_LIMIT):
+        raise ValueError(f"timestamps ({ts}, {te}) exceed {_TIME_BITS} bits")
+    return (ts << _TIME_BITS) | te
+
+
+class PISTIndex:
+    """Grid + composite-(t_start, t_end) B+ tree historical index."""
+
+    def __init__(self, space: Rect, x_partitions: int = 20,
+                 y_partitions: int = 20, lam: int | None = None,
+                 page_size: int = 8192, buffer_capacity: int = 512,
+                 path: str = MEMORY) -> None:
+        self.grid = SpatialGrid(space, x_partitions, y_partitions)
+        self.lam = lam
+        self.pager = Pager(path, page_size)
+        self.pool = BufferPool(self.pager, buffer_capacity)
+        self._trees: dict[tuple[int, int], BPlusTree] = {}
+        self._built = False
+        self._size = 0
+
+    @property
+    def stats(self):
+        return self.pool.stats
+
+    def __len__(self) -> int:
+        """Number of stored sub-entries (>= number of logical entries)."""
+        return self._size
+
+    # -- construction -----------------------------------------------------------
+
+    def build(self, entries: list[Entry]) -> None:
+        """Bulk-build from a complete history of *closed* entries.
+
+        If ``lam`` was not given it is chosen as the median duration — a
+        stand-in for PIST's distribution-driven tuning, which also needs
+        the full dataset in advance.
+        """
+        if self._built:
+            raise RuntimeError("PIST is built exactly once from the full "
+                               "dataset (paper Section V-A)")
+        if any(e.d is None for e in entries):
+            raise ValueError("PIST cannot store current entries "
+                             "(paper Section V-A)")
+        if self.lam is None:
+            durations = sorted(e.d for e in entries) or [1]
+            self.lam = max(1, durations[len(durations) // 2])
+        # PIST is built once from the complete dataset, so each cell tree
+        # can be bulk-loaded bottom-up from its sorted sub-entries.
+        per_cell: dict[tuple[int, int], list[tuple[int, bytes]]] = {}
+        for entry in entries:
+            cell = self.grid.cell_of(entry.x, entry.y)
+            per_cell.setdefault(cell, []).extend(self._split(entry))
+        for cell, items in per_cell.items():
+            items.sort(key=lambda item: item[0])
+            tree = BPlusTree(self.pool, RECORD_SIZE)
+            tree.bulk_load(items)
+            self._trees[cell] = tree
+            self._size += len(items)
+        self._built = True
+
+    def _split(self, entry: Entry) -> list[tuple[int, bytes]]:
+        """Sub-entries of duration <= λ as (key, payload) pairs."""
+        assert entry.d is not None and self.lam is not None
+        items: list[tuple[int, bytes]] = []
+        start = entry.s
+        end = entry.s + entry.d
+        while start < end:
+            sub_end = min(start + self.lam, end)
+            sub = Entry(entry.oid, entry.x, entry.y, start,
+                        sub_end - start)
+            items.append((_key(start, sub_end), sub.pack()))
+            start = sub_end
+        return items
+
+    # -- queries -------------------------------------------------------------------
+
+    def query_interval(self, area: Rect, t_lo: int,
+                       t_hi: int) -> list[Entry]:
+        """Qualifying sub-entries, deduplicated back into logical hits by
+        ``(oid, first overlapping sub-start)`` — a query reports each
+        object-visit once."""
+        assert self.lam is not None
+        results: list[Entry] = []
+        seen: set[tuple[int, int, int]] = set()
+        lo_key = _key(max(t_lo - self.lam, 0), 0)
+        hi_key = _key(t_hi, _TIME_LIMIT - 1)
+        for cell in self.grid.overlapping_cells(area):
+            tree = self._trees.get((cell.cx, cell.cy))
+            if tree is None:
+                continue
+            for _, payload in tree.iter_range(lo_key, hi_key):
+                entry = Entry.unpack(payload)
+                if entry.end <= t_lo:
+                    continue
+                if not cell.full and not area.contains(entry.x, entry.y):
+                    continue
+                dedup = (entry.oid, entry.x, entry.y)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                results.append(entry)
+        return results
+
+    def query_timeslice(self, area: Rect, t: int) -> list[Entry]:
+        return self.query_interval(area, t, t)
+
+    # -- window maintenance (the expensive path) --------------------------------------
+
+    def delete_expired(self, cutoff: int) -> int:
+        """Delete every sub-entry with start time below ``cutoff``.
+
+        One logical entry may cost several B+ tree deletions because of
+        splitting — the maintenance overhead the paper's Section V-A
+        criticises.  Returns the number of deleted sub-entries.
+        """
+        deleted = 0
+        hi_key = _key(max(cutoff - 1, 0), _TIME_LIMIT - 1)
+        for tree in self._trees.values():
+            stale = [(key, bytes(payload))
+                     for key, payload in tree.iter_range(0, hi_key)]
+            for key, payload in stale:
+                if tree.delete(key, payload):
+                    deleted += 1
+        self._size -= deleted
+        return deleted
+
+    def close(self) -> None:
+        self.pool.close()
+        self.pager.close()

@@ -1,0 +1,84 @@
+"""Benchmark parameter sets.
+
+``PAPER`` reproduces Table II exactly; ``SCALED`` shrinks the stream by
+10–50× so every figure regenerates in seconds on a laptop while keeping
+every structural ratio of the paper's setup (reports per object, window
+fraction of the temporal domain, grid sizes).  Set the environment
+variable ``SWST_BENCH_SCALE=paper`` to run at paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from ..core.config import SWSTConfig
+from ..core.records import Rect
+from ..datagen.gstd import GSTDConfig
+
+
+@dataclass(frozen=True)
+class BenchParams:
+    """One benchmark configuration: index config + stream shape."""
+
+    name: str
+    index: SWSTConfig
+    stream: GSTDConfig
+    #: dataset sizes for the Fig. 7/8 sweep, as object counts.
+    dataset_objects: tuple[int, ...] = (100, 250, 500)
+    #: number of benchmark queries per point (paper: 200).
+    query_count: int = 200
+    #: the paper's total temporal domain T (basis of temporal extents).
+    temporal_domain: int = 100_000
+
+
+_PAPER_SPACE = Rect(0, 0, 10000, 10000)
+
+#: The paper's Table II settings, verbatim.
+PAPER = BenchParams(
+    name="paper",
+    index=SWSTConfig(window=20000, slide=100, x_partitions=20,
+                     y_partitions=20, d_max=2000, duration_interval=100,
+                     space=_PAPER_SPACE, page_size=8192,
+                     buffer_capacity=2048),
+    stream=GSTDConfig(num_objects=50_000, max_time=100_000,
+                      space=_PAPER_SPACE, interval_lo=1, interval_hi=2000,
+                      seed=1),
+    dataset_objects=(10_000, 25_000, 50_000),
+    query_count=200,
+)
+
+#: Laptop-scale variant: same shape, ~50x smaller stream.  Window stays
+#: 20% of the temporal domain and each object still reports ~100 times.
+SCALED = BenchParams(
+    name="scaled",
+    index=SWSTConfig(window=20000, slide=100, x_partitions=10,
+                     y_partitions=10, d_max=2000, duration_interval=100,
+                     space=_PAPER_SPACE, page_size=2048,
+                     buffer_capacity=1024),
+    stream=GSTDConfig(num_objects=500, max_time=100_000,
+                      space=_PAPER_SPACE, interval_lo=1, interval_hi=2000,
+                      seed=1),
+    dataset_objects=(100, 250, 500),
+    query_count=60,
+)
+
+#: Tiny variant for the test suite's smoke tests.
+TINY = BenchParams(
+    name="tiny",
+    index=replace(SCALED.index, x_partitions=5, y_partitions=5,
+                  buffer_capacity=256),
+    stream=replace(SCALED.stream, num_objects=60, max_time=30_000),
+    dataset_objects=(30, 60),
+    query_count=10,
+)
+
+
+def active_params() -> BenchParams:
+    """Parameter set selected by ``SWST_BENCH_SCALE`` (default: scaled)."""
+    choice = os.environ.get("SWST_BENCH_SCALE", "scaled").lower()
+    table = {"paper": PAPER, "scaled": SCALED, "tiny": TINY}
+    if choice not in table:
+        raise ValueError(f"SWST_BENCH_SCALE must be one of {sorted(table)}, "
+                         f"got {choice!r}")
+    return table[choice]

@@ -1,0 +1,90 @@
+"""Plain-text tables for benchmark output, one row per paper data point."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render a monospace table with a title rule."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title),
+             " | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in cells:
+        lines.append(" | ".join(cell.rjust(w)
+                                for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(title: str, series: dict[str, list[float]],
+                labels: Sequence[str], width: int = 50) -> str:
+    """Horizontal-bar chart of one or more numeric series.
+
+    Args:
+        title: chart heading.
+        series: name -> values, one value per label.
+        labels: x-axis labels (one row group per label).
+        width: bar width in characters for the maximum value.
+
+    Renders the figures the paper plots as grouped bars, e.g.::
+
+        Fig.10
+        ======
+        0%    SWST |#####                       6.65
+              MV3R |##                          3.08
+        ...
+    """
+    if not series:
+        raise ValueError("at least one series required")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(f"series {name!r} has {len(values)} values "
+                             f"for {len(labels)} labels")
+    peak = max((value for values in series.values() for value in values),
+               default=0.0)
+    scale = width / peak if peak > 0 else 0.0
+    name_width = max(len(name) for name in series)
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title, "=" * len(title)]
+    for idx, label in enumerate(labels):
+        for pos, (name, values) in enumerate(series.items()):
+            prefix = str(label).ljust(label_width) if pos == 0 \
+                else " " * label_width
+            bar = "#" * max(int(values[idx] * scale), 0)
+            lines.append(f"{prefix} {name.rjust(name_width)} |"
+                         f"{bar} {_fmt(values[idx])}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def chart_from_result(result, value_columns: dict[str, int],
+                      width: int = 50) -> str:
+    """Render an :class:`ExperimentResult` as a grouped bar chart.
+
+    Args:
+        result: the experiment result (first column = label).
+        value_columns: series name -> column index in ``result.rows``.
+    """
+    labels = [str(row[0]) for row in result.rows]
+    series = {name: [float(row[col]) for row in result.rows]
+              for name, col in value_columns.items()}
+    return ascii_chart(f"{result.exp_id}: {result.title}", series, labels,
+                       width)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

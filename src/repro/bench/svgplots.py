@@ -1,0 +1,126 @@
+"""Self-contained SVG rendering of experiment results.
+
+The environment has no plotting library, so this module hand-writes the
+small subset of SVG needed to redraw the paper's figures: grouped bar
+charts (one group per x-axis point, one bar per series) with axes, value
+labels and a legend.  ``python -m repro bench --svg DIR`` writes one
+``.svg`` per figure.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Sequence
+
+#: Flat, print-friendly series colours.
+PALETTE = ["#4878a8", "#d65f5f", "#6acc64", "#956cb4", "#d5bb67"]
+
+_WIDTH = 640
+_HEIGHT = 360
+_MARGIN_LEFT = 70
+_MARGIN_RIGHT = 20
+_MARGIN_TOP = 50
+_MARGIN_BOTTOM = 60
+
+
+def render_bar_chart(title: str, series: dict[str, list[float]],
+                     labels: Sequence[str],
+                     y_label: str = "node accesses / query") -> str:
+    """Return a grouped-bar SVG document as a string.
+
+    Args:
+        title: chart heading.
+        series: name -> one value per label.
+        labels: x-axis group labels.
+        y_label: y-axis caption.
+    """
+    if not series:
+        raise ValueError("at least one series required")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(f"series {name!r} has {len(values)} values "
+                             f"for {len(labels)} labels")
+    peak = max((v for vs in series.values() for v in vs), default=0.0)
+    peak = peak if peak > 0 else 1.0
+    plot_w = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+    n_groups = len(labels)
+    n_series = len(series)
+    group_w = plot_w / max(n_groups, 1)
+    bar_w = max(group_w * 0.8 / max(n_series, 1), 2.0)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="sans-serif">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{html.escape(title)}</text>',
+    ]
+    # Axes.
+    x0, y0 = _MARGIN_LEFT, _HEIGHT - _MARGIN_BOTTOM
+    parts.append(f'<line x1="{x0}" y1="{y0}" x2="{x0 + plot_w}" y2="{y0}" '
+                 f'stroke="black"/>')
+    parts.append(f'<line x1="{x0}" y1="{y0}" x2="{x0}" '
+                 f'y2="{_MARGIN_TOP}" stroke="black"/>')
+    parts.append(f'<text x="16" y="{_MARGIN_TOP + plot_h / 2}" '
+                 f'font-size="11" text-anchor="middle" '
+                 f'transform="rotate(-90 16 {_MARGIN_TOP + plot_h / 2})">'
+                 f'{html.escape(y_label)}</text>')
+    # Horizontal gridlines + y ticks.
+    for tick in range(5):
+        frac = tick / 4
+        y = y0 - frac * plot_h
+        value = peak * frac
+        parts.append(f'<line x1="{x0}" y1="{y:.1f}" x2="{x0 + plot_w}" '
+                     f'y2="{y:.1f}" stroke="#dddddd"/>')
+        parts.append(f'<text x="{x0 - 6}" y="{y + 4:.1f}" font-size="10" '
+                     f'text-anchor="end">{_fmt(value)}</text>')
+    # Bars.
+    for group, label in enumerate(labels):
+        gx = x0 + group * group_w + group_w * 0.1
+        for idx, (name, values) in enumerate(series.items()):
+            value = values[group]
+            height = plot_h * value / peak
+            bx = gx + idx * bar_w
+            by = y0 - height
+            colour = PALETTE[idx % len(PALETTE)]
+            parts.append(f'<rect x="{bx:.1f}" y="{by:.1f}" '
+                         f'width="{bar_w:.1f}" height="{height:.1f}" '
+                         f'fill="{colour}"/>')
+            parts.append(f'<text x="{bx + bar_w / 2:.1f}" '
+                         f'y="{by - 3:.1f}" font-size="9" '
+                         f'text-anchor="middle">{_fmt(value)}</text>')
+        parts.append(f'<text x="{gx + n_series * bar_w / 2:.1f}" '
+                     f'y="{y0 + 16}" font-size="11" text-anchor="middle">'
+                     f'{html.escape(str(label))}</text>')
+    # Legend.
+    legend_x = x0
+    legend_y = _HEIGHT - 18
+    for idx, name in enumerate(series):
+        colour = PALETTE[idx % len(PALETTE)]
+        parts.append(f'<rect x="{legend_x}" y="{legend_y - 10}" width="12" '
+                     f'height="12" fill="{colour}"/>')
+        parts.append(f'<text x="{legend_x + 16}" y="{legend_y}" '
+                     f'font-size="11">{html.escape(name)}</text>')
+        legend_x += 26 + 7 * len(name)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_from_result(result, value_columns: dict[str, int],
+                    y_label: str = "node accesses / query") -> str:
+    """Render an :class:`ExperimentResult` as a grouped-bar SVG."""
+    labels = [str(row[0]) for row in result.rows]
+    series = {name: [float(row[col]) for row in result.rows]
+              for name, col in value_columns.items()}
+    return render_bar_chart(f"{result.exp_id}: {result.title}", series,
+                            labels, y_label)
+
+
+def _fmt(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.0f}"
+    return f"{value:.1f}"

@@ -1,0 +1,20 @@
+"""Disk-based B+ tree: SWST's per-spatial-cell temporal index substrate."""
+
+from .multisearch import multi_range_search, normalize_ranges
+from .node import (InternalNode, KEY_BYTES, KEY_MAX, LeafNode,
+                   NodeFormatError, internal_capacity, leaf_capacity)
+from .tree import BPlusTree, KeyRange
+
+__all__ = [
+    "BPlusTree",
+    "InternalNode",
+    "KEY_BYTES",
+    "KEY_MAX",
+    "KeyRange",
+    "LeafNode",
+    "NodeFormatError",
+    "internal_capacity",
+    "leaf_capacity",
+    "multi_range_search",
+    "normalize_ranges",
+]

@@ -1,0 +1,93 @@
+"""Level-wise multi-range B+ tree search (paper Section IV-B(c)).
+
+SWST's query step (b) produces one key range per non-empty s-partition
+column; the ranges are sorted and disjoint.  Searching them one by one would
+re-walk the root-to-leaf path for each range.  The paper instead descends
+*level by level*, carrying with each node the list of ranges that overlap
+it, so that **no node is ever accessed more than once** per query.
+
+:func:`multi_range_search` implements that algorithm on top of
+:class:`repro.btree.tree.BPlusTree`.  It also works for non-disjoint ranges
+(the result may then contain duplicates for overlapping parts, as the paper
+notes the IO cost is unchanged and only CPU work grows).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from .node import InternalNode, LeafNode
+from .tree import BPlusTree, KeyRange
+
+
+def normalize_ranges(ranges: list[tuple[int, int]]) -> list[KeyRange]:
+    """Sort ranges and coalesce overlapping/adjacent ones.
+
+    The SWST key-range generator already emits sorted disjoint ranges; this
+    helper makes the search robust to callers that do not.
+    """
+    valid = sorted((lo, hi) for lo, hi in ranges if lo <= hi)
+    merged: list[KeyRange] = []
+    for lo, hi in valid:
+        if merged and lo <= merged[-1].hi + 1:
+            if hi > merged[-1].hi:
+                merged[-1] = KeyRange(merged[-1].lo, hi)
+        else:
+            merged.append(KeyRange(lo, hi))
+    return merged
+
+
+def multi_range_search(tree: BPlusTree,
+                       ranges: list[tuple[int, int]],
+                       ) -> list[tuple[int, bytes]]:
+    """Search several key ranges visiting each tree node at most once.
+
+    Args:
+        tree: the B+ tree to search.
+        ranges: list of closed ``(lo, hi)`` key ranges.
+
+    Returns:
+        All matching (key, value) pairs in key order.
+    """
+    todo = normalize_ranges(ranges)
+    if not todo:
+        return []
+    results: list[tuple[int, bytes]] = []
+    # Each level is an ordered mapping page_id -> ranges assigned to it.
+    # Page ids at one level are distinct (children of distinct parents),
+    # and assignments stay sorted because both nodes and ranges are sorted.
+    level: list[tuple[int, list[KeyRange]]] = [(tree.root_page, todo)]
+    while level:
+        next_level: dict[int, list[KeyRange]] = {}
+        for page_id, assigned in level:
+            node = tree._read_node(page_id)
+            if isinstance(node, LeafNode):
+                _scan_leaf(node, assigned, results)
+                continue
+            _assign_children(node, assigned, next_level)
+        level = list(next_level.items())
+    return results
+
+
+def _scan_leaf(node: LeafNode, assigned: list[KeyRange],
+               results: list[tuple[int, bytes]]) -> None:
+    for key_range in assigned:
+        start = bisect_left(node.keys, key_range.lo)
+        for idx in range(start, len(node.keys)):
+            if node.keys[idx] > key_range.hi:
+                break
+            results.append((node.keys[idx], node.values[idx]))
+
+
+def _assign_children(node: InternalNode, assigned: list[KeyRange],
+                     next_level: dict[int, list[KeyRange]]) -> None:
+    for key_range in assigned:
+        # Children overlapping [lo, hi]: duplicates equal to a separator may
+        # sit left of it, hence bisect_left for the first child.
+        first = bisect_left(node.keys, key_range.lo)
+        last = bisect_right(node.keys, key_range.hi)
+        for child_idx in range(first, last + 1):
+            child = node.children[child_idx]
+            bucket = next_level.setdefault(child, [])
+            if not bucket or bucket[-1] != key_range:
+                bucket.append(key_range)

@@ -1,0 +1,154 @@
+"""On-page serialisation of B+ tree nodes.
+
+Page layout (little-endian):
+
+* Leaf page::
+
+      u8 type(=1)  u16 nkeys  u64 next_leaf
+      nkeys × ( key[KEY_BYTES] , value[value_size] )
+
+* Internal page::
+
+      u8 type(=2)  u16 nkeys  u64 child_0
+      nkeys × ( key[KEY_BYTES] , u64 child_{i+1} )
+
+Keys are unsigned integers stored big-endian in ``KEY_BYTES`` bytes, so the
+byte order matches numeric order.  SWST keys (s-partition ⊕ d-partition ⊕
+Z-value) fit comfortably in 128 bits.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+KEY_BYTES = 16
+KEY_MAX = (1 << (8 * KEY_BYTES)) - 1
+
+LEAF_TYPE = 1
+INTERNAL_TYPE = 2
+
+_LEAF_HEADER = struct.Struct("<BHQ")      # type, nkeys, next_leaf
+_INTERNAL_HEADER = struct.Struct("<BHQ")  # type, nkeys, child_0
+_CHILD = struct.Struct("<Q")
+
+
+class NodeFormatError(ValueError):
+    """A page failed to parse as a B+ tree node."""
+
+
+def leaf_capacity(page_size: int, value_size: int) -> int:
+    """Maximum number of (key, value) slots in a leaf page."""
+    usable = page_size - _LEAF_HEADER.size
+    return usable // (KEY_BYTES + value_size)
+
+
+def internal_capacity(page_size: int) -> int:
+    """Maximum number of separator keys in an internal page."""
+    usable = page_size - _INTERNAL_HEADER.size
+    return usable // (KEY_BYTES + _CHILD.size)
+
+
+def _encode_key(key: int) -> bytes:
+    return key.to_bytes(KEY_BYTES, "big")
+
+
+def _decode_key(raw: bytes | memoryview) -> int:
+    return int.from_bytes(raw, "big")
+
+
+@dataclass
+class LeafNode:
+    """Deserialised leaf node: parallel ``keys`` / ``values`` lists."""
+
+    keys: list[int] = field(default_factory=list)
+    values: list[bytes] = field(default_factory=list)
+    next_leaf: int = 0
+
+    def to_bytes(self, page_size: int, value_size: int) -> bytes:
+        if len(self.keys) != len(self.values):
+            raise NodeFormatError("keys/values length mismatch")
+        parts = [_LEAF_HEADER.pack(LEAF_TYPE, len(self.keys), self.next_leaf)]
+        for key, value in zip(self.keys, self.values):
+            if len(value) != value_size:
+                raise NodeFormatError(
+                    f"value of {len(value)} bytes != value_size {value_size}")
+            parts.append(_encode_key(key))
+            parts.append(value)
+        raw = b"".join(parts)
+        if len(raw) > page_size:
+            raise NodeFormatError(
+                f"leaf with {len(self.keys)} entries overflows page")
+        return raw.ljust(page_size, b"\x00")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, value_size: int) -> "LeafNode":
+        node_type, nkeys, next_leaf = _LEAF_HEADER.unpack_from(raw)
+        if node_type != LEAF_TYPE:
+            raise NodeFormatError(f"expected leaf page, got type {node_type}")
+        keys: list[int] = []
+        values: list[bytes] = []
+        offset = _LEAF_HEADER.size
+        step = KEY_BYTES + value_size
+        view = memoryview(raw)
+        for _ in range(nkeys):
+            keys.append(_decode_key(view[offset:offset + KEY_BYTES]))
+            values.append(bytes(view[offset + KEY_BYTES:offset + step]))
+            offset += step
+        return cls(keys=keys, values=values, next_leaf=next_leaf)
+
+
+@dataclass
+class InternalNode:
+    """Deserialised internal node: ``len(children) == len(keys) + 1``.
+
+    ``children[i]`` covers keys in ``[keys[i-1], keys[i])`` with the usual
+    open ends, except that duplicate keys equal to a separator may also live
+    in the child left of it (a consequence of splitting leaves that contain
+    runs of equal keys); readers must descend with ``bisect_left``.
+    """
+
+    keys: list[int] = field(default_factory=list)
+    children: list[int] = field(default_factory=list)
+
+    def to_bytes(self, page_size: int) -> bytes:
+        if len(self.children) != len(self.keys) + 1:
+            raise NodeFormatError("children must be len(keys) + 1")
+        parts = [_INTERNAL_HEADER.pack(INTERNAL_TYPE, len(self.keys),
+                                       self.children[0])]
+        for key, child in zip(self.keys, self.children[1:]):
+            parts.append(_encode_key(key))
+            parts.append(_CHILD.pack(child))
+        raw = b"".join(parts)
+        if len(raw) > page_size:
+            raise NodeFormatError(
+                f"internal node with {len(self.keys)} keys overflows page")
+        return raw.ljust(page_size, b"\x00")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "InternalNode":
+        node_type, nkeys, child0 = _INTERNAL_HEADER.unpack_from(raw)
+        if node_type != INTERNAL_TYPE:
+            raise NodeFormatError(
+                f"expected internal page, got type {node_type}")
+        keys: list[int] = []
+        children: list[int] = [child0]
+        offset = _INTERNAL_HEADER.size
+        step = KEY_BYTES + _CHILD.size
+        view = memoryview(raw)
+        for _ in range(nkeys):
+            keys.append(_decode_key(view[offset:offset + KEY_BYTES]))
+            (child,) = _CHILD.unpack_from(view, offset + KEY_BYTES)
+            children.append(child)
+            offset += step
+        return cls(keys=keys, children=children)
+
+
+def node_type_of(raw: bytes) -> int:
+    """Peek at a page's node type byte without a full parse."""
+    if not raw:
+        raise NodeFormatError("empty page")
+    node_type = raw[0]
+    if node_type not in (LEAF_TYPE, INTERNAL_TYPE):
+        raise NodeFormatError(f"unknown node type byte {node_type}")
+    return node_type

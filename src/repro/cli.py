@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — produce a GSTD report stream as CSV.
+* ``build`` — build an on-disk SWST index from a stream CSV.
+* ``query`` — run a timeslice/interval/KNN query against a saved index.
+* ``bench`` — regenerate one (or all) of the paper's figures.
+
+Every command prints what it did and the node-access cost, so the CLI
+doubles as a quick way to poke at the index's behaviour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from dataclasses import replace
+
+from .bench.experiments import run_all
+from .bench.params import PAPER, SCALED, TINY
+from .core.config import SWSTConfig
+from .core.index import SWSTIndex
+from .core.records import Rect
+from .datagen.gstd import GSTDConfig, GSTDGenerator
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--window", type=int, default=20000,
+                        help="sliding window size W (default 20000)")
+    parser.add_argument("--slide", type=int, default=100,
+                        help="slide L (default 100)")
+    parser.add_argument("--grid", type=int, default=20,
+                        help="spatial partitions per axis (default 20)")
+    parser.add_argument("--d-max", type=int, default=2000,
+                        help="maximum duration Dmax (default 2000)")
+    parser.add_argument("--page-size", type=int, default=8192,
+                        help="page size in bytes (default 8192)")
+
+
+def _config_from(args: argparse.Namespace) -> SWSTConfig:
+    return SWSTConfig(window=args.window, slide=args.slide,
+                      x_partitions=args.grid, y_partitions=args.grid,
+                      d_max=args.d_max, page_size=args.page_size)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    config = GSTDConfig(num_objects=args.objects, max_time=args.max_time,
+                        initial=args.distribution, seed=args.seed,
+                        long_fraction=args.long_fraction)
+    writer = csv.writer(sys.stdout if args.output == "-"
+                        else open(args.output, "w", newline=""))
+    writer.writerow(["oid", "x", "y", "t"])
+    count = 0
+    for report in GSTDGenerator(config).stream():
+        writer.writerow([report.oid, report.x, report.y, report.t])
+        count += 1
+    print(f"generated {count} reports from {args.objects} objects",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    index = SWSTIndex(config, path=args.index)
+    count = 0
+    with open(args.stream, newline="") as handle:
+        for row in csv.DictReader(handle):
+            index.report(int(row["oid"]), int(row["x"]), int(row["y"]),
+                         int(row["t"]))
+            count += 1
+    index.save()
+    stats = index.stats
+    print(f"built {args.index}: {count} reports, {len(index)} stored "
+          f"entries, {stats.node_accesses} node accesses, "
+          f"{index.pager.page_count()} pages")
+    index.close()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    index = SWSTIndex.open(args.index, config)
+    area = Rect(*args.area)
+    if args.knn:
+        result = index.query_knn(args.point[0], args.point[1], args.knn,
+                                 args.t_lo,
+                                 args.t_hi if args.t_hi >= 0 else None,
+                                 window=args.logical_window)
+    else:
+        t_hi = args.t_hi if args.t_hi >= 0 else args.t_lo
+        result = index.query_interval(area, args.t_lo, t_hi,
+                                      window=args.logical_window)
+    for entry in result:
+        end = "current" if entry.d is None else entry.s + entry.d
+        print(f"oid={entry.oid} x={entry.x} y={entry.y} "
+              f"s={entry.s} end={end}")
+    print(f"-- {len(result)} entries, "
+          f"{result.stats.node_accesses} node accesses", file=sys.stderr)
+    index.close()
+    return 0
+
+
+#: Figures with (series name -> value column) mappings for --chart.
+_CHARTABLE = {
+    "Fig.9": {"SWST": 1, "MV3R": 2},
+    "Fig.10": {"SWST": 1, "MV3R": 2},
+    "Fig.11": {"with memo": 1, "without memo": 2},
+    "Ablation-W": {"SWST": 1, "wave": 2},
+    "Ablation-HR": {"SWST": 1, "HR-tree": 2},
+    "Sec.V-E(a)": {"SWST": 2},
+    "Sec.V-E(b)": {"SWST": 2},
+}
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .bench.reporting import chart_from_result
+    from .bench.svgplots import svg_from_result
+
+    params = {"tiny": TINY, "scaled": SCALED, "paper": PAPER}[args.scale]
+    if args.objects:
+        params = replace(params, dataset_objects=tuple(args.objects))
+    results = run_all(params)
+    wanted = set(args.figures) if args.figures else None
+    svg_dir = pathlib.Path(args.svg) if args.svg else None
+    if svg_dir is not None:
+        svg_dir.mkdir(parents=True, exist_ok=True)
+    for result in results:
+        if wanted and not any(w.lower() in result.exp_id.lower()
+                              for w in wanted):
+            continue
+        if args.chart and result.exp_id in _CHARTABLE:
+            print(chart_from_result(result, _CHARTABLE[result.exp_id]))
+        else:
+            print(result.render())
+        print()
+        if svg_dir is not None and result.exp_id in _CHARTABLE:
+            name = result.exp_id.replace(".", "_").lower() + ".svg"
+            (svg_dir / name).write_text(
+                svg_from_result(result, _CHARTABLE[result.exp_id]))
+            print(f"  [wrote {svg_dir / name}]", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SWST sliding-window spatio-temporal index "
+                    "(ICDE 2012 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a GSTD report stream as CSV")
+    generate.add_argument("--objects", type=int, default=1000)
+    generate.add_argument("--max-time", type=int, default=100_000)
+    generate.add_argument("--distribution", default="uniform",
+                          choices=["uniform", "gaussian", "skewed"])
+    generate.add_argument("--long-fraction", type=float, default=0.0)
+    generate.add_argument("--seed", type=int, default=1)
+    generate.add_argument("--output", default="-",
+                          help="output CSV path (default stdout)")
+    generate.set_defaults(func=cmd_generate)
+
+    build = commands.add_parser(
+        "build", help="build an on-disk SWST index from a stream CSV")
+    build.add_argument("stream", help="input CSV from 'generate'")
+    build.add_argument("index", help="output index page file")
+    _add_config_args(build)
+    build.set_defaults(func=cmd_build)
+
+    query = commands.add_parser(
+        "query", help="query a saved SWST index")
+    query.add_argument("index", help="index page file from 'build'")
+    query.add_argument("--area", type=int, nargs=4,
+                       default=[0, 0, 10000, 10000],
+                       metavar=("XLO", "YLO", "XHI", "YHI"))
+    query.add_argument("--t-lo", type=int, required=True)
+    query.add_argument("--t-hi", type=int, default=-1,
+                       help="omit for a timeslice query")
+    query.add_argument("--logical-window", type=int, default=None)
+    query.add_argument("--knn", type=int, default=None,
+                       help="return the K nearest entries instead")
+    query.add_argument("--point", type=int, nargs=2, default=[5000, 5000],
+                       metavar=("X", "Y"), help="KNN query point")
+    _add_config_args(query)
+    query.set_defaults(func=cmd_query)
+
+    bench = commands.add_parser(
+        "bench", help="regenerate the paper's figures")
+    bench.add_argument("--scale", default="scaled",
+                       choices=["tiny", "scaled", "paper"])
+    bench.add_argument("--figures", nargs="*", default=None,
+                       help="only figures whose id contains these strings")
+    bench.add_argument("--objects", type=int, nargs="*", default=None,
+                       help="override the dataset-size sweep")
+    bench.add_argument("--chart", action="store_true",
+                       help="render figures as ASCII bar charts")
+    bench.add_argument("--svg", default=None, metavar="DIR",
+                       help="also write one SVG chart per figure to DIR")
+    bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""SWST core: the paper's primary contribution."""
+
+from .config import SWSTConfig
+from .grid import CellOverlap, SpatialGrid
+from .index import SWSTIndex
+from .keys import DecodedKey, KeyCodec
+from .memo import CellMemo
+from .merge import classify_interval_merge
+from .overlap import ColumnOverlap, classify_interval, classify_timeslice
+from .records import CURRENT_DURATION, Entry, RECORD_SIZE, Rect
+from .results import QueryResult, QueryStats
+from .tuning import (TuningAdvice, memo_bytes_per_cell, memo_bytes_total,
+                     suggest_config)
+
+__all__ = [
+    "CURRENT_DURATION",
+    "CellMemo",
+    "CellOverlap",
+    "ColumnOverlap",
+    "DecodedKey",
+    "Entry",
+    "KeyCodec",
+    "QueryResult",
+    "QueryStats",
+    "RECORD_SIZE",
+    "Rect",
+    "SWSTConfig",
+    "SWSTIndex",
+    "SpatialGrid",
+    "TuningAdvice",
+    "classify_interval",
+    "classify_interval_merge",
+    "classify_timeslice",
+    "memo_bytes_per_cell",
+    "memo_bytes_total",
+    "suggest_config",
+]

@@ -1,0 +1,86 @@
+"""First index layer: the uniform spatial grid (paper Section III-B.1).
+
+The spatial domain is divided into ``Xp × Yp`` uniform, non-overlapping
+cells.  Query evaluation first finds the cells overlapping the query
+rectangle, distinguishing *full* overlaps (every point of the cell is inside
+the query — no spatial refinement needed) from *partial* ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .records import Rect
+
+
+@dataclass(frozen=True)
+class CellOverlap:
+    """One spatial cell overlapping a query rectangle.
+
+    Attributes:
+        cx, cy: cell coordinates in the grid.
+        full: True if the query rectangle covers the whole cell.
+        clipped: intersection of the query rectangle with the cell — the
+            ``[Sl, Sh]`` rectangle of the paper's Fig. 3, used to clip the
+            Z-curve part of B+ tree key ranges.
+    """
+
+    cx: int
+    cy: int
+    full: bool
+    clipped: Rect
+
+
+class SpatialGrid:
+    """Uniform partitioning of a closed rectangular domain."""
+
+    def __init__(self, space: Rect, x_partitions: int,
+                 y_partitions: int) -> None:
+        if x_partitions < 1 or y_partitions < 1:
+            raise ValueError("partition counts must be >= 1")
+        self.space = space
+        self.xp = x_partitions
+        self.yp = y_partitions
+        # Closed-domain extent: number of representable integer coordinates.
+        self._x_extent = space.x_hi - space.x_lo + 1
+        self._y_extent = space.y_hi - space.y_lo + 1
+
+    def cell_count(self) -> int:
+        return self.xp * self.yp
+
+    def cell_of(self, x: int, y: int) -> tuple[int, int]:
+        """Grid cell containing point ``(x, y)``."""
+        if not self.space.contains(x, y):
+            raise ValueError(f"point ({x}, {y}) outside domain {self.space}")
+        cx = (x - self.space.x_lo) * self.xp // self._x_extent
+        cy = (y - self.space.y_lo) * self.yp // self._y_extent
+        return cx, cy
+
+    def cell_bounds(self, cx: int, cy: int) -> Rect:
+        """Closed coordinate rectangle of cell ``(cx, cy)``."""
+        if not (0 <= cx < self.xp and 0 <= cy < self.yp):
+            raise ValueError(f"cell ({cx}, {cy}) outside grid "
+                             f"{self.xp}x{self.yp}")
+        x_lo = self.space.x_lo + -(-cx * self._x_extent // self.xp)
+        x_hi = self.space.x_lo + -(-(cx + 1) * self._x_extent // self.xp) - 1
+        y_lo = self.space.y_lo + -(-cy * self._y_extent // self.yp)
+        y_hi = self.space.y_lo + -(-(cy + 1) * self._y_extent // self.yp) - 1
+        return Rect(x_lo, y_lo, x_hi, y_hi)
+
+    def overlapping_cells(self, query: Rect) -> Iterator[CellOverlap]:
+        """Yield every grid cell intersecting ``query`` with its overlap type."""
+        clipped_query = query.intersection(self.space)
+        if clipped_query is None:
+            return
+        cx_lo, cy_lo = self.cell_of(clipped_query.x_lo, clipped_query.y_lo)
+        cx_hi, cy_hi = self.cell_of(clipped_query.x_hi, clipped_query.y_hi)
+        for cx in range(cx_lo, cx_hi + 1):
+            for cy in range(cy_lo, cy_hi + 1):
+                bounds = self.cell_bounds(cx, cy)
+                clipped = bounds.intersection(clipped_query)
+                if clipped is None:  # pragma: no cover - defensive
+                    continue
+                yield CellOverlap(cx=cx, cy=cy,
+                                  full=query.covers(bounds),
+                                  clipped=clipped)

@@ -1,0 +1,798 @@
+"""The SWST index (paper Sections III-B and IV).
+
+Two-layer structure: a uniform spatial grid whose cells each own two disk
+B+ trees keyed by ``[s-partition ⊕ d-partition ⊕ zc(x, y)]``, plus an
+in-memory *isPresent* memo per spatial cell.  Supports:
+
+* ordered stream insertion of closed entries and *current* entries (unknown
+  end time, finalised by the object's next report),
+* arbitrary deletion/update of valid entries (no partial-persistency
+  restriction, unlike MV3R),
+* timeslice and interval queries, optionally under a *logical* sliding
+  window ``W' <= W`` (the paper's limited-disclosure feature),
+* sliding-window maintenance: whenever the stream time crosses a multiple
+  of ``Wmax`` the fully-expired B+ tree of every spatial cell is dropped
+  wholesale — deletion of an entire window of entries with no per-entry
+  work.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from ..btree.multisearch import multi_range_search
+from ..btree.tree import BPlusTree
+from ..storage.buffer import BufferPool
+from ..storage.pager import MEMORY, Pager
+from .config import SWSTConfig
+from .grid import SpatialGrid
+from .keys import KeyCodec
+from .memo import CellMemo
+from .overlap import ColumnOverlap, classify_interval
+from .records import RECORD_SIZE, Entry, Rect
+from .results import QueryResult, QueryStats
+
+_CATALOG_HEADER = struct.Struct("<QQQI")       # clock, drop_epoch, size, n_cells
+_CATALOG_CELL = struct.Struct("<IIQQ")         # cx, cy, root0+1, root1+1
+_CATALOG_CURRENT = struct.Struct("<QIIQ")      # oid, x, y, s
+_PAGE_CHAIN = struct.Struct("<QI")             # next_page, payload_len
+
+
+class SWSTIndex:
+    """Sliding Window Spatio-Temporal index.
+
+    Args:
+        config: index parameters; defaults to the paper's Table II settings.
+        path: page file path, or ``":memory:"`` (default) for an in-memory
+            page device — identical logical behaviour and identical node
+            accesses, without filesystem noise.
+
+    Typical use::
+
+        index = SWSTIndex(SWSTConfig(window=20000, slide=100))
+        index.insert(oid=7, x=120, y=450, s=1000, d=50)   # closed entry
+        index.insert(oid=8, x=300, y=310, s=1005)          # current entry
+        result = index.query_interval(Rect(0, 0, 500, 500), 980, 1010)
+    """
+
+    def __init__(self, config: SWSTConfig | None = None,
+                 path: str = MEMORY) -> None:
+        self.config = config if config is not None else SWSTConfig()
+        self.pager = Pager(path, self.config.page_size)
+        self.pool = BufferPool(self.pager, self.config.buffer_capacity)
+        self.codec = KeyCodec(self.config)
+        self.grid = SpatialGrid(self.config.space, self.config.x_partitions,
+                                self.config.y_partitions)
+        self._trees: dict[tuple[int, int], list[BPlusTree | None]] = {}
+        self._memos: dict[tuple[int, int], CellMemo] = {}
+        self._current: dict[int, tuple[int, int, int]] = {}
+        self._retentions: dict[int, int] = {}
+        self._clock = 0
+        self._drop_epoch = 0
+        self._size = 0
+        self._closed = False
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current stream time τ (largest start timestamp seen)."""
+        return self._clock
+
+    @property
+    def stats(self):
+        """Shared IO statistics of the underlying buffer pool."""
+        return self.pool.stats
+
+    def __len__(self) -> int:
+        """Number of physically stored entries (including not-yet-dropped
+        expired ones)."""
+        return self._size
+
+    def current_objects(self) -> dict[int, tuple[int, int, int]]:
+        """Snapshot of the current-entry table: oid -> (x, y, s)."""
+        return dict(self._current)
+
+    # -- insertion and updates (paper Section IV-A) ------------------------------
+
+    def insert(self, oid: int, x: int, y: int, s: int,
+               d: int | None = None) -> None:
+        """Insert an entry; ``d=None`` inserts a *current* entry.
+
+        The stream must be ordered by start timestamp (``s`` non-decreasing).
+        For a current entry, any earlier current entry of the same object is
+        finalised: its duration becomes the gap between the two reports and
+        it is deleted and re-inserted under its real duration key.
+        """
+        self._check_open()
+        if not self.config.space.contains(x, y):
+            raise ValueError(f"location ({x}, {y}) outside the spatial "
+                             f"domain {self.config.space}")
+        if s < self._clock:
+            raise ValueError(f"out-of-order start timestamp {s} < current "
+                             f"time {self._clock}")
+        if d is not None and d < 1:
+            raise ValueError(f"duration must be >= 1, got {d}")
+        self.advance_time(s)
+        if d is not None:
+            self._physical_insert(Entry(oid, x, y, s, d))
+            return
+        previous = self._current.get(oid)
+        if previous is not None:
+            if previous[2] == s:
+                # Re-report at the same timestamp: a position correction.
+                # Replace the current entry instead of closing it with a
+                # zero-length duration.
+                px, py, ps = previous
+                self._physical_delete(Entry(oid, px, py, ps, None))
+            else:
+                self._finalize_current(oid, previous, end=s)
+        self._physical_insert(Entry(oid, x, y, s, None))
+        self._current[oid] = (x, y, s)
+
+    def report(self, oid: int, x: int, y: int, t: int) -> None:
+        """Position report of a moving object (alias of a current insert)."""
+        self.insert(oid, x, y, t, None)
+
+    def extend(self, reports) -> int:
+        """Feed an iterable of position reports (objects with ``oid``,
+        ``x``, ``y``, ``t`` attributes, e.g. :class:`repro.datagen.Report`).
+
+        Returns the number of reports ingested.
+        """
+        count = 0
+        for report in reports:
+            self.insert(report.oid, report.x, report.y, report.t, None)
+            count += 1
+        return count
+
+    def close_object(self, oid: int, t: int) -> bool:
+        """Finalise an object's current entry at end time ``t``.
+
+        Use when an object leaves the system without a further report.
+        Returns False if the object has no live current entry.
+        """
+        self._check_open()
+        self.advance_time(t)
+        previous = self._current.pop(oid, None)
+        if previous is None:
+            return False
+        self._finalize_current(oid, previous, end=t)
+        return True
+
+    def _finalize_current(self, oid: int, previous: tuple[int, int, int],
+                          end: int) -> None:
+        """Replace the ND-keyed record of ``oid`` with its real duration."""
+        px, py, ps = previous
+        # The previous record is gone if its window has been dropped.
+        if ps // self.config.w_max < max(self._drop_epoch - 1, 0):
+            return
+        if end <= ps:
+            raise ValueError(f"object {oid} cannot be finalised at {end} "
+                             f"<= its current start {ps}")
+        duration = end - ps
+        self._physical_delete(Entry(oid, px, py, ps, None))
+        self._physical_insert(Entry(oid, px, py, ps, duration))
+
+    def set_retention(self, oid: int, retention: int | None) -> None:
+        """Give one object a shorter retention time than the window.
+
+        Section IV-B(d): SWST supports per-entry retention times below the
+        physical window size by extending only the refinement step —
+        entries of the object whose start has left its personal retention
+        horizon are filtered out of query results (and are eventually
+        removed by the normal window drop).  ``None`` restores the default.
+        """
+        self._check_open()
+        if retention is None:
+            self._retentions.pop(oid, None)
+            return
+        if not 1 <= retention <= self.config.window:
+            raise ValueError(f"retention must be in [1, W={self.config.window}], "
+                             f"got {retention}")
+        self._retentions[oid] = retention
+
+    def retention_of(self, oid: int) -> int:
+        """The object's retention time (defaults to the window size)."""
+        return self._retentions.get(oid, self.config.window)
+
+    def _passes_retention(self, entry: Entry) -> bool:
+        retention = self._retentions.get(entry.oid)
+        if retention is None:
+            return True
+        horizon = max((self._clock // self.config.slide) * self.config.slide
+                      - retention, 0)
+        return entry.s >= horizon
+
+    def delete(self, oid: int, x: int, y: int, s: int,
+               d: int | None = None) -> bool:
+        """Delete one specific entry (any valid entry may be deleted —
+        SWST has no partial-persistency restriction).
+
+        Returns True if the entry existed.
+        """
+        self._check_open()
+        entry = Entry(oid, x, y, s, d)
+        if not self._physical_delete(entry, missing_ok=True):
+            return False
+        if d is None and self._current.get(oid) == (x, y, s):
+            del self._current[oid]
+        return True
+
+    def _cell_state(self, cx: int, cy: int) -> tuple[list[BPlusTree | None],
+                                                     CellMemo]:
+        key = (cx, cy)
+        trees = self._trees.get(key)
+        if trees is None:
+            trees = [None, None]
+            self._trees[key] = trees
+            self._memos[key] = CellMemo()
+        return trees, self._memos[key]
+
+    def _d_key(self, d: int | None) -> int:
+        """Duration value used in key computation.
+
+        Current entries and entries whose duration exceeds ``Dmax`` are
+        keyed with the sentinel ``ND`` and thus land in the top
+        d-partition; the true duration stays in the record so refinement
+        remains exact.
+        """
+        if d is None or d > self.config.d_max:
+            return self.config.nd
+        return d
+
+    def _physical_insert(self, entry: Entry) -> None:
+        cx, cy = self.grid.cell_of(entry.x, entry.y)
+        trees, memo = self._cell_state(cx, cy)
+        tree_idx = self.config.tree_of(entry.s)
+        tree = trees[tree_idx]
+        if tree is None:
+            tree = BPlusTree(self.pool, RECORD_SIZE)
+            trees[tree_idx] = tree
+        d_key = self._d_key(entry.d)
+        key = self.codec.encode(entry.s, d_key, entry.x, entry.y)
+        tree.insert(key, entry.pack())
+        memo.add(self.config.s_partition(entry.s),
+                 self.config.d_partition(d_key), entry.x, entry.y)
+        self._size += 1
+
+    def _physical_delete(self, entry: Entry, missing_ok: bool = False) -> bool:
+        cx, cy = self.grid.cell_of(entry.x, entry.y)
+        trees = self._trees.get((cx, cy))
+        tree_idx = self.config.tree_of(entry.s)
+        tree = trees[tree_idx] if trees else None
+        d_key = self._d_key(entry.d)
+        key = self.codec.encode(entry.s, d_key, entry.x, entry.y)
+        if tree is None or not tree.delete(key, entry.pack()):
+            if missing_ok:
+                return False
+            raise KeyError(f"entry {entry} not found in the index")
+        self._memos[(cx, cy)].remove(self.config.s_partition(entry.s),
+                                     self.config.d_partition(d_key))
+        self._size -= 1
+        return True
+
+    # -- sliding window maintenance (paper Section IV-C) --------------------------
+
+    def advance_time(self, now: int) -> None:
+        """Move the stream clock forward, dropping fully expired windows.
+
+        Whenever the clock crosses ``k · Wmax``, the B+ tree that held the
+        window ``[(k-2)·Wmax, (k-1)·Wmax)`` is dropped in every spatial
+        cell and the matching memo partitions are reset.
+        """
+        self._check_open()
+        if now < self._clock:
+            raise ValueError(f"clock cannot move backwards "
+                             f"({now} < {self._clock})")
+        self._clock = now
+        boundary = now // self.config.w_max
+        while self._drop_epoch < boundary:
+            self._drop_epoch += 1
+            if self._drop_epoch >= 2:
+                self._drop_window(self._drop_epoch - 2)
+
+    def _drop_window(self, window_index: int) -> int:
+        """Drop every page of the expired window; returns pages freed."""
+        tree_idx = window_index % 2
+        sp = self.config.sp
+        m_lo, m_hi = (0, sp) if tree_idx == 0 else (sp, 2 * sp)
+        freed = 0
+        for key, trees in self._trees.items():
+            tree = trees[tree_idx]
+            if tree is None:
+                continue
+            memo = self._memos[key]
+            self._size -= memo.total_in_partitions(m_lo, m_hi)
+            freed += tree.drop()
+            memo.reset_partitions(m_lo, m_hi)
+        stale = [oid for oid, (_, _, s) in self._current.items()
+                 if s // self.config.w_max == window_index]
+        for oid in stale:
+            del self._current[oid]
+        return freed
+
+    # -- queries (paper Section IV-B) -------------------------------------------
+
+    def query_timeslice(self, area: Rect, t: int,
+                        window: int | None = None) -> QueryResult:
+        """All entries within ``area`` that are valid at timestamp ``t``."""
+        return self.query_interval(area, t, t, window)
+
+    def query_interval(self, area: Rect, t_lo: int, t_hi: int,
+                       window: int | None = None) -> QueryResult:
+        """All entries within ``area`` valid during any part of [t_lo, t_hi].
+
+        Args:
+            area: closed query rectangle.
+            t_lo, t_hi: closed query time interval (must be within the
+                queriable period for non-empty results).
+            window: logical sliding window ``W' <= W`` restricting the
+                result to a shorter history than the physical window.
+        """
+        self._check_open()
+        stats = QueryStats()
+        result = QueryResult(stats=stats)
+        start = self.pool.stats.snapshot()
+        # Step (a): static temporal classification, shared by every cell.
+        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
+                                    window)
+        if columns:
+            plan = self._query_plan(columns, t_lo, t_hi, window)
+            for cell in self.grid.overlapping_cells(area):
+                self._search_cell(cell, plan, area, stats, result.entries)
+        stats.node_accesses = self.pool.stats.diff(start).node_accesses
+        return result
+
+    def count_interval(self, area: Rect, t_lo: int, t_hi: int,
+                       window: int | None = None) -> tuple[int, QueryStats]:
+        """Number of qualifying entries (the usage-statistics query of the
+        paper's introduction), without materialising them.
+
+        Returns ``(count, stats)``.
+        """
+        result = self.query_interval(area, t_lo, t_hi, window)
+        return len(result), result.stats
+
+    def density_grid(self, area: Rect, t: int,
+                     window: int | None = None) -> dict[tuple[int, int],
+                                                        int]:
+        """Distinct objects per spatial grid cell valid at time ``t``.
+
+        The "density of users per region" statistic that motivates the
+        paper's Section I.  Returns a mapping from grid cell coordinates
+        (only cells overlapping ``area``) to distinct-object counts.
+        """
+        self._check_open()
+        result = self.query_timeslice(area, t, window)
+        density: dict[tuple[int, int], set[int]] = {}
+        for entry in result:
+            cell = self.grid.cell_of(entry.x, entry.y)
+            density.setdefault(cell, set()).add(entry.oid)
+        counts = {cell: len(oids) for cell, oids in density.items()}
+        for cell_overlap in self.grid.overlapping_cells(area):
+            counts.setdefault((cell_overlap.cx, cell_overlap.cy), 0)
+        return counts
+
+    def object_history(self, oid: int, t_lo: int | None = None,
+                       t_hi: int | None = None,
+                       window: int | None = None) -> list[Entry]:
+        """The object's trajectory within the (logical) window.
+
+        Returns the object's entries valid during ``[t_lo, t_hi]``
+        (defaults: the whole queriable period) ordered by start time.
+        SWST has no per-object access path — this evaluates a whole-domain
+        query and filters, which is O(window); use it for audits and
+        right-to-erasure flows (see ``examples/fleet_telematics.py``),
+        not in hot loops.
+        """
+        self._check_open()
+        q_lo, q_hi = self.config.queriable_period(self._clock, window)
+        t_lo = q_lo if t_lo is None else t_lo
+        t_hi = q_hi if t_hi is None else t_hi
+        result = self.query_interval(self.config.space, t_lo, t_hi, window)
+        return sorted((e for e in result if e.oid == oid),
+                      key=lambda e: e.s)
+
+    def forget_object(self, oid: int) -> int:
+        """Delete every queriable entry of one object (right to erasure).
+
+        Removes the object's closed entries, its current entry and any
+        retention override.  Entries in already-dropped windows are gone
+        anyway.  Returns the number of entries deleted.
+        """
+        self._check_open()
+        deleted = 0
+        for entry in self.object_history(oid):
+            if self.delete(entry.oid, entry.x, entry.y, entry.s, entry.d):
+                deleted += 1
+        # Expired-but-physically-present entries are invisible to queries
+        # but should not outlive an erasure request either.
+        for entry in [e for e in self.scan() if e.oid == oid]:
+            if self.delete(entry.oid, entry.x, entry.y, entry.s, entry.d):
+                deleted += 1
+        self._retentions.pop(oid, None)
+        return deleted
+
+    def query_knn(self, x: int, y: int, k: int, t_lo: int,
+                  t_hi: int | None = None,
+                  window: int | None = None) -> QueryResult:
+        """The k entries valid during ``[t_lo, t_hi]`` nearest to (x, y).
+
+        The paper's Section VI names KNN over the sliding window as the
+        primary future-work extension; this implements it with an
+        expanding-ring search over the spatial grid: cells are probed ring
+        by ring around the query point, and the search stops as soon as
+        the nearest possible point of the next ring is farther than the
+        current k-th best candidate.
+
+        Args:
+            x, y: query point (must lie in the spatial domain).
+            k: number of neighbours.
+            t_lo, t_hi: query time interval; omit ``t_hi`` for a timeslice.
+            window: optional logical window ``W' <= W``.
+
+        Returns:
+            A result whose entries are ordered by ascending Euclidean
+            distance (ties by object id and start time).
+        """
+        self._check_open()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not self.config.space.contains(x, y):
+            raise ValueError(f"query point ({x}, {y}) outside the domain")
+        if t_hi is None:
+            t_hi = t_lo
+        stats = QueryStats()
+        result = QueryResult(stats=stats)
+        start = self.pool.stats.snapshot()
+        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
+                                    window)
+        if columns:
+            plan = self._query_plan(columns, t_lo, t_hi, window)
+            candidates = self._knn_ring_search(x, y, k, plan, stats)
+            result.entries.extend(entry for _, entry in candidates[:k])
+        stats.node_accesses = self.pool.stats.diff(start).node_accesses
+        return result
+
+    def _knn_ring_search(self, x: int, y: int, k: int, plan: dict,
+                         stats: QueryStats) -> list:
+        from .grid import CellOverlap as _CellOverlap
+
+        def rect_dist2(bounds: Rect) -> int:
+            dx = max(bounds.x_lo - x, 0, x - bounds.x_hi)
+            dy = max(bounds.y_lo - y, 0, y - bounds.y_hi)
+            return dx * dx + dy * dy
+
+        cx0, cy0 = self.grid.cell_of(x, y)
+        candidates: list[tuple[tuple[int, int, int], Entry]] = []
+        max_ring = max(self.grid.xp, self.grid.yp)
+        for ring in range(max_ring + 1):
+            cells = [
+                (cx, cy)
+                for cx in range(max(cx0 - ring, 0),
+                                min(cx0 + ring, self.grid.xp - 1) + 1)
+                for cy in range(max(cy0 - ring, 0),
+                                min(cy0 + ring, self.grid.yp - 1) + 1)
+                if max(abs(cx - cx0), abs(cy - cy0)) == ring
+            ]
+            if not cells:
+                break
+            ring_min = min(rect_dist2(self.grid.cell_bounds(cx, cy))
+                           for cx, cy in cells)
+            if len(candidates) >= k and ring_min > candidates[k - 1][0][0]:
+                break
+            for cx, cy in cells:
+                bounds = self.grid.cell_bounds(cx, cy)
+                cell = _CellOverlap(cx=cx, cy=cy, full=True, clipped=bounds)
+                found: list[Entry] = []
+                self._search_cell(cell, plan, bounds, stats, found)
+                for entry in found:
+                    dist2 = ((entry.x - x) ** 2 + (entry.y - y) ** 2)
+                    candidates.append(((dist2, entry.oid, entry.s), entry))
+            candidates.sort(key=lambda item: item[0])
+        return candidates
+
+    def _query_plan(self, columns: list[ColumnOverlap], t_lo: int,
+                    t_hi: int, window: int | None) -> dict:
+        """Pre-computed per-query state shared by every spatial cell."""
+        q_lo, q_hi = self.config.queriable_period(self._clock, window)
+        by_tree: list[list[ColumnOverlap]] = [[], []]
+        for column in columns:
+            by_tree[column.tree].append(column)
+        return {
+            "by_tree": by_tree,
+            "column_of": {column.s_part: column for column in columns},
+            "q_lo": q_lo,
+            "s_hi_eff": min(q_hi, t_hi),
+            "t_lo": t_lo,
+        }
+
+    def _search_cell(self, cell, plan: dict, area: Rect, stats: QueryStats,
+                     out: list[Entry]) -> None:
+        """Steps (b)-(d) of the query pipeline for one spatial cell."""
+        trees = self._trees.get((cell.cx, cell.cy))
+        if trees is None:
+            return
+        memo = self._memos[(cell.cx, cell.cy)]
+        stats.spatial_cells += 1
+        for tree_idx in (0, 1):
+            tree = trees[tree_idx]
+            if tree is None or not plan["by_tree"][tree_idx]:
+                continue
+            ranges = self._build_key_ranges(plan["by_tree"][tree_idx], memo,
+                                            cell.clipped, stats)
+            if not ranges:
+                continue
+            stats.key_ranges += len(ranges)
+            hits = multi_range_search(tree, ranges)
+            self._refine(hits, plan["column_of"], cell.full, area,
+                         plan["q_lo"], plan["s_hi_eff"], plan["t_lo"],
+                         stats, out)
+
+    def _build_key_ranges(self, columns: list[ColumnOverlap], memo: CellMemo,
+                          clipped: Rect,
+                          stats: QueryStats) -> list[tuple[int, int]]:
+        """Step (b): memo-pruned key ranges, one per non-empty column."""
+        dp = self.config.dp
+        ranges: list[tuple[int, int]] = []
+        for column in columns:
+            stats.columns_examined += 1
+            if self.config.use_memo:
+                n_min = -1
+                n_max = -1
+                for n in range(column.d_first, dp):
+                    if memo.overlaps(column.s_part, n, clipped):
+                        if n_min < 0:
+                            n_min = n
+                        n_max = n
+                if n_min < 0:
+                    continue
+            else:
+                # Fig. 11 ablation: search the whole overlapping band.
+                n_min, n_max = column.d_first, dp - 1
+            ranges.append(self.codec.column_range(column.s_part, n_min,
+                                                  n_max, clipped))
+        return ranges
+
+    def _refine(self, hits: list[tuple[int, bytes]],
+                column_of: dict[int, ColumnOverlap], spatial_full: bool,
+                area: Rect, q_lo: int, s_hi_eff: int, t_lo: int,
+                stats: QueryStats, out: list[Entry]) -> None:
+        """Step (d): drop false positives; skip checks for full overlaps."""
+        for key, payload in hits:
+            stats.candidates += 1
+            decoded = self.codec.decode(key)
+            column = column_of.get(decoded.s_part)
+            if column is None:
+                # Physically present entry of an s-partition with no
+                # qualifying starts (expired band of a shared cycle).
+                stats.refined_out += 1
+                continue
+            entry = Entry.unpack(payload)
+            if self._retentions and not self._passes_retention(entry):
+                stats.refined_out += 1
+                continue
+            temporal_full = decoded.d_part >= column.d_full
+            if temporal_full and spatial_full:
+                stats.full_hits += 1
+                out.append(entry)
+                continue
+            if not temporal_full:
+                if not (q_lo <= entry.s <= s_hi_eff and entry.end > t_lo):
+                    stats.refined_out += 1
+                    continue
+            if not spatial_full and not area.contains(entry.x, entry.y):
+                stats.refined_out += 1
+                continue
+            out.append(entry)
+
+    # -- introspection -------------------------------------------------------------
+
+    def scan(self) -> Iterator[Entry]:
+        """Yield every physically stored entry (diagnostics/tests only)."""
+        self._check_open()
+        for trees in self._trees.values():
+            for tree in trees:
+                if tree is None:
+                    continue
+                for _, payload in tree.items():
+                    yield Entry.unpack(payload)
+
+    def node_count(self) -> int:
+        """Total B+ tree pages across every spatial cell."""
+        return sum(tree.node_count()
+                   for trees in self._trees.values()
+                   for tree in trees if tree is not None)
+
+    def check_integrity(self) -> None:
+        """Validate every cross-structure invariant; raises on violation.
+
+        Checks, for every spatial cell: B+ tree structural invariants;
+        that each stored entry lives in the correct cell, tree and key;
+        that the memo's per-temporal-cell counts match the stored entries
+        exactly and every MBR covers its entries; and that the
+        current-entry table points at live ND records.  Intended for
+        tests and post-crash verification — cost is a full scan.
+        """
+        self._check_open()
+        total = 0
+        current_seen: set[int] = set()
+        for (cx, cy), trees in self._trees.items():
+            memo = self._memos[(cx, cy)]
+            counts: dict[tuple[int, int], int] = {}
+            for tree_idx, tree in enumerate(trees):
+                if tree is None:
+                    continue
+                tree.check_invariants()
+                for key, payload in tree.items():
+                    entry = Entry.unpack(payload)
+                    total += 1
+                    if self.grid.cell_of(entry.x, entry.y) != (cx, cy):
+                        raise AssertionError(
+                            f"{entry} stored in wrong spatial cell "
+                            f"({cx}, {cy})")
+                    if self.config.tree_of(entry.s) != tree_idx:
+                        raise AssertionError(
+                            f"{entry} stored in wrong tree {tree_idx}")
+                    d_key = self._d_key(entry.d)
+                    expected = self.codec.encode(entry.s, d_key, entry.x,
+                                                 entry.y)
+                    if key != expected:
+                        raise AssertionError(
+                            f"{entry} stored under key {key}, "
+                            f"expected {expected}")
+                    cell_key = (self.config.s_partition(entry.s),
+                                self.config.d_partition(d_key))
+                    counts[cell_key] = counts.get(cell_key, 0) + 1
+                    mbr = memo.mbr(*cell_key)
+                    if mbr is None or not mbr.contains(entry.x, entry.y):
+                        raise AssertionError(
+                            f"memo MBR {mbr} does not cover {entry}")
+                    if entry.d is None:
+                        if self._current.get(entry.oid) != (entry.x,
+                                                            entry.y,
+                                                            entry.s):
+                            raise AssertionError(
+                                f"stray current entry {entry} not in the "
+                                f"current-object table")
+                        current_seen.add(entry.oid)
+            for cell_key, count in counts.items():
+                if memo.count(*cell_key) != count:
+                    raise AssertionError(
+                        f"memo count {memo.count(*cell_key)} != stored "
+                        f"{count} in cell ({cx}, {cy}) temporal {cell_key}")
+            for cell_key in memo._cells:
+                if cell_key not in counts:
+                    raise AssertionError(
+                        f"memo cell {cell_key} non-empty but no entries "
+                        f"stored in spatial cell ({cx}, {cy})")
+        if total != self._size:
+            raise AssertionError(f"size counter {self._size} != stored "
+                                 f"entries {total}")
+        if current_seen != set(self._current):
+            raise AssertionError(
+                f"current table {sorted(self._current)} disagrees with "
+                f"stored ND records {sorted(current_seen)}")
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self) -> None:
+        """Persist the tree catalog and stream state into the page file."""
+        self._check_open()
+        cells = sorted(self._trees.items())
+        parts = [_CATALOG_HEADER.pack(self._clock, self._drop_epoch,
+                                      self._size, len(cells))]
+        for (cx, cy), trees in cells:
+            roots = [0 if tree is None else tree.root_page + 1
+                     for tree in trees]
+            parts.append(_CATALOG_CELL.pack(cx, cy, roots[0], roots[1]))
+        parts.append(struct.pack("<I", len(self._current)))
+        for oid, (x, y, s) in sorted(self._current.items()):
+            parts.append(_CATALOG_CURRENT.pack(oid, x, y, s))
+        self._write_catalog(b"".join(parts))
+        self.pool.flush()
+        self.pager.sync()
+
+    def _write_catalog(self, blob: bytes) -> None:
+        old_head = int.from_bytes(self.pager.meta or b"\x00" * 8, "little")
+        chunk = self.pager.page_size - _PAGE_CHAIN.size
+        pages = [self.pager.allocate()
+                 for _ in range(max(1, -(-len(blob) // chunk)))]
+        for idx, page_id in enumerate(pages):
+            payload = blob[idx * chunk:(idx + 1) * chunk]
+            next_page = pages[idx + 1] if idx + 1 < len(pages) else 0
+            raw = _PAGE_CHAIN.pack(next_page, len(payload)) + payload
+            self.pager.write(page_id, raw.ljust(self.pager.page_size, b"\x00"))
+        self.pager.meta = pages[0].to_bytes(8, "little")
+        while old_head:
+            raw = self.pager.read(old_head)
+            next_page, _ = _PAGE_CHAIN.unpack_from(raw)
+            self.pager.free(old_head)
+            old_head = next_page
+
+    @classmethod
+    def open(cls, path: str, config: SWSTConfig) -> "SWSTIndex":
+        """Re-open a saved index.
+
+        The isPresent memos are rebuilt by scanning the trees (they are an
+        in-memory acceleration structure; the paper stores them in RAM too).
+        """
+        index = cls.__new__(cls)
+        index.config = config
+        index.pager = Pager(path, config.page_size)
+        index.pool = BufferPool(index.pager, config.buffer_capacity)
+        index.codec = KeyCodec(config)
+        index.grid = SpatialGrid(config.space, config.x_partitions,
+                                 config.y_partitions)
+        index._trees = {}
+        index._memos = {}
+        index._current = {}
+        index._retentions = {}
+        index._closed = False
+        blob = index._read_catalog()
+        offset = _CATALOG_HEADER.size
+        clock, drop_epoch, size, n_cells = _CATALOG_HEADER.unpack_from(blob)
+        index._clock, index._drop_epoch, index._size = clock, drop_epoch, size
+        for _ in range(n_cells):
+            cx, cy, root0, root1 = _CATALOG_CELL.unpack_from(blob, offset)
+            offset += _CATALOG_CELL.size
+            trees: list[BPlusTree | None] = [
+                BPlusTree(index.pool, RECORD_SIZE, root0 - 1) if root0 else
+                None,
+                BPlusTree(index.pool, RECORD_SIZE, root1 - 1) if root1 else
+                None,
+            ]
+            index._trees[(cx, cy)] = trees
+            index._memos[(cx, cy)] = CellMemo()
+        (n_current,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        for _ in range(n_current):
+            oid, x, y, s = _CATALOG_CURRENT.unpack_from(blob, offset)
+            offset += _CATALOG_CURRENT.size
+            index._current[oid] = (x, y, s)
+        index._rebuild_memos()
+        return index
+
+    def _read_catalog(self) -> bytes:
+        head = int.from_bytes(self.pager.meta or b"", "little")
+        if not head:
+            raise ValueError("page file has no saved SWST catalog")
+        parts: list[bytes] = []
+        while head:
+            raw = self.pager.read(head)
+            head, length = _PAGE_CHAIN.unpack_from(raw)
+            parts.append(raw[_PAGE_CHAIN.size:_PAGE_CHAIN.size + length])
+        return b"".join(parts)
+
+    def _rebuild_memos(self) -> None:
+        for key, trees in self._trees.items():
+            memo = self._memos[key]
+            for tree in trees:
+                if tree is None:
+                    continue
+                for _, payload in tree.items():
+                    entry = Entry.unpack(payload)
+                    d_key = self._d_key(entry.d)
+                    memo.add(self.config.s_partition(entry.s),
+                             self.config.d_partition(d_key),
+                             entry.x, entry.y)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("index is closed")
+
+    def close(self) -> None:
+        if not self._closed:
+            self.pool.close()
+            self.pager.close()
+            self._closed = True
+
+    def __enter__(self) -> "SWSTIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,96 @@
+"""B+ tree key codec (paper Section III-B.2).
+
+A key is the fixed-width bit concatenation::
+
+    KEY(s, d, x, y) = [s-partition(s)]₂ ⊕ [d-partition(d)]₂ ⊕ [zc(x, y)]₂
+
+ordered so that (a) every entry of one s-partition column sits in one
+contiguous key band — the band that is dropped wholesale when the window
+slides — (b) within a column, entries are ordered by d-partition, and (c)
+within one temporal cell, by Z-curve spatial proximity.  Because both the
+modulo-reduced start time and the duration are bounded, key width never
+grows with stream time.
+
+``spatial_keys=False`` reproduces the ablation of Section V-D.1: the Z bits
+are omitted and the spatial pruning inside a cell is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sfc.zcurve import zc_encode
+from .config import SWSTConfig
+from .records import Rect
+
+
+@dataclass(frozen=True)
+class DecodedKey:
+    """The three fields of a decoded SWST key."""
+
+    s_part: int
+    d_part: int
+    z_value: int
+
+
+class KeyCodec:
+    """Encode/decode SWST composite keys for one configuration."""
+
+    def __init__(self, config: SWSTConfig) -> None:
+        self.config = config
+        # s-partition spans both modulo windows: [0, 2·Sp).
+        self.s_bits = max(1, (2 * config.sp - 1).bit_length())
+        self.d_bits = max(1, (config.dp - 1).bit_length())
+        self.zc_order = config.zc_order
+        self.z_bits = 2 * self.zc_order if config.spatial_keys else 0
+        self.key_bits = self.s_bits + self.d_bits + self.z_bits
+        if self.key_bits > 128:
+            raise ValueError(f"key of {self.key_bits} bits exceeds the "
+                             f"128-bit B+ tree key width")
+
+    # -- scalar encode/decode --------------------------------------------------
+
+    def encode(self, s: int, d: int, x: int, y: int) -> int:
+        """Key of an entry with start ``s``, duration ``d`` (``ND`` allowed),
+        location ``(x, y)``."""
+        return self.pack(self.config.s_partition(s),
+                         self.config.d_partition(d),
+                         x, y)
+
+    def pack(self, s_part: int, d_part: int, x: int, y: int) -> int:
+        """Key from explicit partition indices and a location."""
+        key = (s_part << self.d_bits) | d_part
+        if self.z_bits:
+            key = (key << self.z_bits) | zc_encode(x, y, self.zc_order)
+        return key
+
+    def decode(self, key: int) -> DecodedKey:
+        """Split a key back into its fields."""
+        z_value = key & ((1 << self.z_bits) - 1) if self.z_bits else 0
+        rest = key >> self.z_bits
+        d_part = rest & ((1 << self.d_bits) - 1)
+        s_part = rest >> self.d_bits
+        return DecodedKey(s_part=s_part, d_part=d_part, z_value=z_value)
+
+    # -- range generation --------------------------------------------------------
+
+    def column_range(self, s_part: int, d_lo: int, d_hi: int,
+                     clipped: Rect) -> tuple[int, int]:
+        """Key range covering d-partitions ``[d_lo, d_hi]`` of one s-partition
+        column, spatially clipped to ``clipped`` (paper step IV-B(b)).
+
+        By the Z-curve corner property, using ``zc`` of the lower-left corner
+        in the low key and of the upper-right corner in the high key covers
+        every point of the clipped rectangle.
+        """
+        if d_lo > d_hi:
+            raise ValueError(f"empty d-partition range [{d_lo}, {d_hi}]")
+        if self.z_bits:
+            z_lo = zc_encode(clipped.x_lo, clipped.y_lo, self.zc_order)
+            z_hi = zc_encode(clipped.x_hi, clipped.y_hi, self.zc_order)
+            lo = ((s_part << self.d_bits | d_lo) << self.z_bits) | z_lo
+            hi = ((s_part << self.d_bits | d_hi) << self.z_bits) | z_hi
+        else:
+            lo = s_part << self.d_bits | d_lo
+            hi = s_part << self.d_bits | d_hi
+        return lo, hi

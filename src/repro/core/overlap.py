@@ -1,0 +1,169 @@
+"""Temporal overlap classification (paper Section IV-B(a), Theorems 1–3).
+
+Given a query time interval ``[tl, th]`` (a timeslice is ``tl == th``), this
+module computes, for every s-partition column that can contain qualifying
+entries, the contiguous band of overlapping d-partitions and the sub-band
+whose cells overlap *fully* — entries in fully overlapping cells are
+guaranteed to qualify and skip the refinement step.
+
+The classification is *exact*: instead of transliterating the paper's
+continuous-time inequalities we invert the integer partition formulas
+(:meth:`SWSTConfig.s_cell_bounds` / :meth:`d_cell_bounds`) and derive the
+full/partial conditions from first principles.  The property-based test
+suite checks both that the result agrees with brute-force enumeration of
+representable ``(s, d)`` pairs and that it matches the paper's merge
+algorithm (``repro.core.merge``) away from window edges.
+
+An entry ``(s, d)`` qualifies for interval query ``[tl, th]`` under queriable
+period ``[q_lo, q_hi]`` iff::
+
+    q_lo <= s <= min(q_hi, th)   and   s + d > tl
+
+(current entries have ``d = ∞`` and satisfy the second condition whenever
+the first holds).  The classification accounts for *physically present but
+no longer queriable* entries (starts below ``q_lo`` that have expired but
+whose tree has not been dropped yet): a column containing such starts can
+never be classified full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import SWSTConfig
+
+
+@dataclass(frozen=True)
+class ColumnOverlap:
+    """Overlap classification of one s-partition column.
+
+    Attributes:
+        s_part: modulo-space s-partition index in ``[0, 2·Sp)``.
+        tree: which of the two B+ trees holds this column (0 or 1).
+        s_abs_lo: smallest absolute start timestamp in the column that can
+            qualify (clipped to the queriable period).
+        s_abs_hi: largest qualifying absolute start timestamp.
+        d_first: first overlapping d-partition (inclusive).  The overlapping
+            band always extends to ``Dp - 1`` because longer durations only
+            increase overlap.
+        d_full: first *fully* overlapping d-partition, or ``Dp`` when no
+            cell of the column overlaps fully.
+    """
+
+    s_part: int
+    tree: int
+    s_abs_lo: int
+    s_abs_hi: int
+    d_first: int
+    d_full: int
+
+    def overlap_kind(self, d_part: int) -> str:
+        """'none' / 'partial' / 'full' classification of one temporal cell."""
+        if d_part < self.d_first:
+            return "none"
+        return "full" if d_part >= self.d_full else "partial"
+
+
+def classify_interval(config: SWSTConfig, now: int, t_lo: int, t_hi: int,
+                      window: int | None = None) -> list[ColumnOverlap]:
+    """Classify temporal cells for interval query ``[t_lo, t_hi]``.
+
+    Args:
+        config: index configuration.
+        now: current stream time τ (the newest start timestamp seen).
+        t_lo, t_hi: closed query time interval.
+        window: optional logical window size ``W' <= W``.
+
+    Returns:
+        Column classifications ordered by absolute start time (hence sorted
+        and disjoint in key space), at most one per modulo s-partition.
+    """
+    if t_lo > t_hi:
+        raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
+    q_lo, q_hi = config.queriable_period(now, window)
+    s_hi_eff = min(q_hi, t_hi)
+    if s_hi_eff < q_lo:
+        return []
+    cycle_len = 2 * config.w_max
+    columns: list[ColumnOverlap] = []
+    first_cycle = q_lo // cycle_len
+    last_cycle = s_hi_eff // cycle_len
+    for cycle in range(first_cycle, last_cycle + 1):
+        base = cycle * cycle_len
+        m_lo = _s_part_at(config, max(q_lo - base, 0))
+        m_hi = _s_part_at(config, min(s_hi_eff - base, cycle_len - 1))
+        for m in range(m_lo, m_hi + 1):
+            column = _classify_column(config, base, m, q_lo, s_hi_eff, t_lo)
+            if column is not None:
+                columns.append(column)
+    return columns
+
+
+def classify_timeslice(config: SWSTConfig, now: int, t: int,
+                       window: int | None = None) -> list[ColumnOverlap]:
+    """Classify temporal cells for timeslice query ``t`` (= interval [t, t])."""
+    return classify_interval(config, now, t, t, window)
+
+
+def _s_part_at(config: SWSTConfig, s_mod: int) -> int:
+    """s-partition index of a modulo-space start time (no re-reduction)."""
+    return (s_mod * config.sp) // config.w_max
+
+
+def _classify_column(config: SWSTConfig, base: int, m: int, q_lo: int,
+                     s_hi_eff: int, t_lo: int) -> ColumnOverlap | None:
+    """Classify column ``m`` of the cycle starting at absolute time ``base``."""
+    s1_mod, s2_mod = config.s_cell_bounds(m)
+    s1 = base + s1_mod          # smallest physical start in the column
+    s2 = base + s2_mod          # exclusive upper bound of physical starts
+    a_lo = max(s1, q_lo)        # clipped qualifying start bounds
+    a_hi = min(s2 - 1, s_hi_eff)
+    if a_lo > a_hi:
+        return None
+    dp = config.dp
+    d_first = _first_overlapping_d(config, a_hi, t_lo)
+    if d_first >= dp:
+        return None
+    # A column can only contain full cells when every physically present
+    # start is both queriable (s1 >= q_lo) and within the query's start
+    # bound (s2 - 1 <= s_hi_eff).
+    if s1 >= q_lo and s2 - 1 <= s_hi_eff:
+        d_full = _first_full_d(config, s1, t_lo)
+    else:
+        d_full = dp
+    return ColumnOverlap(s_part=m, tree=0 if m < config.sp else 1,
+                         s_abs_lo=a_lo, s_abs_hi=a_hi,
+                         d_first=max(d_first, 0),
+                         d_full=max(d_full, d_first))
+
+
+def _first_overlapping_d(config: SWSTConfig, a_hi: int, t_lo: int) -> int:
+    """Smallest d-partition where some qualifying (s, d) pair can exist.
+
+    A cell (column, n) can contain a qualifying entry iff its latest
+    possible end exceeds ``t_lo``: ``a_hi + (D2(n) - 1) > t_lo``.  The top
+    d-partition additionally hosts current entries (d = ∞), which always
+    satisfy the end condition.
+    """
+    dp = config.dp
+    for n in range(dp):
+        if n == dp - 1:
+            return n  # current entries (d = ∞) always reach past t_lo
+        _, d2 = config.d_cell_bounds(n)
+        if a_hi + d2 - 1 > t_lo:
+            return n
+    return dp  # pragma: no cover - top partition always overlaps
+
+
+def _first_full_d(config: SWSTConfig, s1: int, t_lo: int) -> int:
+    """Smallest d-partition where *every* (s, d) pair qualifies.
+
+    Requires the earliest possible end to exceed ``t_lo``:
+    ``s1 + D1(n) > t_lo``.  Monotone in ``n`` because D1 grows with n.
+    """
+    dp = config.dp
+    for n in range(dp):
+        d1, _ = config.d_cell_bounds(n)
+        if s1 + d1 > t_lo:
+            return n
+    return dp

@@ -1,0 +1,52 @@
+"""Query result and per-query statistics types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .records import Entry
+
+
+@dataclass
+class QueryStats:
+    """Cost breakdown of one query.
+
+    Attributes:
+        node_accesses: logical page accesses during the query (the paper's
+            headline search metric).
+        spatial_cells: spatial grid cells whose temporal indexes were probed.
+        columns_examined: (spatial cell, s-partition column) pairs examined.
+        key_ranges: B+ tree key ranges generated after memo pruning.
+        candidates: entries returned by the B+ tree searches before
+            refinement.
+        refined_out: candidates discarded by the refinement step.
+        full_hits: candidates accepted without any predicate evaluation
+            because both their temporal cell and spatial cell overlap fully.
+    """
+
+    node_accesses: int = 0
+    spatial_cells: int = 0
+    columns_examined: int = 0
+    key_ranges: int = 0
+    candidates: int = 0
+    refined_out: int = 0
+    full_hits: int = 0
+
+
+@dataclass
+class QueryResult:
+    """Entries matching a query plus the cost statistics of evaluating it."""
+
+    entries: list[Entry] = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def oids(self) -> set[int]:
+        """Distinct object ids in the result."""
+        return {entry.oid for entry in self.entries}

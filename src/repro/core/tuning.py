@@ -1,0 +1,102 @@
+"""Configuration advisor and footprint estimates.
+
+Encodes the tuning guidance of the paper's Sections III-B.3 and V-E as
+executable helpers:
+
+* spatial grids work best with a few hundred cells (the paper's sweet
+  spot is 300–600; its plots use 400);
+* ``Sp = ⌈Wmax / L⌉`` and ``Dp = ⌈Dmax / δ⌉`` with δ sized so Dp stays
+  around 20;
+* the memo costs ``2 · 16 · Sp · Dp`` bytes per spatial cell (Section
+  III-B.3) — the statistical footprint does not grow with the dataset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .config import SWSTConfig
+from .records import Rect
+
+#: The paper's recommended spatial cell count band (Section V-E).
+RECOMMENDED_CELLS = (300, 600)
+
+#: The paper's default d-partition count (Dmax=2000, δ=100).
+DEFAULT_DP = 20
+
+_MBR_BYTES = 16  # two 2-D corner points of 4 bytes each
+
+
+def memo_bytes_per_cell(config: SWSTConfig) -> int:
+    """Memo footprint of one spatial cell: ``2 · 16 · Sp · Dp`` bytes."""
+    return 2 * _MBR_BYTES * config.sp * config.dp
+
+
+def memo_bytes_total(config: SWSTConfig) -> int:
+    """Worst-case (dense) memo footprint across all spatial cells.
+
+    Our implementation stores the memo sparsely, so the actual resident
+    size is at most this bound; the bound is what the paper's Section V-E
+    reports (≈25 MB at Table II settings).
+    """
+    cells = config.x_partitions * config.y_partitions
+    return cells * memo_bytes_per_cell(config)
+
+
+@dataclass(frozen=True)
+class TuningAdvice:
+    """Suggested configuration plus the reasoning behind each choice."""
+
+    config: SWSTConfig
+    cells: int
+    memo_bytes: int
+    notes: tuple[str, ...]
+
+
+def suggest_config(space: Rect, window: int, slide: int, d_max: int,
+                   page_size: int = 8192,
+                   target_cells: tuple[int, int] = RECOMMENDED_CELLS,
+                   ) -> TuningAdvice:
+    """Derive an SWST configuration from workload facts.
+
+    Args:
+        space: the spatial domain.
+        window: sliding window size ``W``.
+        slide: slide ``L``.
+        d_max: the maximum regular duration the workload produces (objects
+            idle longer are keyed into the top d-partition automatically).
+        page_size: disk page size.
+        target_cells: acceptable spatial cell count range.
+
+    Returns:
+        A :class:`TuningAdvice` whose ``config`` follows the paper's
+        guidance, with human-readable notes.
+    """
+    if target_cells[0] < 1 or target_cells[0] > target_cells[1]:
+        raise ValueError(f"bad target cell range {target_cells}")
+    notes: list[str] = []
+    # Square grid inside the recommended band, biased to its middle.
+    per_axis = max(1, round(math.sqrt((target_cells[0] + target_cells[1])
+                                      / 2)))
+    cells = per_axis * per_axis
+    notes.append(f"grid {per_axis}x{per_axis} = {cells} cells "
+                 f"(paper Section V-E recommends "
+                 f"{target_cells[0]}-{target_cells[1]})")
+    # δ so that Dp lands at the paper's default of ~20 partitions.
+    duration_interval = max(1, -(-d_max // DEFAULT_DP))
+    notes.append(f"duration interval δ={duration_interval} "
+                 f"(Dp={-(-d_max // duration_interval)}, paper default 20)")
+    notes.append(f"s-partitions default to ceil(Wmax/L)="
+                 f"{-(-(window + slide - 1) // slide)} per window "
+                 f"(paper Section III-B.2)")
+    config = SWSTConfig(window=window, slide=slide,
+                        x_partitions=per_axis, y_partitions=per_axis,
+                        d_max=d_max, duration_interval=duration_interval,
+                        space=space, page_size=page_size)
+    footprint = memo_bytes_total(config)
+    notes.append(f"memo worst-case footprint "
+                 f"{footprint / (1 << 20):.1f} MiB "
+                 f"(2*16*Sp*Dp bytes per cell, Section III-B.3)")
+    return TuningAdvice(config=config, cells=cells, memo_bytes=footprint,
+                        notes=tuple(notes))

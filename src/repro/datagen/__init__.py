@@ -1,0 +1,16 @@
+"""Synthetic data: the GSTD stream generator and query workloads."""
+
+from .gstd import GSTDConfig, GSTDGenerator, Report
+from .roadnet import RoadNetConfig, RoadNetGenerator
+from .workloads import Query, WorkloadConfig, generate_queries
+
+__all__ = [
+    "GSTDConfig",
+    "GSTDGenerator",
+    "Query",
+    "Report",
+    "RoadNetConfig",
+    "RoadNetGenerator",
+    "WorkloadConfig",
+    "generate_queries",
+]

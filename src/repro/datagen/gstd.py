@@ -1,0 +1,141 @@
+"""GSTD-style spatio-temporal stream generator (Theodoridis, Silva &
+Nascimento, SSD 1999) — the data source of the paper's evaluation.
+
+GSTD simulates ``num_objects`` discretely moving point objects.  Each
+object reports its position at irregular timestamps; the *duration* of an
+entry is the gap between two consecutive reports of the same object
+(paper Section V-B).  Positions evolve by bounded random deltas inside the
+unit workspace and are scaled to the integer domain of Table II.
+
+Supported knobs (the subset the paper exercises, plus the skewed variants
+its Section V-B mentions):
+
+* initial distribution: ``uniform`` / ``gaussian`` / ``skewed``,
+* movement deltas: uniform in ``[-agility, +agility]`` per axis,
+* boundary policy: ``clip`` (stick to the wall) or ``wrap`` (toroidal),
+* report intervals: uniform integers in ``[interval_lo, interval_hi]``,
+* a fraction of *long-duration* objects whose report interval is drawn
+  from a much larger range (the Fig. 11 workload).
+
+The generator is fully deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.records import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Report:
+    """One position report in the generated stream."""
+
+    oid: int
+    x: int
+    y: int
+    t: int
+
+
+@dataclass
+class GSTDConfig:
+    """Parameters of one GSTD run.
+
+    Defaults follow the paper's Table II shape at a scaled-down size: with
+    ``num_objects=10_000``, ``max_time=100_000`` and intervals in
+    [1, 2000] (mean ≈ 1000) a run produces roughly ``100`` reports per
+    object — the paper's 10K objects → 1M records ratio.
+    """
+
+    num_objects: int = 1000
+    max_time: int = 100_000
+    space: Rect = field(default_factory=lambda: Rect(0, 0, 10000, 10000))
+    interval_lo: int = 1
+    interval_hi: int = 2000
+    initial: str = "uniform"          # uniform | gaussian | skewed
+    agility: float = 0.05             # max per-report move, workspace units
+    boundary: str = "clip"            # clip | wrap
+    long_fraction: float = 0.0        # fraction of long-duration objects
+    long_interval_hi: int = 20000     # their report-interval upper bound
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 1:
+            raise ValueError("num_objects must be >= 1")
+        if not 1 <= self.interval_lo <= self.interval_hi:
+            raise ValueError("need 1 <= interval_lo <= interval_hi")
+        if self.initial not in ("uniform", "gaussian", "skewed"):
+            raise ValueError(f"unknown initial distribution {self.initial!r}")
+        if self.boundary not in ("clip", "wrap"):
+            raise ValueError(f"unknown boundary policy {self.boundary!r}")
+        if not 0.0 <= self.long_fraction <= 1.0:
+            raise ValueError("long_fraction must be in [0, 1]")
+
+
+class GSTDGenerator:
+    """Generates a time-ordered stream of :class:`Report` objects."""
+
+    def __init__(self, config: GSTDConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+
+    def _initial_position(self) -> tuple[float, float]:
+        rng = self._rng
+        kind = self.config.initial
+        if kind == "uniform":
+            return rng.random(), rng.random()
+        if kind == "gaussian":
+            return (min(max(rng.gauss(0.5, 0.15), 0.0), 1.0),
+                    min(max(rng.gauss(0.5, 0.15), 0.0), 1.0))
+        # skewed: density concentrated toward the origin.
+        return rng.random() ** 2, rng.random() ** 2
+
+    def _scale(self, fx: float, fy: float) -> tuple[int, int]:
+        space = self.config.space
+        x = space.x_lo + round(fx * (space.x_hi - space.x_lo))
+        y = space.y_lo + round(fy * (space.y_hi - space.y_lo))
+        return x, y
+
+    def _step(self, value: float) -> float:
+        delta = self._rng.uniform(-self.config.agility, self.config.agility)
+        moved = value + delta
+        if self.config.boundary == "clip":
+            return min(max(moved, 0.0), 1.0)
+        return moved % 1.0
+
+    def _interval(self, is_long: bool) -> int:
+        if is_long:
+            return self._rng.randint(self.config.interval_lo,
+                                     self.config.long_interval_hi)
+        return self._rng.randint(self.config.interval_lo,
+                                 self.config.interval_hi)
+
+    def stream(self) -> Iterator[Report]:
+        """Yield reports ordered by timestamp (ties broken by object id)."""
+        cfg = self.config
+        rng = self._rng
+        long_objects = {oid for oid in range(cfg.num_objects)
+                        if rng.random() < cfg.long_fraction}
+        # (next_report_time, oid, fx, fy)
+        heap: list[tuple[int, int, float, float]] = []
+        for oid in range(cfg.num_objects):
+            fx, fy = self._initial_position()
+            start = rng.randint(0, max(cfg.interval_hi // 4, 1))
+            heapq.heappush(heap, (start, oid, fx, fy))
+        while heap:
+            t, oid, fx, fy = heapq.heappop(heap)
+            if t > cfg.max_time:
+                continue
+            x, y = self._scale(fx, fy)
+            yield Report(oid=oid, x=x, y=y, t=t)
+            nxt = t + self._interval(oid in long_objects)
+            if nxt <= cfg.max_time:
+                heapq.heappush(heap, (nxt, oid, self._step(fx),
+                                      self._step(fy)))
+
+    def materialize(self) -> list[Report]:
+        """Return the whole stream as a list."""
+        return list(self.stream())

@@ -1,0 +1,102 @@
+"""Query workload generation (paper Section V-B).
+
+The paper evaluates 200 random queries generated *within the current
+sliding window* once the stream reaches steady state.  A query has a
+spatial extent (query area as a fraction of the spatial domain area: 0.5 %,
+1 %, 4 %) and a temporal extent (query interval length as a fraction of the
+**total** temporal domain ``T``: 0 % = timeslice, 5 %, 10 %, 15 %).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.config import SWSTConfig
+from ..core.records import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """One benchmark query: a rectangle and a closed time interval."""
+
+    area: Rect
+    t_lo: int
+    t_hi: int
+
+    @property
+    def is_timeslice(self) -> bool:
+        return self.t_lo == self.t_hi
+
+
+@dataclass
+class WorkloadConfig:
+    """Workload knobs, mirroring the paper's Table II query parameters.
+
+    ``placement`` positions the query rectangles: ``uniform`` spreads
+    them over the whole domain (the paper's workload); ``gaussian`` and
+    ``skewed`` concentrate them where the matching GSTD data
+    distributions put their mass, so skewed data can be probed with
+    realistically correlated queries.
+    """
+
+    spatial_extent: float = 0.01      # fraction of the domain area
+    temporal_extent: float = 0.10     # fraction of the temporal domain T
+    temporal_domain: int = 100_000    # the paper's T
+    count: int = 200
+    seed: int = 7
+    placement: str = "uniform"        # uniform | gaussian | skewed
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.spatial_extent <= 1.0:
+            raise ValueError("spatial_extent must be in (0, 1]")
+        if not 0.0 <= self.temporal_extent <= 1.0:
+            raise ValueError("temporal_extent must be in [0, 1]")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.placement not in ("uniform", "gaussian", "skewed"):
+            raise ValueError(f"unknown placement {self.placement!r}")
+
+
+def generate_queries(config: SWSTConfig, workload: WorkloadConfig,
+                     now: int) -> list[Query]:
+    """Random queries inside the queriable period at stream time ``now``.
+
+    The query rectangle is a square whose area is ``spatial_extent`` of the
+    spatial domain; the query interval has length
+    ``temporal_extent × temporal_domain`` and is placed uniformly inside
+    the queriable period (clipped to it when longer).
+    """
+    rng = random.Random(workload.seed)
+    space = config.space
+    width = space.x_hi - space.x_lo
+    height = space.y_hi - space.y_lo
+    side_x = max(1, round(width * math.sqrt(workload.spatial_extent)))
+    side_y = max(1, round(height * math.sqrt(workload.spatial_extent)))
+    q_lo, q_hi = config.queriable_period(now)
+    length = round(workload.temporal_extent * workload.temporal_domain)
+    queries: list[Query] = []
+    for _ in range(workload.count):
+        fx, fy = _placement_fraction(rng, workload.placement)
+        x_lo = space.x_lo + round(fx * max(width - side_x, 0))
+        y_lo = space.y_lo + round(fy * max(height - side_y, 0))
+        area = Rect(x_lo, y_lo, min(x_lo + side_x, space.x_hi),
+                    min(y_lo + side_y, space.y_hi))
+        span = max(q_hi - q_lo - length, 0)
+        t_lo = q_lo + rng.randint(0, span)
+        t_hi = min(t_lo + length, q_hi)
+        queries.append(Query(area=area, t_lo=t_lo, t_hi=t_hi))
+    return queries
+
+
+def _placement_fraction(rng: random.Random,
+                        placement: str) -> tuple[float, float]:
+    """Query-centre position as domain fractions, matching the GSTD
+    initial-distribution shapes."""
+    if placement == "uniform":
+        return rng.random(), rng.random()
+    if placement == "gaussian":
+        return (min(max(rng.gauss(0.5, 0.15), 0.0), 1.0),
+                min(max(rng.gauss(0.5, 0.15), 0.0), 1.0))
+    return rng.random() ** 2, rng.random() ** 2  # skewed

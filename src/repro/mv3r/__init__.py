@@ -1,0 +1,7 @@
+"""MV3R-tree baseline (Tao & Papadias, VLDB 2001), built from scratch."""
+
+from .aux3d import LeafDirectory
+from .mv3r import MV3RTree
+from .mvrtree import INF, MVRTree, VersionedEntry
+
+__all__ = ["INF", "LeafDirectory", "MV3RTree", "MVRTree", "VersionedEntry"]

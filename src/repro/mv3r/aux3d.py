@@ -1,0 +1,51 @@
+"""MV3R's auxiliary 3D R-tree.
+
+The full MV3R index pairs the multi-version R-tree with a small 3D R-tree
+built over the *leaves* of the MVR-tree, used to answer long interval
+queries without walking many tree versions.  Here the auxiliary tree
+indexes every **frozen (dead) leaf** as a 3-D box
+``(spatial MBR) × (version interval)`` with the leaf's page id as payload;
+alive leaves are reached by walking the current version's alive path.
+Together the two sets cover every leaf exactly once.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..core.records import Rect
+from ..rtree.geometry import Box
+from ..rtree.tree import RTree
+from ..storage.buffer import BufferPool
+
+_PAYLOAD = struct.Struct("<Q")
+
+
+class LeafDirectory:
+    """3D R-tree over the frozen leaves of an MVR-tree."""
+
+    def __init__(self, pool: BufferPool) -> None:
+        self._tree = RTree(pool, ndim=3, payload_size=_PAYLOAD.size)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add_dead_leaf(self, page: int, mbr: Rect, t_birth: int,
+                      t_death: int) -> None:
+        """Register a leaf frozen at ``t_death`` (callback target for
+        :attr:`MVRTree.on_leaf_death`)."""
+        box = Box((mbr.x_lo, mbr.y_lo, t_birth),
+                  (mbr.x_hi, mbr.y_hi, max(t_death, t_birth)))
+        self._tree.insert(box, _PAYLOAD.pack(page))
+        self._count += 1
+
+    def search(self, area: Rect, t_lo: int, t_hi: int) -> list[int]:
+        """Pages of dead leaves whose MBR × lifetime intersects the query."""
+        query = Box((area.x_lo, area.y_lo, t_lo),
+                    (area.x_hi, area.y_hi, t_hi))
+        return [_PAYLOAD.unpack(payload)[0]
+                for _, payload in self._tree.iter_search(query)]
+
+    def node_count(self) -> int:
+        return self._tree.node_count()

@@ -1,0 +1,459 @@
+"""Multi-version R-tree: the MVR part of the MV3R baseline (Tao & Papadias,
+VLDB 2001).
+
+A partially persistent R-tree over discretely moving points.  Leaf entries
+are ``(oid, x, y, t_start, t_end)`` where ``t_end = INF`` marks the object's
+*current* (alive) entry; internal entries carry a child pointer, the child's
+MBR and the child's **version interval** ``[t_ins, t_del)``.
+
+Structural behaviour follows the multiversion B-tree recipe adapted to
+rectangles:
+
+* inserts go to the single *alive* path (partial persistency — only current
+  entries may ever be modified);
+* an overflowing node undergoes a **version split**: its alive entries are
+  copied into a fresh node, the old node is frozen and its parent reference
+  is closed at the split time; if the copy would be nearly full it is
+  further **key split** into two nodes (strong version condition);
+* pages are never reclaimed — exactly the paper's criticism that MV3R
+  "will go on increasing with time, with no systematic way to clean up".
+
+Deviations from the authors' implementation (constants, not shape): the
+weak-version merge of sparse copies is omitted, and the split heuristics
+are Guttman-quadratic rather than the authors' tuned ones.
+
+Because version splits copy alive entries, one logical entry can surface in
+several physical nodes; queries deduplicate by ``(oid, t_start)``.  Stale
+``t_end = INF`` copies in frozen nodes are harmless: an entry copied alive
+at freeze time ``T`` truly ends at or after ``T``, and frozen nodes are only
+reachable for query times below ``T``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..core.records import Rect
+from ..storage.buffer import BufferPool
+
+INF = (1 << 64) - 1
+
+_HEADER = struct.Struct("<BH")
+_LEAF_TYPE = 1
+_INTERNAL_TYPE = 2
+_LEAF_ENTRY = struct.Struct("<QIIQQ")          # oid, x, y, ts, te
+_INT_ENTRY = struct.Struct("<IIIIQQQ")         # rect, t_ins, t_del, child
+
+
+@dataclass(frozen=True, slots=True)
+class VersionedEntry:
+    """One leaf record: a point location with its valid interval."""
+
+    oid: int
+    x: int
+    y: int
+    ts: int
+    te: int  # INF while alive
+
+    @property
+    def alive(self) -> bool:
+        return self.te == INF
+
+
+@dataclass(slots=True)
+class _ChildRef:
+    rect: Rect
+    t_ins: int
+    t_del: int  # INF while the child is current
+    child: int
+
+    @property
+    def alive(self) -> bool:
+        return self.t_del == INF
+
+
+@dataclass(slots=True)
+class _Node:
+    is_leaf: bool
+    entries: list = field(default_factory=list)
+
+
+@dataclass
+class _Replacement:
+    """Result of a version split: new nodes that supersede a dead one."""
+
+    nodes: list[tuple[Rect, int]]  # (mbr, page)
+
+
+class MVRTree:
+    """The multi-version R-tree component of MV3R."""
+
+    def __init__(self, pool: BufferPool,
+                 strong_fraction: float = 0.8) -> None:
+        self.pool = pool
+        usable = pool.page_size - _HEADER.size
+        self.leaf_cap = usable // _LEAF_ENTRY.size
+        self.internal_cap = usable // _INT_ENTRY.size
+        self.strong_fraction = strong_fraction
+        root = pool.allocate()
+        self._write(root, _Node(is_leaf=True))
+        #: (page, t_start, t_end) — version intervals of successive roots.
+        self.roots: list[list[int]] = [[root, 0, INF]]
+        #: oid -> leaf page currently holding the object's alive entry.
+        self._alive_leaf: dict[int, int] = {}
+        #: page -> creation time, for alive nodes (used on leaf death).
+        self._birth: dict[int, int] = {root: 0}
+        #: optional callback(page, mbr, t_birth, t_death) fired when a leaf
+        #: is frozen by a version split — feeds MV3R's auxiliary 3D R-tree.
+        self.on_leaf_death = None
+        self.now = 0
+
+    # -- page IO ---------------------------------------------------------------
+
+    def _read(self, page_id: int) -> _Node:
+        raw = self.pool.fetch(page_id)
+        node_type, count = _HEADER.unpack_from(raw)
+        node = _Node(is_leaf=node_type == _LEAF_TYPE)
+        offset = _HEADER.size
+        if node.is_leaf:
+            for _ in range(count):
+                node.entries.append(
+                    VersionedEntry(*_LEAF_ENTRY.unpack_from(raw, offset)))
+                offset += _LEAF_ENTRY.size
+        else:
+            for _ in range(count):
+                x_lo, y_lo, x_hi, y_hi, t_ins, t_del, child = \
+                    _INT_ENTRY.unpack_from(raw, offset)
+                node.entries.append(_ChildRef(Rect(x_lo, y_lo, x_hi, y_hi),
+                                              t_ins, t_del, child))
+                offset += _INT_ENTRY.size
+        return node
+
+    def _write(self, page_id: int, node: _Node) -> None:
+        parts = [_HEADER.pack(_LEAF_TYPE if node.is_leaf else _INTERNAL_TYPE,
+                              len(node.entries))]
+        if node.is_leaf:
+            for e in node.entries:
+                parts.append(_LEAF_ENTRY.pack(e.oid, e.x, e.y, e.ts, e.te))
+        else:
+            for r in node.entries:
+                parts.append(_INT_ENTRY.pack(r.rect.x_lo, r.rect.y_lo,
+                                             r.rect.x_hi, r.rect.y_hi,
+                                             r.t_ins, r.t_del, r.child))
+        raw = b"".join(parts)
+        if len(raw) > self.pool.page_size:
+            raise ValueError("MVR node overflows page")
+        self.pool.write(page_id, raw.ljust(self.pool.page_size, b"\x00"))
+
+    # -- maintenance helpers -------------------------------------------------------
+
+    @property
+    def root_page(self) -> int:
+        return self.roots[-1][0]
+
+    @staticmethod
+    def _mbr(node: _Node) -> Rect:
+        if node.is_leaf:
+            xs = [e.x for e in node.entries]
+            ys = [e.y for e in node.entries]
+            return Rect(min(xs), min(ys), max(xs), max(ys))
+        rects = [r.rect for r in node.entries]
+        return Rect(min(r.x_lo for r in rects), min(r.y_lo for r in rects),
+                    max(r.x_hi for r in rects), max(r.y_hi for r in rects))
+
+    # -- insertion (paper Section IV-A: "one update and one insertion") --------------
+
+    def insert(self, oid: int, x: int, y: int, ts: int,
+               te: int = INF) -> None:
+        """Insert an entry; ``te=INF`` makes it the object's current entry."""
+        if ts < self.now:
+            raise ValueError(f"out-of-order insert at {ts} < now {self.now}")
+        self.now = ts
+        result = self._insert_rec(self.root_page, oid, x, y, ts, te)
+        if isinstance(result, _Replacement):
+            self._replace_root(result, ts)
+        if te == INF:
+            # _insert_rec already recorded the leaf in _alive_leaf.
+            assert oid in self._alive_leaf
+
+    def logical_delete(self, oid: int, t: int) -> bool:
+        """Close the object's current entry at time ``t`` (the "update" half
+        of an MV3R position report)."""
+        leaf_page = self._alive_leaf.pop(oid, None)
+        if leaf_page is None:
+            return False
+        node = self._read(leaf_page)
+        for idx, entry in enumerate(node.entries):
+            if entry.oid == oid and entry.alive:
+                node.entries[idx] = VersionedEntry(entry.oid, entry.x,
+                                                   entry.y, entry.ts, t)
+                self._write(leaf_page, node)
+                return True
+        raise RuntimeError(  # pragma: no cover - map corruption
+            f"alive-leaf map points at a leaf without object {oid}")
+
+    def report(self, oid: int, x: int, y: int, t: int) -> None:
+        """Position report: close the previous entry, insert the new one."""
+        self.logical_delete(oid, t)
+        self.insert(oid, x, y, t)
+
+    def _insert_rec(self, page_id: int, oid: int, x: int, y: int, ts: int,
+                    te: int):
+        """Returns the node's new MBR, or a :class:`_Replacement` if the
+        node version-split."""
+        node = self._read(page_id)
+        if node.is_leaf:
+            entry = VersionedEntry(oid, x, y, ts, te)
+            if len(node.entries) < self.leaf_cap:
+                node.entries.append(entry)
+                self._write(page_id, node)
+                if te == INF:
+                    self._alive_leaf[oid] = page_id
+                return self._mbr(node)
+            replacement = self._version_split_leaf(node, entry, ts)
+            self._record_leaf_death(page_id, node, ts)
+            return replacement
+        child_idx = self._choose_subtree(node, x, y)
+        ref = node.entries[child_idx]
+        result = self._insert_rec(ref.child, oid, x, y, ts, te)
+        if isinstance(result, Rect):
+            if result != ref.rect:
+                node.entries[child_idx] = _ChildRef(result, ref.t_ins,
+                                                    ref.t_del, ref.child)
+                self._write(page_id, node)
+            return self._mbr(node)
+        # Child version-split: close the old reference, add the new ones.
+        node.entries[child_idx] = _ChildRef(ref.rect, ref.t_ins, ts,
+                                            ref.child)
+        new_refs = [_ChildRef(mbr, ts, INF, page)
+                    for mbr, page in result.nodes]
+        if len(node.entries) + len(new_refs) <= self.internal_cap:
+            node.entries.extend(new_refs)
+            self._write(page_id, node)
+            return self._mbr(node)
+        self._birth.pop(page_id, None)
+        return self._version_split_internal(node, new_refs, ts)
+
+    def _choose_subtree(self, node: _Node, x: int, y: int) -> int:
+        """Least-enlargement alive child."""
+        best_idx = -1
+        best = None
+        for idx, ref in enumerate(node.entries):
+            if not ref.alive:
+                continue
+            rect = ref.rect
+            grown = Rect(min(rect.x_lo, x), min(rect.y_lo, y),
+                         max(rect.x_hi, x), max(rect.y_hi, y))
+            cost = (grown.area() - rect.area(), rect.area())
+            if best is None or cost < best:
+                best = cost
+                best_idx = idx
+        if best_idx < 0:  # pragma: no cover - alive path invariant
+            raise RuntimeError("internal node on the alive path has no "
+                               "alive children")
+        return best_idx
+
+    def _version_split_leaf(self, node: _Node, incoming: VersionedEntry,
+                            t: int) -> _Replacement:
+        alive = [e for e in node.entries if e.alive]
+        alive.append(incoming)
+        groups = self._maybe_key_split(
+            alive, self.leaf_cap,
+            key=lambda e: (e.x, e.y, e.x, e.y))
+        nodes: list[tuple[Rect, int]] = []
+        for group in groups:
+            page = self.pool.allocate()
+            new_node = _Node(is_leaf=True, entries=group)
+            self._write(page, new_node)
+            self._birth[page] = t
+            for entry in group:
+                if entry.alive:
+                    self._alive_leaf[entry.oid] = page
+            nodes.append((self._mbr(new_node), page))
+        return _Replacement(nodes=nodes)
+
+    def _record_leaf_death(self, page_id: int, node: _Node, t: int) -> None:
+        birth = self._birth.pop(page_id, 0)
+        if self.on_leaf_death is not None:
+            self.on_leaf_death(page_id, self._mbr(node), birth, t)
+
+    def _version_split_internal(self, node: _Node,
+                                extra: list[_ChildRef],
+                                t: int) -> _Replacement:
+        alive = [r for r in node.entries if r.alive]
+        alive.extend(extra)
+        groups = self._maybe_key_split(
+            alive, self.internal_cap,
+            key=lambda r: (r.rect.x_lo, r.rect.y_lo, r.rect.x_hi,
+                           r.rect.y_hi))
+        nodes: list[tuple[Rect, int]] = []
+        for group in groups:
+            page = self.pool.allocate()
+            new_node = _Node(is_leaf=False, entries=group)
+            self._write(page, new_node)
+            self._birth[page] = t
+            nodes.append((self._mbr(new_node), page))
+        return _Replacement(nodes=nodes)
+
+    def _maybe_key_split(self, entries: list, cap: int, key) -> list[list]:
+        """Strong version condition: key-split a too-full version copy."""
+        if len(entries) <= int(cap * self.strong_fraction):
+            return [entries]
+        return self._quadratic_split(entries, key)
+
+    @staticmethod
+    def _quadratic_split(entries: list, key) -> list[list]:
+        """Guttman quadratic split on the entry rectangles."""
+        def rect_of(e) -> Rect:
+            x_lo, y_lo, x_hi, y_hi = key(e)
+            return Rect(x_lo, y_lo, x_hi, y_hi)
+
+        def waste(a: Rect, b: Rect) -> int:
+            union = Rect(min(a.x_lo, b.x_lo), min(a.y_lo, b.y_lo),
+                         max(a.x_hi, b.x_hi), max(a.y_hi, b.y_hi))
+            return union.area() - a.area() - b.area()
+
+        rects = [rect_of(e) for e in entries]
+        worst, seeds = None, (0, 1)
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                w = waste(rects[i], rects[j])
+                if worst is None or w > worst:
+                    worst, seeds = w, (i, j)
+        def extend(mbr: Rect, rect: Rect) -> Rect:
+            return Rect(min(mbr.x_lo, rect.x_lo), min(mbr.y_lo, rect.y_lo),
+                        max(mbr.x_hi, rect.x_hi), max(mbr.y_hi, rect.y_hi))
+
+        group_a, group_b = [seeds[0]], [seeds[1]]
+        mbr_a, mbr_b = rects[seeds[0]], rects[seeds[1]]
+        min_fill = max(1, len(entries) * 2 // 5)
+        rest = [i for i in range(len(entries)) if i not in seeds]
+        for pos, i in enumerate(rest):
+            remaining = len(rest) - pos
+            if len(group_a) + remaining <= min_fill:
+                target = "a"  # group a must take everything left
+            elif len(group_b) + remaining <= min_fill:
+                target = "b"
+            else:
+                grow_a = waste(mbr_a, rects[i])
+                grow_b = waste(mbr_b, rects[i])
+                target = "a" if grow_a <= grow_b else "b"
+            if target == "a":
+                group_a.append(i)
+                mbr_a = extend(mbr_a, rects[i])
+            else:
+                group_b.append(i)
+                mbr_b = extend(mbr_b, rects[i])
+        return [[entries[i] for i in group_a],
+                [entries[i] for i in group_b]]
+
+    def _replace_root(self, replacement: _Replacement, t: int) -> None:
+        self.roots[-1][2] = t
+        if len(replacement.nodes) == 1:
+            self.roots.append([replacement.nodes[0][1], t, INF])
+            return
+        root = _Node(is_leaf=False,
+                     entries=[_ChildRef(mbr, t, INF, page)
+                              for mbr, page in replacement.nodes])
+        page = self.pool.allocate()
+        self._write(page, root)
+        self.roots.append([page, t, INF])
+
+    # -- queries ---------------------------------------------------------------
+
+    def query_timeslice(self, area: Rect, t: int) -> list[VersionedEntry]:
+        """Entries valid at timestamp ``t`` within ``area``."""
+        return self.query_interval(area, t, t)
+
+    def query_interval(self, area: Rect, t_lo: int,
+                       t_hi: int) -> list[VersionedEntry]:
+        """Entries whose valid time intersects ``[t_lo, t_hi]`` within
+        ``area``; deduplicated across version copies."""
+        seen: set[tuple[int, int]] = set()
+        results: list[VersionedEntry] = []
+        stack = [page for page, r_lo, r_hi in self.roots
+                 if r_lo <= t_hi and r_hi > t_lo]
+        while stack:
+            node = self._read(stack.pop())
+            if node.is_leaf:
+                for entry in node.entries:
+                    if (entry.ts <= t_hi and entry.te > t_lo
+                            and area.contains(entry.x, entry.y)
+                            and (entry.oid, entry.ts) not in seen):
+                        seen.add((entry.oid, entry.ts))
+                        results.append(entry)
+            else:
+                for ref in node.entries:
+                    if (ref.t_ins <= t_hi and ref.t_del > t_lo
+                            and ref.rect.intersects(area)):
+                        stack.append(ref.child)
+        return results
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def alive_leaves(self) -> list[int]:
+        """Pages of leaves on the alive version (diagnostics)."""
+        pages: list[int] = []
+        stack = [self.root_page]
+        while stack:
+            page = stack.pop()
+            node = self._read(page)
+            if node.is_leaf:
+                pages.append(page)
+            else:
+                stack.extend(ref.child for ref in node.entries if ref.alive)
+        return pages
+
+    def check_invariants(self) -> None:
+        """Validate the multi-version structure; raises on violation.
+
+        Checks: root version intervals partition the timeline; on the
+        *alive* path every parent reference's MBR covers its child's
+        current MBR (frozen nodes are exempt — their stale MBRs are
+        harmless because queries reaching them are bounded by the node's
+        death time); leaf entries have ``ts <= te``; and the alive-leaf
+        map points at leaves that really hold an alive entry for the
+        object.
+        """
+        for (_, _, prev_end), (_, start, _) in zip(self.roots,
+                                                   self.roots[1:]):
+            assert prev_end == start, "root version intervals have gaps"
+        assert self.roots[-1][2] == INF, "no current root"
+        self._check_alive_subtree(self.root_page)
+        for oid, page in self._alive_leaf.items():
+            node = self._read(page)
+            assert node.is_leaf, "alive-leaf map points at internal node"
+            assert any(e.oid == oid and e.alive for e in node.entries), \
+                f"object {oid} has no alive entry in its mapped leaf"
+
+    def _check_alive_subtree(self, page_id: int) -> Rect | None:
+        node = self._read(page_id)
+        if node.is_leaf:
+            for entry in node.entries:
+                assert entry.ts <= entry.te, "entry ends before it starts"
+            return self._mbr(node) if node.entries else None
+        for ref in node.entries:
+            assert ref.t_ins <= ref.t_del, "child reference version " \
+                                           "interval inverted"
+            if not ref.alive:
+                continue
+            child_mbr = self._check_alive_subtree(ref.child)
+            if child_mbr is not None:
+                assert ref.rect.covers(child_mbr), \
+                    "alive reference MBR does not cover its child"
+        return self._mbr(node) if node.entries else None
+
+    def node_count(self) -> int:
+        """Distinct pages reachable from any root (the ever-growing size)."""
+        seen: set[int] = set()
+        stack = [page for page, _, _ in self.roots]
+        while stack:
+            page = stack.pop()
+            if page in seen:
+                continue
+            seen.add(page)
+            node = self._read(page)
+            if not node.is_leaf:
+                stack.extend(ref.child for ref in node.entries)
+        return len(seen)

@@ -1,0 +1,6 @@
+"""Disk R-tree substrate for the paper's baseline indexes."""
+
+from .geometry import Box, union_all
+from .tree import RTree
+
+__all__ = ["Box", "RTree", "union_all"]

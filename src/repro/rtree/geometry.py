@@ -1,0 +1,72 @@
+"""N-dimensional integer boxes for the R-tree family.
+
+Boxes are closed on both ends in every dimension.  The 2-D instances index
+spatial rectangles; the 3-D instances add the time axis for the 3D R-tree
+baseline and MV3R's auxiliary tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """Closed axis-aligned box: ``lo[i] <= hi[i]`` for every dimension."""
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo/hi dimensionality mismatch")
+        if any(l > h for l, h in zip(self.lo, self.hi)):
+            raise ValueError(f"empty box {self.lo}..{self.hi}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @classmethod
+    def point(cls, *coords: int) -> "Box":
+        """Degenerate box covering a single point."""
+        return cls(tuple(coords), tuple(coords))
+
+    def intersects(self, other: "Box") -> bool:
+        return all(a_lo <= b_hi and b_lo <= a_hi
+                   for a_lo, a_hi, b_lo, b_hi
+                   in zip(self.lo, self.hi, other.lo, other.hi))
+
+    def contains(self, other: "Box") -> bool:
+        return all(a_lo <= b_lo and b_hi <= a_hi
+                   for a_lo, a_hi, b_lo, b_hi
+                   in zip(self.lo, self.hi, other.lo, other.hi))
+
+    def union(self, other: "Box") -> "Box":
+        return Box(tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
+                   tuple(max(a, b) for a, b in zip(self.hi, other.hi)))
+
+    def volume(self) -> int:
+        """Closed-box volume (side lengths measured as ``hi - lo``)."""
+        result = 1
+        for l, h in zip(self.lo, self.hi):
+            result *= h - l
+        return result
+
+    def margin(self) -> int:
+        """Sum of side lengths."""
+        return sum(h - l for l, h in zip(self.lo, self.hi))
+
+    def enlargement(self, other: "Box") -> int:
+        """Volume increase needed to absorb ``other``."""
+        return self.union(other).volume() - self.volume()
+
+
+def union_all(boxes: list[Box]) -> Box:
+    """MBR of a non-empty list of boxes."""
+    if not boxes:
+        raise ValueError("cannot take the MBR of zero boxes")
+    result = boxes[0]
+    for box in boxes[1:]:
+        result = result.union(box)
+    return result

@@ -1,0 +1,334 @@
+"""Disk-based R-tree (Guttman, quadratic split).
+
+A general n-dimensional R-tree over the shared buffer pool.  It backs the
+3D R-tree historical baseline (Theodoridis et al., the paper's Section II)
+and MV3R's auxiliary tree.  Coordinates are unsigned 64-bit integers, so
+the time axis can use a large "still alive" sentinel.
+
+Page layout (little-endian)::
+
+    u8 type(1=leaf, 2=internal)  u16 count
+    leaf entry:     2·ndim × u64 box , payload[payload_size]
+    internal entry: 2·ndim × u64 box , u64 child
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..storage.buffer import BufferPool
+from .geometry import Box, union_all
+
+_HEADER = struct.Struct("<BH")
+_LEAF_TYPE = 1
+_INTERNAL_TYPE = 2
+_CHILD = struct.Struct("<Q")
+
+
+@dataclass
+class _Node:
+    is_leaf: bool
+    boxes: list[Box]
+    payloads: list[bytes]       # leaf only
+    children: list[int]         # internal only
+
+    def mbr(self) -> Box:
+        return union_all(self.boxes)
+
+
+class RTree:
+    """Guttman R-tree with quadratic node splitting.
+
+    Args:
+        pool: buffer pool for page IO.
+        ndim: dimensionality of the indexed boxes.
+        payload_size: fixed byte width of leaf payloads.
+        root_page: existing root, or ``None`` for an empty tree.
+    """
+
+    def __init__(self, pool: BufferPool, ndim: int, payload_size: int,
+                 root_page: int | None = None) -> None:
+        if ndim < 1:
+            raise ValueError(f"ndim must be >= 1, got {ndim}")
+        if payload_size <= 0:
+            raise ValueError("payload_size must be positive")
+        self.pool = pool
+        self.ndim = ndim
+        self.payload_size = payload_size
+        box_bytes = 2 * ndim * 8
+        usable = pool.page_size - _HEADER.size
+        self.leaf_cap = usable // (box_bytes + payload_size)
+        self.internal_cap = usable // (box_bytes + _CHILD.size)
+        if self.leaf_cap < 2 or self.internal_cap < 2:
+            raise ValueError("page size too small for this geometry")
+        self._box_pack = struct.Struct(f"<{2 * ndim}Q")
+        if root_page is None:
+            self.root_page = pool.allocate()
+            self._write(self.root_page,
+                        _Node(True, [], [], []))
+        else:
+            self.root_page = root_page
+        self._height = None
+
+    # -- page IO ---------------------------------------------------------------
+
+    def _read(self, page_id: int) -> _Node:
+        raw = self.pool.fetch(page_id)
+        node_type, count = _HEADER.unpack_from(raw)
+        offset = _HEADER.size
+        boxes: list[Box] = []
+        payloads: list[bytes] = []
+        children: list[int] = []
+        box_bytes = self._box_pack.size
+        for _ in range(count):
+            coords = self._box_pack.unpack_from(raw, offset)
+            offset += box_bytes
+            boxes.append(Box(coords[:self.ndim], coords[self.ndim:]))
+            if node_type == _LEAF_TYPE:
+                payloads.append(raw[offset:offset + self.payload_size])
+                offset += self.payload_size
+            else:
+                (child,) = _CHILD.unpack_from(raw, offset)
+                offset += _CHILD.size
+                children.append(child)
+        return _Node(node_type == _LEAF_TYPE, boxes, payloads, children)
+
+    def _write(self, page_id: int, node: _Node) -> None:
+        parts = [_HEADER.pack(_LEAF_TYPE if node.is_leaf else _INTERNAL_TYPE,
+                              len(node.boxes))]
+        for idx, box in enumerate(node.boxes):
+            parts.append(self._box_pack.pack(*box.lo, *box.hi))
+            if node.is_leaf:
+                parts.append(node.payloads[idx])
+            else:
+                parts.append(_CHILD.pack(node.children[idx]))
+        raw = b"".join(parts)
+        if len(raw) > self.pool.page_size:
+            raise ValueError("node overflows page")
+        self.pool.write(page_id, raw.ljust(self.pool.page_size, b"\x00"))
+
+    # -- insertion ---------------------------------------------------------------
+
+    def insert(self, box: Box, payload: bytes) -> None:
+        """Insert one (box, payload) pair."""
+        if box.ndim != self.ndim:
+            raise ValueError(f"box has {box.ndim} dims, tree has {self.ndim}")
+        if len(payload) != self.payload_size:
+            raise ValueError(f"payload must be {self.payload_size} bytes")
+        split = self._insert(self.root_page, box, payload)
+        if split is not None:
+            (box_a, page_a), (box_b, page_b) = split
+            root = _Node(False, [box_a, box_b], [], [page_a, page_b])
+            self.root_page = self.pool.allocate()
+            self._write(self.root_page, root)
+
+    def _insert(self, page_id: int, box: Box, payload: bytes):
+        """Recursive insert; returns two (mbr, page) halves on split."""
+        node = self._read(page_id)
+        if node.is_leaf:
+            node.boxes.append(box)
+            node.payloads.append(payload)
+            if len(node.boxes) <= self.leaf_cap:
+                self._write(page_id, node)
+                return None
+            return self._split(page_id, node)
+        child_idx = self._choose_subtree(node, box)
+        split = self._insert(node.children[child_idx], box, payload)
+        if split is None:
+            node.boxes[child_idx] = node.boxes[child_idx].union(box)
+            self._write(page_id, node)
+            return None
+        (box_a, page_a), (box_b, page_b) = split
+        node.boxes[child_idx] = box_a
+        node.children[child_idx] = page_a
+        node.boxes.append(box_b)
+        node.children.append(page_b)
+        if len(node.boxes) <= self.internal_cap:
+            self._write(page_id, node)
+            return None
+        return self._split(page_id, node)
+
+    def _choose_subtree(self, node: _Node, box: Box) -> int:
+        """Least-enlargement child; ties broken by smaller volume."""
+        best_idx = 0
+        best = None
+        for idx, child_box in enumerate(node.boxes):
+            cost = (child_box.enlargement(box), child_box.volume())
+            if best is None or cost < best:
+                best = cost
+                best_idx = idx
+        return best_idx
+
+    def _split(self, page_id: int, node: _Node):
+        """Guttman quadratic split of an overflowing node (in place + new)."""
+        seed_a, seed_b = self._pick_seeds(node.boxes)
+        groups: tuple[list[int], list[int]] = ([seed_a], [seed_b])
+        mbrs = [node.boxes[seed_a], node.boxes[seed_b]]
+        rest = [i for i in range(len(node.boxes)) if i not in (seed_a, seed_b)]
+        cap = self.leaf_cap if node.is_leaf else self.internal_cap
+        min_fill = max(1, cap * 2 // 5)
+        while rest:
+            # Force assignment if a group must take everything left.
+            for g in (0, 1):
+                if len(groups[g]) + len(rest) == min_fill:
+                    groups[g].extend(rest)
+                    for i in rest:
+                        mbrs[g] = mbrs[g].union(node.boxes[i])
+                    rest = []
+                    break
+            if not rest:
+                break
+            pick, group = self._pick_next(node.boxes, rest, mbrs)
+            groups[group].append(pick)
+            mbrs[group] = mbrs[group].union(node.boxes[pick])
+            rest.remove(pick)
+        node_a = self._subnode(node, groups[0])
+        node_b = self._subnode(node, groups[1])
+        page_b = self.pool.allocate()
+        self._write(page_id, node_a)
+        self._write(page_b, node_b)
+        return (node_a.mbr(), page_id), (node_b.mbr(), page_b)
+
+    @staticmethod
+    def _pick_seeds(boxes: list[Box]) -> tuple[int, int]:
+        worst = None
+        pair = (0, 1)
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                waste = (boxes[i].union(boxes[j]).volume()
+                         - boxes[i].volume() - boxes[j].volume())
+                if worst is None or waste > worst:
+                    worst = waste
+                    pair = (i, j)
+        return pair
+
+    @staticmethod
+    def _pick_next(boxes: list[Box], rest: list[int],
+                   mbrs: list[Box]) -> tuple[int, int]:
+        best_pick = rest[0]
+        best_diff = -1
+        for i in rest:
+            d0 = mbrs[0].enlargement(boxes[i])
+            d1 = mbrs[1].enlargement(boxes[i])
+            diff = abs(d0 - d1)
+            if diff > best_diff:
+                best_diff = diff
+                best_pick = i
+        d0 = mbrs[0].enlargement(boxes[best_pick])
+        d1 = mbrs[1].enlargement(boxes[best_pick])
+        return best_pick, 0 if d0 <= d1 else 1
+
+    def _subnode(self, node: _Node, indices: list[int]) -> _Node:
+        if node.is_leaf:
+            return _Node(True, [node.boxes[i] for i in indices],
+                         [node.payloads[i] for i in indices], [])
+        return _Node(False, [node.boxes[i] for i in indices], [],
+                     [node.children[i] for i in indices])
+
+    # -- search ---------------------------------------------------------------
+
+    def search(self, box: Box) -> list[tuple[Box, bytes]]:
+        """All (box, payload) leaf entries intersecting ``box``."""
+        return list(self.iter_search(box))
+
+    def iter_search(self, box: Box) -> Iterator[tuple[Box, bytes]]:
+        stack = [self.root_page]
+        while stack:
+            node = self._read(stack.pop())
+            if node.is_leaf:
+                for entry_box, payload in zip(node.boxes, node.payloads):
+                    if entry_box.intersects(box):
+                        yield entry_box, payload
+            else:
+                for entry_box, child in zip(node.boxes, node.children):
+                    if entry_box.intersects(box):
+                        stack.append(child)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_search(
+            Box((0,) * self.ndim, ((1 << 64) - 1,) * self.ndim)))
+
+    # -- deletion (Guttman delete with reinsertion) --------------------------------
+
+    def delete(self, box: Box, payload: bytes) -> bool:
+        """Delete one exactly matching (box, payload) leaf entry."""
+        found = self._delete(self.root_page, box, payload, orphans := [])
+        if not found:
+            return False
+        root = self._read(self.root_page)
+        if not root.is_leaf and len(root.children) == 1:
+            old = self.root_page
+            self.root_page = root.children[0]
+            self.pool.free(old)
+        for orphan_box, orphan_payload in orphans:
+            self.insert(orphan_box, orphan_payload)
+        return True
+
+    def _delete(self, page_id: int, box: Box, payload: bytes,
+                orphans: list[tuple[Box, bytes]]) -> bool:
+        node = self._read(page_id)
+        if node.is_leaf:
+            for idx, (entry_box, entry_payload) in enumerate(
+                    zip(node.boxes, node.payloads)):
+                if entry_box == box and entry_payload == payload:
+                    del node.boxes[idx]
+                    del node.payloads[idx]
+                    self._write(page_id, node)
+                    return True
+            return False
+        for idx, (entry_box, child) in enumerate(zip(node.boxes,
+                                                     node.children)):
+            if not entry_box.intersects(box):
+                continue
+            if not self._delete(child, box, payload, orphans):
+                continue
+            child_node = self._read(child)
+            min_fill = max(1, (self.leaf_cap if child_node.is_leaf
+                               else self.internal_cap) * 2 // 5)
+            if len(child_node.boxes) < min_fill:
+                # Condense: orphan the child's entries for reinsertion.
+                self._collect_entries(child, orphans)
+                del node.boxes[idx]
+                del node.children[idx]
+            else:
+                node.boxes[idx] = child_node.mbr()
+            self._write(page_id, node)
+            return True
+        return False
+
+    def _collect_entries(self, page_id: int,
+                         orphans: list[tuple[Box, bytes]]) -> None:
+        node = self._read(page_id)
+        if node.is_leaf:
+            orphans.extend(zip(node.boxes, node.payloads))
+        else:
+            for child in node.children:
+                self._collect_entries(child, orphans)
+        self.pool.free(page_id)
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return self._count(self.root_page)
+
+    def _count(self, page_id: int) -> int:
+        node = self._read(page_id)
+        if node.is_leaf:
+            return 1
+        return 1 + sum(self._count(child) for child in node.children)
+
+    def check_invariants(self) -> None:
+        """Assert MBR containment and fill invariants (tests only)."""
+        self._check(self.root_page, None, is_root=True)
+
+    def _check(self, page_id: int, outer: Box | None, is_root: bool) -> None:
+        node = self._read(page_id)
+        if node.boxes and outer is not None:
+            assert outer.contains(node.mbr()), "child MBR escapes parent"
+        if node.is_leaf:
+            return
+        assert node.children, "empty internal node"
+        for box, child in zip(node.boxes, node.children):
+            self._check(child, box, is_root=False)

@@ -1,0 +1,61 @@
+"""Hilbert curve.
+
+Included for completeness of the paper's Section III-B.2 argument: the
+Hilbert curve clusters better than the Z-curve on average (Moon et al.,
+TKDE 2001) but *violates* the corner property SWST needs — inside an
+axis-aligned rectangle, the lower-left corner is not guaranteed to carry the
+minimum Hilbert value nor the upper-right corner the maximum (the paper's
+Fig. 2 shows ``hc(D) > hc(C)``).  The test suite demonstrates the violation
+constructively.
+"""
+
+from __future__ import annotations
+
+DEFAULT_ORDER = 16
+
+
+def hc_encode(x: int, y: int, order: int = DEFAULT_ORDER) -> int:
+    """Map ``(x, y)`` in ``[0, 2**order)²`` to its Hilbert curve distance."""
+    limit = 1 << order
+    if not 0 <= x < limit or not 0 <= y < limit:
+        raise ValueError(f"coordinates ({x}, {y}) out of range "
+                         f"[0, {limit}) for order {order}")
+    rx = ry = 0
+    d = 0
+    s = limit >> 1
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # rotate quadrant
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s >>= 1
+    return d
+
+
+def hc_decode(d: int, order: int = DEFAULT_ORDER) -> tuple[int, int]:
+    """Invert :func:`hc_encode`; returns ``(x, y)``."""
+    limit = 1 << order
+    if not 0 <= d < limit * limit:
+        raise ValueError(f"distance {d} out of range [0, {limit * limit}) "
+                         f"for order {order}")
+    x = y = 0
+    t = d
+    s = 1
+    while s < limit:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s <<= 1
+    return x, y

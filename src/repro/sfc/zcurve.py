@@ -1,0 +1,73 @@
+"""Z-order (Morton / Peano) curve.
+
+SWST linearises the spatial part of its B+ tree keys with the Z-curve
+because of the property proved useful in Section III-B.2 of the paper: for
+any axis-aligned rectangle, the lower-left corner has the *minimum* Z-value
+and the upper-right corner the *maximum* Z-value among all points inside the
+rectangle.  That holds because the Morton code is monotone in each
+coordinate separately, and it is what lets a single key range
+``[zc(lo), zc(hi)]`` cover every point of the rectangle (with false
+positives removed later in the refinement step).
+"""
+
+from __future__ import annotations
+
+DEFAULT_ORDER = 16  # bits per axis; 32-bit Z-values
+
+
+def _part1by1(value: int, order: int) -> int:
+    """Spread the low ``order`` bits of ``value`` into the even positions."""
+    result = 0
+    for bit in range(order):
+        result |= ((value >> bit) & 1) << (2 * bit)
+    return result
+
+
+def _compact1by1(value: int, order: int) -> int:
+    """Inverse of :func:`_part1by1`: gather the even bit positions."""
+    result = 0
+    for bit in range(order):
+        result |= ((value >> (2 * bit)) & 1) << bit
+    return result
+
+
+def zc_encode(x: int, y: int, order: int = DEFAULT_ORDER) -> int:
+    """Interleave ``x`` and ``y`` (each in ``[0, 2**order)``) into a Z-value.
+
+    Bit layout: y bits occupy odd positions, x bits even positions, so the
+    curve sweeps x fastest — matching the classic N-shaped Peano ordering.
+    """
+    limit = 1 << order
+    if not 0 <= x < limit or not 0 <= y < limit:
+        raise ValueError(f"coordinates ({x}, {y}) out of range "
+                         f"[0, {limit}) for order {order}")
+    return _part1by1(x, order) | (_part1by1(y, order) << 1)
+
+
+def zc_decode(z: int, order: int = DEFAULT_ORDER) -> tuple[int, int]:
+    """Invert :func:`zc_encode`; returns ``(x, y)``."""
+    limit = 1 << (2 * order)
+    if not 0 <= z < limit:
+        raise ValueError(f"z value {z} out of range [0, {limit}) "
+                         f"for order {order}")
+    return _compact1by1(z, order), _compact1by1(z >> 1, order)
+
+
+def zc_range(x_lo: int, y_lo: int, x_hi: int, y_hi: int,
+             order: int = DEFAULT_ORDER) -> tuple[int, int]:
+    """Z-value range covering the closed rectangle [x_lo..x_hi]×[y_lo..y_hi].
+
+    By the monotonicity property the minimum is at the lower-left corner and
+    the maximum at the upper-right corner.  The returned range may include
+    Z-values of points *outside* the rectangle; callers must refine.
+    """
+    if x_lo > x_hi or y_lo > y_hi:
+        raise ValueError("empty rectangle")
+    return zc_encode(x_lo, y_lo, order), zc_encode(x_hi, y_hi, order)
+
+
+def zc_in_rect(z: int, x_lo: int, y_lo: int, x_hi: int, y_hi: int,
+               order: int = DEFAULT_ORDER) -> bool:
+    """True if the point encoded by ``z`` lies in the closed rectangle."""
+    x, y = zc_decode(z, order)
+    return x_lo <= x <= x_hi and y_lo <= y <= y_hi

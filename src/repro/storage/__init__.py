@@ -1,0 +1,29 @@
+"""Disk substrate: paged files, free lists, buffer pool, IO accounting.
+
+This package is the "disk" every index in the repository runs on.  The
+paper's primary cost metric — node accesses — is counted at the
+:class:`BufferPool` boundary.
+"""
+
+from .buffer import DEFAULT_CAPACITY, BufferPool
+from .errors import (CorruptPageFileError, PageError, PagerClosedError,
+                     StorageError)
+from .page import DEFAULT_PAGE_SIZE, FilePageDevice, MemoryPageDevice
+from .pager import MEMORY, Pager
+from .stats import IOStats, StatsRecorder
+
+__all__ = [
+    "BufferPool",
+    "CorruptPageFileError",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_PAGE_SIZE",
+    "FilePageDevice",
+    "IOStats",
+    "MEMORY",
+    "MemoryPageDevice",
+    "PageError",
+    "Pager",
+    "PagerClosedError",
+    "StatsRecorder",
+    "StorageError",
+]

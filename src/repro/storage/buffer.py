@@ -1,0 +1,122 @@
+"""LRU buffer pool with IO accounting.
+
+Every index structure in this repository (SWST's B+ trees, the R-trees
+backing MV3R and the 3-D baseline) does all its page IO through a
+:class:`BufferPool`.  The pool is where the paper's *node accesses* metric is
+measured: each :meth:`fetch` and :meth:`write` increments the logical
+counters regardless of whether the page was cached.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .errors import PagerClosedError
+from .pager import Pager
+from .stats import IOStats
+
+DEFAULT_CAPACITY = 256
+
+
+class BufferPool:
+    """Write-back LRU cache of pages on top of a :class:`Pager`.
+
+    Args:
+        pager: the underlying pager.
+        capacity: maximum number of cached pages; least-recently-used dirty
+            pages are written back on eviction.
+        stats: optional shared :class:`IOStats`; a fresh one is created if
+            omitted.
+    """
+
+    def __init__(self, pager: Pager, capacity: int = DEFAULT_CAPACITY,
+                 stats: IOStats | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.pager = pager
+        self.capacity = capacity
+        self.stats = stats if stats is not None else IOStats()
+        self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self._dirty: set[int] = set()
+        self._closed = False
+
+    @property
+    def page_size(self) -> int:
+        return self.pager.page_size
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PagerClosedError("buffer pool is closed")
+
+    def _evict_if_needed(self) -> None:
+        while len(self._cache) > self.capacity:
+            victim, data = self._cache.popitem(last=False)
+            if victim in self._dirty:
+                self._dirty.discard(victim)
+                self.pager.write(victim, data)
+                self.stats.physical_writes += 1
+
+    # -- public API ----------------------------------------------------------
+
+    def fetch(self, page_id: int) -> bytes:
+        """Return the page contents, counting one logical read."""
+        self._check_open()
+        self.stats.logical_reads += 1
+        if page_id in self._cache:
+            self._cache.move_to_end(page_id)
+            return self._cache[page_id]
+        data = self.pager.read(page_id)
+        self.stats.physical_reads += 1
+        self._cache[page_id] = data
+        self._evict_if_needed()
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Stage new page contents, counting one logical write."""
+        self._check_open()
+        if len(data) != self.page_size:
+            raise ValueError(f"page data must be exactly {self.page_size} "
+                             f"bytes, got {len(data)}")
+        self.stats.logical_writes += 1
+        self._cache[page_id] = bytes(data)
+        self._cache.move_to_end(page_id)
+        self._dirty.add(page_id)
+        self._evict_if_needed()
+
+    def allocate(self) -> int:
+        """Allocate a fresh page (not yet cached)."""
+        self._check_open()
+        self.stats.allocations += 1
+        return self.pager.allocate()
+
+    def free(self, page_id: int) -> None:
+        """Drop a page from the cache and return it to the pager free list."""
+        self._check_open()
+        self._cache.pop(page_id, None)
+        self._dirty.discard(page_id)
+        self.stats.frees += 1
+        self.pager.free(page_id)
+
+    def flush(self) -> None:
+        """Write every dirty page back to the pager."""
+        self._check_open()
+        for page_id in sorted(self._dirty):
+            self.pager.write(page_id, self._cache[page_id])
+            self.stats.physical_writes += 1
+        self._dirty.clear()
+
+    def drop_cache(self) -> None:
+        """Flush then empty the cache (used to make cold-cache measurements)."""
+        self.flush()
+        self._cache.clear()
+
+    def close(self) -> None:
+        if not self._closed:
+            self.flush()
+            self._closed = True
+
+    def __enter__(self) -> "BufferPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

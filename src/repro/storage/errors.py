@@ -1,0 +1,21 @@
+"""Exception hierarchy for the storage layer.
+
+All storage-level failures derive from :class:`StorageError` so callers can
+catch one base class at the public-API boundary.
+"""
+
+
+class StorageError(Exception):
+    """Base class for all storage-layer failures."""
+
+
+class PageError(StorageError):
+    """A page id is invalid, out of range, or refers to a freed page."""
+
+
+class PagerClosedError(StorageError):
+    """An operation was attempted on a closed pager or buffer pool."""
+
+
+class CorruptPageFileError(StorageError):
+    """The on-disk page file failed a structural sanity check."""

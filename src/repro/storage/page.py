@@ -1,0 +1,155 @@
+"""Raw page devices.
+
+A *page device* stores fixed-size pages addressed by integer id and knows
+nothing about their contents.  Two implementations are provided:
+
+* :class:`FilePageDevice` — pages live in a single binary file on disk.  This
+  is the production device and the one the paper's cost model assumes.
+* :class:`MemoryPageDevice` — pages live in a dict.  Used by tests and
+  benchmarks that only care about *logical* node accesses (the paper's
+  metric), where real disk IO would add noise without changing the counts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol
+
+from .errors import PageError, PagerClosedError
+
+DEFAULT_PAGE_SIZE = 8192
+
+
+class PageDevice(Protocol):
+    """Minimal interface a page store must provide."""
+
+    page_size: int
+
+    def read(self, page_id: int) -> bytes: ...
+
+    def write(self, page_id: int, data: bytes) -> None: ...
+
+    def extend(self) -> int: ...
+
+    def page_count(self) -> int: ...
+
+    def sync(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class FilePageDevice:
+    """Fixed-size pages stored in one binary file."""
+
+    def __init__(self, path: str | os.PathLike[str],
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0 or page_size % 512:
+            raise ValueError(f"page_size must be a positive multiple of 512, "
+                             f"got {page_size}")
+        self.path = os.fspath(path)
+        self.page_size = page_size
+        mode = "r+b" if os.path.exists(self.path) else "w+b"
+        self._file = open(self.path, mode)
+        self._closed = False
+        size = os.fstat(self._file.fileno()).st_size
+        if size % page_size:
+            raise PageError(
+                f"file size {size} is not a multiple of page size {page_size}")
+        self._count = size // page_size
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PagerClosedError("page device is closed")
+
+    def _check_id(self, page_id: int) -> None:
+        if not 0 <= page_id < self._count:
+            raise PageError(f"page id {page_id} out of range "
+                            f"[0, {self._count})")
+
+    def read(self, page_id: int) -> bytes:
+        self._check_open()
+        self._check_id(page_id)
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise PageError(f"short read on page {page_id}")
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._check_open()
+        self._check_id(page_id)
+        if len(data) != self.page_size:
+            raise PageError(f"page data must be exactly {self.page_size} "
+                            f"bytes, got {len(data)}")
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data)
+
+    def extend(self) -> int:
+        """Append one zeroed page and return its id."""
+        self._check_open()
+        page_id = self._count
+        self._file.seek(page_id * self.page_size)
+        self._file.write(b"\x00" * self.page_size)
+        self._count += 1
+        return page_id
+
+    def page_count(self) -> int:
+        return self._count
+
+    def sync(self) -> None:
+        self._check_open()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+
+class MemoryPageDevice:
+    """Pages stored in memory; same contract as :class:`FilePageDevice`."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self._pages: list[bytes] = []
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PagerClosedError("page device is closed")
+
+    def _check_id(self, page_id: int) -> None:
+        if not 0 <= page_id < len(self._pages):
+            raise PageError(f"page id {page_id} out of range "
+                            f"[0, {len(self._pages)})")
+
+    def read(self, page_id: int) -> bytes:
+        self._check_open()
+        self._check_id(page_id)
+        return self._pages[page_id]
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._check_open()
+        self._check_id(page_id)
+        if len(data) != self.page_size:
+            raise PageError(f"page data must be exactly {self.page_size} "
+                            f"bytes, got {len(data)}")
+        self._pages[page_id] = bytes(data)
+
+    def extend(self) -> int:
+        self._check_open()
+        self._pages.append(b"\x00" * self.page_size)
+        return len(self._pages) - 1
+
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def sync(self) -> None:
+        self._check_open()
+
+    def close(self) -> None:
+        self._closed = True

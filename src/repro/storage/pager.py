@@ -1,0 +1,150 @@
+"""Pager: page allocation and a persistent free list on top of a page device.
+
+Layout:
+
+* Page 0 is the header page::
+
+      magic (8 bytes)  page_size (u32)  free_head (u64)  meta... (rest)
+
+  The tail of the header page after the fixed fields is available to the
+  owner as an opaque *meta blob* (SWST stores its tree catalog pointer
+  there).
+* Freed pages are chained through their first 8 bytes.
+
+The pager performs raw device IO only; caching and IO accounting live in
+:class:`repro.storage.buffer.BufferPool`, which sits on top.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from .errors import CorruptPageFileError, PageError
+from .page import (DEFAULT_PAGE_SIZE, FilePageDevice, MemoryPageDevice,
+                   PageDevice)
+
+_MAGIC = b"SWSTPGR1"
+_HEADER = struct.Struct("<8sIQ")  # magic, page_size, free_head
+_FREE_LINK = struct.Struct("<Q")
+
+#: Path sentinel selecting the in-memory device.
+MEMORY = ":memory:"
+
+
+class Pager:
+    """Allocate, free, read and write fixed-size pages.
+
+    Args:
+        path: file path, or :data:`MEMORY` for an in-memory device.
+        page_size: page size in bytes (must match an existing file).
+    """
+
+    def __init__(self, path: str | os.PathLike[str] = MEMORY,
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self._device: PageDevice
+        if os.fspath(path) == MEMORY:
+            self._device = MemoryPageDevice(page_size)
+        else:
+            self._device = FilePageDevice(path, page_size)
+        self.page_size = self._device.page_size
+        self.meta_capacity = self.page_size - _HEADER.size
+        if self._device.page_count() == 0:
+            self._device.extend()  # header page
+            self._free_head = 0
+            self._meta = b""
+            self._write_header()
+        else:
+            self._read_header()
+
+    # -- header ------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        fixed = _HEADER.pack(_MAGIC, self.page_size, self._free_head)
+        body = self._meta.ljust(self.meta_capacity, b"\x00")
+        self._device.write(0, fixed + body)
+
+    def _read_header(self) -> None:
+        raw = self._device.read(0)
+        magic, page_size, free_head = _HEADER.unpack_from(raw)
+        if magic != _MAGIC:
+            raise CorruptPageFileError("bad magic in page file header")
+        if page_size != self.page_size:
+            raise CorruptPageFileError(
+                f"file page size {page_size} != requested {self.page_size}")
+        self._free_head = free_head
+        self._meta = raw[_HEADER.size:].rstrip(b"\x00")
+
+    @property
+    def meta(self) -> bytes:
+        """Opaque owner-controlled blob persisted in the header page."""
+        return self._meta
+
+    @meta.setter
+    def meta(self, blob: bytes) -> None:
+        if len(blob) > self.meta_capacity:
+            raise ValueError(f"meta blob of {len(blob)} bytes exceeds "
+                             f"capacity {self.meta_capacity}")
+        self._meta = bytes(blob)
+        self._write_header()
+
+    # -- page lifecycle ----------------------------------------------------
+
+    def allocate(self) -> int:
+        """Return the id of a fresh zeroed page (reusing freed pages)."""
+        if self._free_head:
+            page_id = self._free_head
+            raw = self._device.read(page_id)
+            (self._free_head,) = _FREE_LINK.unpack_from(raw)
+            self._write_header()
+            self._device.write(page_id, b"\x00" * self.page_size)
+            return page_id
+        return self._device.extend()
+
+    def free(self, page_id: int) -> None:
+        """Return ``page_id`` to the free list."""
+        if page_id == 0:
+            raise PageError("cannot free the header page")
+        link = _FREE_LINK.pack(self._free_head)
+        self._device.write(page_id, link.ljust(self.page_size, b"\x00"))
+        self._free_head = page_id
+        self._write_header()
+
+    def read(self, page_id: int) -> bytes:
+        if page_id == 0:
+            raise PageError("page 0 is the pager header; use .meta")
+        return self._device.read(page_id)
+
+    def write(self, page_id: int, data: bytes) -> None:
+        if page_id == 0:
+            raise PageError("page 0 is the pager header; use .meta")
+        self._device.write(page_id, data)
+
+    def page_count(self) -> int:
+        """Total pages in the device, including header and freed pages."""
+        return self._device.page_count()
+
+    def free_list_length(self) -> int:
+        """Walk the free list and return its length (O(list) reads)."""
+        count = 0
+        head = self._free_head
+        seen: set[int] = set()
+        while head:
+            if head in seen:
+                raise CorruptPageFileError("cycle in free list")
+            seen.add(head)
+            count += 1
+            (head,) = _FREE_LINK.unpack_from(self._device.read(head))
+        return count
+
+    def sync(self) -> None:
+        self._device.sync()
+
+    def close(self) -> None:
+        self._device.close()
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

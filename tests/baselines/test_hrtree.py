@@ -1,0 +1,146 @@
+"""HR-tree baseline: versioned correctness, sharing, refcounted expiry."""
+
+import random
+
+import pytest
+
+from repro.baselines import HRTree
+from repro.core import Rect
+
+EVERYWHERE = Rect(0, 0, 10 ** 6, 10 ** 6)
+
+
+def _drive(index, reports=1500, objects=30, seed=1, domain=800):
+    """Returns per-version oracle: list of (t, {oid: (x, y)})."""
+    rng = random.Random(seed)
+    t = 0
+    positions: dict[int, tuple[int, int]] = {}
+    snapshots: list[tuple[int, dict]] = []
+    for _ in range(reports):
+        t += rng.randrange(1, 4)
+        oid = rng.randrange(objects)
+        x, y = rng.randrange(domain), rng.randrange(domain)
+        index.report(oid, x, y, t)
+        positions[oid] = (x, y)
+        snapshots.append((t, dict(positions)))
+    return snapshots
+
+
+def _oracle_at(snapshots, t):
+    state: dict[int, tuple[int, int]] = {}
+    for version_t, snapshot in snapshots:
+        if version_t > t:
+            break
+        state = snapshot
+    return state
+
+
+class TestVersions:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        index = HRTree(page_size=512, fanout=8)
+        snapshots = _drive(index)
+        return index, snapshots
+
+    def test_timeslice_matches_any_version(self, loaded):
+        index, snapshots = loaded
+        rng = random.Random(2)
+        for _ in range(50):
+            t = rng.randrange(snapshots[-1][0] + 2)
+            x0, y0 = rng.randrange(600), rng.randrange(600)
+            area = Rect(x0, y0, x0 + 200, y0 + 200)
+            expected = {(oid, x, y)
+                        for oid, (x, y) in _oracle_at(snapshots, t).items()
+                        if area.contains(x, y)}
+            got = set(index.query_timeslice(area, t))
+            assert got == expected
+
+    def test_query_before_first_version_is_empty(self, loaded):
+        index, snapshots = loaded
+        first = snapshots[0][0]
+        assert index.query_timeslice(EVERYWHERE, first - 1) == []
+
+    def test_interval_unions_versions(self, loaded):
+        index, snapshots = loaded
+        rng = random.Random(3)
+        for _ in range(20):
+            t_lo = rng.randrange(snapshots[-1][0])
+            t_hi = t_lo + rng.randrange(0, 300)
+            area = Rect(100, 100, 500, 500)
+            # Oracle: every distinct (oid, x, y) present at some t in
+            # [t_lo, t_hi] — probe t_lo plus every version boundary.
+            expected = set()
+            times = sorted({t for t, _ in snapshots
+                            if t_lo <= t <= t_hi})
+            probe_times = [t_lo] + times
+            for t in probe_times:
+                for oid, (x, y) in _oracle_at(snapshots, t).items():
+                    if area.contains(x, y):
+                        expected.add((oid, x, y))
+            got = set(index.query_interval(area, t_lo, t_hi))
+            assert got == expected
+
+    def test_storage_grows_with_updates(self, loaded):
+        index, snapshots = loaded
+        # "Very large storage": pages grow with versions, far beyond a
+        # single R-tree of 30 objects.
+        assert index.version_count() == len(snapshots)
+        assert index.live_pages() > 100
+
+
+class TestExpiry:
+    def test_drop_old_versions_frees_pages(self):
+        index = HRTree(page_size=512, fanout=8)
+        snapshots = _drive(index, reports=800, seed=4)
+        pages_before = index.live_pages()
+        cutoff = snapshots[len(snapshots) // 2][0]
+        dropped = index.drop_versions_before(cutoff)
+        assert dropped > 0
+        assert index.live_pages() < pages_before
+        index.close()
+
+    def test_recent_versions_still_queryable_after_drop(self):
+        index = HRTree(page_size=512, fanout=8)
+        snapshots = _drive(index, reports=800, seed=5)
+        cutoff = snapshots[len(snapshots) // 2][0]
+        index.drop_versions_before(cutoff)
+        rng = random.Random(6)
+        for _ in range(25):
+            t = rng.randrange(cutoff, snapshots[-1][0] + 1)
+            area = Rect(0, 0, 500, 500)
+            expected = {(oid, x, y)
+                        for oid, (x, y) in _oracle_at(snapshots, t).items()
+                        if area.contains(x, y)}
+            assert set(index.query_timeslice(area, t)) == expected
+        index.close()
+
+    def test_refcounts_balance_when_everything_dropped(self):
+        index = HRTree(page_size=512, fanout=8)
+        snapshots = _drive(index, reports=400, seed=7)
+        index.drop_versions_before(snapshots[-1][0] + 1)
+        # Only the final retained version's pages survive.
+        assert index.version_count() == 1
+        reachable = _count_reachable(index)
+        assert index.live_pages() == reachable
+        index.close()
+
+    def test_out_of_order_rejected(self):
+        index = HRTree(page_size=512)
+        index.report(1, 0, 0, 10)
+        with pytest.raises(ValueError):
+            index.report(2, 0, 0, 9)
+        index.close()
+
+
+def _count_reachable(index) -> int:
+    seen = set()
+    stack = [root for root in index._version_roots if root]
+    while stack:
+        page = stack.pop()
+        if page in seen:
+            continue
+        seen.add(page)
+        node = index._read(page)
+        if not node.is_leaf:
+            stack.extend(child for _, child in node.entries)
+    return len(seen)

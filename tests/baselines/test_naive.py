@@ -1,0 +1,73 @@
+"""Naive store: the oracle itself must implement the model exactly."""
+
+import pytest
+
+from repro.baselines import NaiveStore
+from repro.core import Entry, Rect, SWSTConfig
+
+CFG = SWSTConfig(window=1000, slide=100, d_max=200, duration_interval=50,
+                 space=Rect(0, 0, 999, 999))
+EVERYWHERE = Rect(0, 0, 999, 999)
+
+
+@pytest.fixture
+def store():
+    return NaiveStore(CFG)
+
+
+class TestModelSemantics:
+    def test_closed_entry_valid_interval(self, store):
+        store.insert(1, 10, 10, 100, 50)
+        assert store.query_timeslice(EVERYWHERE, 100)
+        assert store.query_timeslice(EVERYWHERE, 149)
+        assert store.query_timeslice(EVERYWHERE, 150) == []
+
+    def test_current_entry_open_ended(self, store):
+        store.report(1, 10, 10, 100)
+        store.now = 900
+        assert store.query_timeslice(EVERYWHERE, 800)
+
+    def test_report_closes_previous(self, store):
+        store.report(1, 10, 10, 100)
+        store.report(1, 20, 20, 160)
+        entries = sorted(store.query_interval(EVERYWHERE, 0, 200),
+                         key=lambda e: e.s)
+        assert entries == [Entry(1, 10, 10, 100, 60),
+                           Entry(1, 20, 20, 160, None)]
+
+    def test_expired_entries_excluded(self, store):
+        store.insert(1, 10, 10, 0, 50)
+        store.insert(2, 10, 10, 1500, 50)
+        assert store.query_interval(EVERYWHERE, 0, 1500,
+                                    ) == [Entry(2, 10, 10, 1500, 50)]
+
+    def test_start_after_query_end_excluded(self, store):
+        store.insert(1, 10, 10, 100, 50)
+        assert store.query_interval(EVERYWHERE, 0, 99) == []
+
+    def test_logical_window(self, store):
+        store.insert(1, 10, 10, 100, 50)
+        store.insert(2, 10, 10, 900, 50)
+        store.now = 1000
+        assert {e.oid for e in store.query_interval(EVERYWHERE, 0, 1000,
+                                                    window=200)} == {2}
+
+    def test_delete_closed_and_current(self, store):
+        store.insert(1, 10, 10, 100, 50)
+        store.report(2, 20, 20, 100)
+        assert store.delete(1, 10, 10, 100, 50)
+        assert store.delete(2, 20, 20, 100, None)
+        assert not store.delete(1, 10, 10, 100, 50)
+        assert store.query_interval(EVERYWHERE, 0, 200) == []
+
+    def test_close_object(self, store):
+        store.report(1, 10, 10, 100)
+        assert store.close_object(1, 180)
+        assert not store.close_object(1, 200)
+        assert store.query_interval(EVERYWHERE, 0, 300) == \
+            [Entry(1, 10, 10, 100, 80)]
+
+    def test_out_of_order_rejected(self, store):
+        store.insert(1, 10, 10, 100, 5)
+        with pytest.raises(ValueError):
+            store.insert(2, 10, 10, 50, 5)

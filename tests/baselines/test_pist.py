@@ -1,0 +1,115 @@
+"""PIST baseline: splitting, λ-search correctness, maintenance cost."""
+
+import random
+
+import pytest
+
+from repro.baselines import PISTIndex
+from repro.core import Entry, Rect
+
+SPACE = Rect(0, 0, 999, 999)
+EVERYWHERE = SPACE
+
+
+def _entries(n=500, seed=1, d_max=120):
+    rng = random.Random(seed)
+    out = []
+    t = 0
+    for i in range(n):
+        t += rng.randrange(0, 5)
+        out.append(Entry(oid=i, x=rng.randrange(1000),
+                         y=rng.randrange(1000), s=t,
+                         d=rng.randrange(1, d_max)))
+    return out
+
+
+class TestBuild:
+    def test_build_splits_long_entries(self):
+        pist = PISTIndex(SPACE, 4, 4, lam=10)
+        pist.build([Entry(1, 5, 5, 0, 35)])
+        assert len(pist) == 4  # 10 + 10 + 10 + 5
+
+    def test_short_entries_not_split(self):
+        pist = PISTIndex(SPACE, 4, 4, lam=100)
+        pist.build(_entries(100, d_max=50))
+        assert len(pist) == 100
+
+    def test_build_twice_rejected(self):
+        pist = PISTIndex(SPACE, 4, 4, lam=10)
+        pist.build([])
+        with pytest.raises(RuntimeError):
+            pist.build([])
+
+    def test_current_entries_rejected(self):
+        pist = PISTIndex(SPACE, 4, 4, lam=10)
+        with pytest.raises(ValueError):
+            pist.build([Entry(1, 5, 5, 0, None)])
+
+    def test_lambda_defaults_to_median_duration(self):
+        pist = PISTIndex(SPACE, 4, 4)
+        pist.build([Entry(1, 0, 0, 0, 10), Entry(2, 0, 0, 0, 20),
+                    Entry(3, 0, 0, 0, 90)])
+        assert pist.lam == 20
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        entries = _entries(800, seed=2)
+        pist = PISTIndex(SPACE, 5, 5, lam=30, page_size=1024)
+        pist.build(entries)
+        return pist, entries
+
+    def test_interval_matches_oracle(self, loaded):
+        pist, entries = loaded
+        rng = random.Random(3)
+        for _ in range(60):
+            x0, y0 = rng.randrange(700), rng.randrange(700)
+            area = Rect(x0, y0, x0 + 250, y0 + 250)
+            t_lo = rng.randrange(500)
+            t_hi = t_lo + rng.randrange(0, 200)
+            expected = {(e.oid, e.x, e.y) for e in entries
+                        if e.s <= t_hi and e.end > t_lo
+                        and area.contains(e.x, e.y)}
+            got = {(e.oid, e.x, e.y)
+                   for e in pist.query_interval(area, t_lo, t_hi)}
+            assert got == expected
+
+    def test_timeslice_matches_oracle(self, loaded):
+        pist, entries = loaded
+        rng = random.Random(4)
+        for _ in range(40):
+            area = Rect(0, 0, 999, 999)
+            t = rng.randrange(600)
+            expected = {(e.oid, e.x, e.y) for e in entries
+                        if e.valid_at(t)}
+            got = {(e.oid, e.x, e.y)
+                   for e in pist.query_timeslice(area, t)}
+            assert got == expected
+
+
+class TestMaintenance:
+    def test_delete_expired_removes_sub_entries(self):
+        pist = PISTIndex(SPACE, 4, 4, lam=10)
+        pist.build([Entry(1, 5, 5, 0, 35), Entry(2, 5, 5, 100, 5)])
+        removed = pist.delete_expired(50)
+        assert removed == 4  # all four sub-entries of entry 1
+        assert len(pist) == 1
+
+    def test_maintenance_cost_scales_with_sub_entries(self):
+        # The structural point of Section V-A: splitting multiplies the
+        # deletion work.
+        unsplit = PISTIndex(SPACE, 4, 4, lam=1000, page_size=1024)
+        unsplit.build(_entries(300, seed=5))
+        split = PISTIndex(SPACE, 4, 4, lam=5, page_size=1024)
+        split.build(_entries(300, seed=5))
+        assert len(split) > len(unsplit)
+        cutoff = 400
+        before = split.stats.snapshot()
+        split_removed = split.delete_expired(cutoff)
+        split_cost = split.stats.diff(before).node_accesses
+        before = unsplit.stats.snapshot()
+        unsplit_removed = unsplit.delete_expired(cutoff)
+        unsplit_cost = unsplit.stats.diff(before).node_accesses
+        assert split_removed > unsplit_removed
+        assert split_cost > unsplit_cost

@@ -1,0 +1,95 @@
+"""3D R-tree baseline: correctness and per-entry expiry cost."""
+
+import random
+
+import pytest
+
+from repro.baselines import R3DIndex
+from repro.core import Rect
+
+EVERYWHERE = Rect(0, 0, 10 ** 6, 10 ** 6)
+
+
+def _drive(index, reports=1200, objects=30, seed=1):
+    rng = random.Random(seed)
+    t = 0
+    history = []
+    cur = {}
+    for _ in range(reports):
+        t += rng.randrange(0, 3)
+        oid = rng.randrange(objects)
+        x, y = rng.randrange(800), rng.randrange(800)
+        if oid in cur and t > cur[oid][2]:
+            px, py, ps = cur[oid]
+            history.append((oid, px, py, ps, t))
+        index.report(oid, x, y, t)
+        cur[oid] = (x, y, t)
+    return history, cur, t
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        index = R3DIndex(page_size=1024)
+        history, cur, now = _drive(index)
+        return index, history, cur, now
+
+    def test_interval_matches_oracle(self, loaded):
+        index, history, cur, now = loaded
+        rng = random.Random(2)
+        for _ in range(40):
+            x0, y0 = rng.randrange(600), rng.randrange(600)
+            area = Rect(x0, y0, x0 + 180, y0 + 180)
+            t_lo = rng.randrange(now + 1)
+            t_hi = t_lo + rng.randrange(0, 800)
+            expected = {(o, ts) for o, x, y, ts, te in history
+                        if ts <= t_hi and te > t_lo and area.contains(x, y)}
+            expected |= {(o, ts) for o, (x, y, ts) in cur.items()
+                         if ts <= t_hi and area.contains(x, y)}
+            got = {(e.oid, e.s)
+                   for e in index.query_interval(area, t_lo, t_hi)}
+            assert got == expected
+
+    def test_timeslice_matches_oracle(self, loaded):
+        index, history, cur, now = loaded
+        rng = random.Random(3)
+        for _ in range(30):
+            t = rng.randrange(now + 1)
+            area = Rect(100, 100, 600, 600)
+            expected = {(o, ts) for o, x, y, ts, te in history
+                        if ts <= t < te and area.contains(x, y)}
+            expected |= {(o, ts) for o, (x, y, ts) in cur.items()
+                         if ts <= t and area.contains(x, y)}
+            got = {(e.oid, e.s) for e in index.query_timeslice(area, t)}
+            assert got == expected
+
+
+class TestExpiry:
+    def test_expire_before_removes_old_starts(self):
+        index = R3DIndex(page_size=1024)
+        _drive(index, reports=600, seed=4)
+        now = index.now
+        cutoff = now // 2
+        removed = index.expire_before(cutoff)
+        assert removed > 0
+        remaining = index.query_interval(EVERYWHERE, 0, now)
+        assert all(e.s >= cutoff for e in remaining)
+
+    def test_expiry_cost_is_per_entry(self):
+        # Contrast with SWST's O(pages) drop: here accesses scale with the
+        # number of expired entries (>= 1 access per deleted entry).
+        index = R3DIndex(page_size=1024)
+        _drive(index, reports=800, seed=5)
+        before = index.stats.snapshot()
+        removed = index.expire_before(index.now // 2)
+        cost = index.stats.diff(before).node_accesses
+        assert removed > 10
+        assert cost > removed
+
+    def test_expire_purges_current_table(self):
+        index = R3DIndex(page_size=1024)
+        index.report(1, 10, 10, 100)
+        index.report(2, 20, 20, 500)
+        index.expire_before(300)
+        assert index.query_timeslice(EVERYWHERE, 600) and \
+            {e.oid for e in index.query_timeslice(EVERYWHERE, 600)} == {2}

@@ -1,0 +1,145 @@
+"""Wave-index baseline: correctness vs oracle; slot recycling; the
+multi-sub-index search cost SWST's two-tree design avoids."""
+
+import random
+
+import pytest
+
+from repro.baselines import NaiveStore, WaveIndex
+from repro.core import Rect, SWSTConfig, SWSTIndex
+
+CFG = SWSTConfig(window=2000, slide=100, x_partitions=5, y_partitions=5,
+                 d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999), page_size=1024)
+EVERYWHERE = Rect(0, 0, 999, 999)
+
+
+def _drive(index, oracle, steps=2000, seed=1, objects=25):
+    rng = random.Random(seed)
+    t = 0
+    for _ in range(steps):
+        t += rng.randrange(0, 4)
+        oid = rng.randrange(objects)
+        x, y = rng.randrange(1000), rng.randrange(1000)
+        if rng.random() < 0.75:
+            index.report(oid, x, y, t)
+            oracle.report(oid, x, y, t)
+        else:
+            d = rng.randrange(1, 301)
+            index.insert(oid + 1000, x, y, t, d)
+            oracle.insert(oid + 1000, x, y, t, d)
+    return rng
+
+
+def _key_set(entries):
+    return {(e.oid, e.x, e.y, e.s) for e in entries}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_interval_queries_match_oracle(self, seed):
+        index = WaveIndex(CFG)
+        oracle = NaiveStore(CFG)
+        rng = _drive(index, oracle, seed=seed)
+        q_lo, q_hi = CFG.queriable_period(index.now)
+        for _ in range(80):
+            x0, y0 = rng.randrange(700), rng.randrange(700)
+            area = Rect(x0, y0, x0 + 250, y0 + 250)
+            t_lo = rng.randrange(q_lo, q_hi + 1)
+            t_hi = t_lo + rng.randrange(0, 500)
+            got = _key_set(index.query_interval(area, t_lo, t_hi))
+            expected = _key_set(oracle.query_interval(area, t_lo, t_hi))
+            assert got == expected
+        index.close()
+
+    def test_logical_window(self):
+        index = WaveIndex(CFG)
+        index.insert(1, 100, 100, 100, 50)
+        index.insert(2, 200, 200, 1500, 50)
+        index._clock = 1600
+        got = {e.oid for e in index.query_interval(EVERYWHERE, 0, 1600,
+                                                   window=500)}
+        assert got == {2}
+        index.close()
+
+
+class TestRecycling:
+    def test_slots_recycled_on_wrap(self):
+        index = WaveIndex(CFG)
+        index.insert(1, 100, 100, 10, 50)
+        size_before = len(index)
+        # Jump a full slot cycle ahead: same slot, new period.
+        jump = index._num_slots * CFG.slide + 10
+        index.insert(2, 100, 100, 10 + jump, 50)
+        assert len(index) == size_before  # old entry dropped, new added
+        index.close()
+
+    def test_vacuum_drops_expired_slots(self):
+        index = WaveIndex(CFG)
+        for i in range(20):
+            index.insert(i, 50 * i, 50 * i, 10 * i, 50)
+        index._clock = 10 * 19 + 3 * CFG.window
+        freed = index.vacuum()
+        assert freed > 0
+        assert len(index.query_interval(EVERYWHERE, 0, index.now)) == 0
+        index.close()
+
+
+class TestComparisonWithSWST:
+    def test_search_cost_flat_and_high_unlike_swst(self):
+        """The structural claim of Section II: per-slide partitioning must
+        search one sub-index per slide step.  Worse, without a duration
+        dimension every live partition can hold a still-valid entry, so
+        even a *short* query interval pays the full multi-sub-index cost,
+        while SWST's duration partitioning makes short queries cheap."""
+        rng = random.Random(9)
+        wave = WaveIndex(CFG)
+        swst = SWSTIndex(CFG)
+        t = 0
+        for _ in range(4000):
+            t += rng.randrange(0, 3)
+            oid = rng.randrange(40)
+            x, y = rng.randrange(1000), rng.randrange(1000)
+            wave.report(oid, x, y, t)
+            swst.report(oid, x, y, t)
+        q_lo, q_hi = CFG.queriable_period(t)
+        area = Rect(200, 200, 500, 500)
+
+        def cost(index, t_lo, t_hi):
+            before = index.stats.snapshot()
+            index.query_interval(area, t_lo, t_hi)
+            return index.stats.diff(before).node_accesses
+
+        wave_short = cost(wave, q_hi - 100, q_hi)
+        swst_short = cost(swst, q_hi - 100, q_hi)
+        wave_long = cost(wave, q_lo, q_hi)
+        swst_long = cost(swst, q_lo, q_hi)
+        assert wave_short > 3 * swst_short  # short queries: SWST far ahead
+        assert wave_long >= swst_long       # long queries: still behind
+        # The wave index's cost barely depends on the interval length.
+        assert wave_long <= wave_short * 1.5
+        wave.close()
+        swst.close()
+
+    def test_same_results_as_swst(self):
+        rng = random.Random(10)
+        wave = WaveIndex(CFG)
+        swst = SWSTIndex(CFG)
+        t = 0
+        for _ in range(1500):
+            t += rng.randrange(0, 4)
+            oid = rng.randrange(20)
+            x, y = rng.randrange(1000), rng.randrange(1000)
+            d = rng.randrange(1, 301)
+            wave.insert(oid, x, y, t, d)
+            swst.insert(oid, x, y, t, d)
+        q_lo, q_hi = CFG.queriable_period(t)
+        for _ in range(40):
+            x0, y0 = rng.randrange(700), rng.randrange(700)
+            area = Rect(x0, y0, x0 + 250, y0 + 250)
+            t_lo = rng.randrange(q_lo, q_hi + 1)
+            t_hi = t_lo + rng.randrange(0, 500)
+            assert _key_set(wave.query_interval(area, t_lo, t_hi)) == \
+                _key_set(swst.query_interval(area, t_lo, t_hi))
+        wave.close()
+        swst.close()

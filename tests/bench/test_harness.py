@@ -1,0 +1,68 @@
+"""Harness: builds and query batches produce coherent measurements."""
+
+import pytest
+
+from repro.bench import (TINY, build_mv3r, build_swst, run_queries_mv3r,
+                         run_queries_swst)
+from repro.datagen import GSTDGenerator, WorkloadConfig, generate_queries
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return GSTDGenerator(TINY.stream).materialize()
+
+
+class TestBuilds:
+    def test_swst_build_counts(self, stream):
+        index, result = build_swst(stream, TINY.index)
+        assert result.records == len(stream)
+        assert result.node_accesses > 0
+        assert result.accesses_per_record > 0
+        index.close()
+
+    def test_mv3r_build_counts(self, stream):
+        index, result = build_mv3r(stream, page_size=TINY.index.page_size)
+        assert result.records == len(stream)
+        assert result.node_accesses > 0
+        index.close()
+
+    def test_same_stream_same_sizes(self, stream):
+        swst, _ = build_swst(stream, TINY.index)
+        mv3r, _ = build_mv3r(stream, page_size=TINY.index.page_size)
+        # Both indexes logically hold one entry per report.
+        assert len(mv3r) == len(stream)
+        swst.close()
+        mv3r.close()
+
+
+class TestQueryBatches:
+    def test_batches_agree_on_result_counts(self, stream):
+        swst, _ = build_swst(stream, TINY.index)
+        mv3r, _ = build_mv3r(stream, page_size=TINY.index.page_size)
+        workload = WorkloadConfig(spatial_extent=0.04, temporal_extent=0.05,
+                                  count=15)
+        queries = generate_queries(TINY.index, workload, swst.now)
+        swst_batch = run_queries_swst(swst, queries)
+        mv3r_batch = run_queries_mv3r(mv3r, queries)
+        assert swst_batch.queries == mv3r_batch.queries == 15
+        # MV3R keeps the full history, so it may additionally return
+        # entries that started *before* the sliding window but were still
+        # valid during the query interval; SWST correctly expires those.
+        assert mv3r_batch.result_entries >= swst_batch.result_entries
+        assert (mv3r_batch.result_entries - swst_batch.result_entries
+                <= mv3r_batch.result_entries * 0.2 + 5)
+        assert swst_batch.node_accesses > 0
+        assert mv3r_batch.node_accesses > 0
+        swst.close()
+        mv3r.close()
+
+    def test_logical_window_reduces_results(self, stream):
+        swst, _ = build_swst(stream, TINY.index)
+        workload = WorkloadConfig(spatial_extent=0.04, temporal_extent=0.10,
+                                  count=15)
+        queries = generate_queries(TINY.index, workload, swst.now)
+        full = run_queries_swst(swst, queries)
+        short = run_queries_swst(swst, queries, window=TINY.index.window
+                                 // 10)
+        assert short.result_entries <= full.result_entries
+        swst.close()

@@ -1,0 +1,58 @@
+"""Table and chart rendering."""
+
+import pytest
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.reporting import ascii_chart, chart_from_result, format_table
+
+
+class TestTable:
+    def test_basic_table(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], [1000, 0.001]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "1,000" in text
+
+    def test_number_formatting(self):
+        text = format_table("T", ["v"], [[1234567], [3.14159], [0.0]])
+        assert "1,234,567" in text
+        assert "3.14" in text
+
+    def test_column_alignment(self):
+        text = format_table("T", ["col"], [[1], [22], [333]])
+        rows = text.splitlines()[4:]
+        assert len({len(row) for row in rows}) == 1
+
+
+class TestChart:
+    def test_bars_scale_to_peak(self):
+        text = ascii_chart("C", {"s": [10.0, 5.0]}, ["a", "b"], width=20)
+        lines = [line for line in text.splitlines() if "|" in line]
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_multiple_series_grouped(self):
+        text = ascii_chart("C", {"x": [1.0], "y": [2.0]}, ["p"])
+        assert "x |" in text and "y |" in text
+
+    def test_zero_values(self):
+        text = ascii_chart("C", {"s": [0.0, 0.0]}, ["a", "b"])
+        assert "#" not in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart("C", {"s": [1.0]}, ["a", "b"])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart("C", {}, [])
+
+    def test_chart_from_experiment_result(self):
+        result = ExperimentResult(
+            exp_id="Fig.X", title="demo",
+            headers=["point", "SWST", "MV3R"],
+            rows=[["0%", 6.65, 3.08], ["5%", 10.13, 16.93]])
+        text = chart_from_result(result, {"SWST": 1, "MV3R": 2})
+        assert "Fig.X" in text
+        assert text.count("|") == 4

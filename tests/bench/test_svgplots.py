@@ -1,0 +1,79 @@
+"""SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.svgplots import render_bar_chart, svg_from_result
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestRenderBarChart:
+    def test_produces_well_formed_svg(self):
+        svg = render_bar_chart("T", {"a": [1.0, 2.0]}, ["x", "y"])
+        root = _parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_bar_per_series_per_group(self):
+        svg = render_bar_chart("T", {"a": [1.0, 2.0], "b": [3.0, 4.0]},
+                               ["x", "y"])
+        root = _parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        bars = [rect for rect in root.iter(f"{ns}rect")
+                if rect.get("fill", "").startswith("#")
+                and float(rect.get("width")) > 12]  # exclude legend swatches
+        assert len(bars) == 4  # 2 series x 2 groups
+
+    def test_bar_heights_proportional(self):
+        svg = render_bar_chart("T", {"a": [1.0, 2.0]}, ["x", "y"])
+        root = _parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        heights = sorted(float(rect.get("height"))
+                         for rect in root.iter(f"{ns}rect")
+                         if rect.get("fill") == "#4878a8"
+                         and float(rect.get("height")) > 12.1)
+        assert heights[1] == pytest.approx(heights[0] * 2, rel=0.01)
+
+    def test_title_and_labels_escaped(self):
+        svg = render_bar_chart("A<B & C", {"s<1": [1.0]}, ["<lbl>"])
+        _parse(svg)  # must stay well-formed despite special chars
+        assert "A&lt;B &amp; C" in svg
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart("T", {"a": [1.0]}, ["x", "y"])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart("T", {}, [])
+
+    def test_all_zero_values_ok(self):
+        svg = render_bar_chart("T", {"a": [0.0, 0.0]}, ["x", "y"])
+        _parse(svg)
+
+
+class TestFromResult:
+    def test_svg_from_experiment_result(self):
+        result = ExperimentResult(
+            exp_id="Fig.10", title="demo",
+            headers=["point", "SWST", "MV3R"],
+            rows=[["0%", 6.77, 3.20], ["5%", 11.23, 19.80]])
+        svg = svg_from_result(result, {"SWST": 1, "MV3R": 2})
+        root = _parse(svg)
+        assert "Fig.10" in svg
+        assert root.get("width") == "640"
+
+
+class TestCliIntegration:
+    def test_bench_svg_flag_writes_files(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "figs"
+        assert main(["bench", "--scale", "tiny", "--figures", "Fig.10",
+                     "--objects", "20", "--svg", str(out)]) == 0
+        files = list(out.glob("*.svg"))
+        assert len(files) == 1
+        _parse(files[0].read_text())

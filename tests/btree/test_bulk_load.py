@@ -1,0 +1,112 @@
+"""Bottom-up bulk loading of the B+ tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTree
+from repro.storage import MEMORY, BufferPool, Pager
+
+VALUE = 8
+
+
+def value(i: int) -> bytes:
+    return i.to_bytes(VALUE, "big")
+
+
+def fresh_tree(page_size=512, capacity=256):
+    pool = BufferPool(Pager(MEMORY, page_size=page_size), capacity=capacity)
+    return pool, BPlusTree(pool, value_size=VALUE)
+
+
+class TestBulkLoad:
+    def test_empty_input(self):
+        _, tree = fresh_tree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+        tree.insert(1, value(1))
+        assert tree.search(1) == [value(1)]
+
+    def test_single_leaf(self):
+        _, tree = fresh_tree()
+        items = [(k, value(k)) for k in range(5)]
+        tree.bulk_load(items)
+        assert list(tree.items()) == items
+        tree.check_invariants()
+
+    def test_multi_level(self):
+        _, tree = fresh_tree()
+        items = [(k, value(k)) for k in range(5000)]
+        tree.bulk_load(items)
+        assert tree.height() >= 3
+        assert list(tree.items()) == items
+        tree.check_invariants()
+
+    def test_duplicates_allowed(self):
+        _, tree = fresh_tree()
+        items = [(7, value(i)) for i in range(200)]
+        tree.bulk_load(items)
+        assert len(tree.search(7)) == 200
+        tree.check_invariants()
+
+    def test_unsorted_input_rejected(self):
+        _, tree = fresh_tree()
+        with pytest.raises(ValueError):
+            tree.bulk_load([(2, value(2)), (1, value(1))])
+
+    def test_nonempty_tree_rejected(self):
+        _, tree = fresh_tree()
+        tree.insert(1, value(1))
+        with pytest.raises(ValueError):
+            tree.bulk_load([(2, value(2))])
+
+    def test_bad_fill_rejected(self):
+        _, tree = fresh_tree()
+        with pytest.raises(ValueError):
+            tree.bulk_load([], fill=0.0)
+
+    def test_cheaper_than_repeated_inserts(self):
+        items = [(k, value(k)) for k in range(3000)]
+        pool_a, bulk = fresh_tree()
+        before = pool_a.stats.snapshot()
+        bulk.bulk_load(items)
+        bulk_cost = pool_a.stats.diff(before).node_accesses
+        pool_b, incremental = fresh_tree()
+        before = pool_b.stats.snapshot()
+        for key, payload in items:
+            incremental.insert(key, payload)
+        incremental_cost = pool_b.stats.diff(before).node_accesses
+        assert bulk_cost < incremental_cost / 10
+
+    def test_inserts_and_deletes_work_after_bulk_load(self):
+        _, tree = fresh_tree()
+        items = [(k * 2, value(k)) for k in range(1000)]
+        tree.bulk_load(items)
+        tree.insert(5, value(9999))
+        assert tree.delete(10, value(5))
+        tree.check_invariants()
+        assert tree.search(5) == [value(9999)]
+        assert tree.search(10) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 10 ** 6), min_size=1, max_size=2000),
+           st.floats(0.3, 1.0))
+    def test_bulk_load_equals_sorted_input(self, keys, fill):
+        keys.sort()
+        items = [(k, value(i)) for i, k in enumerate(keys)]
+        _, tree = fresh_tree()
+        tree.bulk_load(items, fill=fill)
+        assert list(tree.items()) == items
+        tree.check_invariants()
+
+    def test_range_and_multisearch_on_bulk_loaded_tree(self):
+        from repro.btree import multi_range_search
+        _, tree = fresh_tree()
+        items = [(k, value(k)) for k in range(2000)]
+        tree.bulk_load(items)
+        assert [k for k, _ in tree.range_search(100, 200)] == \
+            list(range(100, 201))
+        got = multi_range_search(tree, [(0, 10), (500, 510), (1990, 1999)])
+        assert len(got) == 11 + 11 + 10

@@ -1,0 +1,99 @@
+"""Level-wise multi-range search: correctness + the never-twice guarantee."""
+
+import pytest
+
+from repro.btree import BPlusTree, multi_range_search, normalize_ranges
+from repro.storage import MEMORY, BufferPool, Pager
+
+VALUE = 8
+
+
+def value(i: int) -> bytes:
+    return i.to_bytes(VALUE, "big")
+
+
+@pytest.fixture
+def loaded():
+    pool = BufferPool(Pager(MEMORY, page_size=512), capacity=256)
+    tree = BPlusTree(pool, value_size=VALUE)
+    for key in range(1000):
+        tree.insert(key, value(key))
+    return pool, tree
+
+
+class TestNormalize:
+    def test_sorts_and_keeps_disjoint(self):
+        assert normalize_ranges([(10, 20), (1, 5)]) == [(1, 5), (10, 20)]
+
+    def test_merges_overlapping(self):
+        assert normalize_ranges([(1, 10), (5, 20)]) == [(1, 20)]
+
+    def test_merges_adjacent(self):
+        assert normalize_ranges([(1, 5), (6, 9)]) == [(1, 9)]
+
+    def test_drops_empty_ranges(self):
+        assert normalize_ranges([(5, 1), (2, 3)]) == [(2, 3)]
+
+    def test_empty_input(self):
+        assert normalize_ranges([]) == []
+
+
+class TestSearch:
+    def test_single_range_matches_range_search(self, loaded):
+        _, tree = loaded
+        assert multi_range_search(tree, [(100, 200)]) == \
+            tree.range_search(100, 200)
+
+    def test_multiple_disjoint_ranges(self, loaded):
+        _, tree = loaded
+        ranges = [(0, 10), (500, 510), (990, 999)]
+        got = [k for k, _ in multi_range_search(tree, ranges)]
+        expected = [k for lo, hi in ranges for k in range(lo, hi + 1)]
+        assert got == expected
+
+    def test_ranges_beyond_data_are_harmless(self, loaded):
+        _, tree = loaded
+        got = multi_range_search(tree, [(5000, 6000)])
+        assert got == []
+
+    def test_overlapping_ranges_coalesced(self, loaded):
+        _, tree = loaded
+        got = [k for k, _ in multi_range_search(tree, [(10, 50), (40, 80)])]
+        assert got == list(range(10, 81))
+
+    def test_results_in_key_order(self, loaded):
+        _, tree = loaded
+        got = [k for k, _ in multi_range_search(tree,
+                                                [(700, 720), (100, 120)])]
+        assert got == sorted(got)
+
+    def test_no_node_visited_twice(self, loaded):
+        pool, tree = loaded
+        ranges = [(i * 50, i * 50 + 30) for i in range(20)]
+        before = pool.stats.snapshot()
+        multi_range_search(tree, ranges)
+        delta = pool.stats.diff(before)
+        assert delta.logical_reads <= tree.node_count()
+
+    def test_cheaper_than_individual_searches(self, loaded):
+        pool, tree = loaded
+        ranges = [(i * 10, i * 10 + 5) for i in range(60)]
+        before = pool.stats.snapshot()
+        multi = multi_range_search(tree, ranges)
+        multi_cost = pool.stats.diff(before).logical_reads
+        before = pool.stats.snapshot()
+        single = []
+        for lo, hi in ranges:
+            single.extend(tree.range_search(lo, hi))
+        single_cost = pool.stats.diff(before).logical_reads
+        assert multi == single
+        assert multi_cost < single_cost
+
+    def test_finds_duplicates_straddling_separators(self):
+        pool = BufferPool(Pager(MEMORY, page_size=512), capacity=64)
+        tree = BPlusTree(pool, value_size=VALUE)
+        n = tree.leaf_cap + 7
+        for i in range(n):
+            tree.insert(55, value(i))
+        got = multi_range_search(tree, [(55, 55)])
+        assert len(got) == n

@@ -1,0 +1,89 @@
+"""B+ tree node serialisation round-trips and capacity arithmetic."""
+
+import pytest
+
+from repro.btree.node import (InternalNode, KEY_MAX, LeafNode,
+                              NodeFormatError, internal_capacity,
+                              leaf_capacity, node_type_of)
+
+PAGE = 1024
+VALUE = 16
+
+
+class TestLeafSerialisation:
+    def test_empty_leaf_round_trips(self):
+        node = LeafNode()
+        raw = node.to_bytes(PAGE, VALUE)
+        assert len(raw) == PAGE
+        assert LeafNode.from_bytes(raw, VALUE) == node
+
+    def test_populated_leaf_round_trips(self):
+        node = LeafNode(keys=[1, 5, 9], values=[b"a" * VALUE, b"b" * VALUE,
+                                                b"c" * VALUE], next_leaf=42)
+        parsed = LeafNode.from_bytes(node.to_bytes(PAGE, VALUE), VALUE)
+        assert parsed == node
+
+    def test_max_key_round_trips(self):
+        node = LeafNode(keys=[KEY_MAX], values=[b"x" * VALUE])
+        parsed = LeafNode.from_bytes(node.to_bytes(PAGE, VALUE), VALUE)
+        assert parsed.keys == [KEY_MAX]
+
+    def test_wrong_value_size_rejected(self):
+        node = LeafNode(keys=[1], values=[b"short"])
+        with pytest.raises(NodeFormatError):
+            node.to_bytes(PAGE, VALUE)
+
+    def test_mismatched_lists_rejected(self):
+        node = LeafNode(keys=[1, 2], values=[b"a" * VALUE])
+        with pytest.raises(NodeFormatError):
+            node.to_bytes(PAGE, VALUE)
+
+    def test_overflow_rejected(self):
+        cap = leaf_capacity(PAGE, VALUE)
+        node = LeafNode(keys=list(range(cap + 1)),
+                        values=[b"v" * VALUE] * (cap + 1))
+        with pytest.raises(NodeFormatError):
+            node.to_bytes(PAGE, VALUE)
+
+
+class TestInternalSerialisation:
+    def test_internal_round_trips(self):
+        node = InternalNode(keys=[10, 20], children=[1, 2, 3])
+        parsed = InternalNode.from_bytes(node.to_bytes(PAGE))
+        assert parsed == node
+
+    def test_children_arity_enforced(self):
+        node = InternalNode(keys=[10], children=[1, 2, 3])
+        with pytest.raises(NodeFormatError):
+            node.to_bytes(PAGE)
+
+    def test_type_confusion_rejected(self):
+        leaf_raw = LeafNode().to_bytes(PAGE, VALUE)
+        with pytest.raises(NodeFormatError):
+            InternalNode.from_bytes(leaf_raw)
+        internal_raw = InternalNode(keys=[1],
+                                    children=[2, 3]).to_bytes(PAGE)
+        with pytest.raises(NodeFormatError):
+            LeafNode.from_bytes(internal_raw, VALUE)
+
+
+class TestCapacities:
+    def test_leaf_capacity_formula(self):
+        assert leaf_capacity(1024, 16) == (1024 - 11) // 32
+
+    def test_internal_capacity_formula(self):
+        assert internal_capacity(1024) == (1024 - 11) // 24
+
+    def test_bigger_pages_hold_more(self):
+        assert leaf_capacity(8192, 16) > leaf_capacity(1024, 16)
+
+    def test_node_type_peek(self):
+        assert node_type_of(LeafNode().to_bytes(PAGE, VALUE)) == 1
+        raw = InternalNode(keys=[1], children=[2, 3]).to_bytes(PAGE)
+        assert node_type_of(raw) == 2
+
+    def test_node_type_rejects_garbage(self):
+        with pytest.raises(NodeFormatError):
+            node_type_of(b"\x07" + b"\x00" * 100)
+        with pytest.raises(NodeFormatError):
+            node_type_of(b"")

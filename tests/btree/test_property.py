@@ -1,0 +1,99 @@
+"""Property-based B+ tree tests against a sorted-list model."""
+
+from bisect import insort
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTree, multi_range_search
+from repro.storage import MEMORY, BufferPool, Pager
+
+VALUE = 8
+
+
+def value(i: int) -> bytes:
+    return (i % (1 << 32)).to_bytes(VALUE, "big")
+
+
+def fresh_tree() -> BPlusTree:
+    pool = BufferPool(Pager(MEMORY, page_size=512), capacity=256)
+    return BPlusTree(pool, value_size=VALUE)
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 60), st.integers(0, 999)),
+        st.tuples(st.just("delete"), st.integers(0, 60), st.integers(0, 999)),
+    ),
+    max_size=300,
+)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops)
+def test_tree_matches_sorted_list_model(operations):
+    """Arbitrary insert/delete sequences agree with a sorted-list model."""
+    tree = fresh_tree()
+    model: list[tuple[int, bytes]] = []
+    for op, key, payload in operations:
+        if op == "insert":
+            tree.insert(key, value(payload))
+            insort(model, (key, value(payload)))
+        else:
+            expected = (key, value(payload)) in model
+            assert tree.delete(key, value(payload)) == expected
+            if expected:
+                model.remove((key, value(payload)))
+    # Equal keys keep insertion order (not value order) in the tree, so
+    # compare as multisets.
+    assert sorted(tree.items()) == model
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 200), min_size=1, max_size=400),
+       st.integers(0, 200), st.integers(0, 200))
+def test_range_search_matches_filter(keys, lo, hi):
+    """range_search(lo, hi) equals filtering the inserted multiset."""
+    tree = fresh_tree()
+    for idx, key in enumerate(keys):
+        tree.insert(key, value(idx))
+    got = [k for k, _ in tree.range_search(min(lo, hi), max(lo, hi))]
+    expected = sorted(k for k in keys if min(lo, hi) <= k <= max(lo, hi))
+    assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 300), min_size=1, max_size=300),
+       st.lists(st.tuples(st.integers(0, 300), st.integers(0, 60)),
+                min_size=1, max_size=8))
+def test_multisearch_matches_union_of_ranges(keys, raw_ranges):
+    """Multi-range search equals the union of individual range searches."""
+    tree = fresh_tree()
+    for idx, key in enumerate(keys):
+        tree.insert(key, value(idx))
+    ranges = [(lo, lo + width) for lo, width in raw_ranges]
+    got = multi_range_search(tree, ranges)
+    merged: list[tuple[int, int]] = []
+    for lo, hi in sorted(ranges):
+        if merged and lo <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    expected = []
+    for lo, hi in merged:
+        expected.extend(tree.range_search(lo, hi))
+    assert got == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=500))
+def test_heavy_duplicates_keep_invariants(keys):
+    """Massive duplicate runs never break structural invariants."""
+    tree = fresh_tree()
+    for idx, key in enumerate(keys):
+        tree.insert(key, value(idx))
+    tree.check_invariants()
+    for key in set(keys):
+        assert len(tree.search(key)) == keys.count(key)

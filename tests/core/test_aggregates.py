@@ -1,0 +1,74 @@
+"""Aggregate queries: counts and per-cell densities (Section I use case)."""
+
+import random
+
+import pytest
+
+from repro.core import Rect, SWSTConfig, SWSTIndex
+
+CFG = SWSTConfig(window=2000, slide=100, x_partitions=4, y_partitions=4,
+                 d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999), page_size=1024)
+EVERYWHERE = Rect(0, 0, 999, 999)
+
+
+@pytest.fixture
+def index():
+    with SWSTIndex(CFG) as idx:
+        yield idx
+
+
+class TestCount:
+    def test_count_matches_query_length(self, index):
+        rng = random.Random(1)
+        t = 0
+        for _ in range(500):
+            t += rng.randrange(0, 4)
+            index.insert(rng.randrange(900), rng.randrange(1000),
+                         rng.randrange(1000), t, rng.randrange(1, 300))
+        count, stats = index.count_interval(EVERYWHERE, t - 500, t)
+        assert count == len(index.query_interval(EVERYWHERE, t - 500, t))
+        assert stats.node_accesses > 0
+
+    def test_count_respects_logical_window(self, index):
+        index.insert(1, 100, 100, 100, 50)
+        index.insert(2, 200, 200, 1500, 50)
+        index.advance_time(1600)
+        count, _ = index.count_interval(EVERYWHERE, 0, 1600, window=500)
+        assert count == 1
+
+
+class TestDensityGrid:
+    def test_density_counts_distinct_objects(self, index):
+        # Two entries of the same object in one cell count once.
+        index.insert(1, 100, 100, 50, 20)
+        index.insert(1, 110, 110, 71, 20)
+        index.insert(2, 120, 120, 72, 20)
+        index.advance_time(100)
+        density = index.density_grid(EVERYWHERE, 85)
+        cell = index.grid.cell_of(110, 110)
+        assert density[cell] == 2
+
+    def test_density_covers_all_overlapping_cells(self, index):
+        index.insert(1, 100, 100, 50, 20)
+        density = index.density_grid(EVERYWHERE, 60)
+        assert len(density) == CFG.x_partitions * CFG.y_partitions
+        assert sum(density.values()) == 1
+
+    def test_density_restricted_to_area(self, index):
+        index.insert(1, 100, 100, 50, 20)
+        index.insert(2, 900, 900, 50, 20)
+        density = index.density_grid(Rect(0, 0, 499, 499), 60)
+        assert sum(density.values()) == 1
+        for (cx, cy) in density:
+            bounds = index.grid.cell_bounds(cx, cy)
+            assert bounds.x_lo <= 499 and bounds.y_lo <= 499
+
+    def test_density_varies_with_time(self, index):
+        index.insert(1, 100, 100, 50, 20)    # valid [50, 70)
+        index.insert(2, 110, 110, 80, 20)    # valid [80, 100)
+        index.advance_time(120)
+        cell = index.grid.cell_of(100, 100)
+        assert index.density_grid(EVERYWHERE, 60)[cell] == 1
+        assert index.density_grid(EVERYWHERE, 75)[cell] == 0
+        assert index.density_grid(EVERYWHERE, 90)[cell] == 1

@@ -1,0 +1,160 @@
+"""SWSTConfig: derived quantities, partition formulas, window arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Rect, SWSTConfig
+
+
+@pytest.fixture
+def cfg():
+    return SWSTConfig(window=20000, slide=100, d_max=2000,
+                      duration_interval=100)
+
+
+class TestDerived:
+    def test_w_max(self, cfg):
+        assert cfg.w_max == 20099
+
+    def test_sp_is_ceiling(self, cfg):
+        assert cfg.sp == 201  # ceil(20099 / 100)
+
+    def test_dp_is_ceiling(self, cfg):
+        assert cfg.dp == 20  # ceil(2000 / 100)
+
+    def test_nd_sentinel(self, cfg):
+        assert cfg.nd == 2001
+
+    def test_paper_temporal_cells_per_tree(self, cfg):
+        # Paper Section V-E: "2000 temporal cells for each B+ tree"; with
+        # exact ceilings ours is 201 x 20 = 4020 over both windows, i.e.
+        # 2010 per tree — the paper rounds Sp to 200.
+        assert cfg.sp * cfg.dp == 4020
+
+    def test_s_partitions_override(self):
+        cfg = SWSTConfig(window=1000, slide=100, s_partitions=5)
+        assert cfg.sp == 5
+
+    def test_zc_order_covers_domain(self, cfg):
+        assert 1 << cfg.zc_order > cfg.space.x_hi
+        assert 1 << cfg.zc_order > cfg.space.y_hi
+
+
+class TestValidation:
+    def test_slide_exceeding_window_rejected(self):
+        with pytest.raises(ValueError):
+            SWSTConfig(window=10, slide=20)
+
+    def test_nonpositive_params_rejected(self):
+        with pytest.raises(ValueError):
+            SWSTConfig(window=0)
+        with pytest.raises(ValueError):
+            SWSTConfig(d_max=0)
+        with pytest.raises(ValueError):
+            SWSTConfig(x_partitions=0)
+
+    def test_negative_domain_rejected(self):
+        with pytest.raises(ValueError):
+            SWSTConfig(space=Rect(-5, 0, 10, 10))
+
+
+class TestPartitionFormulas:
+    def test_s_partition_ranges(self, cfg):
+        assert cfg.s_partition(0) == 0
+        assert cfg.s_partition(cfg.w_max - 1) == cfg.sp - 1
+        assert cfg.s_partition(cfg.w_max) == cfg.sp
+        assert cfg.s_partition(2 * cfg.w_max - 1) == 2 * cfg.sp - 1
+
+    def test_s_partition_wraps_modulo(self, cfg):
+        assert cfg.s_partition(2 * cfg.w_max) == 0
+        assert cfg.s_partition(5 * 2 * cfg.w_max + 123) == \
+            cfg.s_partition(123)
+
+    def test_d_partition_ranges(self, cfg):
+        assert cfg.d_partition(1) == 0
+        assert cfg.d_partition(cfg.d_max) == cfg.dp - 1
+        assert cfg.d_partition(cfg.nd) == cfg.dp - 1  # current entries
+
+    def test_d_partition_bounds_enforced(self, cfg):
+        with pytest.raises(ValueError):
+            cfg.d_partition(0)
+        with pytest.raises(ValueError):
+            cfg.d_partition(cfg.nd + 1)
+
+    def test_tree_of_alternates_by_window(self, cfg):
+        assert cfg.tree_of(0) == 0
+        assert cfg.tree_of(cfg.w_max - 1) == 0
+        assert cfg.tree_of(cfg.w_max) == 1
+        assert cfg.tree_of(2 * cfg.w_max) == 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 10 ** 7))
+    def test_s_cell_bounds_invert_s_partition(self, s):
+        cfg = SWSTConfig(window=977, slide=31, d_max=101,
+                         duration_interval=13)
+        m = cfg.s_partition(s)
+        s1, s2 = cfg.s_cell_bounds(m)
+        assert s1 <= s % (2 * cfg.w_max) < s2
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(1, 102))
+    def test_d_cell_bounds_invert_d_partition(self, d):
+        cfg = SWSTConfig(window=977, slide=31, d_max=101,
+                         duration_interval=13)
+        n = cfg.d_partition(d)
+        d1, d2 = cfg.d_cell_bounds(n)
+        assert d1 <= d < d2
+
+    def test_cell_bounds_partition_the_space(self, cfg):
+        # s-cells tile [0, 2*Wmax) without gaps or overlaps.
+        edges = [cfg.s_cell_bounds(m) for m in range(2 * cfg.sp)]
+        assert edges[0][0] == 0
+        assert edges[-1][1] == 2 * cfg.w_max
+        for (_, prev_hi), (lo, _) in zip(edges, edges[1:]):
+            assert prev_hi == lo
+        # d-cells tile [1, ND + 1).
+        d_edges = [cfg.d_cell_bounds(n) for n in range(cfg.dp)]
+        assert d_edges[0][0] == 1
+        assert d_edges[-1][1] == cfg.nd + 1
+        for (_, prev_hi), (lo, _) in zip(d_edges, d_edges[1:]):
+            assert prev_hi == lo
+
+
+class TestWindowArithmetic:
+    def test_lifetime_end_formula(self, cfg):
+        # ceil((s + W) / L) * L
+        assert cfg.lifetime_end(0) == 20000
+        assert cfg.lifetime_end(1) == 20100
+        assert cfg.lifetime_end(100) == 20100
+
+    def test_is_expired(self, cfg):
+        assert not cfg.is_expired(0, 20000)
+        assert cfg.is_expired(0, 20001)
+
+    def test_queriable_period(self, cfg):
+        lo, hi = cfg.queriable_period(50000)
+        assert (lo, hi) == (30000, 50000)
+
+    def test_queriable_period_floors_at_zero(self, cfg):
+        assert cfg.queriable_period(100) == (0, 100)
+
+    def test_queriable_period_rounds_by_slide(self, cfg):
+        lo, _ = cfg.queriable_period(50050)
+        assert lo == 30000  # floor(50050/100)*100 - 20000
+
+    def test_logical_window(self, cfg):
+        lo, hi = cfg.queriable_period(50000, window=5000)
+        assert (lo, hi) == (45000, 50000)
+
+    def test_logical_window_cannot_exceed_physical(self, cfg):
+        with pytest.raises(ValueError):
+            cfg.queriable_period(50000, window=30000)
+        with pytest.raises(ValueError):
+            cfg.queriable_period(50000, window=0)
+
+    def test_window_size_varies_between_w_and_w_plus_l(self, cfg):
+        # Section III-A: the actual window size varies in [W, W + L - 1].
+        for now in range(40000, 40200):
+            lo, hi = cfg.queriable_period(now)
+            assert cfg.window <= hi - lo <= cfg.window + cfg.slide - 1

@@ -1,0 +1,94 @@
+"""End-to-end oracle agreement across a matrix of configurations.
+
+The single most important integration property — SWST returns exactly the
+model's answer — must hold for any legal combination of page size, grid
+resolution, partition counts and window geometry, not just the defaults
+the other tests use.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import NaiveStore
+from repro.core import Rect, SWSTConfig, SWSTIndex
+
+CONFIGS = {
+    "tiny-pages": SWSTConfig(window=1000, slide=50, x_partitions=3,
+                             y_partitions=3, d_max=150,
+                             duration_interval=25,
+                             space=Rect(0, 0, 499, 499), page_size=512),
+    "single-cell": SWSTConfig(window=1000, slide=50, x_partitions=1,
+                              y_partitions=1, d_max=150,
+                              duration_interval=25,
+                              space=Rect(0, 0, 499, 499), page_size=1024),
+    "fine-grid": SWSTConfig(window=1000, slide=50, x_partitions=16,
+                            y_partitions=16, d_max=150,
+                            duration_interval=25,
+                            space=Rect(0, 0, 499, 499), page_size=1024),
+    "slide-equals-window": SWSTConfig(window=500, slide=500,
+                                      x_partitions=4, y_partitions=4,
+                                      d_max=150, duration_interval=25,
+                                      space=Rect(0, 0, 499, 499),
+                                      page_size=1024),
+    "unit-slide": SWSTConfig(window=300, slide=1, x_partitions=4,
+                             y_partitions=4, d_max=50,
+                             duration_interval=10,
+                             space=Rect(0, 0, 499, 499), page_size=1024,
+                             s_partitions=30),
+    "coarse-duration": SWSTConfig(window=1000, slide=50, x_partitions=4,
+                                  y_partitions=4, d_max=150,
+                                  duration_interval=150,
+                                  space=Rect(0, 0, 499, 499),
+                                  page_size=1024),
+    "asymmetric-grid": SWSTConfig(window=1000, slide=50, x_partitions=2,
+                                  y_partitions=12, d_max=150,
+                                  duration_interval=25,
+                                  space=Rect(0, 0, 499, 499),
+                                  page_size=1024),
+    "offset-domain": SWSTConfig(window=1000, slide=50, x_partitions=4,
+                                y_partitions=4, d_max=150,
+                                duration_interval=25,
+                                space=Rect(100, 200, 599, 699),
+                                page_size=1024),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS), ids=sorted(CONFIGS))
+def test_oracle_agreement(name):
+    config = CONFIGS[name]
+    rng = random.Random(hash(name) & 0xFFFF)
+    index = SWSTIndex(config)
+    oracle = NaiveStore(config)
+    space = config.space
+    t = 0
+    for _ in range(1200):
+        t += rng.randrange(0, 3)
+        oid = rng.randrange(15)
+        x = rng.randrange(space.x_lo, space.x_hi + 1)
+        y = rng.randrange(space.y_lo, space.y_hi + 1)
+        if rng.random() < 0.7:
+            index.report(oid, x, y, t)
+            oracle.report(oid, x, y, t)
+        else:
+            d = rng.randrange(1, config.d_max + 1)
+            index.insert(oid + 100, x, y, t, d)
+            oracle.insert(oid + 100, x, y, t, d)
+    survivors = index.current_objects()
+    oracle.current = {oid: e for oid, e in oracle.current.items()
+                      if oid in survivors}
+    index.check_integrity()
+    q_lo, q_hi = config.queriable_period(index.now)
+    for _ in range(50):
+        x0 = rng.randrange(space.x_lo, space.x_hi)
+        y0 = rng.randrange(space.y_lo, space.y_hi)
+        area = Rect(x0, y0, min(x0 + rng.randrange(10, 300), space.x_hi),
+                    min(y0 + rng.randrange(10, 300), space.y_hi))
+        t_lo = rng.randrange(max(q_lo - 100, 0), q_hi + 1)
+        t_hi = t_lo + rng.randrange(0, 400)
+        got = {(e.oid, e.x, e.y, e.s, e.d)
+               for e in index.query_interval(area, t_lo, t_hi)}
+        expected = {(e.oid, e.x, e.y, e.s, e.d)
+                    for e in oracle.query_interval(area, t_lo, t_hi)}
+        assert got == expected, f"config {name} diverged from the oracle"
+    index.close()

@@ -1,0 +1,84 @@
+"""Determinism and stats-accounting invariants.
+
+EXPERIMENTS.md promises that node accesses are exactly reproducible; the
+query statistics must also add up (every candidate is either accepted or
+refined out).
+"""
+
+import random
+
+from repro.core import Rect, SWSTConfig, SWSTIndex
+from repro.datagen import GSTDConfig, GSTDGenerator
+
+CFG = SWSTConfig(window=2000, slide=100, x_partitions=4, y_partitions=4,
+                 d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999), page_size=1024)
+
+
+def _build(seed=3):
+    index = SWSTIndex(CFG)
+    stream = GSTDGenerator(GSTDConfig(num_objects=40, max_time=8000,
+                                      interval_lo=1, interval_hi=300,
+                                      space=CFG.space, seed=seed))
+    count = index.extend(stream.stream())
+    return index, count
+
+
+class TestDeterminism:
+    def test_extend_feeds_the_whole_stream(self):
+        index, count = _build()
+        assert count > 0
+        assert len(index.current_objects()) > 0
+        index.close()
+
+    def test_identical_runs_produce_identical_node_accesses(self):
+        runs = []
+        for _ in range(2):
+            index, _ = _build()
+            rng = random.Random(7)
+            accesses = []
+            q_lo, q_hi = CFG.queriable_period(index.now)
+            for _ in range(30):
+                x0, y0 = rng.randrange(700), rng.randrange(700)
+                area = Rect(x0, y0, x0 + 200, y0 + 200)
+                t_lo = rng.randrange(q_lo, q_hi + 1)
+                result = index.query_interval(area, t_lo, t_lo + 300)
+                accesses.append(result.stats.node_accesses)
+            runs.append(accesses)
+            index.close()
+        assert runs[0] == runs[1]
+
+    def test_insertion_accesses_reproducible(self):
+        totals = []
+        for _ in range(2):
+            index, _ = _build()
+            totals.append(index.stats.node_accesses)
+            index.close()
+        assert totals[0] == totals[1]
+
+
+class TestStatsAccounting:
+    def test_candidates_split_into_accepted_and_refined(self):
+        index, _ = _build(seed=4)
+        rng = random.Random(9)
+        q_lo, q_hi = CFG.queriable_period(index.now)
+        for _ in range(40):
+            x0, y0 = rng.randrange(700), rng.randrange(700)
+            area = Rect(x0, y0, x0 + 250, y0 + 250)
+            t_lo = rng.randrange(q_lo, q_hi + 1)
+            result = index.query_interval(area, t_lo,
+                                          t_lo + rng.randrange(0, 400))
+            stats = result.stats
+            assert stats.candidates == len(result) + stats.refined_out
+            assert stats.full_hits <= len(result)
+            assert stats.key_ranges <= stats.columns_examined
+        index.close()
+
+    def test_empty_query_costs_nothing_on_empty_region(self):
+        index = SWSTIndex(CFG)
+        index.insert(1, 10, 10, 100, 50)
+        # Querying a region with no trees at all.
+        result = index.query_timeslice(Rect(900, 900, 999, 999), 120)
+        assert len(result) == 0
+        assert result.stats.candidates == 0
+        index.close()

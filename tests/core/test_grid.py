@@ -1,0 +1,94 @@
+"""Spatial grid: cell assignment, bounds, overlap classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Rect, SpatialGrid
+
+
+@pytest.fixture
+def grid():
+    return SpatialGrid(Rect(0, 0, 99, 99), 4, 4)
+
+
+class TestCellAssignment:
+    def test_corners(self, grid):
+        assert grid.cell_of(0, 0) == (0, 0)
+        assert grid.cell_of(99, 99) == (3, 3)
+
+    def test_out_of_domain_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.cell_of(100, 0)
+        with pytest.raises(ValueError):
+            grid.cell_of(0, -1)
+
+    def test_cell_count(self, grid):
+        assert grid.cell_count() == 16
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 99), st.integers(0, 99))
+    def test_point_lies_in_its_cell_bounds(self, x, y):
+        grid = SpatialGrid(Rect(0, 0, 99, 99), 7, 3)
+        cx, cy = grid.cell_of(x, y)
+        assert grid.cell_bounds(cx, cy).contains(x, y)
+
+    def test_cells_tile_the_domain(self, grid):
+        covered = set()
+        for cx in range(4):
+            for cy in range(4):
+                bounds = grid.cell_bounds(cx, cy)
+                for x in range(bounds.x_lo, bounds.x_hi + 1):
+                    covered.add((x, bounds.y_lo))
+        assert {(x, grid.cell_bounds(0, 0).y_lo) for x in range(100)} <= \
+            covered
+
+    def test_nonuniform_domain_tiles_without_gaps(self):
+        # 10 columns over 97 integer coordinates: widths differ by one but
+        # no coordinate is lost or double-assigned.
+        grid = SpatialGrid(Rect(0, 0, 96, 96), 10, 10)
+        for x in range(97):
+            cx, _ = grid.cell_of(x, 0)
+            bounds = grid.cell_bounds(cx, 0)
+            assert bounds.x_lo <= x <= bounds.x_hi
+
+    def test_cell_bounds_out_of_grid_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.cell_bounds(4, 0)
+
+
+class TestOverlap:
+    def test_full_overlap_detected(self, grid):
+        cells = list(grid.overlapping_cells(Rect(0, 0, 99, 99)))
+        assert len(cells) == 16
+        assert all(cell.full for cell in cells)
+
+    def test_partial_overlap_detected(self, grid):
+        cells = list(grid.overlapping_cells(Rect(10, 10, 30, 30)))
+        kinds = {(c.cx, c.cy): c.full for c in cells}
+        assert kinds == {(0, 0): False, (0, 1): False,
+                         (1, 0): False, (1, 1): False}
+
+    def test_clipped_rect_is_intersection(self, grid):
+        (cell,) = [c for c in grid.overlapping_cells(Rect(10, 10, 30, 30))
+                   if (c.cx, c.cy) == (0, 0)]
+        assert cell.clipped == Rect(10, 10, 24, 24)
+
+    def test_query_outside_domain_yields_nothing(self, grid):
+        assert list(grid.overlapping_cells(Rect(200, 200, 300, 300))) == []
+
+    def test_query_straddling_domain_is_clipped(self, grid):
+        cells = list(grid.overlapping_cells(Rect(90, 90, 500, 500)))
+        assert [(c.cx, c.cy) for c in cells] == [(3, 3)]
+        assert cells[0].clipped == Rect(90, 90, 99, 99)
+
+    def test_full_cell_inside_larger_query(self, grid):
+        cells = {(c.cx, c.cy): c
+                 for c in grid.overlapping_cells(Rect(0, 0, 60, 60))}
+        assert cells[(0, 0)].full          # 0..24 fully inside 0..60
+        assert not cells[(2, 2)].full      # 50..74 partially inside
+
+    def test_single_point_query(self, grid):
+        cells = list(grid.overlapping_cells(Rect(50, 50, 50, 50)))
+        assert len(cells) == 1
+        assert cells[0].clipped == Rect(50, 50, 50, 50)

@@ -1,0 +1,57 @@
+"""Constructive demonstration: Hilbert-curve keys would lose results.
+
+Section III-B.2 rejects the Hilbert curve because a key range built from
+``hc(lower-left)`` / ``hc(upper-right)`` can *exclude* points inside the
+rectangle.  This test builds the counterexample end-to-end: a
+hypothetical Hilbert key range misses a qualifying entry that the
+Z-curve range (and therefore SWST) finds.
+"""
+
+from repro.sfc import hc_encode, zc_encode
+
+
+def _find_violation(order: int):
+    """A rectangle + interior point whose hc value escapes the corner
+    range."""
+    size = 1 << order
+    for x_lo in range(size):
+        for y_lo in range(size):
+            for x_hi in range(x_lo, size):
+                for y_hi in range(y_lo, size):
+                    lo = hc_encode(x_lo, y_lo, order=order)
+                    hi = hc_encode(x_hi, y_hi, order=order)
+                    for x in range(x_lo, x_hi + 1):
+                        for y in range(y_lo, y_hi + 1):
+                            h = hc_encode(x, y, order=order)
+                            if not min(lo, hi) <= h <= max(lo, hi):
+                                return (x_lo, y_lo, x_hi, y_hi), (x, y)
+    return None  # pragma: no cover
+
+
+def test_hilbert_key_range_misses_an_interior_point():
+    violation = _find_violation(order=2)
+    assert violation is not None
+    rect, point = violation
+    x_lo, y_lo, x_hi, y_hi = rect
+    # The same rectangle under the Z-curve always covers the point.
+    z_lo = zc_encode(x_lo, y_lo, order=2)
+    z_hi = zc_encode(x_hi, y_hi, order=2)
+    z = zc_encode(*point, order=2)
+    assert z_lo <= z <= z_hi
+
+
+def test_hilbert_violation_would_drop_a_query_result():
+    """Play the violation through a SWST-like key comparison: with
+    Hilbert bits, the in-rectangle entry sorts outside the column key
+    range and the B+ tree search would skip it — a *missed result*, not
+    just a false positive."""
+    violation = _find_violation(order=2)
+    (x_lo, y_lo, x_hi, y_hi), (px, py) = violation
+
+    def hilbert_key(d_part: int, x: int, y: int) -> int:
+        return (d_part << 4) | hc_encode(x, y, order=2)
+
+    lo = hilbert_key(3, x_lo, y_lo)
+    hi = hilbert_key(3, x_hi, y_hi)
+    entry_key = hilbert_key(3, px, py)
+    assert not min(lo, hi) <= entry_key <= max(lo, hi)

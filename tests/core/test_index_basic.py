@@ -1,0 +1,164 @@
+"""SWSTIndex: insertion, current entries, updates, deletes, validation."""
+
+import pytest
+
+from repro.core import Entry, Rect, SWSTConfig, SWSTIndex
+
+CFG = SWSTConfig(window=2000, slide=100, x_partitions=4, y_partitions=4,
+                 d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999), page_size=1024)
+
+EVERYWHERE = Rect(0, 0, 999, 999)
+
+
+@pytest.fixture
+def index():
+    with SWSTIndex(CFG) as idx:
+        yield idx
+
+
+class TestClosedEntries:
+    def test_insert_and_query(self, index):
+        index.insert(1, 100, 100, 50, 20)
+        result = index.query_timeslice(EVERYWHERE, 60)
+        assert list(result) == [Entry(1, 100, 100, 50, 20)]
+
+    def test_len_counts_entries(self, index):
+        for i in range(10):
+            index.insert(i, 10 * i, 10 * i, i, 5)
+        assert len(index) == 10
+
+    def test_entry_not_valid_outside_its_duration(self, index):
+        index.insert(1, 100, 100, 50, 20)
+        assert len(index.query_timeslice(EVERYWHERE, 49)) == 0
+        assert len(index.query_timeslice(EVERYWHERE, 70)) == 0
+        assert len(index.query_timeslice(EVERYWHERE, 69)) == 1
+
+    def test_spatial_predicate(self, index):
+        index.insert(1, 100, 100, 50, 20)
+        index.insert(2, 900, 900, 50, 20)
+        result = index.query_timeslice(Rect(0, 0, 500, 500), 60)
+        assert result.oids() == {1}
+
+    def test_overlong_duration_lands_in_top_partition(self, index):
+        # Durations above Dmax are legal: keyed as ND, exact in results.
+        index.insert(1, 100, 100, 50, 5000)
+        result = index.query_timeslice(EVERYWHERE, 60)
+        assert list(result) == [Entry(1, 100, 100, 50, 5000)]
+
+    def test_out_of_order_insert_rejected(self, index):
+        index.insert(1, 1, 1, 100, 5)
+        with pytest.raises(ValueError):
+            index.insert(2, 1, 1, 99, 5)
+
+    def test_out_of_domain_insert_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.insert(1, 1000, 0, 0, 5)
+
+    def test_nonpositive_duration_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.insert(1, 1, 1, 0, 0)
+
+
+class TestCurrentEntries:
+    def test_current_entry_valid_at_any_later_time(self, index):
+        index.report(1, 100, 100, 50)
+        index.advance_time(500)
+        result = index.query_timeslice(EVERYWHERE, 400)
+        assert list(result) == [Entry(1, 100, 100, 50, None)]
+
+    def test_report_finalises_previous_entry(self, index):
+        index.report(1, 100, 100, 50)
+        index.report(1, 200, 200, 80)
+        entries = sorted(index.query_interval(EVERYWHERE, 0, 100),
+                         key=lambda e: e.s)
+        assert entries == [Entry(1, 100, 100, 50, 30),
+                           Entry(1, 200, 200, 80, None)]
+
+    def test_same_time_re_report_is_a_correction(self, index):
+        index.report(1, 100, 100, 50)
+        index.report(1, 300, 300, 50)
+        entries = list(index.query_interval(EVERYWHERE, 0, 100))
+        assert entries == [Entry(1, 300, 300, 50, None)]
+
+    def test_close_object_finalises(self, index):
+        index.report(1, 100, 100, 50)
+        assert index.close_object(1, 90)
+        entries = list(index.query_interval(EVERYWHERE, 0, 100))
+        assert entries == [Entry(1, 100, 100, 50, 40)]
+
+    def test_close_object_without_current_entry(self, index):
+        assert not index.close_object(99, 10)
+
+    def test_current_objects_snapshot(self, index):
+        index.report(1, 100, 100, 50)
+        index.report(2, 200, 200, 60)
+        assert index.current_objects() == {1: (100, 100, 50),
+                                           2: (200, 200, 60)}
+
+    def test_current_entry_update_costs_two_inserts_one_delete(self, index):
+        # Paper Section V-C: each report is 2 insertions + 1 deletion.
+        index.report(1, 100, 100, 50)
+        size_before = len(index)
+        index.report(1, 200, 200, 80)
+        # net effect: one more physical entry
+        assert len(index) == size_before + 1
+
+
+class TestDelete:
+    def test_delete_closed_entry(self, index):
+        index.insert(1, 100, 100, 50, 20)
+        assert index.delete(1, 100, 100, 50, 20)
+        assert len(index.query_interval(EVERYWHERE, 0, 100)) == 0
+
+    def test_delete_current_entry(self, index):
+        index.report(1, 100, 100, 50)
+        assert index.delete(1, 100, 100, 50, None)
+        assert index.current_objects() == {}
+        assert len(index.query_interval(EVERYWHERE, 0, 100)) == 0
+
+    def test_delete_missing_returns_false(self, index):
+        assert not index.delete(1, 100, 100, 50, 20)
+
+    def test_delete_any_valid_entry_not_just_current(self, index):
+        # No partial-persistency restriction (unlike MV3R).
+        index.insert(1, 100, 100, 10, 20)
+        index.insert(2, 200, 200, 30, 20)
+        index.insert(3, 300, 300, 50, 20)
+        assert index.delete(1, 100, 100, 10, 20)  # oldest entry
+        remaining = index.query_interval(EVERYWHERE, 0, 100).oids()
+        assert remaining == {2, 3}
+
+
+class TestStats:
+    def test_query_reports_node_accesses(self, index):
+        for i in range(200):
+            index.insert(i, (i * 13) % 1000, (i * 29) % 1000, i, 10)
+        result = index.query_interval(EVERYWHERE, 0, 250)
+        assert result.stats.node_accesses > 0
+        assert result.stats.spatial_cells > 0
+
+    def test_full_hits_skip_refinement(self, index):
+        for i in range(100):
+            index.insert(i, (i * 13) % 1000, (i * 29) % 1000, 100, 10)
+        index.advance_time(500)
+        # Whole-domain interval covering everything: most accepted entries
+        # should be full hits (no per-entry checks).
+        result = index.query_interval(EVERYWHERE, 0, 500)
+        assert len(result) == 100
+        assert result.stats.full_hits > 0
+
+    def test_refined_out_counts_false_positives(self, index):
+        index.insert(1, 0, 999, 50, 10)   # inside the Z range of the query
+        index.insert(2, 999, 0, 50, 10)
+        result = index.query_interval(Rect(0, 900, 80, 999), 55, 55)
+        assert result.oids() == {1}
+        assert result.stats.candidates >= 1
+
+    def test_closed_index_rejects_operations(self):
+        index = SWSTIndex(CFG)
+        index.close()
+        with pytest.raises(ValueError):
+            index.insert(1, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            index.query_timeslice(EVERYWHERE, 0)

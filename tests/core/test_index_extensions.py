@@ -1,0 +1,193 @@
+"""The paper's extensions: KNN queries (Section VI) and variable retention
+times (Section IV-B(d))."""
+
+import random
+
+import pytest
+
+from repro.baselines import NaiveStore
+from repro.core import Rect, SWSTConfig, SWSTIndex
+
+CFG = SWSTConfig(window=2000, slide=100, x_partitions=5, y_partitions=5,
+                 d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999), page_size=1024)
+EVERYWHERE = Rect(0, 0, 999, 999)
+
+
+def _loaded(seed=1, steps=1500, objects=25):
+    rng = random.Random(seed)
+    index = SWSTIndex(CFG)
+    oracle = NaiveStore(CFG)
+    t = 0
+    for _ in range(steps):
+        t += rng.randrange(0, 4)
+        oid = rng.randrange(objects)
+        x, y = rng.randrange(1000), rng.randrange(1000)
+        index.report(oid, x, y, t)
+        oracle.report(oid, x, y, t)
+    survivors = index.current_objects()
+    oracle.current = {oid: e for oid, e in oracle.current.items()
+                      if oid in survivors}
+    return index, oracle, rng
+
+
+def _dist2(entry, x, y):
+    return (entry.x - x) ** 2 + (entry.y - y) ** 2
+
+
+class TestKNN:
+    def test_knn_matches_oracle_distances(self):
+        index, oracle, rng = _loaded(seed=11)
+        q_lo, q_hi = CFG.queriable_period(index.now)
+        for _ in range(40):
+            x, y = rng.randrange(1000), rng.randrange(1000)
+            k = rng.randrange(1, 8)
+            t_lo = rng.randrange(q_lo, q_hi + 1)
+            t_hi = t_lo + rng.randrange(0, 400)
+            got = index.query_knn(x, y, k, t_lo, t_hi)
+            valid = oracle.query_interval(EVERYWHERE, t_lo, t_hi)
+            expected = sorted(_dist2(e, x, y) for e in valid)[:k]
+            assert [_dist2(e, x, y) for e in got] == expected
+        index.close()
+
+    def test_knn_results_sorted_by_distance(self):
+        index, _, _ = _loaded(seed=12)
+        q_lo, q_hi = CFG.queriable_period(index.now)
+        got = index.query_knn(500, 500, 10, q_lo, q_hi)
+        dists = [_dist2(e, 500, 500) for e in got]
+        assert dists == sorted(dists)
+        index.close()
+
+    def test_knn_timeslice_form(self):
+        index = SWSTIndex(CFG)
+        index.insert(1, 100, 100, 50, 20)
+        index.insert(2, 200, 200, 55, 20)
+        index.insert(3, 900, 900, 60, 20)
+        got = index.query_knn(110, 110, 2, 65)
+        assert [e.oid for e in got] == [1, 2]
+        index.close()
+
+    def test_knn_fewer_than_k_results(self):
+        index = SWSTIndex(CFG)
+        index.insert(1, 100, 100, 50, 20)
+        got = index.query_knn(0, 0, 5, 60)
+        assert [e.oid for e in got] == [1]
+        index.close()
+
+    def test_knn_respects_time_predicate(self):
+        index = SWSTIndex(CFG)
+        index.insert(1, 100, 100, 50, 10)   # valid [50, 60)
+        index.insert(2, 900, 900, 70, 10)   # valid [70, 80)
+        got = index.query_knn(100, 100, 5, 75)
+        assert [e.oid for e in got] == [2]
+        index.close()
+
+    def test_knn_respects_logical_window(self):
+        index = SWSTIndex(CFG)
+        index.insert(1, 100, 100, 100, 50)
+        index.insert(2, 200, 200, 1500, 50)
+        index.advance_time(1600)
+        got = index.query_knn(150, 150, 5, 0, 1600, window=500)
+        assert {e.oid for e in got} == {2}
+        index.close()
+
+    def test_knn_validation(self):
+        index = SWSTIndex(CFG)
+        with pytest.raises(ValueError):
+            index.query_knn(0, 0, 0, 10)
+        with pytest.raises(ValueError):
+            index.query_knn(5000, 0, 1, 10)
+        index.close()
+
+    def test_knn_prunes_far_rings(self):
+        # Dense data near the query point: the ring search must not touch
+        # every spatial cell.
+        index = SWSTIndex(CFG)
+        rng = random.Random(13)
+        t = 0
+        for i in range(600):
+            t += rng.randrange(0, 2)
+            index.insert(i, rng.randrange(250), rng.randrange(250), t, 50)
+        q_lo, q_hi = CFG.queriable_period(index.now)
+        result = index.query_knn(100, 100, 3, max(q_lo, 0), index.now)
+        assert len(result) == 3
+        assert result.stats.spatial_cells < CFG.x_partitions * \
+            CFG.y_partitions
+        index.close()
+
+
+class TestVariableRetention:
+    def test_retention_hides_old_entries(self):
+        index = SWSTIndex(CFG)
+        index.insert(1, 100, 100, 100, 50)
+        index.insert(2, 200, 200, 100, 50)
+        index.advance_time(1000)
+        index.set_retention(1, 300)  # object 1 keeps only 300 time units
+        result = index.query_interval(EVERYWHERE, 0, 1000)
+        assert result.oids() == {2}
+        index.close()
+
+    def test_retention_keeps_recent_entries(self):
+        index = SWSTIndex(CFG)
+        index.set_retention(1, 300)
+        index.insert(1, 100, 100, 100, 50)
+        index.advance_time(350)
+        assert index.query_interval(EVERYWHERE, 0, 350).oids() == {1}
+        index.advance_time(500)
+        assert index.query_interval(EVERYWHERE, 0, 500).oids() == set()
+        index.close()
+
+    def test_retention_applies_to_knn(self):
+        index = SWSTIndex(CFG)
+        index.set_retention(1, 200)
+        index.insert(1, 100, 100, 100, 50)
+        index.insert(2, 500, 500, 100, 50)
+        index.advance_time(800)
+        got = index.query_knn(100, 100, 2, 0, 800)
+        assert [e.oid for e in got] == [2]
+        index.close()
+
+    def test_clearing_retention_restores_default(self):
+        index = SWSTIndex(CFG)
+        index.insert(1, 100, 100, 100, 50)
+        index.advance_time(1000)
+        index.set_retention(1, 300)
+        assert index.query_interval(EVERYWHERE, 0, 1000).oids() == set()
+        index.set_retention(1, None)
+        assert index.query_interval(EVERYWHERE, 0, 1000).oids() == {1}
+        index.close()
+
+    def test_retention_bounds_validated(self):
+        index = SWSTIndex(CFG)
+        with pytest.raises(ValueError):
+            index.set_retention(1, 0)
+        with pytest.raises(ValueError):
+            index.set_retention(1, CFG.window + 1)
+        index.close()
+
+    def test_retention_of_accessor(self):
+        index = SWSTIndex(CFG)
+        assert index.retention_of(1) == CFG.window
+        index.set_retention(1, 500)
+        assert index.retention_of(1) == 500
+        index.close()
+
+    def test_retention_matches_shrunken_oracle(self):
+        # An object with retention r behaves exactly like the same stream
+        # queried under a logical window of size r (for that object).
+        index, oracle, rng = _loaded(seed=14, objects=10)
+        index.set_retention(3, 500)
+        for _ in range(30):
+            x0, y0 = rng.randrange(700), rng.randrange(700)
+            area = Rect(x0, y0, x0 + 300, y0 + 300)
+            q_lo, q_hi = CFG.queriable_period(index.now)
+            t_lo = rng.randrange(q_lo, q_hi + 1)
+            t_hi = t_lo + rng.randrange(0, 400)
+            got = {(e.oid, e.s) for e in
+                   index.query_interval(area, t_lo, t_hi)}
+            full = oracle.query_interval(area, t_lo, t_hi)
+            short = oracle.query_interval(area, t_lo, t_hi, window=500)
+            expected = {(e.oid, e.s) for e in full if e.oid != 3}
+            expected |= {(e.oid, e.s) for e in short if e.oid == 3}
+            assert got == expected
+        index.close()

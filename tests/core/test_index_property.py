@@ -1,0 +1,102 @@
+"""Property-based end-to-end test: SWST equals the oracle on arbitrary
+streams and arbitrary queries, including window slides and deletions."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import NaiveStore
+from repro.core import Rect, SWSTConfig, SWSTIndex
+
+CFG = SWSTConfig(window=200, slide=20, x_partitions=3, y_partitions=3,
+                 d_max=40, duration_interval=10, space=Rect(0, 0, 99, 99),
+                 page_size=512)
+
+
+def _key_set(entries):
+    return {(e.oid, e.x, e.y, e.s, e.d) for e in entries}
+
+
+stream_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 5),            # oid
+        st.integers(0, 99),           # x
+        st.integers(0, 99),           # y
+        # Mostly small gaps, occasionally a jump across window boundaries
+        # (CFG.w_max = 219) so drops interleave with the stream.
+        st.one_of(st.integers(0, 6), st.integers(150, 500)),
+        st.one_of(st.none(), st.integers(1, 40)),  # duration (None=report)
+    ),
+    min_size=1, max_size=120,
+)
+
+query_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 80), st.integers(0, 80),   # x_lo, y_lo
+        st.integers(1, 60), st.integers(1, 60),   # width, height
+        st.integers(0, 700),                      # t_lo
+        st.integers(0, 120),                      # interval length
+        st.sampled_from([None, 50, 100, 200]),    # logical window
+    ),
+    min_size=1, max_size=25,
+)
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(stream=stream_strategy, queries=query_strategy)
+def test_swst_equals_oracle_on_arbitrary_streams(stream, queries):
+    index = SWSTIndex(CFG)
+    oracle = NaiveStore(CFG)
+    t = 0
+    for oid, x, y, gap, duration in stream:
+        t += gap
+        index.insert(oid, x, y, t, duration)
+        oracle.insert(oid, x, y, t, duration)
+    survivors = index.current_objects()
+    oracle.current = {oid: e for oid, e in oracle.current.items()
+                      if oid in survivors}
+    for x_lo, y_lo, width, height, t_lo, length, window in queries:
+        area = Rect(x_lo, y_lo, min(x_lo + width, 99),
+                    min(y_lo + height, 99))
+        t_hi = t_lo + length
+        got = index.query_interval(area, t_lo, t_hi, window=window)
+        expected = oracle.query_interval(area, t_lo, t_hi, window=window)
+        assert _key_set(got) == _key_set(expected)
+    index.close()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(stream=stream_strategy, seed=st.integers(0, 1000))
+def test_deletions_preserve_oracle_agreement(stream, seed):
+    index = SWSTIndex(CFG)
+    oracle = NaiveStore(CFG)
+    t = 0
+    inserted = []
+    for oid, x, y, gap, duration in stream:
+        t += gap
+        index.insert(oid, x, y, t, duration)
+        oracle.insert(oid, x, y, t, duration)
+        if duration is not None:
+            inserted.append((oid, x, y, t, duration))
+    rng = random.Random(seed)
+    rng.shuffle(inserted)
+    for victim in inserted[:len(inserted) // 2]:
+        index_deleted = index.delete(*victim)
+        oracle_deleted = oracle.delete(*victim)
+        if index_deleted != oracle_deleted:
+            # The only legal divergence: SWST already dropped the entry's
+            # whole window (the oracle keeps history forever).
+            assert oracle_deleted and not index_deleted
+            assert victim[3] // CFG.w_max <= index._drop_epoch - 2
+    survivors = index.current_objects()
+    oracle.current = {oid: e for oid, e in oracle.current.items()
+                      if oid in survivors}
+    area = Rect(0, 0, 99, 99)
+    q_lo, q_hi = CFG.queriable_period(index.now)
+    got = index.query_interval(area, max(q_lo - 50, 0), q_hi + 50)
+    expected = oracle.query_interval(area, max(q_lo - 50, 0), q_hi + 50)
+    assert _key_set(got) == _key_set(expected)
+    index.close()

@@ -1,0 +1,147 @@
+"""SWSTIndex query results vs the naive oracle on randomised streams."""
+
+import random
+
+import pytest
+
+from repro.baselines import NaiveStore
+from repro.core import Rect, SWSTConfig, SWSTIndex
+
+CFG = SWSTConfig(window=2000, slide=100, x_partitions=5, y_partitions=5,
+                 d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999), page_size=1024)
+
+
+def _drive(seed: int, steps: int, objects: int = 25):
+    """Feed an identical random stream into SWST and the oracle."""
+    rng = random.Random(seed)
+    index = SWSTIndex(CFG)
+    oracle = NaiveStore(CFG)
+    t = 0
+    for _ in range(steps):
+        t += rng.randrange(0, 4)
+        oid = rng.randrange(objects)
+        x, y = rng.randrange(1000), rng.randrange(1000)
+        if rng.random() < 0.75:
+            index.report(oid, x, y, t)
+            oracle.report(oid, x, y, t)
+        else:
+            d = rng.randrange(1, 301)
+            index.insert(oid + 1000, x, y, t, d)
+            oracle.insert(oid + 1000, x, y, t, d)
+    # Mirror SWST's dropping of stale current entries so both sides agree.
+    survivors = index.current_objects()
+    oracle.current = {oid: e for oid, e in oracle.current.items()
+                      if oid in survivors}
+    return index, oracle, rng
+
+
+def _key_set(entries):
+    return {(e.oid, e.x, e.y, e.s, e.d) for e in entries}
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_interval_queries_match_oracle(seed):
+    index, oracle, rng = _drive(seed, steps=2500)
+    q_lo, q_hi = CFG.queriable_period(index.now)
+    for _ in range(120):
+        x0, y0 = rng.randrange(800), rng.randrange(800)
+        area = Rect(x0, y0, x0 + rng.randrange(10, 300),
+                    y0 + rng.randrange(10, 300))
+        t_lo = rng.randrange(max(q_lo - 200, 0), q_hi + 1)
+        t_hi = t_lo + rng.randrange(0, 600)
+        got = index.query_interval(area, t_lo, t_hi)
+        assert len(_key_set(got)) == len(got.entries), "duplicates returned"
+        assert _key_set(got) == _key_set(
+            oracle.query_interval(area, t_lo, t_hi))
+    index.close()
+
+
+@pytest.mark.parametrize("seed", [4, 5])
+def test_timeslice_queries_match_oracle(seed):
+    index, oracle, rng = _drive(seed, steps=2000)
+    q_lo, q_hi = CFG.queriable_period(index.now)
+    for _ in range(100):
+        x0, y0 = rng.randrange(700), rng.randrange(700)
+        area = Rect(x0, y0, x0 + rng.randrange(50, 400),
+                    y0 + rng.randrange(50, 400))
+        t = rng.randrange(max(q_lo - 100, 0), q_hi + 1)
+        got = index.query_timeslice(area, t)
+        assert _key_set(got) == _key_set(oracle.query_timeslice(area, t))
+    index.close()
+
+
+@pytest.mark.parametrize("seed", [6])
+def test_logical_window_queries_match_oracle(seed):
+    index, oracle, rng = _drive(seed, steps=2000)
+    q_lo, q_hi = CFG.queriable_period(index.now)
+    for _ in range(80):
+        window = rng.choice([200, 500, 1000, 2000])
+        x0, y0 = rng.randrange(700), rng.randrange(700)
+        area = Rect(x0, y0, x0 + 250, y0 + 250)
+        t_lo = rng.randrange(max(q_lo - 100, 0), q_hi + 1)
+        t_hi = t_lo + rng.randrange(0, 400)
+        got = index.query_interval(area, t_lo, t_hi, window=window)
+        expected = oracle.query_interval(area, t_lo, t_hi, window=window)
+        assert _key_set(got) == _key_set(expected)
+    index.close()
+
+
+def test_queries_far_in_the_past_or_future_are_empty():
+    index, oracle, _ = _drive(7, steps=1200)
+    area = Rect(0, 0, 999, 999)
+    q_lo, _ = CFG.queriable_period(index.now)
+    if q_lo > 0:
+        past = index.query_interval(area, 0, max(q_lo - CFG.slide - 1, 0))
+        assert all(e.end > 0 for e in past)  # nothing invalid slips in
+    index.close()
+
+
+def test_memo_disabled_returns_identical_results():
+    import dataclasses
+    rng = random.Random(9)
+    cfg_off = dataclasses.replace(CFG, use_memo=False)
+    on = SWSTIndex(CFG)
+    off = SWSTIndex(cfg_off)
+    t = 0
+    for _ in range(1200):
+        t += rng.randrange(0, 4)
+        oid = rng.randrange(25)
+        x, y = rng.randrange(1000), rng.randrange(1000)
+        on.report(oid, x, y, t)
+        off.report(oid, x, y, t)
+    q_lo, q_hi = CFG.queriable_period(on.now)
+    for _ in range(60):
+        x0, y0 = rng.randrange(700), rng.randrange(700)
+        area = Rect(x0, y0, x0 + 200, y0 + 200)
+        t_lo = rng.randrange(max(q_lo - 100, 0), q_hi + 1)
+        t_hi = t_lo + rng.randrange(0, 500)
+        assert _key_set(on.query_interval(area, t_lo, t_hi)) == \
+            _key_set(off.query_interval(area, t_lo, t_hi))
+    on.close()
+    off.close()
+
+
+def test_spatial_keys_disabled_returns_identical_results():
+    import dataclasses
+    rng = random.Random(10)
+    cfg_off = dataclasses.replace(CFG, spatial_keys=False)
+    on = SWSTIndex(CFG)
+    off = SWSTIndex(cfg_off)
+    t = 0
+    for _ in range(1200):
+        t += rng.randrange(0, 4)
+        oid = rng.randrange(25)
+        x, y = rng.randrange(1000), rng.randrange(1000)
+        on.report(oid, x, y, t)
+        off.report(oid, x, y, t)
+    q_lo, q_hi = CFG.queriable_period(on.now)
+    for _ in range(60):
+        x0, y0 = rng.randrange(700), rng.randrange(700)
+        area = Rect(x0, y0, x0 + 200, y0 + 200)
+        t_lo = rng.randrange(max(q_lo - 100, 0), q_hi + 1)
+        t_hi = t_lo + rng.randrange(0, 500)
+        assert _key_set(on.query_interval(area, t_lo, t_hi)) == \
+            _key_set(off.query_interval(area, t_lo, t_hi))
+    on.close()
+    off.close()

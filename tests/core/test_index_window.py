@@ -1,0 +1,130 @@
+"""Sliding-window maintenance: lazy wholesale drops, logical windows."""
+
+import pytest
+
+from repro.core import Entry, Rect, SWSTConfig, SWSTIndex
+
+CFG = SWSTConfig(window=2000, slide=100, x_partitions=4, y_partitions=4,
+                 d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999), page_size=1024)
+
+EVERYWHERE = Rect(0, 0, 999, 999)
+
+
+@pytest.fixture
+def index():
+    with SWSTIndex(CFG) as idx:
+        yield idx
+
+
+class TestExpiry:
+    def test_expired_entries_excluded_before_any_drop(self, index):
+        # An entry leaves the queriable period as soon as the window
+        # passes it, even though it is still physically stored.
+        index.insert(1, 100, 100, 0, 50)
+        index.advance_time(2150)  # queriable period starts at 100
+        assert len(index.query_interval(EVERYWHERE, 0, 2150)) == 0
+        assert len(index) == 1  # still physically present (lazy)
+
+    def test_still_valid_but_expired_is_excluded(self, index):
+        # Section III-A: expiry is decided by start time, not validity.
+        index.insert(1, 100, 100, 0, 300)  # valid until t=300
+        index.advance_time(2150)
+        assert len(index.query_timeslice(EVERYWHERE, 250)) == 0
+
+    def test_drop_happens_at_window_boundary(self, index):
+        w_max = CFG.w_max  # 2099
+        index.insert(1, 100, 100, 10, 50)
+        index.insert(2, 200, 200, w_max + 10, 50)
+        assert len(index) == 2
+        index.advance_time(2 * w_max)  # window 0 fully expired: dropped
+        assert len(index) == 1
+        physically = {e.oid for e in index.scan()}
+        assert physically == {2}
+
+    def test_drop_frees_pages(self, index):
+        w_max = CFG.w_max
+        for i in range(300):
+            index.insert(i, (i * 7) % 1000, (i * 11) % 1000, i, 50)
+        frees_before = index.stats.frees
+        index.advance_time(2 * w_max)
+        assert index.stats.frees > frees_before
+
+    def test_drop_cost_independent_of_entry_count(self, index):
+        # The headline claim: window maintenance is O(pages), not
+        # O(entries) — accesses per dropped entry << 1 for full pages.
+        w_max = CFG.w_max
+        for i in range(2000):
+            index.insert(i, (i * 7) % 1000, (i * 11) % 1000, i % w_max if
+                         i % w_max >= index.now else index.now, 50)
+        dropped = len(index)
+        before = index.stats.snapshot()
+        index.advance_time(2 * w_max)
+        delta = index.stats.diff(before)
+        assert delta.node_accesses < dropped
+
+    def test_multiple_boundaries_in_one_advance(self, index):
+        w_max = CFG.w_max
+        index.insert(1, 100, 100, 10, 50)
+        index.advance_time(10 * w_max)  # jumps several boundaries at once
+        assert len(index) == 0
+
+    def test_stale_current_entries_dropped_with_their_window(self, index):
+        w_max = CFG.w_max
+        index.report(1, 100, 100, 10)
+        index.advance_time(2 * w_max)
+        assert index.current_objects() == {}
+
+    def test_clock_cannot_move_backwards(self, index):
+        index.advance_time(500)
+        with pytest.raises(ValueError):
+            index.advance_time(499)
+
+    def test_reuse_of_tree_after_drop(self, index):
+        w_max = CFG.w_max
+        index.insert(1, 100, 100, 10, 50)          # window 0, tree 0
+        index.insert(2, 100, 100, w_max + 10, 50)  # window 1, tree 1
+        index.insert(3, 100, 100, 2 * w_max + 10, 50)  # window 2 -> tree 0
+        # Window 0 was dropped when the clock crossed 2*w_max; tree 0 now
+        # holds window 2.  Entry 2 is physically present but has already
+        # left the queriable period (the window is ~W, less than Wmax*2).
+        physically = {e.oid for e in index.scan()}
+        assert physically == {2, 3}
+        result = index.query_interval(EVERYWHERE, w_max, 2 * w_max + 100)
+        assert result.oids() == {3}
+
+
+class TestLogicalWindows:
+    def test_smaller_window_hides_older_entries(self, index):
+        index.insert(1, 100, 100, 100, 50)
+        index.insert(2, 200, 200, 1500, 50)
+        index.advance_time(1600)
+        full = index.query_interval(EVERYWHERE, 0, 1600)
+        assert full.oids() == {1, 2}
+        recent = index.query_interval(EVERYWHERE, 0, 1600, window=500)
+        assert recent.oids() == {2}
+
+    def test_logical_window_equal_to_physical(self, index):
+        index.insert(1, 100, 100, 100, 50)
+        index.advance_time(1000)
+        assert index.query_interval(EVERYWHERE, 0, 1000,
+                                    window=CFG.window).oids() == {1}
+
+    def test_logical_window_larger_than_physical_rejected(self, index):
+        index.insert(1, 100, 100, 100, 50)
+        with pytest.raises(ValueError):
+            index.query_interval(EVERYWHERE, 0, 100, window=CFG.window + 1)
+
+    def test_per_provider_disclosure_scenario(self, index):
+        # The paper's privacy motivation: three providers with different
+        # logical history lengths see nested subsets.
+        for i, s in enumerate((100, 700, 1300, 1900)):
+            index.insert(i, 100 * (i + 1), 100, s, 50)
+        index.advance_time(2000)
+        week = index.query_interval(EVERYWHERE, 0, 2000).oids()
+        day = index.query_interval(EVERYWHERE, 0, 2000, window=800).oids()
+        hour = index.query_interval(EVERYWHERE, 0, 2000, window=200).oids()
+        assert hour <= day <= week
+        assert week == {0, 1, 2, 3}
+        assert day == {2, 3}
+        assert hour == {3}

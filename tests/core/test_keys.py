@@ -1,0 +1,112 @@
+"""Key codec: field packing, ordering properties, column ranges."""
+
+import pytest
+
+from repro.core import KeyCodec, Rect, SWSTConfig
+from repro.sfc import zc_encode
+
+
+@pytest.fixture
+def cfg():
+    return SWSTConfig(window=2000, slide=100, d_max=300,
+                      duration_interval=50, space=Rect(0, 0, 999, 999))
+
+
+@pytest.fixture
+def codec(cfg):
+    return KeyCodec(cfg)
+
+
+class TestEncodeDecode:
+    def test_decode_inverts_encode(self, cfg, codec):
+        key = codec.encode(s=150, d=70, x=3, y=900)
+        decoded = codec.decode(key)
+        assert decoded.s_part == cfg.s_partition(150)
+        assert decoded.d_part == cfg.d_partition(70)
+        assert decoded.z_value == zc_encode(3, 900, codec.zc_order)
+
+    def test_key_fits_declared_width(self, cfg, codec):
+        key = codec.encode(s=2 * cfg.w_max - 1, d=cfg.nd,
+                           x=cfg.space.x_hi, y=cfg.space.y_hi)
+        assert key < (1 << codec.key_bits)
+
+    def test_key_width_is_bounded(self, codec):
+        assert codec.key_bits <= 128
+
+    def test_too_wide_key_rejected(self):
+        big = Rect(0, 0, (1 << 60) - 1, (1 << 60) - 1)
+        with pytest.raises(ValueError):
+            KeyCodec(SWSTConfig(space=big))
+
+
+class TestOrdering:
+    """The properties Section III-B.2 claims for the linearisation."""
+
+    def test_s_partition_dominates(self, cfg, codec):
+        # All keys of one s-partition sort below all keys of the next, so
+        # a window's entries form one contiguous droppable band.
+        low = codec.encode(s=0, d=cfg.nd, x=cfg.space.x_hi,
+                           y=cfg.space.y_hi)
+        high = codec.encode(s=cfg.slide, d=1, x=0, y=0)
+        assert cfg.s_partition(0) < cfg.s_partition(cfg.slide)
+        assert low < high
+
+    def test_d_partition_orders_within_column(self, cfg, codec):
+        low = codec.encode(s=0, d=1, x=cfg.space.x_hi, y=cfg.space.y_hi)
+        high = codec.encode(s=0, d=cfg.d_max, x=0, y=0)
+        assert low < high
+
+    def test_z_value_orders_within_cell(self, codec):
+        assert codec.encode(0, 1, 0, 0) < codec.encode(0, 1, 1, 0) \
+            < codec.encode(0, 1, 1, 1)
+
+    def test_modulo_keeps_keys_bounded_over_time(self, cfg, codec):
+        # Paper: the key width never grows with stream time.
+        early = codec.encode(s=10, d=1, x=5, y=5)
+        late = codec.encode(s=10 + 2 * cfg.w_max * 1000, d=1, x=5, y=5)
+        assert early == late
+
+
+class TestColumnRange:
+    def test_range_covers_all_cell_points(self, cfg, codec):
+        clipped = Rect(100, 200, 150, 260)
+        lo, hi = codec.column_range(3, 1, 4, clipped)
+        for x in (100, 125, 150):
+            for y in (200, 230, 260):
+                for d_part in (1, 2, 3, 4):
+                    key = codec.pack(3, d_part, x, y)
+                    assert lo <= key <= hi
+
+    def test_range_excludes_other_columns(self, cfg, codec):
+        clipped = Rect(0, 0, 999, 999)
+        lo, hi = codec.column_range(3, 0, cfg.dp - 1, clipped)
+        other = codec.pack(4, 0, 0, 0)
+        assert not lo <= other <= hi
+
+    def test_range_excludes_lower_d_partitions(self, cfg, codec):
+        clipped = Rect(0, 0, 999, 999)
+        lo, _ = codec.column_range(3, 2, 4, clipped)
+        below = codec.pack(3, 1, 999, 999)
+        assert below < lo
+
+    def test_empty_d_range_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.column_range(0, 3, 2, Rect(0, 0, 1, 1))
+
+
+class TestSpatialKeyAblation:
+    def test_without_spatial_bits_location_is_ignored(self, cfg):
+        codec = KeyCodec(SWSTConfig(window=2000, slide=100, d_max=300,
+                                    duration_interval=50,
+                                    space=Rect(0, 0, 999, 999),
+                                    spatial_keys=False))
+        assert codec.encode(5, 1, 0, 0) == codec.encode(5, 1, 999, 999)
+        assert codec.z_bits == 0
+
+    def test_without_spatial_bits_temporal_order_kept(self, cfg):
+        codec = KeyCodec(SWSTConfig(window=2000, slide=100, d_max=300,
+                                    duration_interval=50,
+                                    space=Rect(0, 0, 999, 999),
+                                    spatial_keys=False))
+        assert codec.encode(0, 1, 0, 0) < codec.encode(0, 200, 0, 0) \
+            < codec.encode(150, 1, 0, 0)

@@ -1,0 +1,65 @@
+"""Property tests on the key codec's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KeyCodec, Rect, SWSTConfig
+
+CFG = SWSTConfig(window=2000, slide=100, d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999))
+CODEC = KeyCodec(CFG)
+
+s_values = st.integers(0, 10 ** 6)
+d_values = st.integers(1, CFG.nd)
+coords = st.integers(0, 999)
+
+
+@settings(max_examples=150, deadline=None)
+@given(s_values, d_values, coords, coords)
+def test_decode_inverts_encode(s, d, x, y):
+    decoded = CODEC.decode(CODEC.encode(s, d, x, y))
+    assert decoded.s_part == CFG.s_partition(s)
+    assert decoded.d_part == CFG.d_partition(d)
+
+
+@settings(max_examples=150, deadline=None)
+@given(s_values, s_values, d_values, d_values, coords, coords, coords,
+       coords)
+def test_key_order_is_lexicographic_in_fields(s1, s2, d1, d2, x1, y1, x2,
+                                              y2):
+    """Keys sort by (s-partition, d-partition, z-value) lexicographically."""
+    key1 = CODEC.encode(s1, d1, x1, y1)
+    key2 = CODEC.encode(s2, d2, x2, y2)
+    fields1 = (CFG.s_partition(s1), CFG.d_partition(d1),
+               CODEC.decode(key1).z_value)
+    fields2 = (CFG.s_partition(s2), CFG.d_partition(d2),
+               CODEC.decode(key2).z_value)
+    assert (key1 < key2) == (fields1 < fields2)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 2 * CFG.sp - 1), st.integers(0, CFG.dp - 1),
+       st.integers(0, CFG.dp - 1),
+       st.tuples(coords, coords, coords, coords),
+       d_values, coords, coords)
+def test_column_range_covers_exactly_when_point_inside(s_part, n_a, n_b,
+                                                       rect_coords, d, x,
+                                                       y):
+    """Any entry whose d-partition is inside the band and whose location is
+    inside the clipped rectangle falls within the generated key range."""
+    d_lo, d_hi = min(n_a, n_b), max(n_a, n_b)
+    x_lo, y_lo = min(rect_coords[0], rect_coords[2]), \
+        min(rect_coords[1], rect_coords[3])
+    x_hi, y_hi = max(rect_coords[0], rect_coords[2]), \
+        max(rect_coords[1], rect_coords[3])
+    clipped = Rect(x_lo, y_lo, x_hi, y_hi)
+    lo, hi = CODEC.column_range(s_part, d_lo, d_hi, clipped)
+    d_part = CFG.d_partition(d)
+    if d_lo <= d_part <= d_hi and clipped.contains(x, y):
+        key = CODEC.pack(s_part, d_part, x, y)
+        assert lo <= key <= hi
+    # Keys of other columns are always outside.
+    other = CODEC.pack((s_part + 1) % (2 * CFG.sp), d_part, x, y)
+    if other != CODEC.pack(s_part, d_part, x, y):
+        in_range = lo <= other <= hi
+        assert not in_range or (s_part + 1) % (2 * CFG.sp) == s_part

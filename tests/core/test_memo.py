@@ -1,0 +1,86 @@
+"""isPresent memo: MBR maintenance, pruning predicate, partition resets."""
+
+import pytest
+
+from repro.core import CellMemo, Rect
+
+
+@pytest.fixture
+def memo():
+    return CellMemo()
+
+
+class TestAddRemove:
+    def test_empty_cell_reports_nothing(self, memo):
+        assert memo.count(0, 0) == 0
+        assert memo.mbr(0, 0) is None
+
+    def test_single_point_mbr(self, memo):
+        memo.add(2, 3, 10, 20)
+        assert memo.mbr(2, 3) == Rect(10, 20, 10, 20)
+        assert memo.count(2, 3) == 1
+
+    def test_mbr_grows_to_cover_points(self, memo):
+        memo.add(0, 0, 10, 20)
+        memo.add(0, 0, 5, 40)
+        memo.add(0, 0, 30, 5)
+        assert memo.mbr(0, 0) == Rect(5, 5, 30, 40)
+
+    def test_remove_decrements_and_clears(self, memo):
+        memo.add(0, 0, 1, 1)
+        memo.add(0, 0, 2, 2)
+        memo.remove(0, 0)
+        assert memo.count(0, 0) == 1
+        memo.remove(0, 0)
+        assert memo.mbr(0, 0) is None
+
+    def test_remove_from_empty_cell_raises(self, memo):
+        with pytest.raises(KeyError):
+            memo.remove(0, 0)
+
+    def test_mbr_is_conservative_after_partial_remove(self, memo):
+        # The MBR never shrinks on partial deletes (documented behaviour:
+        # it may under-prune but never over-prunes).
+        memo.add(0, 0, 0, 0)
+        memo.add(0, 0, 100, 100)
+        memo.remove(0, 0)
+        assert memo.mbr(0, 0) == Rect(0, 0, 100, 100)
+
+
+class TestOverlaps:
+    def test_overlap_with_area(self, memo):
+        memo.add(1, 1, 50, 50)
+        assert memo.overlaps(1, 1, Rect(0, 0, 60, 60))
+        assert not memo.overlaps(1, 1, Rect(51, 0, 60, 60))
+
+    def test_empty_cell_never_overlaps(self, memo):
+        assert not memo.overlaps(1, 1, Rect(0, 0, 1000, 1000))
+
+    def test_edge_touching_counts_as_overlap(self, memo):
+        memo.add(0, 0, 10, 10)
+        assert memo.overlaps(0, 0, Rect(10, 10, 20, 20))
+
+
+class TestReset:
+    def test_reset_partitions_clears_range(self, memo):
+        memo.add(0, 0, 1, 1)
+        memo.add(5, 2, 1, 1)
+        memo.add(9, 0, 1, 1)
+        memo.reset_partitions(0, 6)
+        assert memo.count(0, 0) == 0
+        assert memo.count(5, 2) == 0
+        assert memo.count(9, 0) == 1
+
+    def test_reset_is_half_open(self, memo):
+        memo.add(5, 0, 1, 1)
+        memo.reset_partitions(0, 5)
+        assert memo.count(5, 0) == 1
+
+    def test_totals(self, memo):
+        memo.add(0, 0, 1, 1)
+        memo.add(0, 0, 2, 2)
+        memo.add(7, 3, 1, 1)
+        assert memo.total_entries() == 3
+        assert memo.total_in_partitions(0, 5) == 2
+        assert memo.total_in_partitions(5, 10) == 1
+        assert memo.nonempty_cells() == 2

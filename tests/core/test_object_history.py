@@ -1,0 +1,80 @@
+"""object_history and forget_object (trajectory audit + right to erasure)."""
+
+import random
+
+import pytest
+
+from repro.core import Rect, SWSTConfig, SWSTIndex
+
+CFG = SWSTConfig(window=2000, slide=100, x_partitions=4, y_partitions=4,
+                 d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999), page_size=1024)
+EVERYWHERE = Rect(0, 0, 999, 999)
+
+
+@pytest.fixture
+def index():
+    with SWSTIndex(CFG) as idx:
+        rng = random.Random(21)
+        t = 0
+        for _ in range(800):
+            t += rng.randrange(0, 4)
+            idx.report(rng.randrange(10), rng.randrange(1000),
+                       rng.randrange(1000), t)
+        yield idx
+
+
+class TestObjectHistory:
+    def test_history_ordered_by_start(self, index):
+        history = index.object_history(3)
+        starts = [e.s for e in history]
+        assert starts == sorted(starts)
+        assert all(e.oid == 3 for e in history)
+
+    def test_history_matches_full_query_filter(self, index):
+        q_lo, q_hi = CFG.queriable_period(index.now)
+        expected = sorted((e for e in
+                           index.query_interval(EVERYWHERE, q_lo, q_hi)
+                           if e.oid == 3), key=lambda e: e.s)
+        assert index.object_history(3) == expected
+
+    def test_history_bounded_by_interval(self, index):
+        q_lo, q_hi = CFG.queriable_period(index.now)
+        mid = (q_lo + q_hi) // 2
+        partial = index.object_history(3, t_lo=mid)
+        full = index.object_history(3)
+        assert len(partial) <= len(full)
+        assert all(e.end > mid for e in partial)
+
+    def test_history_respects_logical_window(self, index):
+        short = index.object_history(3, window=300)
+        full = index.object_history(3)
+        assert len(short) <= len(full)
+
+    def test_unknown_object_has_empty_history(self, index):
+        assert index.object_history(999) == []
+
+
+class TestForgetObject:
+    def test_forget_removes_all_traces(self, index):
+        assert index.object_history(5)
+        removed = index.forget_object(5)
+        assert removed > 0
+        assert index.object_history(5) == []
+        assert all(e.oid != 5 for e in index.scan())
+        assert 5 not in index.current_objects()
+        index.check_integrity()
+
+    def test_forget_leaves_other_objects_intact(self, index):
+        before = {e.oid for e in index.scan()}
+        index.forget_object(5)
+        after = {e.oid for e in index.scan()}
+        assert after == before - {5}
+
+    def test_forget_clears_retention_override(self, index):
+        index.set_retention(5, 500)
+        index.forget_object(5)
+        assert index.retention_of(5) == CFG.window
+
+    def test_forget_unknown_object_is_noop(self, index):
+        assert index.forget_object(999) == 0

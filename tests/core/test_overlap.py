@@ -1,0 +1,128 @@
+"""Temporal overlap classification vs brute-force enumeration.
+
+The brute force enumerates every physically representable (s, d) pair in
+the two live windows and checks the classifier's three promises:
+
+* *coverage* — every qualifying pair lies in a reported column at or above
+  ``d_first``;
+* *full soundness* — every pair in a cell classified full qualifies;
+* *none soundness* — no pair below ``d_first`` (or in an unreported
+  column) qualifies.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SWSTConfig, classify_interval, classify_timeslice
+
+CFG = SWSTConfig(window=40, slide=10, d_max=12, duration_interval=4)
+
+
+def qualifying(cfg: SWSTConfig, s: int, d: int, t_lo: int, t_hi: int,
+               now: int, window=None) -> bool:
+    q_lo, q_hi = cfg.queriable_period(now, window)
+    if not q_lo <= s <= min(q_hi, t_hi):
+        return False
+    if d == cfg.nd:  # current entry: open-ended
+        return True
+    return s + d > t_lo
+
+
+def physical_pairs(cfg: SWSTConfig, now: int):
+    """All (s, d) pairs that can physically sit in the two live trees."""
+    window_idx = now // cfg.w_max
+    s_lo = max(window_idx - 1, 0) * cfg.w_max
+    for s in range(s_lo, now + 1):
+        for d in range(1, cfg.nd + 1):
+            yield s, d
+
+
+def check_classification(cfg: SWSTConfig, now: int, t_lo: int, t_hi: int,
+                         window=None) -> None:
+    columns = {(c.tree, c.s_part): c
+               for c in classify_interval(cfg, now, t_lo, t_hi, window)}
+    for s, d in physical_pairs(cfg, now):
+        col = columns.get((cfg.tree_of(s), cfg.s_partition(s)))
+        d_part = cfg.d_partition(d)
+        ok = qualifying(cfg, s, d, t_lo, t_hi, now, window)
+        if col is None or d_part < col.d_first:
+            assert not ok, (f"qualifying pair (s={s}, d={d}) missed for "
+                            f"query [{t_lo}, {t_hi}] at now={now}")
+            continue
+        if ok:
+            assert col.s_abs_lo <= s <= col.s_abs_hi
+        if d_part >= col.d_full:
+            assert ok, (f"cell marked full but (s={s}, d={d}) does not "
+                        f"qualify for [{t_lo}, {t_hi}] at now={now}")
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=120, deadline=None)
+    @given(now=st.integers(0, 400), offset=st.integers(-80, 20),
+           length=st.integers(0, 80))
+    def test_interval_queries(self, now, offset, length):
+        t_lo = max(now + offset - length, 0)
+        t_hi = t_lo + length
+        check_classification(CFG, now, t_lo, t_hi)
+
+    @settings(max_examples=120, deadline=None)
+    @given(now=st.integers(0, 400), offset=st.integers(-60, 0))
+    def test_timeslice_queries(self, now, offset):
+        t = max(now + offset, 0)
+        check_classification(CFG, now, t, t)
+
+    @settings(max_examples=60, deadline=None)
+    @given(now=st.integers(30, 400), offset=st.integers(-25, 0),
+           length=st.integers(0, 30), window=st.integers(1, 40))
+    def test_logical_windows(self, now, offset, length, window):
+        t_lo = max(now + offset - length, 0)
+        check_classification(CFG, now, t_lo, t_lo + length, window)
+
+    def test_exhaustive_small_sweep(self):
+        cfg = SWSTConfig(window=12, slide=4, d_max=6, duration_interval=3)
+        for now in range(0, 60, 7):
+            for t_lo in range(max(now - 20, 0), now + 1, 3):
+                for length in (0, 2, 9):
+                    check_classification(cfg, now, t_lo, t_lo + length)
+
+
+class TestStructure:
+    def test_columns_sorted_and_unique(self):
+        columns = classify_interval(CFG, 200, 150, 190)
+        keys = [(c.tree, c.s_part) for c in columns]
+        assert len(keys) == len(set(keys))
+        starts = [c.s_abs_lo for c in columns]
+        assert starts == sorted(starts)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            classify_interval(CFG, 100, 50, 40)
+
+    def test_future_query_yields_nothing_before_window(self):
+        # Query entirely before the queriable period.
+        cfg = CFG
+        q_lo, _ = cfg.queriable_period(300)
+        assert classify_interval(cfg, 300, 0, q_lo - 1) == [] or all(
+            c.s_abs_hi < q_lo for c in
+            classify_interval(cfg, 300, 0, q_lo - 1))
+
+    def test_timeslice_is_degenerate_interval(self):
+        assert classify_timeslice(CFG, 200, 170) == \
+            classify_interval(CFG, 200, 170, 170)
+
+    def test_d_first_never_exceeds_d_full(self):
+        for now in (50, 120, 333):
+            for c in classify_interval(CFG, now, max(now - 30, 0), now):
+                assert 0 <= c.d_first <= c.d_full <= CFG.dp
+
+    def test_overlap_kind_labels(self):
+        columns = classify_interval(CFG, 200, 150, 190)
+        assert columns, "expected at least one column"
+        col = columns[0]
+        if col.d_first > 0:
+            assert col.overlap_kind(col.d_first - 1) == "none"
+        if col.d_full < CFG.dp:
+            assert col.overlap_kind(col.d_full) == "full"
+        if col.d_first < col.d_full:
+            assert col.overlap_kind(col.d_first) == "partial"

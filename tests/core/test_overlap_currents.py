@@ -1,0 +1,70 @@
+"""Overlap classification of *current* entries (the top d-partition).
+
+The paper: "The current entries whose start timestamp satisfies the
+overlapping criteria and are within the queriable time period will always
+have a full overlap."  These tests pin that behaviour and the index-level
+consequences.
+"""
+
+from repro.core import (Rect, SWSTConfig, SWSTIndex, classify_interval,
+                        classify_timeslice)
+
+CFG = SWSTConfig(window=400, slide=20, d_max=60, duration_interval=20)
+
+
+class TestClassifier:
+    def test_top_partition_always_overlaps(self):
+        # Any column with queriable starts overlaps at the top partition,
+        # because current entries (d = inf) reach past any t_lo.
+        columns = classify_interval(CFG, now=1000, t_lo=990, t_hi=1000)
+        assert columns
+        for column in columns:
+            assert column.d_first <= CFG.dp - 1
+
+    def test_current_entries_fully_overlap_when_start_qualifies(self):
+        # A column whose whole start range precedes the timeslice: its top
+        # partition must be classified full (no refinement for currents).
+        now = 1000
+        t = 995
+        for column in classify_timeslice(CFG, now, t):
+            s1_mod, s2_mod = CFG.s_cell_bounds(column.s_part)
+            # Reconstruct the absolute bounds from the clipped ones.
+            if column.s_abs_hi < t and column.d_full < CFG.dp:
+                assert column.overlap_kind(CFG.dp - 1) == "full"
+
+    def test_old_current_entry_found_by_recent_timeslice(self):
+        index = SWSTIndex(SWSTConfig(window=400, slide=20, d_max=60,
+                                     duration_interval=20, x_partitions=2,
+                                     y_partitions=2,
+                                     space=Rect(0, 0, 99, 99),
+                                     page_size=512))
+        index.report(1, 10, 10, 100)
+        index.advance_time(450)
+        # 350 time units later and with zero same-duration entries nearby,
+        # the current entry still answers the timeslice.
+        hits = index.query_timeslice(Rect(0, 0, 99, 99), 440)
+        assert [e.oid for e in hits] == [1]
+        index.close()
+
+    def test_current_entry_not_found_before_start(self):
+        index = SWSTIndex(SWSTConfig(window=400, slide=20, d_max=60,
+                                     duration_interval=20, x_partitions=2,
+                                     y_partitions=2,
+                                     space=Rect(0, 0, 99, 99),
+                                     page_size=512))
+        index.report(1, 10, 10, 100)
+        index.advance_time(450)
+        assert len(index.query_timeslice(Rect(0, 0, 99, 99), 90)) == 0
+        index.close()
+
+    def test_current_entry_expires_with_window(self):
+        index = SWSTIndex(SWSTConfig(window=400, slide=20, d_max=60,
+                                     duration_interval=20, x_partitions=2,
+                                     y_partitions=2,
+                                     space=Rect(0, 0, 99, 99),
+                                     page_size=512))
+        index.report(1, 10, 10, 100)
+        index.advance_time(600)  # start 100 left the queriable period
+        hits = index.query_interval(Rect(0, 0, 99, 99), 0, 600)
+        assert len(hits) == 0
+        index.close()

@@ -1,0 +1,96 @@
+"""Entry and Rect: validity predicates and payload serialisation."""
+
+import pytest
+
+from repro.core import Entry, RECORD_SIZE, Rect
+
+
+class TestEntry:
+    def test_pack_unpack_closed_entry(self):
+        entry = Entry(oid=7, x=100, y=200, s=5000, d=42)
+        assert Entry.unpack(entry.pack()) == entry
+
+    def test_pack_unpack_current_entry(self):
+        entry = Entry(oid=7, x=100, y=200, s=5000, d=None)
+        assert Entry.unpack(entry.pack()) == entry
+
+    def test_payload_is_fixed_size(self):
+        assert len(Entry(1, 2, 3, 4, 5).pack()) == RECORD_SIZE
+        assert len(Entry(1, 2, 3, 4, None).pack()) == RECORD_SIZE
+
+    def test_is_current(self):
+        assert Entry(1, 0, 0, 0, None).is_current
+        assert not Entry(1, 0, 0, 0, 5).is_current
+
+    def test_end_of_closed_entry(self):
+        assert Entry(1, 0, 0, 10, 5).end == 15
+
+    def test_end_of_current_entry_is_infinite(self):
+        assert Entry(1, 0, 0, 10, None).end == float("inf")
+
+    def test_valid_at_half_open_interval(self):
+        entry = Entry(1, 0, 0, 10, 5)
+        assert not entry.valid_at(9)
+        assert entry.valid_at(10)
+        assert entry.valid_at(14)
+        assert not entry.valid_at(15)
+
+    def test_current_entry_valid_from_start_onwards(self):
+        entry = Entry(1, 0, 0, 10, None)
+        assert not entry.valid_at(9)
+        assert entry.valid_at(10 ** 9)
+
+    def test_valid_during_overlap_semantics(self):
+        entry = Entry(1, 0, 0, 10, 5)  # valid [10, 15)
+        assert entry.valid_during(0, 10)      # touches start
+        assert entry.valid_during(14, 20)     # touches end - 1
+        assert not entry.valid_during(15, 20)  # starts at exclusive end
+        assert not entry.valid_during(0, 9)
+
+    def test_entries_are_hashable_and_frozen(self):
+        entry = Entry(1, 2, 3, 4, 5)
+        assert hash(entry) == hash(Entry(1, 2, 3, 4, 5))
+        with pytest.raises(AttributeError):
+            entry.x = 10
+
+
+class TestRect:
+    def test_contains_is_closed(self):
+        rect = Rect(0, 0, 10, 10)
+        assert rect.contains(0, 0)
+        assert rect.contains(10, 10)
+        assert not rect.contains(11, 5)
+
+    def test_empty_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 4, 10)
+
+    def test_degenerate_point_rect_allowed(self):
+        rect = Rect(3, 3, 3, 3)
+        assert rect.contains(3, 3)
+        assert rect.area() == 1
+
+    def test_intersects_symmetry(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 20, 20)
+        c = Rect(11, 0, 20, 10)
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c) and not c.intersects(a)
+
+    def test_touching_edges_intersect(self):
+        assert Rect(0, 0, 5, 5).intersects(Rect(5, 5, 9, 9))
+
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 20, 20)
+        assert a.intersection(b) == Rect(5, 5, 10, 10)
+        assert a.intersection(Rect(11, 11, 12, 12)) is None
+
+    def test_covers(self):
+        assert Rect(0, 0, 10, 10).covers(Rect(2, 2, 8, 8))
+        assert Rect(0, 0, 10, 10).covers(Rect(0, 0, 10, 10))
+        assert not Rect(0, 0, 10, 10).covers(Rect(2, 2, 11, 8))
+
+    def test_area_counts_integer_points(self):
+        assert Rect(0, 0, 1, 1).area() == 4
+        assert Rect(0, 0, 9, 0).area() == 10

@@ -1,0 +1,64 @@
+"""End-to-end correctness under a tiny buffer pool.
+
+With capacity for only a handful of pages, every operation churns the
+cache (evictions + write-backs on the hot path).  Results must be
+identical to the oracle; only *physical* IO counts may differ.
+"""
+
+import random
+
+from repro.baselines import NaiveStore
+from repro.core import Rect, SWSTConfig, SWSTIndex
+
+TINY_BUFFER = SWSTConfig(window=2000, slide=100, x_partitions=4,
+                         y_partitions=4, d_max=300, duration_interval=50,
+                         space=Rect(0, 0, 999, 999), page_size=1024,
+                         buffer_capacity=4)
+
+
+def test_oracle_agreement_with_four_page_buffer(tmp_path):
+    rng = random.Random(17)
+    index = SWSTIndex(TINY_BUFFER, path=str(tmp_path / "tiny.db"))
+    oracle = NaiveStore(TINY_BUFFER)
+    t = 0
+    for _ in range(1500):
+        t += rng.randrange(0, 4)
+        oid = rng.randrange(20)
+        x, y = rng.randrange(1000), rng.randrange(1000)
+        index.report(oid, x, y, t)
+        oracle.report(oid, x, y, t)
+    survivors = index.current_objects()
+    oracle.current = {oid: e for oid, e in oracle.current.items()
+                      if oid in survivors}
+    q_lo, q_hi = TINY_BUFFER.queriable_period(index.now)
+    for _ in range(40):
+        x0, y0 = rng.randrange(700), rng.randrange(700)
+        area = Rect(x0, y0, x0 + 250, y0 + 250)
+        t_lo = rng.randrange(q_lo, q_hi + 1)
+        t_hi = t_lo + rng.randrange(0, 400)
+        got = {(e.oid, e.s) for e in index.query_interval(area, t_lo, t_hi)}
+        expected = {(e.oid, e.s)
+                    for e in oracle.query_interval(area, t_lo, t_hi)}
+        assert got == expected
+    # Eviction pressure really happened.
+    assert index.stats.physical_writes > 0
+    assert index.stats.physical_reads > 0
+    index.check_integrity()
+    index.close()
+
+
+def test_save_and_reopen_with_tiny_buffer(tmp_path):
+    path = str(tmp_path / "tiny2.db")
+    index = SWSTIndex(TINY_BUFFER, path=path)
+    rng = random.Random(18)
+    t = 0
+    for _ in range(400):
+        t += rng.randrange(0, 4)
+        index.report(rng.randrange(10), rng.randrange(1000),
+                     rng.randrange(1000), t)
+    before = sorted((e.oid, e.s) for e in index.scan())
+    index.save()
+    index.close()
+    reopened = SWSTIndex.open(path, TINY_BUFFER)
+    assert sorted((e.oid, e.s) for e in reopened.scan()) == before
+    reopened.close()

@@ -1,0 +1,69 @@
+"""Tuning advisor: the paper's parameter guidance as executable checks."""
+
+import pytest
+
+from repro.core import Rect, SWSTConfig
+from repro.core.tuning import (RECOMMENDED_CELLS, memo_bytes_per_cell,
+                               memo_bytes_total, suggest_config)
+
+PAPER_CFG = SWSTConfig(window=20000, slide=100, d_max=2000,
+                       duration_interval=100)
+
+
+class TestMemoFootprint:
+    def test_per_cell_formula(self):
+        # 2 * 16 * Sp * Dp with Sp=201, Dp=20.
+        assert memo_bytes_per_cell(PAPER_CFG) == 2 * 16 * 201 * 20
+
+    def test_total_matches_paper_order_of_magnitude(self):
+        # Paper Section V-E: "the total space for maintaining statistical
+        # information was 25 MB" at 400 cells.  With exact ceilings we get
+        # ~49 MiB for both windows (the paper counts Sp=100 per tree in
+        # its arithmetic); same order, same no-growth property.
+        total = memo_bytes_total(PAPER_CFG)
+        assert 20 * (1 << 20) < total < 60 * (1 << 20)
+
+    def test_footprint_independent_of_data(self):
+        # The memo is sized by the grid, never by the dataset.
+        small = SWSTConfig(window=100, slide=10, d_max=20,
+                           duration_interval=5)
+        assert memo_bytes_total(small) == \
+            memo_bytes_total(SWSTConfig(window=100, slide=10, d_max=20,
+                                        duration_interval=5))
+
+
+class TestSuggest:
+    def test_cells_in_recommended_band(self):
+        advice = suggest_config(Rect(0, 0, 9999, 9999), window=20000,
+                                slide=100, d_max=2000)
+        assert RECOMMENDED_CELLS[0] <= advice.cells <= RECOMMENDED_CELLS[1]
+
+    def test_dp_near_paper_default(self):
+        advice = suggest_config(Rect(0, 0, 9999, 9999), window=20000,
+                                slide=100, d_max=2000)
+        assert advice.config.dp == 20
+
+    def test_suggested_config_is_usable(self):
+        from repro.core import SWSTIndex
+        advice = suggest_config(Rect(0, 0, 999, 999), window=1000,
+                                slide=50, d_max=100, page_size=1024)
+        index = SWSTIndex(advice.config)
+        index.insert(1, 10, 10, 5, 20)
+        assert len(index.query_timeslice(Rect(0, 0, 999, 999), 10)) == 1
+        index.close()
+
+    def test_notes_explain_choices(self):
+        advice = suggest_config(Rect(0, 0, 9999, 9999), window=20000,
+                                slide=100, d_max=2000)
+        text = " ".join(advice.notes)
+        assert "grid" in text and "memo" in text
+
+    def test_small_dmax_gets_small_delta(self):
+        advice = suggest_config(Rect(0, 0, 99, 99), window=500, slide=10,
+                                d_max=10)
+        assert advice.config.duration_interval == 1
+
+    def test_bad_target_range_rejected(self):
+        with pytest.raises(ValueError):
+            suggest_config(Rect(0, 0, 99, 99), window=500, slide=10,
+                           d_max=10, target_cells=(600, 300))

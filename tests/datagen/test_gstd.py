@@ -1,0 +1,115 @@
+"""GSTD generator: ordering, determinism, distributions, duration bounds."""
+
+import pytest
+
+from repro.core import Rect
+from repro.datagen import GSTDConfig, GSTDGenerator
+
+
+def _config(**overrides):
+    defaults = dict(num_objects=50, max_time=5000, interval_lo=1,
+                    interval_hi=100, space=Rect(0, 0, 999, 999), seed=3)
+    defaults.update(overrides)
+    return GSTDConfig(**defaults)
+
+
+class TestStream:
+    def test_stream_is_time_ordered(self):
+        stream = GSTDGenerator(_config()).materialize()
+        times = [r.t for r in stream]
+        assert times == sorted(times)
+
+    def test_deterministic_for_same_seed(self):
+        a = GSTDGenerator(_config(seed=9)).materialize()
+        b = GSTDGenerator(_config(seed=9)).materialize()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = GSTDGenerator(_config(seed=1)).materialize()
+        b = GSTDGenerator(_config(seed=2)).materialize()
+        assert a != b
+
+    def test_every_object_reports(self):
+        stream = GSTDGenerator(_config()).materialize()
+        assert {r.oid for r in stream} == set(range(50))
+
+    def test_positions_inside_domain(self):
+        stream = GSTDGenerator(_config()).materialize()
+        space = Rect(0, 0, 999, 999)
+        assert all(space.contains(r.x, r.y) for r in stream)
+
+    def test_timestamps_bounded(self):
+        stream = GSTDGenerator(_config()).materialize()
+        assert all(0 <= r.t <= 5000 for r in stream)
+
+    def test_report_gaps_bounded_by_interval(self):
+        stream = GSTDGenerator(_config()).materialize()
+        last: dict[int, int] = {}
+        for report in stream:
+            if report.oid in last:
+                gap = report.t - last[report.oid]
+                assert 1 <= gap <= 100
+            last[report.oid] = report.t
+
+    def test_expected_record_count_ratio(self):
+        # ~ max_time / mean_interval reports per object.
+        cfg = _config(num_objects=20, max_time=10000, interval_lo=1,
+                      interval_hi=199)
+        stream = GSTDGenerator(cfg).materialize()
+        per_object = len(stream) / 20
+        assert 70 <= per_object <= 130  # mean interval ~100
+
+
+class TestDistributions:
+    def test_skewed_concentrates_near_origin(self):
+        uniform = GSTDGenerator(_config(initial="uniform",
+                                        agility=0.0)).materialize()
+        skewed = GSTDGenerator(_config(initial="skewed",
+                                       agility=0.0)).materialize()
+        mean_uniform = sum(r.x for r in uniform) / len(uniform)
+        mean_skewed = sum(r.x for r in skewed) / len(skewed)
+        assert mean_skewed < mean_uniform
+
+    def test_gaussian_concentrates_near_center(self):
+        stream = GSTDGenerator(_config(initial="gaussian",
+                                       agility=0.0)).materialize()
+        xs = sorted(r.x for r in stream)
+        # Middle half of the domain holds most gaussian mass.
+        inside = sum(1 for x in xs if 250 <= x <= 750)
+        assert inside / len(xs) > 0.7
+
+    def test_long_fraction_produces_long_gaps(self):
+        cfg = _config(num_objects=200, max_time=3000, interval_hi=50,
+                      long_fraction=0.5, long_interval_hi=2000)
+        stream = GSTDGenerator(cfg).materialize()
+        gaps = []
+        last: dict[int, int] = {}
+        for report in stream:
+            if report.oid in last:
+                gaps.append(report.t - last[report.oid])
+            last[report.oid] = report.t
+        assert any(g > 50 for g in gaps)
+
+    def test_wrap_boundary_keeps_domain(self):
+        stream = GSTDGenerator(_config(boundary="wrap",
+                                       agility=0.3)).materialize()
+        space = Rect(0, 0, 999, 999)
+        assert all(space.contains(r.x, r.y) for r in stream)
+
+
+class TestValidation:
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ValueError):
+            _config(initial="exponential")
+
+    def test_bad_boundary_rejected(self):
+        with pytest.raises(ValueError):
+            _config(boundary="bounce")
+
+    def test_bad_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            _config(interval_lo=10, interval_hi=5)
+
+    def test_bad_long_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            _config(long_fraction=1.5)

@@ -1,0 +1,104 @@
+"""Road-network generator: connectivity, ordering, dwell behaviour."""
+
+import pytest
+
+from repro.core import Rect
+from repro.datagen import RoadNetConfig, RoadNetGenerator
+
+
+def _config(**overrides):
+    defaults = dict(num_vehicles=20, nodes_x=6, nodes_y=6, max_time=8000,
+                    space=Rect(0, 0, 999, 999), seed=5)
+    defaults.update(overrides)
+    return RoadNetConfig(**defaults)
+
+
+class TestNetwork:
+    def test_network_is_connected(self):
+        import networkx as nx
+        gen = RoadNetGenerator(_config(removed_fraction=0.3))
+        assert nx.is_connected(gen.graph)
+
+    def test_edges_removed(self):
+        full = RoadNetGenerator(_config(removed_fraction=0.0))
+        pruned = RoadNetGenerator(_config(removed_fraction=0.3))
+        assert pruned.graph.number_of_edges() < full.graph.number_of_edges()
+
+    def test_node_positions_inside_domain(self):
+        gen = RoadNetGenerator(_config())
+        space = Rect(0, 0, 999, 999)
+        for x, y in gen._positions.values():
+            assert space.contains(x, y)
+
+
+class TestStream:
+    def test_stream_is_time_ordered(self):
+        stream = RoadNetGenerator(_config()).materialize()
+        assert [r.t for r in stream] == sorted(r.t for r in stream)
+
+    def test_deterministic(self):
+        a = RoadNetGenerator(_config(seed=9)).materialize()
+        b = RoadNetGenerator(_config(seed=9)).materialize()
+        assert a == b
+
+    def test_reports_only_at_intersections(self):
+        gen = RoadNetGenerator(_config())
+        positions = set(gen._positions.values())
+        for report in gen.materialize():
+            assert (report.x, report.y) in positions
+
+    def test_every_vehicle_reports(self):
+        stream = RoadNetGenerator(_config()).materialize()
+        assert {r.oid for r in stream} == set(range(20))
+
+    def test_consecutive_reports_are_road_neighbours_or_dwells(self):
+        gen = RoadNetGenerator(_config())
+        position_to_node = {pos: node
+                            for node, pos in gen._positions.items()}
+        last: dict[int, tuple] = {}
+        for report in gen.materialize():
+            node = position_to_node[(report.x, report.y)]
+            if report.oid in last:
+                previous = last[report.oid]
+                assert previous == node or \
+                    gen.graph.has_edge(previous, node)
+            last[report.oid] = node
+
+    def test_dwells_create_long_gaps(self):
+        cfg = _config(dwell_lo=2000, dwell_hi=3000, max_time=20000)
+        stream = RoadNetGenerator(cfg).materialize()
+        gaps = []
+        last: dict[int, int] = {}
+        for report in stream:
+            if report.oid in last:
+                gaps.append(report.t - last[report.oid])
+            last[report.oid] = report.t
+        assert max(gaps) >= 2000
+
+    def test_feeds_the_index(self):
+        from repro.core import SWSTConfig, SWSTIndex
+        cfg = SWSTConfig(window=4000, slide=100, x_partitions=4,
+                         y_partitions=4, d_max=4000, duration_interval=200,
+                         space=Rect(0, 0, 999, 999), page_size=1024)
+        index = SWSTIndex(cfg)
+        for report in RoadNetGenerator(_config()).stream():
+            index.report(report.oid, report.x, report.y, report.t)
+        index.check_integrity()
+        hits = index.query_interval(Rect(0, 0, 999, 999),
+                                    *cfg.queriable_period(index.now))
+        assert len(hits) > 0
+        index.close()
+
+
+class TestValidation:
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            _config(nodes_x=1)
+
+    def test_bad_travel_rejected(self):
+        with pytest.raises(ValueError):
+            _config(travel_lo=10, travel_hi=5)
+
+    def test_bad_removed_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            _config(removed_fraction=0.6)

@@ -1,0 +1,111 @@
+"""Query workload generation: extents, placement inside the window."""
+
+import math
+
+import pytest
+
+from repro.core import SWSTConfig
+from repro.datagen import WorkloadConfig, generate_queries
+
+CFG = SWSTConfig(window=20000, slide=100)
+
+
+class TestGeneration:
+    def test_count(self):
+        queries = generate_queries(CFG, WorkloadConfig(count=37), now=50000)
+        assert len(queries) == 37
+
+    def test_spatial_extent_matches_fraction(self):
+        workload = WorkloadConfig(spatial_extent=0.01)
+        queries = generate_queries(CFG, workload, now=50000)
+        domain_area = 10000 * 10000
+        for query in queries:
+            area = ((query.area.x_hi - query.area.x_lo)
+                    * (query.area.y_hi - query.area.y_lo))
+            assert area / domain_area == pytest.approx(0.01, rel=0.05)
+
+    def test_temporal_extent_matches_fraction(self):
+        workload = WorkloadConfig(temporal_extent=0.10,
+                                  temporal_domain=100_000)
+        queries = generate_queries(CFG, workload, now=50000)
+        for query in queries:
+            assert query.t_hi - query.t_lo <= 10_000
+        assert any(q.t_hi - q.t_lo > 9000 for q in queries)
+
+    def test_zero_temporal_extent_gives_timeslices(self):
+        workload = WorkloadConfig(temporal_extent=0.0)
+        queries = generate_queries(CFG, workload, now=50000)
+        assert all(q.is_timeslice for q in queries)
+
+    def test_queries_inside_queriable_period(self):
+        workload = WorkloadConfig(temporal_extent=0.10)
+        queries = generate_queries(CFG, workload, now=50000)
+        q_lo, q_hi = CFG.queriable_period(50000)
+        for query in queries:
+            assert q_lo <= query.t_lo <= query.t_hi <= q_hi
+
+    def test_queries_inside_spatial_domain(self):
+        queries = generate_queries(CFG, WorkloadConfig(spatial_extent=0.04),
+                                   now=50000)
+        for query in queries:
+            assert CFG.space.covers(query.area)
+
+    def test_deterministic_by_seed(self):
+        a = generate_queries(CFG, WorkloadConfig(seed=5), now=50000)
+        b = generate_queries(CFG, WorkloadConfig(seed=5), now=50000)
+        assert a == b
+        c = generate_queries(CFG, WorkloadConfig(seed=6), now=50000)
+        assert a != c
+
+    def test_interval_longer_than_window_is_clipped(self):
+        workload = WorkloadConfig(temporal_extent=0.5,
+                                  temporal_domain=100_000)
+        queries = generate_queries(CFG, workload, now=50000)
+        q_lo, q_hi = CFG.queriable_period(50000)
+        for query in queries:
+            assert query.t_hi <= q_hi
+
+
+class TestPlacement:
+    def test_gaussian_placement_concentrates_centrally(self):
+        uniform = generate_queries(CFG, WorkloadConfig(count=300),
+                                   now=50000)
+        gaussian = generate_queries(
+            CFG, WorkloadConfig(count=300, placement="gaussian"),
+            now=50000)
+        def spread(queries):
+            centers = [(q.area.x_lo + q.area.x_hi) / 2 for q in queries]
+            mean = sum(centers) / len(centers)
+            return sum((c - mean) ** 2 for c in centers) / len(centers)
+        assert spread(gaussian) < spread(uniform)
+
+    def test_skewed_placement_biases_toward_origin(self):
+        skewed = generate_queries(
+            CFG, WorkloadConfig(count=300, placement="skewed"), now=50000)
+        centers = [(q.area.x_lo + q.area.x_hi) / 2 for q in skewed]
+        assert sum(centers) / len(centers) < 5000
+
+    def test_placement_queries_stay_in_domain(self):
+        for placement in ("uniform", "gaussian", "skewed"):
+            queries = generate_queries(
+                CFG, WorkloadConfig(count=100, placement=placement),
+                now=50000)
+            assert all(CFG.space.covers(q.area) for q in queries)
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(placement="zipf")
+
+
+class TestValidation:
+    def test_bad_spatial_extent(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(spatial_extent=0.0)
+
+    def test_bad_temporal_extent(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(temporal_extent=1.2)
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(count=0)

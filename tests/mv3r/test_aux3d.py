@@ -1,0 +1,50 @@
+"""LeafDirectory: the auxiliary 3D R-tree over frozen MVR leaves."""
+
+import pytest
+
+from repro.core import Rect
+from repro.mv3r import LeafDirectory
+from repro.storage import MEMORY, BufferPool, Pager
+
+
+@pytest.fixture
+def directory():
+    pool = BufferPool(Pager(MEMORY, page_size=1024), capacity=64)
+    return LeafDirectory(pool)
+
+
+class TestDirectory:
+    def test_empty_directory(self, directory):
+        assert len(directory) == 0
+        assert directory.search(Rect(0, 0, 100, 100), 0, 100) == []
+
+    def test_registered_leaf_found_by_space_and_time(self, directory):
+        directory.add_dead_leaf(7, Rect(10, 10, 50, 50), 100, 200)
+        assert directory.search(Rect(0, 0, 100, 100), 150, 160) == [7]
+
+    def test_spatially_disjoint_leaf_skipped(self, directory):
+        directory.add_dead_leaf(7, Rect(10, 10, 50, 50), 100, 200)
+        assert directory.search(Rect(60, 60, 100, 100), 150, 160) == []
+
+    def test_temporally_disjoint_leaf_skipped(self, directory):
+        directory.add_dead_leaf(7, Rect(10, 10, 50, 50), 100, 200)
+        assert directory.search(Rect(0, 0, 100, 100), 201, 300) == []
+
+    def test_many_leaves(self, directory):
+        for i in range(200):
+            directory.add_dead_leaf(i, Rect(i, i, i + 5, i + 5),
+                                    i * 10, i * 10 + 20)
+        assert len(directory) == 200
+        hits = directory.search(Rect(50, 50, 60, 60), 500, 600)
+        assert hits and all(45 <= page <= 60 for page in hits)
+
+    def test_degenerate_lifetime_clamped(self, directory):
+        # birth == death must still produce a valid box.
+        directory.add_dead_leaf(1, Rect(0, 0, 1, 1), 100, 100)
+        assert directory.search(Rect(0, 0, 5, 5), 100, 100) == [1]
+
+    def test_node_count_grows(self, directory):
+        before = directory.node_count()
+        for i in range(300):
+            directory.add_dead_leaf(i, Rect(0, 0, 1000, 1000), 0, 10)
+        assert directory.node_count() > before

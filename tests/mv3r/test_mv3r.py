@@ -1,0 +1,127 @@
+"""MV3R facade: both query paths vs oracle; structural limitations."""
+
+import random
+
+import pytest
+
+from repro.core import Rect
+from repro.mv3r import MV3RTree
+
+EVERYWHERE = Rect(0, 0, 10 ** 6, 10 ** 6)
+
+
+def _drive(index, reports=2500, objects=35, seed=2):
+    rng = random.Random(seed)
+    t = 0
+    history = []
+    cur = {}
+    for _ in range(reports):
+        t += rng.randrange(0, 3)
+        oid = rng.randrange(objects)
+        x, y = rng.randrange(800), rng.randrange(800)
+        if oid in cur:
+            history.append((oid, *cur[oid], t))
+        index.report(oid, x, y, t)
+        cur[oid] = (x, y, t)
+    return history, cur, t
+
+
+def _oracle(history, cur, area, t_lo, t_hi):
+    out = {(o, ts) for o, x, y, ts, te in history
+           if ts <= t_hi and te > t_lo and area.contains(x, y)}
+    out |= {(o, ts) for o, (x, y, ts) in cur.items()
+            if ts <= t_hi and area.contains(x, y)}
+    return out
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    index = MV3RTree(page_size=1024, buffer_capacity=512)
+    history, cur, now = _drive(index)
+    return index, history, cur, now
+
+
+class TestQueries:
+    def test_interval_mvr_path_matches_oracle(self, loaded):
+        index, history, cur, now = loaded
+        rng = random.Random(5)
+        for _ in range(40):
+            x0, y0 = rng.randrange(600), rng.randrange(600)
+            area = Rect(x0, y0, x0 + 150, y0 + 150)
+            t_lo = rng.randrange(now + 1)
+            t_hi = t_lo + rng.randrange(0, 1500)
+            got = {(e.oid, e.s) for e in
+                   index.query_interval(area, t_lo, t_hi, use_aux=False)}
+            assert got == _oracle(history, cur, area, t_lo, t_hi)
+
+    def test_interval_aux_path_matches_oracle(self, loaded):
+        index, history, cur, now = loaded
+        rng = random.Random(6)
+        for _ in range(40):
+            x0, y0 = rng.randrange(600), rng.randrange(600)
+            area = Rect(x0, y0, x0 + 150, y0 + 150)
+            t_lo = rng.randrange(now + 1)
+            t_hi = t_lo + rng.randrange(0, 1500)
+            got = {(e.oid, e.s) for e in
+                   index.query_interval(area, t_lo, t_hi, use_aux=True)}
+            assert got == _oracle(history, cur, area, t_lo, t_hi)
+
+    def test_timeslice_matches_oracle(self, loaded):
+        index, history, cur, now = loaded
+        rng = random.Random(7)
+        for _ in range(40):
+            x0, y0 = rng.randrange(600), rng.randrange(600)
+            area = Rect(x0, y0, x0 + 200, y0 + 200)
+            t = rng.randrange(now + 1)
+            got = {(e.oid, e.s) for e in index.query_timeslice(area, t)}
+            assert got == _oracle(history, cur, area, t, t)
+
+    def test_current_entries_have_none_duration(self, loaded):
+        index, _, cur, now = loaded
+        hits = index.query_timeslice(EVERYWHERE, now)
+        current_hits = {e.oid for e in hits if e.d is None}
+        assert current_hits == set(cur)
+
+    def test_auto_routing_uses_aux_for_long_intervals(self, loaded):
+        index, history, cur, now = loaded
+        area = Rect(0, 0, 400, 400)
+        auto = {(e.oid, e.s) for e in index.query_interval(area, 0, now)}
+        assert auto == _oracle(history, cur, area, 0, now)
+
+
+class TestStructure:
+    def test_size_tracks_reports(self):
+        index = MV3RTree(page_size=1024)
+        _drive(index, reports=100, seed=3)
+        assert len(index) == 100
+        index.close()
+
+    def test_aux_tree_populates_on_leaf_deaths(self, loaded):
+        index, *_ = loaded
+        assert index.aux is not None
+        assert len(index.aux) > 0
+
+    def test_without_aux_interval_still_correct(self):
+        index = MV3RTree(page_size=1024, use_aux=False)
+        history, cur, now = _drive(index, reports=800, seed=4)
+        area = Rect(100, 100, 500, 500)
+        got = {(e.oid, e.s) for e in index.query_interval(area, 0, now)}
+        assert got == _oracle(history, cur, area, 0, now)
+        index.close()
+
+    def test_node_count_grows_without_reclamation(self):
+        # The paper's point: MV3R's footprint only grows; there is no
+        # window maintenance path at all.
+        index = MV3RTree(page_size=1024)
+        sizes = []
+        rng = random.Random(11)
+        t = 0
+        for chunk in range(4):
+            for _ in range(400):
+                t += rng.randrange(0, 3)
+                index.report(rng.randrange(20), rng.randrange(500),
+                             rng.randrange(500), t)
+            sizes.append(index.node_count())
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+        index.close()

@@ -1,0 +1,131 @@
+"""Multi-version R-tree: version splits, partial persistency, queries."""
+
+import random
+
+import pytest
+
+from repro.core import Rect
+from repro.mv3r import INF, MVRTree
+from repro.storage import MEMORY, BufferPool, Pager
+
+EVERYWHERE = Rect(0, 0, 10 ** 6, 10 ** 6)
+
+
+@pytest.fixture
+def tree():
+    pool = BufferPool(Pager(MEMORY, page_size=512), capacity=256)
+    return MVRTree(pool)
+
+
+class TestBasics:
+    def test_insert_and_timeslice(self, tree):
+        tree.insert(1, 10, 20, 100)
+        hits = tree.query_timeslice(EVERYWHERE, 150)
+        assert [(e.oid, e.x, e.y) for e in hits] == [(1, 10, 20)]
+
+    def test_entry_not_alive_before_start(self, tree):
+        tree.insert(1, 10, 20, 100)
+        assert tree.query_timeslice(EVERYWHERE, 99) == []
+
+    def test_logical_delete_closes_entry(self, tree):
+        tree.insert(1, 10, 20, 100)
+        assert tree.logical_delete(1, 150)
+        assert tree.query_timeslice(EVERYWHERE, 149)
+        assert tree.query_timeslice(EVERYWHERE, 150) == []
+
+    def test_logical_delete_unknown_object(self, tree):
+        assert not tree.logical_delete(42, 10)
+
+    def test_report_is_update_plus_insert(self, tree):
+        tree.report(1, 10, 20, 100)
+        tree.report(1, 30, 40, 150)
+        at_120 = tree.query_timeslice(EVERYWHERE, 120)
+        at_160 = tree.query_timeslice(EVERYWHERE, 160)
+        assert [(e.x, e.y) for e in at_120] == [(10, 20)]
+        assert [(e.x, e.y) for e in at_160] == [(30, 40)]
+
+    def test_out_of_order_insert_rejected(self, tree):
+        tree.insert(1, 10, 20, 100)
+        with pytest.raises(ValueError):
+            tree.insert(2, 10, 20, 99)
+
+    def test_closed_entry_insert(self, tree):
+        tree.insert(1, 10, 20, 100, te=130)
+        assert tree.query_timeslice(EVERYWHERE, 120)
+        assert tree.query_timeslice(EVERYWHERE, 130) == []
+
+
+class TestVersionSplits:
+    def _fill(self, tree, reports=3000, objects=30, seed=1):
+        rng = random.Random(seed)
+        t = tree.now
+        history = []
+        cur = {}
+        for _ in range(reports):
+            t += rng.randrange(0, 3)
+            oid = rng.randrange(objects)
+            x, y = rng.randrange(500), rng.randrange(500)
+            if oid in cur:
+                history.append((oid, *cur[oid], t))  # oid,x,y,ts,te
+            tree.report(oid, x, y, t)
+            cur[oid] = (x, y, t)
+        return history, cur, t
+
+    def test_roots_accumulate(self, tree):
+        self._fill(tree)
+        assert len(tree.roots) > 1
+        # Root version intervals partition [0, now).
+        for (_, _, prev_end), (_, start, _) in zip(tree.roots,
+                                                   tree.roots[1:]):
+            assert prev_end == start
+        assert tree.roots[-1][2] == INF
+
+    def test_pages_never_reclaimed(self, tree):
+        # Partial persistency: node count only grows (paper Section IV-A).
+        counts = []
+        for _ in range(4):
+            self_history = self._fill(tree, reports=500,
+                                      seed=len(counts) + 10)
+            counts.append(tree.node_count())
+        assert counts == sorted(counts)
+
+    def test_history_matches_oracle_after_splits(self, tree):
+        history, cur, now = self._fill(tree)
+        rng = random.Random(99)
+        for _ in range(60):
+            t = rng.randrange(0, now + 1)
+            x0, y0 = rng.randrange(400), rng.randrange(400)
+            area = Rect(x0, y0, x0 + 120, y0 + 120)
+            expected = {(o, ts) for o, x, y, ts, te in history
+                        if ts <= t < te and area.contains(x, y)}
+            expected |= {(o, ts) for o, (x, y, ts) in cur.items()
+                         if ts <= t and area.contains(x, y)}
+            got = {(e.oid, e.ts) for e in tree.query_timeslice(area, t)}
+            assert got == expected
+
+    def test_interval_queries_deduplicate_copies(self, tree):
+        history, cur, now = self._fill(tree)
+        hits = tree.query_interval(EVERYWHERE, 0, now)
+        keys = [(e.oid, e.ts) for e in hits]
+        assert len(keys) == len(set(keys))
+
+    def test_alive_leaves_cover_current_objects(self, tree):
+        _, cur, _ = self._fill(tree)
+        alive_pages = set(tree.alive_leaves())
+        for oid in cur:
+            assert tree._alive_leaf[oid] in alive_pages
+
+    def test_invariants_hold_through_heavy_churn(self, tree):
+        self._fill(tree, reports=2000, seed=21)
+        tree.check_invariants()
+        self._fill(tree, reports=2000, seed=22)
+        tree.check_invariants()
+
+    def test_invariant_checker_detects_corruption(self, tree):
+        self._fill(tree, reports=500, seed=23)
+        # Corrupt the alive-leaf map.
+        oid = next(iter(tree._alive_leaf))
+        tree._alive_leaf[oid + 10_000] = tree._alive_leaf[oid]
+        import pytest
+        with pytest.raises(AssertionError):
+            tree.check_invariants()

@@ -1,0 +1,66 @@
+"""N-dimensional boxes: set operations and measures."""
+
+import pytest
+
+from repro.rtree import Box, union_all
+
+
+class TestConstruction:
+    def test_point_box(self):
+        box = Box.point(3, 4, 5)
+        assert box.lo == box.hi == (3, 4, 5)
+        assert box.ndim == 3
+
+    def test_empty_box_rejected(self):
+        with pytest.raises(ValueError):
+            Box((5, 0), (4, 10))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1, 1, 1))
+
+
+class TestSetOperations:
+    def test_intersects_closed_semantics(self):
+        a = Box((0, 0), (5, 5))
+        assert a.intersects(Box((5, 5), (9, 9)))  # touching corners
+        assert not a.intersects(Box((6, 0), (9, 9)))
+
+    def test_intersects_3d(self):
+        a = Box((0, 0, 0), (10, 10, 10))
+        assert a.intersects(Box((5, 5, 10), (6, 6, 20)))
+        assert not a.intersects(Box((5, 5, 11), (6, 6, 20)))
+
+    def test_contains(self):
+        outer = Box((0, 0), (10, 10))
+        assert outer.contains(Box((2, 3), (4, 5)))
+        assert outer.contains(outer)
+        assert not outer.contains(Box((2, 3), (11, 5)))
+
+    def test_union(self):
+        a = Box((0, 0), (2, 2))
+        b = Box((5, 1), (6, 9))
+        assert a.union(b) == Box((0, 0), (6, 9))
+
+    def test_union_all(self):
+        boxes = [Box.point(1, 1), Box.point(9, 0), Box.point(4, 7)]
+        assert union_all(boxes) == Box((1, 0), (9, 7))
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            union_all([])
+
+
+class TestMeasures:
+    def test_volume(self):
+        assert Box((0, 0), (2, 3)).volume() == 6
+        assert Box((0, 0, 0), (2, 3, 4)).volume() == 24
+        assert Box.point(5, 5).volume() == 0
+
+    def test_margin(self):
+        assert Box((0, 0), (2, 3)).margin() == 5
+
+    def test_enlargement(self):
+        a = Box((0, 0), (2, 2))
+        assert a.enlargement(Box((0, 0), (1, 1))) == 0
+        assert a.enlargement(Box((0, 0), (4, 2))) == 4

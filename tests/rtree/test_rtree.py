@@ -1,0 +1,135 @@
+"""Disk R-tree: inserts, window search, deletes, structural invariants."""
+
+import random
+
+import pytest
+
+from repro.rtree import Box, RTree
+from repro.storage import MEMORY, BufferPool, Pager
+
+PAYLOAD = 8
+
+
+def payload(i: int) -> bytes:
+    return i.to_bytes(PAYLOAD, "little")
+
+
+@pytest.fixture
+def pool():
+    return BufferPool(Pager(MEMORY, page_size=1024), capacity=256)
+
+
+@pytest.fixture
+def tree(pool):
+    return RTree(pool, ndim=2, payload_size=PAYLOAD)
+
+
+def random_boxes(n, seed=0, size=20, domain=1000):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        x, y = rng.randrange(domain), rng.randrange(domain)
+        out.append((Box((x, y), (x + rng.randrange(size),
+                                 y + rng.randrange(size))), payload(i)))
+    return out
+
+
+class TestInsertSearch:
+    def test_empty_tree(self, tree):
+        assert tree.search(Box((0, 0), (10 ** 6, 10 ** 6))) == []
+
+    def test_single_entry(self, tree):
+        tree.insert(Box((5, 5), (10, 10)), payload(1))
+        assert tree.search(Box((0, 0), (7, 7))) == \
+            [(Box((5, 5), (10, 10)), payload(1))]
+
+    def test_search_misses_disjoint(self, tree):
+        tree.insert(Box((5, 5), (10, 10)), payload(1))
+        assert tree.search(Box((11, 11), (20, 20))) == []
+
+    def test_bulk_matches_linear_scan(self, tree):
+        data = random_boxes(1500, seed=1)
+        for box, pay in data:
+            tree.insert(box, pay)
+        for probe, _ in random_boxes(40, seed=2, size=120):
+            expected = sorted(p for b, p in data if b.intersects(probe))
+            got = sorted(p for _, p in tree.search(probe))
+            assert got == expected
+
+    def test_invariants_after_many_splits(self, tree):
+        for box, pay in random_boxes(2000, seed=3):
+            tree.insert(box, pay)
+        tree.check_invariants()
+        assert tree.node_count() > 1
+
+    def test_wrong_dimensionality_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.insert(Box((0, 0, 0), (1, 1, 1)), payload(0))
+
+    def test_wrong_payload_size_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.insert(Box((0, 0), (1, 1)), b"xy")
+
+    def test_len_counts_entries(self, tree):
+        for box, pay in random_boxes(100, seed=4):
+            tree.insert(box, pay)
+        assert len(tree) == 100
+
+
+class TestDelete:
+    def test_delete_existing(self, tree):
+        tree.insert(Box((5, 5), (10, 10)), payload(1))
+        assert tree.delete(Box((5, 5), (10, 10)), payload(1))
+        assert tree.search(Box((0, 0), (20, 20))) == []
+
+    def test_delete_missing_returns_false(self, tree):
+        tree.insert(Box((5, 5), (10, 10)), payload(1))
+        assert not tree.delete(Box((5, 5), (10, 10)), payload(2))
+        assert not tree.delete(Box((0, 0), (1, 1)), payload(1))
+
+    def test_delete_half_then_search(self, tree):
+        data = random_boxes(800, seed=5)
+        for box, pay in data:
+            tree.insert(box, pay)
+        rng = random.Random(6)
+        rng.shuffle(data)
+        removed, kept = data[:400], data[400:]
+        for box, pay in removed:
+            assert tree.delete(box, pay)
+        tree.check_invariants()
+        for probe, _ in random_boxes(30, seed=7, size=150):
+            expected = sorted(p for b, p in kept if b.intersects(probe))
+            got = sorted(p for _, p in tree.search(probe))
+            assert got == expected
+
+    def test_delete_everything(self, tree):
+        data = random_boxes(300, seed=8)
+        for box, pay in data:
+            tree.insert(box, pay)
+        for box, pay in data:
+            assert tree.delete(box, pay)
+        assert len(tree) == 0
+
+
+class Test3D:
+    def test_3d_time_axis_search(self, pool):
+        tree = RTree(pool, ndim=3, payload_size=PAYLOAD)
+        # A point that exists during [100, 200].
+        tree.insert(Box((5, 5, 100), (5, 5, 200)), payload(1))
+        assert tree.search(Box((0, 0, 150), (10, 10, 150)))
+        assert not tree.search(Box((0, 0, 201), (10, 10, 300)))
+
+    def test_3d_bulk(self, pool):
+        tree = RTree(pool, ndim=3, payload_size=PAYLOAD)
+        rng = random.Random(9)
+        data = []
+        for i in range(600):
+            x, y, t = rng.randrange(100), rng.randrange(100), \
+                rng.randrange(1000)
+            box = Box((x, y, t), (x, y, t + rng.randrange(50)))
+            tree.insert(box, payload(i))
+            data.append((box, payload(i)))
+        probe = Box((20, 20, 100), (60, 60, 400))
+        expected = sorted(p for b, p in data if b.intersects(probe))
+        assert sorted(p for _, p in tree.search(probe)) == expected
+        tree.check_invariants()

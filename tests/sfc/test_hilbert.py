@@ -1,0 +1,84 @@
+"""Hilbert curve: bijectivity, locality, and the corner-property violation
+that disqualifies it for SWST key ranges (paper Section III-B.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import hc_decode, hc_encode, zc_encode
+
+coord = st.integers(0, (1 << 16) - 1)
+
+
+class TestEncodeDecode:
+    def test_origin_is_zero(self):
+        assert hc_encode(0, 0) == 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(coord, coord)
+    def test_round_trip(self, x, y):
+        assert hc_decode(hc_encode(x, y)) == (x, y)
+
+    def test_bijective_on_small_grid(self):
+        values = {hc_encode(x, y, order=4)
+                  for x in range(16) for y in range(16)}
+        assert values == set(range(256))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hc_encode(1 << 16, 0)
+        with pytest.raises(ValueError):
+            hc_decode(1 << 32)
+
+    def test_curve_is_continuous(self):
+        # Consecutive Hilbert distances map to 4-adjacent points.
+        prev = hc_decode(0, order=4)
+        for d in range(1, 256):
+            cur = hc_decode(d, order=4)
+            assert abs(cur[0] - prev[0]) + abs(cur[1] - prev[1]) == 1
+            prev = cur
+
+    def test_zcurve_is_not_continuous(self):
+        # Contrast: the Z-curve jumps (the long diagonal seams).
+        jumps = 0
+        prev = (0, 0)
+        for z in range(1, 256):
+            from repro.sfc import zc_decode
+            cur = zc_decode(z, order=4)
+            if abs(cur[0] - prev[0]) + abs(cur[1] - prev[1]) > 1:
+                jumps += 1
+            prev = cur
+        assert jumps > 0
+
+
+class TestCornerPropertyViolation:
+    def test_hilbert_violates_rectangle_corner_property(self):
+        """There exists a rectangle where an interior point has a Hilbert
+        value above the upper-right corner's or below the lower-left's —
+        the paper's Fig. 2 argument for choosing the Z-curve."""
+        violations = 0
+        order = 3
+        size = 1 << order
+        for x_lo in range(size):
+            for y_lo in range(size):
+                for x_hi in range(x_lo, size):
+                    for y_hi in range(y_lo, size):
+                        lo = hc_encode(x_lo, y_lo, order=order)
+                        hi = hc_encode(x_hi, y_hi, order=order)
+                        for x in range(x_lo, x_hi + 1):
+                            for y in range(y_lo, y_hi + 1):
+                                h = hc_encode(x, y, order=order)
+                                if not (min(lo, hi) <= h <= max(lo, hi)):
+                                    violations += 1
+        assert violations > 0
+
+    def test_zcurve_never_violates_on_same_grid(self):
+        order = 3
+        size = 1 << order
+        for x_lo in range(size):
+            for y_lo in range(size):
+                for x_hi in range(x_lo, size):
+                    for y_hi in range(y_lo, size):
+                        lo = zc_encode(x_lo, y_lo, order=order)
+                        hi = zc_encode(x_hi, y_hi, order=order)
+                        assert lo <= hi

@@ -1,0 +1,95 @@
+"""Z-curve: bijectivity, monotonicity, the rectangle corner property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import zc_decode, zc_encode, zc_in_rect, zc_range
+
+coord = st.integers(0, (1 << 16) - 1)
+
+
+class TestEncodeDecode:
+    def test_origin_is_zero(self):
+        assert zc_encode(0, 0) == 0
+
+    def test_known_small_values(self):
+        # x bits land in even positions, y bits in odd positions.
+        assert zc_encode(1, 0) == 1
+        assert zc_encode(0, 1) == 2
+        assert zc_encode(1, 1) == 3
+        assert zc_encode(2, 0) == 4
+        assert zc_encode(3, 3) == 15
+
+    @settings(max_examples=200, deadline=None)
+    @given(coord, coord)
+    def test_round_trip(self, x, y):
+        assert zc_decode(zc_encode(x, y)) == (x, y)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            zc_encode(1 << 16, 0)
+        with pytest.raises(ValueError):
+            zc_encode(0, -1)
+        with pytest.raises(ValueError):
+            zc_decode(1 << 32)
+
+    def test_custom_order(self):
+        assert zc_encode(3, 3, order=2) == 15
+        assert zc_decode(15, order=2) == (3, 3)
+
+
+class TestMonotonicity:
+    """The property SWST needs: zc is monotone in each coordinate, so a
+    rectangle's lower-left corner carries the minimum Z-value and its
+    upper-right corner the maximum (paper Fig. 2)."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(coord, coord, st.integers(1, 100))
+    def test_monotone_in_x(self, x, y, step):
+        if x + step < (1 << 16):
+            assert zc_encode(x + step, y) > zc_encode(x, y)
+
+    @settings(max_examples=200, deadline=None)
+    @given(coord, coord, st.integers(1, 100))
+    def test_monotone_in_y(self, x, y, step):
+        if y + step < (1 << 16):
+            assert zc_encode(x, y + step) > zc_encode(x, y)
+
+    def test_corner_property_exhaustive_small(self):
+        # Every point of every rectangle in an 8x8 grid lies inside the
+        # [zc(lower-left), zc(upper-right)] range.
+        for x_lo in range(8):
+            for y_lo in range(8):
+                for x_hi in range(x_lo, 8):
+                    for y_hi in range(y_lo, 8):
+                        lo, hi = zc_range(x_lo, y_lo, x_hi, y_hi, order=3)
+                        for x in range(x_lo, x_hi + 1):
+                            for y in range(y_lo, y_hi + 1):
+                                z = zc_encode(x, y, order=3)
+                                assert lo <= z <= hi
+
+
+class TestRange:
+    def test_range_endpoints(self):
+        lo, hi = zc_range(2, 3, 10, 12)
+        assert lo == zc_encode(2, 3)
+        assert hi == zc_encode(10, 12)
+
+    def test_empty_rectangle_rejected(self):
+        with pytest.raises(ValueError):
+            zc_range(5, 5, 4, 5)
+
+    def test_range_may_contain_outside_points(self):
+        # The classic false-positive: the Z range of a thin rectangle
+        # covers z-values of points outside it — why SWST needs the
+        # refinement step.
+        lo, hi = zc_range(0, 1, 3, 1, order=2)
+        outside = [z for z in range(lo, hi + 1)
+                   if not zc_in_rect(z, 0, 1, 3, 1, order=2)]
+        assert outside  # refinement is genuinely necessary
+
+    def test_zc_in_rect(self):
+        z = zc_encode(5, 6)
+        assert zc_in_rect(z, 0, 0, 10, 10)
+        assert not zc_in_rect(z, 6, 0, 10, 10)

@@ -1,0 +1,66 @@
+"""Model-based property test: the buffer pool is transparent.
+
+Whatever sequence of writes, reads, flushes and cache drops happens, a
+fetch must always return the most recently written contents — the cache
+may only change *physical* IO, never observable state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import MEMORY, BufferPool, Pager
+
+PAGE = 256
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 9), st.integers(0, 255)),
+        st.tuples(st.just("read"), st.integers(0, 9), st.just(0)),
+        st.tuples(st.just("flush"), st.just(0), st.just(0)),
+        st.tuples(st.just("drop_cache"), st.just(0), st.just(0)),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(capacity=st.integers(1, 6), ops=operations)
+def test_pool_is_transparent(capacity, ops):
+    pool = BufferPool(Pager(MEMORY, page_size=PAGE), capacity=capacity)
+    pages = [pool.allocate() for _ in range(10)]
+    model = {page: b"\x00" * PAGE for page in pages}
+    for op, idx, fill in ops:
+        page = pages[idx]
+        if op == "write":
+            data = bytes([fill]) * PAGE
+            pool.write(page, data)
+            model[page] = data
+        elif op == "read":
+            assert pool.fetch(page) == model[page]
+        elif op == "flush":
+            pool.flush()
+        else:
+            pool.drop_cache()
+    for page in pages:
+        assert pool.fetch(page) == model[page]
+    # After a final flush the pager itself holds the truth.
+    pool.flush()
+    for page in pages:
+        assert pool.pager.read(page) == model[page]
+
+
+@settings(max_examples=30, deadline=None)
+@given(capacity=st.integers(1, 4),
+       writes=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 255)),
+                       min_size=1, max_size=60))
+def test_eviction_never_loses_dirty_data(capacity, writes):
+    pool = BufferPool(Pager(MEMORY, page_size=PAGE), capacity=capacity)
+    pages = [pool.allocate() for _ in range(8)]
+    latest: dict[int, bytes] = {}
+    for idx, fill in writes:
+        data = bytes([fill]) * PAGE
+        pool.write(pages[idx], data)
+        latest[pages[idx]] = data
+    pool.drop_cache()
+    for page, data in latest.items():
+        assert pool.fetch(page) == data

@@ -1,0 +1,147 @@
+"""Pager: allocation, free list, header metadata, file round-trips."""
+
+import pytest
+
+from repro.storage import (CorruptPageFileError, MEMORY, PageError, Pager,
+                           PagerClosedError)
+
+
+@pytest.fixture
+def pager():
+    with Pager(MEMORY, page_size=1024) as p:
+        yield p
+
+
+class TestAllocation:
+    def test_fresh_pager_has_header_page_only(self, pager):
+        assert pager.page_count() == 1
+
+    def test_allocate_returns_distinct_ids(self, pager):
+        ids = {pager.allocate() for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_allocate_never_returns_header_page(self, pager):
+        for _ in range(20):
+            assert pager.allocate() != 0
+
+    def test_allocated_page_is_zeroed(self, pager):
+        page = pager.allocate()
+        assert pager.read(page) == b"\x00" * 1024
+
+    def test_write_then_read_round_trips(self, pager):
+        page = pager.allocate()
+        data = bytes(range(256)) * 4
+        pager.write(page, data)
+        assert pager.read(page) == data
+
+    def test_write_wrong_size_rejected(self, pager):
+        page = pager.allocate()
+        with pytest.raises(PageError):
+            pager.write(page, b"short")
+
+    def test_read_unallocated_page_rejected(self, pager):
+        with pytest.raises(PageError):
+            pager.read(99)
+
+
+class TestFreeList:
+    def test_freed_page_is_reused(self, pager):
+        page = pager.allocate()
+        pager.free(page)
+        assert pager.allocate() == page
+
+    def test_free_list_is_lifo(self, pager):
+        pages = [pager.allocate() for _ in range(3)]
+        for page in pages:
+            pager.free(page)
+        assert pager.allocate() == pages[-1]
+        assert pager.allocate() == pages[-2]
+
+    def test_reused_page_is_zeroed(self, pager):
+        page = pager.allocate()
+        pager.write(page, b"\xff" * 1024)
+        pager.free(page)
+        reused = pager.allocate()
+        assert pager.read(reused) == b"\x00" * 1024
+
+    def test_free_list_length(self, pager):
+        pages = [pager.allocate() for _ in range(5)]
+        for page in pages[:3]:
+            pager.free(page)
+        assert pager.free_list_length() == 3
+
+    def test_cannot_free_header_page(self, pager):
+        with pytest.raises(PageError):
+            pager.free(0)
+
+    def test_free_does_not_shrink_file(self, pager):
+        page = pager.allocate()
+        count = pager.page_count()
+        pager.free(page)
+        assert pager.page_count() == count
+
+
+class TestMeta:
+    def test_meta_round_trips(self, pager):
+        pager.meta = b"catalog-at-7"
+        assert pager.meta == b"catalog-at-7"
+
+    def test_meta_defaults_empty(self, pager):
+        assert pager.meta == b""
+
+    def test_meta_too_large_rejected(self, pager):
+        with pytest.raises(ValueError):
+            pager.meta = b"x" * 2000
+
+    def test_meta_capacity_reported(self, pager):
+        pager.meta = b"y" * pager.meta_capacity  # exactly at capacity: ok
+        assert len(pager.meta) == pager.meta_capacity
+
+
+class TestFileBacked:
+    def test_reopen_preserves_pages_and_meta(self, tmp_path):
+        path = tmp_path / "pages.db"
+        with Pager(path, page_size=1024) as pager:
+            page = pager.allocate()
+            pager.write(page, b"z" * 1024)
+            pager.meta = b"hello"
+            pager.sync()
+        with Pager(path, page_size=1024) as pager:
+            assert pager.read(page) == b"z" * 1024
+            assert pager.meta == b"hello"
+
+    def test_reopen_preserves_free_list(self, tmp_path):
+        path = tmp_path / "pages.db"
+        with Pager(path, page_size=1024) as pager:
+            pages = [pager.allocate() for _ in range(4)]
+            pager.free(pages[1])
+            pager.sync()
+        with Pager(path, page_size=1024) as pager:
+            assert pager.allocate() == pages[1]
+
+    def test_mismatched_page_size_rejected(self, tmp_path):
+        from repro.storage import StorageError
+        path = tmp_path / "pages.db"
+        Pager(path, page_size=1024).close()
+        with pytest.raises(StorageError):
+            Pager(path, page_size=2048)
+        # A compatible multiple still fails the header check.
+        Pager(path, page_size=1024).allocate()
+        with pytest.raises(StorageError):
+            Pager(path, page_size=2048)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "pages.db"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 1016)
+        with pytest.raises(CorruptPageFileError):
+            Pager(path, page_size=1024)
+
+    def test_invalid_page_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            Pager(tmp_path / "x.db", page_size=1000)
+
+    def test_operations_after_close_rejected(self, tmp_path):
+        pager = Pager(tmp_path / "x.db", page_size=1024)
+        pager.close()
+        with pytest.raises(PagerClosedError):
+            pager.allocate()

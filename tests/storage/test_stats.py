@@ -1,0 +1,51 @@
+"""IOStats: snapshots, diffs, the recorder context manager."""
+
+from repro.storage import IOStats, MEMORY, BufferPool, Pager, StatsRecorder
+
+
+class TestCounters:
+    def test_node_accesses_sums_reads_and_writes(self):
+        stats = IOStats(logical_reads=3, logical_writes=4)
+        assert stats.node_accesses == 7
+
+    def test_reset_zeroes_everything(self):
+        stats = IOStats(logical_reads=3, physical_writes=9, frees=2)
+        stats.reset()
+        assert stats == IOStats()
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats(logical_reads=1)
+        snap = stats.snapshot()
+        stats.logical_reads = 100
+        assert snap.logical_reads == 1
+
+    def test_diff_subtracts_fieldwise(self):
+        earlier = IOStats(logical_reads=2, allocations=1)
+        later = IOStats(logical_reads=10, allocations=4, frees=3)
+        delta = later.diff(earlier)
+        assert delta.logical_reads == 8
+        assert delta.allocations == 3
+        assert delta.frees == 3
+
+
+class TestRecorder:
+    def test_recorder_measures_a_region(self):
+        pool = BufferPool(Pager(MEMORY, page_size=512), capacity=4)
+        page = pool.allocate()
+        pool.write(page, b"x" * 512)
+        recorder = StatsRecorder(pool.stats)
+        with recorder:
+            pool.fetch(page)
+            pool.fetch(page)
+        assert recorder.delta.logical_reads == 2
+        assert recorder.delta.logical_writes == 0
+
+    def test_recorder_is_reusable(self):
+        stats = IOStats()
+        recorder = StatsRecorder(stats)
+        with recorder:
+            stats.logical_reads += 1
+        assert recorder.delta.logical_reads == 1
+        with recorder:
+            stats.logical_reads += 5
+        assert recorder.delta.logical_reads == 5

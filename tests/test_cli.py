@@ -1,0 +1,109 @@
+"""CLI: generate -> build -> query round trip, bench figure selection."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestGenerate:
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "stream.csv"
+        assert run_cli("generate", "--objects", "20", "--max-time", "3000",
+                       "--output", str(out)) == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "oid,x,y,t"
+        assert len(lines) > 20
+
+    def test_generate_to_stdout(self, capsys):
+        assert run_cli("generate", "--objects", "5",
+                       "--max-time", "500") == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("oid,x,y,t")
+
+
+class TestBuildAndQuery:
+    @pytest.fixture
+    def built(self, tmp_path, capsys):
+        stream = tmp_path / "stream.csv"
+        index = tmp_path / "index.db"
+        run_cli("generate", "--objects", "30", "--max-time", "30000",
+                "--output", str(stream))
+        args = ["--window", "20000", "--slide", "100", "--grid", "4",
+                "--page-size", "1024"]
+        assert run_cli("build", str(stream), str(index), *args) == 0
+        capsys.readouterr()
+        return index, args
+
+    def test_build_then_interval_query(self, built, capsys):
+        index, args = built
+        assert run_cli("query", str(index), "--t-lo", "15000",
+                       "--t-hi", "25000", *args) == 0
+        captured = capsys.readouterr()
+        assert "node accesses" in captured.err
+        assert "oid=" in captured.out
+
+    def test_timeslice_query(self, built, capsys):
+        index, args = built
+        assert run_cli("query", str(index), "--t-lo", "25000", *args) == 0
+
+    def test_knn_query(self, built, capsys):
+        index, args = built
+        assert run_cli("query", str(index), "--t-lo", "25000",
+                       "--knn", "3", "--point", "5000", "5000", *args) == 0
+        captured = capsys.readouterr()
+        assert len([line for line in captured.out.splitlines()
+                    if line.startswith("oid=")]) <= 3
+
+    def test_logical_window_query(self, built, capsys):
+        index, args = built
+        assert run_cli("query", str(index), "--t-lo", "10000",
+                       "--t-hi", "29000", "--logical-window", "5000",
+                       *args) == 0
+
+
+class TestBench:
+    def test_bench_single_figure(self, capsys):
+        assert run_cli("bench", "--scale", "tiny",
+                       "--figures", "Fig.7", "--objects", "20") == 0
+        captured = capsys.readouterr()
+        assert "Fig.7" in captured.out
+        assert "Fig.9" not in captured.out
+
+    def test_bench_chart_mode(self, capsys):
+        assert run_cli("bench", "--scale", "tiny", "--chart",
+                       "--figures", "Fig.10", "--objects", "20") == 0
+        captured = capsys.readouterr()
+        assert "|" in captured.out and "#" in captured.out
+
+
+class TestErrors:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("bench", "--scale", "enormous")
+
+    def test_missing_stream_file_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_cli("build", str(tmp_path / "nope.csv"),
+                    str(tmp_path / "out.db"))
+
+    def test_query_missing_index_fails(self, tmp_path):
+        with pytest.raises(ValueError):
+            # A fresh page file has no saved catalog.
+            from repro.storage import Pager
+            Pager(tmp_path / "empty.db", page_size=8192).close()
+            run_cli("query", str(tmp_path / "empty.db"), "--t-lo", "0")
+
+
+class TestModuleEntry:
+    def test_python_dash_m_repro(self):
+        proc = subprocess.run([sys.executable, "-m", "repro", "--help"],
+                              capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0
+        assert "generate" in proc.stdout

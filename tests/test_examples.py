@@ -1,0 +1,24 @@
+"""Every example script must run clean as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent
+                   / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs_clean(script):
+    proc = subprocess.run([sys.executable, str(script)],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "examples must narrate what they do"
