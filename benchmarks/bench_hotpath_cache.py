@@ -1,0 +1,139 @@
+"""Storage hot path — decoded-node cache A/B on the Fig. 7 insertion workload.
+
+Measures wall-clock inserts/sec and queries/sec with the decoded-node
+cache disabled (``node_cache_capacity=0``, the pre-cache behaviour: one
+parse per fetch, one serialisation per write) versus enabled (default),
+plus the batched :meth:`SWSTIndex.extend` ingestion path.  Logical node
+accesses must be *identical* in every configuration — the cache only
+removes redundant CPU work and physical IO, never a counted access.
+
+Run directly to (re)generate the ``BENCH_hotpath.json`` trajectory file at
+the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath_cache.py
+
+or through pytest (``pytest benchmarks/bench_hotpath_cache.py``), which
+also asserts the cached/uncached equivalence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import random
+import time
+
+from repro.bench import active_params, build_swst, build_swst_batched
+from repro.core import Rect, SWSTIndex
+from repro.datagen import GSTDGenerator
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_hotpath.json"
+
+
+def _stream(params):
+    config = dataclasses.replace(params.stream,
+                                 num_objects=params.dataset_objects[-1])
+    return GSTDGenerator(config).materialize()
+
+
+def _query_batch(index: SWSTIndex, params, count: int = 60):
+    """Evaluate a fixed random query batch; returns (seconds, results,
+    logical_reads)."""
+    rng = random.Random(1234)
+    space = index.config.space
+    q_lo, q_hi = index.config.queriable_period(index.now)
+    queries = []
+    for _ in range(count):
+        x0 = rng.randrange(space.x_hi - 2000)
+        y0 = rng.randrange(space.y_hi - 2000)
+        t_lo = rng.randrange(q_lo, q_hi + 1)
+        queries.append((Rect(x0, y0, x0 + 2000, y0 + 2000),
+                        t_lo, t_lo + rng.randrange(0, 2000)))
+    before = index.stats.snapshot()
+    started = time.process_time()
+    results = []
+    for area, t_lo, t_hi in queries:
+        result = index.query_interval(area, t_lo, t_hi)
+        results.append(sorted((e.oid, e.s) for e in result))
+    elapsed = time.process_time() - started
+    return elapsed, results, index.stats.diff(before).logical_reads
+
+
+def run_hotpath_bench(params=None) -> dict:
+    """A/B the node cache; returns (and asserts) the trajectory record."""
+    params = params if params is not None else active_params()
+    stream = _stream(params)
+    uncached_cfg = dataclasses.replace(params.index, node_cache_capacity=0)
+
+    index_off, build_off = build_swst(stream, uncached_cfg, label="uncached")
+    stats_off = index_off.stats.snapshot()
+    q_secs_off, results_off, q_reads_off = _query_batch(index_off, params)
+    index_off.close()
+
+    index_on, build_on = build_swst(stream, params.index, label="cached")
+    stats_on = index_on.stats.snapshot()
+    q_secs_on, results_on, q_reads_on = _query_batch(index_on, params)
+    parses_avoided = index_on.stats.node_cache_hits
+    index_on.close()
+
+    index_batched, build_batched = build_swst_batched(stream, params.index)
+    index_batched.close()
+
+    # The cache must be invisible to the paper's metrics.
+    assert build_on.node_accesses == build_off.node_accesses, \
+        "node cache changed insertion node accesses"
+    assert build_batched.records == build_on.records
+    assert stats_on.logical_reads == stats_off.logical_reads
+    assert stats_on.logical_writes == stats_off.logical_writes
+    assert q_reads_on == q_reads_off, \
+        "node cache changed query node accesses"
+    assert results_on == results_off, "node cache changed query results"
+
+    def rate(count, seconds):
+        return round(count / seconds, 1) if seconds > 0 else float("inf")
+
+    record = {
+        "figure": "hotpath",
+        "scale": params.name,
+        "records": build_on.records,
+        "node_accesses": build_on.node_accesses,
+        "node_parses_avoided": parses_avoided,
+        "inserts_per_sec_uncached": rate(build_off.records,
+                                         build_off.cpu_seconds),
+        "inserts_per_sec_cached": rate(build_on.records,
+                                       build_on.cpu_seconds),
+        "inserts_per_sec_batched": rate(build_batched.records,
+                                        build_batched.cpu_seconds),
+        "insert_speedup": round(build_off.cpu_seconds
+                                / max(build_on.cpu_seconds, 1e-9), 2),
+        "batched_insert_speedup": round(build_off.cpu_seconds
+                                        / max(build_batched.cpu_seconds,
+                                              1e-9), 2),
+        "queries_per_sec_uncached": rate(len(results_off), q_secs_off),
+        "queries_per_sec_cached": rate(len(results_on), q_secs_on),
+        "query_speedup": round(q_secs_off / max(q_secs_on, 1e-9), 2),
+    }
+    return record
+
+
+def test_hotpath_cache(benchmark, params):
+    record = run_hotpath_bench(params)
+
+    def noop():
+        return record
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    for key, value in record.items():
+        benchmark.extra_info[key] = value
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    assert record["node_parses_avoided"] > 0
+    assert record["insert_speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    rec = run_hotpath_bench()
+    RESULT_PATH.write_text(json.dumps(rec, indent=2) + "\n")
+    print(json.dumps(rec, indent=2))
+    print(f"wrote {RESULT_PATH}")

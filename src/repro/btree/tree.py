@@ -68,26 +68,35 @@ class BPlusTree:
             self.root_page = root_page
 
     # -- page helpers --------------------------------------------------------
+    #
+    # All node IO goes through the buffer pool's decoded-node cache: a
+    # fetch returns the *shared* cached object and a write publishes it
+    # (serialisation is deferred to eviction/flush).  Tree code therefore
+    # always follows an in-place mutation of a node with a ``_write_*``
+    # call before the next pool access.
 
-    def _read_node(self, page_id: int) -> LeafNode | InternalNode:
-        raw = self.pool.fetch(page_id)
+    def _decode_node(self, raw: bytes) -> LeafNode | InternalNode:
         if node_type_of(raw) == LEAF_TYPE:
             return LeafNode.from_bytes(raw, self.value_size)
         return InternalNode.from_bytes(raw)
 
+    def _encode_node(self, node: LeafNode | InternalNode) -> bytes:
+        if isinstance(node, LeafNode):
+            return node.to_bytes(self.pool.page_size, self.value_size)
+        return node.to_bytes(self.pool.page_size)
+
+    def _read_node(self, page_id: int) -> LeafNode | InternalNode:
+        return self.pool.fetch_node(page_id, self._decode_node)
+
     def _write_leaf(self, page_id: int, node: LeafNode) -> None:
-        self.pool.write(page_id,
-                        node.to_bytes(self.pool.page_size, self.value_size))
+        self.pool.write_node(page_id, node, self._encode_node)
 
     def _write_internal(self, page_id: int, node: InternalNode) -> None:
-        self.pool.write(page_id, node.to_bytes(self.pool.page_size))
+        self.pool.write_node(page_id, node, self._encode_node)
 
     def _write_node(self, page_id: int,
                     node: LeafNode | InternalNode) -> None:
-        if isinstance(node, LeafNode):
-            self._write_leaf(page_id, node)
-        else:
-            self._write_internal(page_id, node)
+        self.pool.write_node(page_id, node, self._encode_node)
 
     # -- insertion -----------------------------------------------------------
 

@@ -23,7 +23,7 @@ from .bench.params import PAPER, SCALED, TINY
 from .core.config import SWSTConfig
 from .core.index import SWSTIndex
 from .core.records import Rect
-from .datagen.gstd import GSTDConfig, GSTDGenerator
+from .datagen.gstd import GSTDConfig, GSTDGenerator, Report
 
 
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
@@ -64,16 +64,17 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_build(args: argparse.Namespace) -> int:
     config = _config_from(args)
     index = SWSTIndex(config, path=args.index)
-    count = 0
     with open(args.stream, newline="") as handle:
-        for row in csv.DictReader(handle):
-            index.report(int(row["oid"]), int(row["x"]), int(row["y"]),
-                         int(row["t"]))
-            count += 1
+        rows = (Report(oid=int(row["oid"]), x=int(row["x"]),
+                       y=int(row["y"]), t=int(row["t"]))
+                for row in csv.DictReader(handle))
+        count = index.extend(rows)
     index.save()
     stats = index.stats
+    parses_avoided = stats.node_cache_hits
     print(f"built {args.index}: {count} reports, {len(index)} stored "
           f"entries, {stats.node_accesses} node accesses, "
+          f"{parses_avoided} node parses avoided, "
           f"{index.pager.page_count()} pages")
     index.close()
     return 0

@@ -43,6 +43,11 @@ class SWSTConfig:
         s_partitions: s-partitions per window; defaults to ``⌈Wmax / L⌉``.
         page_size: disk page size in bytes.
         buffer_capacity: buffer pool capacity in pages.
+        node_cache_capacity: capacity of the decoded-node object cache
+            (``None`` mirrors ``buffer_capacity``; ``0`` disables the
+            cache, forcing a parse per fetch and a serialisation per
+            write — the A/B baseline for the hot-path benchmark).  Has no
+            effect on logical node-access counts.
         spatial_keys: include the Z-curve spatial bits in B+ tree keys
             (disable only for the ablation study of Section V-D.1).
         use_memo: prune temporal cells with the isPresent memo (disable
@@ -59,6 +64,7 @@ class SWSTConfig:
     s_partitions: int | None = None
     page_size: int = 8192
     buffer_capacity: int = 512
+    node_cache_capacity: int | None = None
     spatial_keys: bool = True
     use_memo: bool = True
 
@@ -77,6 +83,9 @@ class SWSTConfig:
             raise ValueError("duration_interval must be >= 1")
         if self.space.x_lo < 0 or self.space.y_lo < 0:
             raise ValueError("spatial domain must be non-negative")
+        if self.node_cache_capacity is not None \
+                and self.node_cache_capacity < 0:
+            raise ValueError("node_cache_capacity must be >= 0 or None")
 
     # -- derived quantities --------------------------------------------------
 

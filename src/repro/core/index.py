@@ -36,6 +36,8 @@ from .results import QueryResult, QueryStats
 _CATALOG_HEADER = struct.Struct("<QQQI")       # clock, drop_epoch, size, n_cells
 _CATALOG_CELL = struct.Struct("<IIQQ")         # cx, cy, root0+1, root1+1
 _CATALOG_CURRENT = struct.Struct("<QIIQ")      # oid, x, y, s
+_CATALOG_COUNT = struct.Struct("<I")           # section item count
+_CATALOG_RETENTION = struct.Struct("<QQ")      # oid, retention
 _PAGE_CHAIN = struct.Struct("<QI")             # next_page, payload_len
 
 
@@ -60,7 +62,8 @@ class SWSTIndex:
                  path: str = MEMORY) -> None:
         self.config = config if config is not None else SWSTConfig()
         self.pager = Pager(path, self.config.page_size)
-        self.pool = BufferPool(self.pager, self.config.buffer_capacity)
+        self.pool = BufferPool(self.pager, self.config.buffer_capacity,
+                               node_capacity=self.config.node_cache_capacity)
         self.codec = KeyCodec(self.config)
         self.grid = SpatialGrid(self.config.space, self.config.x_partitions,
                                 self.config.y_partitions)
@@ -135,17 +138,92 @@ class SWSTIndex:
         """Position report of a moving object (alias of a current insert)."""
         self.insert(oid, x, y, t, None)
 
-    def extend(self, reports) -> int:
+    def extend(self, reports, batch_size: int = 1024) -> int:
         """Feed an iterable of position reports (objects with ``oid``,
         ``x``, ``y``, ``t`` attributes, e.g. :class:`repro.datagen.Report`).
 
+        This is the batched ingestion path: reports are consumed in chunks
+        of ``batch_size`` and, within each chunk, grouped by spatial cell
+        before the per-cell B+ trees are descended, so consecutive
+        insertions into the same cell hit the decoded-node cache instead of
+        re-parsing the same root-to-leaf path.  The resulting index state
+        (entries, current table, memos, size, clock) is identical to
+        per-report :meth:`insert`; only tree page layout and physical IO
+        may differ.
+
         Returns the number of reports ingested.
         """
+        self._check_open()
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         count = 0
+        batch: list = []
         for report in reports:
-            self.insert(report.oid, report.x, report.y, report.t, None)
-            count += 1
+            batch.append(report)
+            if len(batch) >= batch_size:
+                count += self._extend_batch(batch)
+                batch.clear()
+        if batch:
+            count += self._extend_batch(batch)
         return count
+
+    def _extend_batch(self, batch: list) -> int:
+        """Validate one chunk, then ingest it run by run.
+
+        A *run* is a maximal sub-sequence whose start timestamps fall in
+        the same ``Wmax`` epoch: window drops only fire at epoch
+        boundaries, so within a run the clock can be advanced to the run
+        maximum up front and reports of distinct objects commute.
+        """
+        clock = self._clock
+        for report in batch:
+            if not self.config.space.contains(report.x, report.y):
+                raise ValueError(f"location ({report.x}, {report.y}) outside "
+                                 f"the spatial domain {self.config.space}")
+            if report.t < clock:
+                raise ValueError(f"out-of-order start timestamp {report.t} "
+                                 f"< current time {clock}")
+            clock = report.t
+        w_max = self.config.w_max
+        start = 0
+        for idx in range(1, len(batch) + 1):
+            if idx == len(batch) \
+                    or batch[idx].t // w_max != batch[start].t // w_max:
+                self._ingest_run(batch[start:idx])
+                start = idx
+        return len(batch)
+
+    def _ingest_run(self, run: list) -> None:
+        self.advance_time(run[-1].t)
+        # Objects reporting more than once in the run must keep their
+        # per-object time order (each report finalises the previous one);
+        # reports of distinct objects commute, so the rest are grouped by
+        # spatial cell for node-cache locality.
+        repeats: dict[int, int] = {}
+        for report in run:
+            repeats[report.oid] = repeats.get(report.oid, 0) + 1
+        singles = []
+        for report in run:
+            if repeats[report.oid] > 1:
+                self._ingest_report(report)
+            else:
+                singles.append(report)
+        singles.sort(key=lambda r: self.grid.cell_of(r.x, r.y))
+        for report in singles:
+            self._ingest_report(report)
+
+    def _ingest_report(self, report) -> None:
+        """The current-entry protocol of :meth:`insert`, clock already set."""
+        oid, x, y, s = report.oid, report.x, report.y, report.t
+        previous = self._current.get(oid)
+        if previous is not None:
+            if previous[2] == s:
+                px, py, ps = previous
+                self._physical_delete(Entry(oid, px, py, ps, None))
+            else:
+                self._finalize_current(oid, previous, end=s)
+        self._physical_insert(Entry(oid, x, y, s, None))
+        self._current[oid] = (x, y, s)
 
     def close_object(self, oid: int, t: int) -> bool:
         """Finalise an object's current entry at end time ``t``.
@@ -332,6 +410,8 @@ class SWSTIndex:
                 result to a shorter history than the physical window.
         """
         self._check_open()
+        if t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
         stats = QueryStats()
         result = QueryResult(stats=stats)
         start = self.pool.stats.snapshot()
@@ -350,10 +430,28 @@ class SWSTIndex:
         """Number of qualifying entries (the usage-statistics query of the
         paper's introduction), without materialising them.
 
+        Runs the same classify → memo-prune → multi-range-search pipeline
+        as :meth:`query_interval` but refines with a counting sink: no
+        :class:`Entry` list is accumulated, and candidates whose temporal
+        and spatial cells overlap the query fully are counted without even
+        unpacking their payload.
+
         Returns ``(count, stats)``.
         """
-        result = self.query_interval(area, t_lo, t_hi, window)
-        return len(result), result.stats
+        self._check_open()
+        if t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
+        stats = QueryStats()
+        count = 0
+        start = self.pool.stats.snapshot()
+        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
+                                    window)
+        if columns:
+            plan = self._query_plan(columns, t_lo, t_hi, window)
+            for cell in self.grid.overlapping_cells(area):
+                count += self._count_cell(cell, plan, area, stats)
+        stats.node_accesses = self.pool.stats.diff(start).node_accesses
+        return count, stats
 
     def density_grid(self, area: Rect, t: int,
                      window: int | None = None) -> dict[tuple[int, int],
@@ -444,6 +542,8 @@ class SWSTIndex:
             raise ValueError(f"query point ({x}, {y}) outside the domain")
         if t_hi is None:
             t_hi = t_lo
+        elif t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
         stats = QueryStats()
         result = QueryResult(stats=stats)
         start = self.pool.stats.snapshot()
@@ -452,12 +552,24 @@ class SWSTIndex:
         if columns:
             plan = self._query_plan(columns, t_lo, t_hi, window)
             candidates = self._knn_ring_search(x, y, k, plan, stats)
-            result.entries.extend(entry for _, entry in candidates[:k])
+            result.entries.extend(entry for _, entry in candidates)
         stats.node_accesses = self.pool.stats.diff(start).node_accesses
         return result
 
     def _knn_ring_search(self, x: int, y: int, k: int, plan: dict,
                          stats: QueryStats) -> list:
+        """Expanding-ring search keeping only the k best candidates.
+
+        The k nearest seen so far live in a bounded max-heap (heapq is a
+        min-heap, so keys are stored component-negated); each new
+        candidate either replaces the current worst in O(log k) or is
+        dropped in O(1), instead of re-sorting the full candidate list
+        after every ring.  Returns at most k ``(sort_key, entry)`` pairs
+        ordered by ascending ``(dist², oid, s)``.
+        """
+        import heapq
+        import itertools
+
         from .grid import CellOverlap as _CellOverlap
 
         def rect_dist2(bounds: Rect) -> int:
@@ -466,7 +578,11 @@ class SWSTIndex:
             return dx * dx + dy * dy
 
         cx0, cy0 = self.grid.cell_of(x, y)
-        candidates: list[tuple[tuple[int, int, int], Entry]] = []
+        # Max-heap of the k best: items are ((-d2, -oid, -s), seq, entry);
+        # the monotone sequence number keeps heap comparisons away from
+        # Entry objects when two candidates share the full sort key.
+        heap: list[tuple[tuple[int, int, int], int, Entry]] = []
+        seq = itertools.count()
         max_ring = max(self.grid.xp, self.grid.yp)
         for ring in range(max_ring + 1):
             cells = [
@@ -481,7 +597,7 @@ class SWSTIndex:
                 break
             ring_min = min(rect_dist2(self.grid.cell_bounds(cx, cy))
                            for cx, cy in cells)
-            if len(candidates) >= k and ring_min > candidates[k - 1][0][0]:
+            if len(heap) >= k and ring_min > -heap[0][0][0]:
                 break
             for cx, cy in cells:
                 bounds = self.grid.cell_bounds(cx, cy)
@@ -490,9 +606,14 @@ class SWSTIndex:
                 self._search_cell(cell, plan, bounds, stats, found)
                 for entry in found:
                     dist2 = ((entry.x - x) ** 2 + (entry.y - y) ** 2)
-                    candidates.append(((dist2, entry.oid, entry.s), entry))
-            candidates.sort(key=lambda item: item[0])
-        return candidates
+                    neg_key = (-dist2, -entry.oid, -entry.s)
+                    if len(heap) < k:
+                        heapq.heappush(heap, (neg_key, next(seq), entry))
+                    elif neg_key > heap[0][0]:
+                        heapq.heapreplace(heap, (neg_key, next(seq), entry))
+        ordered = sorted(heap, key=lambda item: item[0], reverse=True)
+        return [((-n0, -n1, -n2), entry)
+                for (n0, n1, n2), _, entry in ordered]
 
     def _query_plan(self, columns: list[ColumnOverlap], t_lo: int,
                     t_hi: int, window: int | None) -> dict:
@@ -588,6 +709,73 @@ class SWSTIndex:
                 continue
             out.append(entry)
 
+    def _count_cell(self, cell, plan: dict, area: Rect,
+                    stats: QueryStats) -> int:
+        """Counting twin of :meth:`_search_cell` — no entries materialise."""
+        trees = self._trees.get((cell.cx, cell.cy))
+        if trees is None:
+            return 0
+        memo = self._memos[(cell.cx, cell.cy)]
+        stats.spatial_cells += 1
+        count = 0
+        for tree_idx in (0, 1):
+            tree = trees[tree_idx]
+            if tree is None or not plan["by_tree"][tree_idx]:
+                continue
+            ranges = self._build_key_ranges(plan["by_tree"][tree_idx], memo,
+                                            cell.clipped, stats)
+            if not ranges:
+                continue
+            stats.key_ranges += len(ranges)
+            hits = multi_range_search(tree, ranges)
+            count += self._refine_count(hits, plan["column_of"], cell.full,
+                                        area, plan["q_lo"],
+                                        plan["s_hi_eff"], plan["t_lo"],
+                                        stats)
+        return count
+
+    def _refine_count(self, hits: list[tuple[int, bytes]],
+                      column_of: dict[int, ColumnOverlap],
+                      spatial_full: bool, area: Rect, q_lo: int,
+                      s_hi_eff: int, t_lo: int, stats: QueryStats) -> int:
+        """Refinement that counts instead of accumulating entries.
+
+        Mirrors :meth:`_refine` predicate for predicate, but never builds
+        an entry list, and full temporal+spatial hits of an index without
+        retention overrides are counted from the key alone — the record
+        payload is not even unpacked.
+        """
+        count = 0
+        for key, payload in hits:
+            stats.candidates += 1
+            decoded = self.codec.decode(key)
+            column = column_of.get(decoded.s_part)
+            if column is None:
+                stats.refined_out += 1
+                continue
+            temporal_full = decoded.d_part >= column.d_full
+            if temporal_full and spatial_full and not self._retentions:
+                stats.full_hits += 1
+                count += 1
+                continue
+            entry = Entry.unpack(payload)
+            if self._retentions and not self._passes_retention(entry):
+                stats.refined_out += 1
+                continue
+            if temporal_full and spatial_full:
+                stats.full_hits += 1
+                count += 1
+                continue
+            if not temporal_full:
+                if not (q_lo <= entry.s <= s_hi_eff and entry.end > t_lo):
+                    stats.refined_out += 1
+                    continue
+            if not spatial_full and not area.contains(entry.x, entry.y):
+                stats.refined_out += 1
+                continue
+            count += 1
+        return count
+
     # -- introspection -------------------------------------------------------------
 
     def scan(self) -> Iterator[Entry]:
@@ -679,7 +867,13 @@ class SWSTIndex:
     # -- persistence ----------------------------------------------------------------
 
     def save(self) -> None:
-        """Persist the tree catalog and stream state into the page file."""
+        """Persist the tree catalog and stream state into the page file.
+
+        Catalog layout: header, cell roots, current-entry table, then (a
+        format-2 addition) the per-object retention overrides.  Readers
+        detect a legacy format-1 catalog by the blob ending right after
+        the current table, so both formats stay openable.
+        """
         self._check_open()
         cells = sorted(self._trees.items())
         parts = [_CATALOG_HEADER.pack(self._clock, self._drop_epoch,
@@ -688,9 +882,12 @@ class SWSTIndex:
             roots = [0 if tree is None else tree.root_page + 1
                      for tree in trees]
             parts.append(_CATALOG_CELL.pack(cx, cy, roots[0], roots[1]))
-        parts.append(struct.pack("<I", len(self._current)))
+        parts.append(_CATALOG_COUNT.pack(len(self._current)))
         for oid, (x, y, s) in sorted(self._current.items()):
             parts.append(_CATALOG_CURRENT.pack(oid, x, y, s))
+        parts.append(_CATALOG_COUNT.pack(len(self._retentions)))
+        for oid, retention in sorted(self._retentions.items()):
+            parts.append(_CATALOG_RETENTION.pack(oid, retention))
         self._write_catalog(b"".join(parts))
         self.pool.flush()
         self.pager.sync()
@@ -722,7 +919,8 @@ class SWSTIndex:
         index = cls.__new__(cls)
         index.config = config
         index.pager = Pager(path, config.page_size)
-        index.pool = BufferPool(index.pager, config.buffer_capacity)
+        index.pool = BufferPool(index.pager, config.buffer_capacity,
+                                node_capacity=config.node_cache_capacity)
         index.codec = KeyCodec(config)
         index.grid = SpatialGrid(config.space, config.x_partitions,
                                  config.y_partitions)
@@ -746,12 +944,21 @@ class SWSTIndex:
             ]
             index._trees[(cx, cy)] = trees
             index._memos[(cx, cy)] = CellMemo()
-        (n_current,) = struct.unpack_from("<I", blob, offset)
-        offset += 4
+        (n_current,) = _CATALOG_COUNT.unpack_from(blob, offset)
+        offset += _CATALOG_COUNT.size
         for _ in range(n_current):
             oid, x, y, s = _CATALOG_CURRENT.unpack_from(blob, offset)
             offset += _CATALOG_CURRENT.size
             index._current[oid] = (x, y, s)
+        if offset < len(blob):
+            # Format 2: retention overrides follow the current table
+            # (format-1 catalogs end exactly here).
+            (n_retentions,) = _CATALOG_COUNT.unpack_from(blob, offset)
+            offset += _CATALOG_COUNT.size
+            for _ in range(n_retentions):
+                oid, retention = _CATALOG_RETENTION.unpack_from(blob, offset)
+                offset += _CATALOG_RETENTION.size
+                index._retentions[oid] = retention
         index._rebuild_memos()
         return index
 

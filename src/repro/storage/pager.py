@@ -11,6 +11,10 @@ Layout:
   there).
 * Freed pages are chained through their first 8 bytes.
 
+Header updates from ``allocate``/``free``/``meta`` are deferred: they set a
+dirty flag and the header page is rewritten once per :meth:`Pager.sync` or
+:meth:`Pager.close` rather than on every call.
+
 The pager performs raw device IO only; caching and IO accounting live in
 :class:`repro.storage.buffer.BufferPool`, which sits on top.
 """
@@ -49,6 +53,8 @@ class Pager:
             self._device = FilePageDevice(path, page_size)
         self.page_size = self._device.page_size
         self.meta_capacity = self.page_size - _HEADER.size
+        self._header_dirty = False
+        self._closed = False
         if self._device.page_count() == 0:
             self._device.extend()  # header page
             self._free_head = 0
@@ -63,6 +69,18 @@ class Pager:
         fixed = _HEADER.pack(_MAGIC, self.page_size, self._free_head)
         body = self._meta.ljust(self.meta_capacity, b"\x00")
         self._device.write(0, fixed + body)
+        self._header_dirty = False
+
+    def _flush_header(self) -> None:
+        """Write the header page if allocate/free/meta changed it.
+
+        Header writes are deferred: ``allocate``/``free``/``meta`` only set
+        a dirty flag, and the page is written once per :meth:`sync` /
+        :meth:`close` instead of once per call.  In-memory state is always
+        authoritative while the pager is open.
+        """
+        if self._header_dirty:
+            self._write_header()
 
     def _read_header(self) -> None:
         raw = self._device.read(0)
@@ -86,7 +104,7 @@ class Pager:
             raise ValueError(f"meta blob of {len(blob)} bytes exceeds "
                              f"capacity {self.meta_capacity}")
         self._meta = bytes(blob)
-        self._write_header()
+        self._header_dirty = True
 
     # -- page lifecycle ----------------------------------------------------
 
@@ -96,7 +114,7 @@ class Pager:
             page_id = self._free_head
             raw = self._device.read(page_id)
             (self._free_head,) = _FREE_LINK.unpack_from(raw)
-            self._write_header()
+            self._header_dirty = True
             self._device.write(page_id, b"\x00" * self.page_size)
             return page_id
         return self._device.extend()
@@ -108,7 +126,7 @@ class Pager:
         link = _FREE_LINK.pack(self._free_head)
         self._device.write(page_id, link.ljust(self.page_size, b"\x00"))
         self._free_head = page_id
-        self._write_header()
+        self._header_dirty = True
 
     def read(self, page_id: int) -> bytes:
         if page_id == 0:
@@ -138,9 +156,14 @@ class Pager:
         return count
 
     def sync(self) -> None:
+        self._flush_header()
         self._device.sync()
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._flush_header()
+        self._closed = True
         self._device.close()
 
     def __enter__(self) -> "Pager":

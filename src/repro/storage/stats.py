@@ -24,6 +24,13 @@ class IOStats:
         physical_writes: pages actually written back to the file.
         allocations: pages newly allocated.
         frees: pages returned to the free list.
+        node_parses: pages decoded into node objects (cache misses of the
+            decoded-node cache, or every fetch when that cache is disabled).
+        node_cache_hits: node fetches served from the decoded-node cache
+            without re-parsing the page bytes.
+        node_serializations: node objects encoded back to page bytes
+            (deferred to eviction/flush; never larger than the number of
+            logical writes they replace).
     """
 
     logical_reads: int = 0
@@ -32,6 +39,9 @@ class IOStats:
     physical_writes: int = 0
     allocations: int = 0
     frees: int = 0
+    node_parses: int = 0
+    node_cache_hits: int = 0
+    node_serializations: int = 0
 
     @property
     def node_accesses(self) -> int:
@@ -50,6 +60,9 @@ class IOStats:
         self.physical_writes = 0
         self.allocations = 0
         self.frees = 0
+        self.node_parses = 0
+        self.node_cache_hits = 0
+        self.node_serializations = 0
 
     def snapshot(self) -> "IOStats":
         """Return an immutable-by-convention copy of the current counters."""
@@ -60,6 +73,9 @@ class IOStats:
             physical_writes=self.physical_writes,
             allocations=self.allocations,
             frees=self.frees,
+            node_parses=self.node_parses,
+            node_cache_hits=self.node_cache_hits,
+            node_serializations=self.node_serializations,
         )
 
     def diff(self, earlier: "IOStats") -> "IOStats":
@@ -71,6 +87,10 @@ class IOStats:
             physical_writes=self.physical_writes - earlier.physical_writes,
             allocations=self.allocations - earlier.allocations,
             frees=self.frees - earlier.frees,
+            node_parses=self.node_parses - earlier.node_parses,
+            node_cache_hits=self.node_cache_hits - earlier.node_cache_hits,
+            node_serializations=(self.node_serializations
+                                 - earlier.node_serializations),
         )
 
 

@@ -1,0 +1,112 @@
+"""Batched extend() equals per-report insertion, state for state."""
+
+import random
+
+import pytest
+
+from repro.core import Rect, SWSTConfig, SWSTIndex
+from repro.datagen import Report
+
+CFG = SWSTConfig(window=2000, slide=100, x_partitions=4, y_partitions=4,
+                 d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999), page_size=1024)
+EVERYWHERE = Rect(0, 0, 999, 999)
+
+
+def _stream(seed=41, steps=1500, objects=20):
+    rng = random.Random(seed)
+    t = 0
+    reports = []
+    for _ in range(steps):
+        # Occasional jumps across window boundaries so drops interleave
+        # with batches (w_max boundaries split batches into runs).
+        t += rng.randrange(0, 4) if rng.random() < 0.98 \
+            else rng.randrange(500, 3000)
+        reports.append(Report(oid=rng.randrange(objects),
+                              x=rng.randrange(1000), y=rng.randrange(1000),
+                              t=t))
+    return reports
+
+
+def _summary(index):
+    return {
+        "entries": sorted((e.oid, e.x, e.y, e.s, e.d) for e in index.scan()),
+        "current": index.current_objects(),
+        "now": index.now,
+        "size": len(index),
+    }
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 256, 10_000])
+def test_extend_state_identical_to_per_report_insert(batch_size):
+    stream = _stream()
+    oracle = SWSTIndex(CFG)
+    for r in stream:
+        oracle.report(r.oid, r.x, r.y, r.t)
+    batched = SWSTIndex(CFG)
+    assert batched.extend(stream, batch_size=batch_size) == len(stream)
+    assert _summary(batched) == _summary(oracle)
+    q_lo, q_hi = CFG.queriable_period(batched.now)
+    got = batched.query_interval(EVERYWHERE, q_lo, q_hi)
+    expected = oracle.query_interval(EVERYWHERE, q_lo, q_hi)
+    assert sorted((e.oid, e.s) for e in got) == \
+        sorted((e.oid, e.s) for e in expected)
+    batched.check_integrity()
+    oracle.close()
+    batched.close()
+
+
+def test_extend_accepts_a_generator():
+    stream = _stream(seed=42, steps=300)
+    index = SWSTIndex(CFG)
+    assert index.extend(iter(stream)) == len(stream)
+    assert len(index) > 0
+    index.close()
+
+
+def test_extend_resumes_after_prior_inserts():
+    stream = _stream(seed=43, steps=400)
+    split = len(stream) // 2
+    oracle = SWSTIndex(CFG)
+    for r in stream:
+        oracle.report(r.oid, r.x, r.y, r.t)
+    index = SWSTIndex(CFG)
+    for r in stream[:split]:
+        index.report(r.oid, r.x, r.y, r.t)
+    index.extend(stream[split:], batch_size=64)
+    assert _summary(index) == _summary(oracle)
+    oracle.close()
+    index.close()
+
+
+class TestExtendValidation:
+    def test_out_of_order_batch_rejected(self):
+        index = SWSTIndex(CFG)
+        reports = [Report(oid=1, x=10, y=10, t=100),
+                   Report(oid=2, x=20, y=20, t=50)]
+        with pytest.raises(ValueError, match="out-of-order"):
+            index.extend(reports)
+        index.close()
+
+    def test_out_of_domain_report_rejected(self):
+        index = SWSTIndex(CFG)
+        with pytest.raises(ValueError, match="outside the spatial domain"):
+            index.extend([Report(oid=1, x=5000, y=10, t=0)])
+        index.close()
+
+    def test_bad_batch_size_rejected(self):
+        index = SWSTIndex(CFG)
+        with pytest.raises(ValueError, match="batch_size"):
+            index.extend([], batch_size=0)
+        index.close()
+
+    def test_same_timestamp_re_report_is_a_correction(self):
+        """The batched path keeps insert()'s same-timestamp semantics:
+        a re-report at the same t replaces the current entry."""
+        index = SWSTIndex(CFG)
+        index.extend([Report(oid=1, x=10, y=10, t=5),
+                      Report(oid=1, x=90, y=90, t=5)])
+        current = index.current_objects()
+        assert current[1] == (90, 90, 5)
+        assert len(index) == 1
+        index.close()

@@ -1,0 +1,86 @@
+"""KNN bounded-heap regression: results and ordering match a full sort.
+
+``_knn_ring_search`` keeps the k best candidates in a bounded max-heap
+instead of re-sorting the whole candidate list after every ring.  The
+observable contract is unchanged: exactly the k nearest entries, ordered
+by ascending ``(dist², oid, s)``.  The reference below materialises every
+valid entry and sorts once.
+"""
+
+import random
+
+from repro.core import Rect, SWSTConfig, SWSTIndex
+
+CFG = SWSTConfig(window=2000, slide=100, x_partitions=5, y_partitions=5,
+                 d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999), page_size=1024)
+EVERYWHERE = Rect(0, 0, 999, 999)
+
+
+def _reference_knn(index, x, y, k, t_lo, t_hi):
+    """Full-sort oracle over the materialised interval query."""
+    entries = list(index.query_interval(EVERYWHERE, t_lo, t_hi))
+    entries.sort(key=lambda e: ((e.x - x) ** 2 + (e.y - y) ** 2,
+                                e.oid, e.s))
+    return [(e.oid, e.x, e.y, e.s, e.d) for e in entries[:k]]
+
+
+def _loaded(seed=21, steps=1500, objects=25):
+    rng = random.Random(seed)
+    index = SWSTIndex(CFG)
+    t = 0
+    for _ in range(steps):
+        t += rng.randrange(0, 4)
+        index.report(rng.randrange(objects), rng.randrange(1000),
+                     rng.randrange(1000), t)
+    return index, rng
+
+
+class TestBoundedHeapMatchesFullSort:
+    def test_random_queries_exact_order(self):
+        index, rng = _loaded()
+        q_lo, q_hi = CFG.queriable_period(index.now)
+        for _ in range(50):
+            x, y = rng.randrange(1000), rng.randrange(1000)
+            k = rng.randrange(1, 12)
+            t_lo = rng.randrange(q_lo, q_hi + 1)
+            t_hi = t_lo + rng.randrange(0, 400)
+            got = [(e.oid, e.x, e.y, e.s, e.d)
+                   for e in index.query_knn(x, y, k, t_lo, t_hi)]
+            assert got == _reference_knn(index, x, y, k, t_lo, t_hi)
+        index.close()
+
+    def test_k_larger_than_population_returns_all_sorted(self):
+        index, _ = _loaded(seed=22, steps=100, objects=5)
+        q_lo, q_hi = CFG.queriable_period(index.now)
+        got = [(e.oid, e.x, e.y, e.s, e.d)
+               for e in index.query_knn(500, 500, 10_000, q_lo, q_hi)]
+        assert got == _reference_knn(index, 500, 500, 10_000, q_lo, q_hi)
+        index.close()
+
+
+class TestTieBreaking:
+    def test_equal_distances_break_ties_by_oid_then_start(self):
+        """Co-located entries (equal dist²) must come out in (oid, s)
+        order — this is where heap comparisons would reach the Entry
+        objects without the sequence-number guard."""
+        index = SWSTIndex(CFG)
+        # Several objects at the same point, plus one object reporting
+        # twice from the same point (same dist², same oid, differing s).
+        for oid in (5, 3, 9, 1):
+            index.insert(oid, 400, 400, 0, 100)
+        index.insert(7, 410, 400, 0, 100)  # strictly farther
+        index.insert(3, 400, 400, 120, 100)
+        got = [(e.oid, e.s) for e in index.query_knn(400, 400, 6, 0, 300)]
+        assert got == [(1, 0), (3, 0), (3, 120), (5, 0), (9, 0), (7, 0)]
+        index.close()
+
+    def test_bounded_heap_keeps_best_not_first(self):
+        """With k smaller than a co-located cluster the heap must evict
+        earlier, worse candidates found in the same ring."""
+        index = SWSTIndex(CFG)
+        for oid in (9, 8, 7, 6, 5):
+            index.insert(oid, 200, 200, 0, 100)
+        got = [(e.oid, e.s) for e in index.query_knn(200, 200, 2, 0, 200)]
+        assert got == [(5, 0), (6, 0)]
+        index.close()

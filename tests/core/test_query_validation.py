@@ -1,0 +1,59 @@
+"""Inverted query intervals are rejected, not silently empty.
+
+``t_hi < t_lo`` used to fall through classification and return an empty
+result, masking caller bugs (e.g. swapped arguments).  Every query
+entry point now raises ``ValueError`` instead; degenerate single-point
+intervals (``t_hi == t_lo``) remain valid timeslices.
+"""
+
+import pytest
+
+from repro.core import Rect, SWSTConfig, SWSTIndex
+
+CFG = SWSTConfig(window=2000, slide=100, x_partitions=4, y_partitions=4,
+                 d_max=300, duration_interval=50,
+                 space=Rect(0, 0, 999, 999), page_size=1024)
+EVERYWHERE = Rect(0, 0, 999, 999)
+
+
+@pytest.fixture
+def index():
+    idx = SWSTIndex(CFG)
+    for t in range(0, 500, 50):
+        idx.report(1, 100 + t, 100, t)
+    yield idx
+    idx.close()
+
+
+class TestInvertedIntervals:
+    def test_query_interval_rejects_inverted(self, index):
+        with pytest.raises(ValueError, match="empty query interval"):
+            index.query_interval(EVERYWHERE, 100, 99)
+
+    def test_count_interval_rejects_inverted(self, index):
+        with pytest.raises(ValueError, match="empty query interval"):
+            index.count_interval(EVERYWHERE, 100, 99)
+
+    def test_query_knn_rejects_inverted(self, index):
+        with pytest.raises(ValueError, match="empty query interval"):
+            index.query_knn(500, 500, 3, 100, 99)
+
+    def test_negative_width_is_rejected_regardless_of_magnitude(self, index):
+        with pytest.raises(ValueError):
+            index.query_interval(EVERYWHERE, 10**9, 0)
+
+
+class TestDegenerateIntervals:
+    def test_point_interval_is_a_timeslice(self, index):
+        point = index.query_interval(EVERYWHERE, 200, 200)
+        slice_ = index.query_timeslice(EVERYWHERE, 200)
+        assert {(e.oid, e.s) for e in point} == \
+            {(e.oid, e.s) for e in slice_}
+
+    def test_point_count_is_valid(self, index):
+        count, _ = index.count_interval(EVERYWHERE, 200, 200)
+        assert count == len(index.query_timeslice(EVERYWHERE, 200))
+
+    def test_knn_without_t_hi_is_a_timeslice(self, index):
+        got = index.query_knn(100, 100, 1, 200)
+        assert len(got) == 1
