@@ -5,6 +5,7 @@ Commands:
 * ``generate`` — produce a GSTD report stream as CSV.
 * ``build`` — build an on-disk SWST index from a stream CSV.
 * ``query`` — run a timeslice/interval/KNN query against a saved index.
+* ``scrub`` — checksum-sweep a page file and report corrupt page ids.
 * ``bench`` — regenerate one (or all) of the paper's figures.
 
 Every command prints what it did and the node-access cost, so the CLI
@@ -14,6 +15,7 @@ doubles as a quick way to poke at the index's behaviour.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import csv
 import sys
 from dataclasses import replace
@@ -49,13 +51,15 @@ def cmd_generate(args: argparse.Namespace) -> int:
     config = GSTDConfig(num_objects=args.objects, max_time=args.max_time,
                         initial=args.distribution, seed=args.seed,
                         long_fraction=args.long_fraction)
-    writer = csv.writer(sys.stdout if args.output == "-"
-                        else open(args.output, "w", newline=""))
-    writer.writerow(["oid", "x", "y", "t"])
-    count = 0
-    for report in GSTDGenerator(config).stream():
-        writer.writerow([report.oid, report.x, report.y, report.t])
-        count += 1
+    with contextlib.ExitStack() as stack:
+        handle = sys.stdout if args.output == "-" else stack.enter_context(
+            open(args.output, "w", newline=""))
+        writer = csv.writer(handle)
+        writer.writerow(["oid", "x", "y", "t"])
+        count = 0
+        for report in GSTDGenerator(config).stream():
+            writer.writerow([report.oid, report.x, report.y, report.t])
+            count += 1
     print(f"generated {count} reports from {args.objects} objects",
           file=sys.stderr)
     return 0
@@ -63,44 +67,55 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_build(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    index = SWSTIndex(config, path=args.index)
-    with open(args.stream, newline="") as handle:
-        rows = (Report(oid=int(row["oid"]), x=int(row["x"]),
-                       y=int(row["y"]), t=int(row["t"]))
-                for row in csv.DictReader(handle))
-        count = index.extend(rows)
-    index.save()
-    stats = index.stats
-    parses_avoided = stats.node_cache_hits
-    print(f"built {args.index}: {count} reports, {len(index)} stored "
-          f"entries, {stats.node_accesses} node accesses, "
-          f"{parses_avoided} node parses avoided, "
-          f"{index.pager.page_count()} pages")
-    index.close()
+    with SWSTIndex(config, path=args.index) as index:
+        with open(args.stream, newline="") as handle:
+            rows = (Report(oid=int(row["oid"]), x=int(row["x"]),
+                           y=int(row["y"]), t=int(row["t"]))
+                    for row in csv.DictReader(handle))
+            count = index.extend(rows)
+        index.save()
+        stats = index.stats
+        parses_avoided = stats.node_cache_hits
+        print(f"built {args.index}: {count} reports, {len(index)} stored "
+              f"entries, {stats.node_accesses} node accesses, "
+              f"{parses_avoided} node parses avoided, "
+              f"{index.pager.page_count()} pages")
     return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    index = SWSTIndex.open(args.index, config)
-    area = Rect(*args.area)
-    if args.knn:
-        result = index.query_knn(args.point[0], args.point[1], args.knn,
-                                 args.t_lo,
-                                 args.t_hi if args.t_hi >= 0 else None,
-                                 window=args.logical_window)
-    else:
-        t_hi = args.t_hi if args.t_hi >= 0 else args.t_lo
-        result = index.query_interval(area, args.t_lo, t_hi,
-                                      window=args.logical_window)
-    for entry in result:
-        end = "current" if entry.d is None else entry.s + entry.d
-        print(f"oid={entry.oid} x={entry.x} y={entry.y} "
-              f"s={entry.s} end={end}")
-    print(f"-- {len(result)} entries, "
-          f"{result.stats.node_accesses} node accesses", file=sys.stderr)
-    index.close()
+    with SWSTIndex.open(args.index, config) as index:
+        area = Rect(*args.area)
+        if args.knn:
+            result = index.query_knn(args.point[0], args.point[1], args.knn,
+                                     args.t_lo,
+                                     args.t_hi if args.t_hi >= 0 else None,
+                                     window=args.logical_window)
+        else:
+            t_hi = args.t_hi if args.t_hi >= 0 else args.t_lo
+            result = index.query_interval(area, args.t_lo, t_hi,
+                                          window=args.logical_window)
+        for entry in result:
+            end = "current" if entry.d is None else entry.s + entry.d
+            print(f"oid={entry.oid} x={entry.x} y={entry.y} "
+                  f"s={entry.s} end={end}")
+        print(f"-- {len(result)} entries, "
+              f"{result.stats.node_accesses} node accesses", file=sys.stderr)
     return 0
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    from .storage import StorageError
+    from .storage.scrub import scrub_page_file
+
+    try:
+        report = scrub_page_file(args.index)
+    except (StorageError, OSError) as exc:
+        print(f"{args.index}: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 #: Figures with (series name -> value column) mappings for --chart.
@@ -188,6 +203,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar=("X", "Y"), help="KNN query point")
     _add_config_args(query)
     query.set_defaults(func=cmd_query)
+
+    scrub = commands.add_parser(
+        "scrub", help="checksum-sweep a page file, reporting corrupt pages")
+    scrub.add_argument("index", help="page file to verify")
+    scrub.set_defaults(func=cmd_scrub)
 
     bench = commands.add_parser(
         "bench", help="regenerate the paper's figures")

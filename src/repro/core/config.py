@@ -25,6 +25,7 @@ of Section III-B.2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from .records import Rect
 
@@ -52,6 +53,12 @@ class SWSTConfig:
             (disable only for the ablation study of Section V-D.1).
         use_memo: prune temporal cells with the isPresent memo (disable
             only for the Fig. 11 with/without-memo comparison).
+        device_factory: optional ``(path, page_size) -> PageDevice``
+            callable; when set, the index builds its pager on the returned
+            device instead of opening ``path`` directly.  Used to plug a
+            :class:`repro.storage.fault.FaultInjectingPageDevice` (or any
+            custom device) under the whole stack.  Excluded from equality
+            and repr — it is plumbing, not an index parameter.
     """
 
     window: int = 20000
@@ -67,6 +74,8 @@ class SWSTConfig:
     node_cache_capacity: int | None = None
     spatial_keys: bool = True
     use_memo: bool = True
+    device_factory: Callable[[str, int], Any] | None = \
+        field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.window < 1:

@@ -24,6 +24,7 @@ from typing import Iterator
 from ..btree.multisearch import multi_range_search
 from ..btree.tree import BPlusTree
 from ..storage.buffer import BufferPool
+from ..storage.errors import CorruptPageFileError
 from ..storage.pager import MEMORY, Pager
 from .config import SWSTConfig
 from .grid import SpatialGrid
@@ -39,6 +40,14 @@ _CATALOG_CURRENT = struct.Struct("<QIIQ")      # oid, x, y, s
 _CATALOG_COUNT = struct.Struct("<I")           # section item count
 _CATALOG_RETENTION = struct.Struct("<QQ")      # oid, retention
 _PAGE_CHAIN = struct.Struct("<QI")             # next_page, payload_len
+
+
+def _build_pager(config: SWSTConfig, path: str) -> Pager:
+    """Open the page store, honouring ``config.device_factory``."""
+    if config.device_factory is None:
+        return Pager(path, config.page_size)
+    device = config.device_factory(path, config.page_size)
+    return Pager(device=device, page_size=config.page_size)
 
 
 class SWSTIndex:
@@ -61,9 +70,14 @@ class SWSTIndex:
     def __init__(self, config: SWSTConfig | None = None,
                  path: str = MEMORY) -> None:
         self.config = config if config is not None else SWSTConfig()
-        self.pager = Pager(path, self.config.page_size)
-        self.pool = BufferPool(self.pager, self.config.buffer_capacity,
-                               node_capacity=self.config.node_cache_capacity)
+        self.pager = _build_pager(self.config, path)
+        try:
+            self.pool = BufferPool(
+                self.pager, self.config.buffer_capacity,
+                node_capacity=self.config.node_cache_capacity)
+        except BaseException:
+            self.pager.close()
+            raise
         self.codec = KeyCodec(self.config)
         self.grid = SpatialGrid(self.config.space, self.config.x_partitions,
                                 self.config.y_partitions)
@@ -911,65 +925,118 @@ class SWSTIndex:
 
     @classmethod
     def open(cls, path: str, config: SWSTConfig) -> "SWSTIndex":
-        """Re-open a saved index.
+        """Re-open a saved index, validating its on-disk structure.
+
+        Opening runs a bounded recovery pass: the pager itself recovers its
+        committed header and free list; on top of that the catalog page
+        chain is walked with a cycle check and every tree root must point
+        at a live in-range page.  Structural damage raises
+        :class:`~repro.storage.errors.CorruptPageFileError` rather than
+        producing an index that answers queries from garbage.
 
         The isPresent memos are rebuilt by scanning the trees (they are an
         in-memory acceleration structure; the paper stores them in RAM too).
         """
         index = cls.__new__(cls)
         index.config = config
-        index.pager = Pager(path, config.page_size)
-        index.pool = BufferPool(index.pager, config.buffer_capacity,
-                                node_capacity=config.node_cache_capacity)
-        index.codec = KeyCodec(config)
-        index.grid = SpatialGrid(config.space, config.x_partitions,
-                                 config.y_partitions)
-        index._trees = {}
-        index._memos = {}
-        index._current = {}
-        index._retentions = {}
-        index._closed = False
-        blob = index._read_catalog()
-        offset = _CATALOG_HEADER.size
-        clock, drop_epoch, size, n_cells = _CATALOG_HEADER.unpack_from(blob)
-        index._clock, index._drop_epoch, index._size = clock, drop_epoch, size
-        for _ in range(n_cells):
-            cx, cy, root0, root1 = _CATALOG_CELL.unpack_from(blob, offset)
-            offset += _CATALOG_CELL.size
-            trees: list[BPlusTree | None] = [
-                BPlusTree(index.pool, RECORD_SIZE, root0 - 1) if root0 else
-                None,
-                BPlusTree(index.pool, RECORD_SIZE, root1 - 1) if root1 else
-                None,
-            ]
-            index._trees[(cx, cy)] = trees
-            index._memos[(cx, cy)] = CellMemo()
-        (n_current,) = _CATALOG_COUNT.unpack_from(blob, offset)
-        offset += _CATALOG_COUNT.size
-        for _ in range(n_current):
-            oid, x, y, s = _CATALOG_CURRENT.unpack_from(blob, offset)
-            offset += _CATALOG_CURRENT.size
-            index._current[oid] = (x, y, s)
-        if offset < len(blob):
-            # Format 2: retention overrides follow the current table
-            # (format-1 catalogs end exactly here).
-            (n_retentions,) = _CATALOG_COUNT.unpack_from(blob, offset)
-            offset += _CATALOG_COUNT.size
-            for _ in range(n_retentions):
-                oid, retention = _CATALOG_RETENTION.unpack_from(blob, offset)
-                offset += _CATALOG_RETENTION.size
-                index._retentions[oid] = retention
-        index._rebuild_memos()
+        index.pager = _build_pager(config, path)
+        try:
+            index.pool = BufferPool(index.pager, config.buffer_capacity,
+                                    node_capacity=config.node_cache_capacity)
+            index.codec = KeyCodec(config)
+            index.grid = SpatialGrid(config.space, config.x_partitions,
+                                     config.y_partitions)
+            index._trees = {}
+            index._memos = {}
+            index._current = {}
+            index._retentions = {}
+            index._closed = False
+            index._load_catalog()
+            index._rebuild_memos()
+        except BaseException:
+            index._closed = True
+            try:
+                pool = getattr(index, "pool", None)
+                if pool is not None:
+                    pool._closed = True  # discard, don't flush, on failure
+            finally:
+                index.pager.close()
+            raise
         return index
+
+    def _check_root(self, root: int) -> None:
+        """A catalog tree root must name a live, in-range data page."""
+        if not self.pager.first_data_page <= root < self.pager.page_count():
+            raise CorruptPageFileError(
+                f"catalog names tree root page {root}, outside the data "
+                f"range [{self.pager.first_data_page}, "
+                f"{self.pager.page_count()})")
+        if self.pager.page_is_free(root):
+            raise CorruptPageFileError(
+                f"catalog names tree root page {root}, which is on the "
+                f"free list")
+
+    def _load_catalog(self) -> None:
+        blob = self._read_catalog()
+        try:
+            offset = _CATALOG_HEADER.size
+            clock, drop_epoch, size, n_cells = \
+                _CATALOG_HEADER.unpack_from(blob)
+            self._clock, self._drop_epoch, self._size = \
+                clock, drop_epoch, size
+            for _ in range(n_cells):
+                cx, cy, root0, root1 = _CATALOG_CELL.unpack_from(blob,
+                                                                 offset)
+                offset += _CATALOG_CELL.size
+                for root in (root0, root1):
+                    if root:
+                        self._check_root(root - 1)
+                trees: list[BPlusTree | None] = [
+                    BPlusTree(self.pool, RECORD_SIZE, root0 - 1) if root0
+                    else None,
+                    BPlusTree(self.pool, RECORD_SIZE, root1 - 1) if root1
+                    else None,
+                ]
+                self._trees[(cx, cy)] = trees
+                self._memos[(cx, cy)] = CellMemo()
+            (n_current,) = _CATALOG_COUNT.unpack_from(blob, offset)
+            offset += _CATALOG_COUNT.size
+            for _ in range(n_current):
+                oid, x, y, s = _CATALOG_CURRENT.unpack_from(blob, offset)
+                offset += _CATALOG_CURRENT.size
+                self._current[oid] = (x, y, s)
+            if offset < len(blob):
+                # Format 2: retention overrides follow the current table
+                # (format-1 catalogs end exactly here).
+                (n_retentions,) = _CATALOG_COUNT.unpack_from(blob, offset)
+                offset += _CATALOG_COUNT.size
+                for _ in range(n_retentions):
+                    oid, retention = _CATALOG_RETENTION.unpack_from(blob,
+                                                                    offset)
+                    offset += _CATALOG_RETENTION.size
+                    self._retentions[oid] = retention
+        except struct.error as exc:
+            raise CorruptPageFileError(
+                f"saved SWST catalog is truncated: {exc}") from exc
 
     def _read_catalog(self) -> bytes:
         head = int.from_bytes(self.pager.meta or b"", "little")
         if not head:
-            raise ValueError("page file has no saved SWST catalog")
+            raise CorruptPageFileError("page file has no saved SWST catalog")
         parts: list[bytes] = []
+        seen: set[int] = set()
+        chunk = self.pager.page_size - _PAGE_CHAIN.size
         while head:
+            if head in seen:
+                raise CorruptPageFileError(
+                    f"cycle in catalog page chain at page {head}")
+            seen.add(head)
             raw = self.pager.read(head)
             head, length = _PAGE_CHAIN.unpack_from(raw)
+            if length > chunk:
+                raise CorruptPageFileError(
+                    f"catalog page claims {length} payload bytes "
+                    f"(max {chunk})")
             parts.append(raw[_PAGE_CHAIN.size:_PAGE_CHAIN.size + length])
         return b"".join(parts)
 
@@ -994,9 +1061,11 @@ class SWSTIndex:
 
     def close(self) -> None:
         if not self._closed:
-            self.pool.close()
-            self.pager.close()
             self._closed = True
+            try:
+                self.pool.close()
+            finally:
+                self.pager.close()
 
     def __enter__(self) -> "SWSTIndex":
         return self

@@ -2,28 +2,41 @@
 
 This package is the "disk" every index in the repository runs on.  The
 paper's primary cost metric — node accesses — is counted at the
-:class:`BufferPool` boundary.
+:class:`BufferPool` boundary.  Crash safety lives below it: checksummed
+pages (:mod:`repro.storage.page`), the dual-slot header commit protocol
+(:mod:`repro.storage.pager`), fault injection for testing it
+(:mod:`repro.storage.fault`) and the offline integrity sweep
+(:mod:`repro.storage.scrub`).
 """
 
 from .buffer import DEFAULT_CAPACITY, BufferPool
-from .errors import (CorruptPageFileError, PageError, PagerClosedError,
-                     StorageError)
+from .errors import (ChecksumError, CorruptPageFileError, PageError,
+                     PagerClosedError, StorageError, TornWriteError)
+from .fault import FaultInjectingPageDevice, InjectedFault
 from .page import DEFAULT_PAGE_SIZE, FilePageDevice, MemoryPageDevice
 from .pager import MEMORY, Pager
+from .scrub import ScrubReport, probe_page_file, scrub_page_file
 from .stats import IOStats, StatsRecorder
 
 __all__ = [
     "BufferPool",
+    "ChecksumError",
     "CorruptPageFileError",
     "DEFAULT_CAPACITY",
     "DEFAULT_PAGE_SIZE",
+    "FaultInjectingPageDevice",
     "FilePageDevice",
     "IOStats",
+    "InjectedFault",
     "MEMORY",
     "MemoryPageDevice",
     "PageError",
     "Pager",
     "PagerClosedError",
+    "ScrubReport",
     "StatsRecorder",
     "StorageError",
+    "TornWriteError",
+    "probe_page_file",
+    "scrub_page_file",
 ]

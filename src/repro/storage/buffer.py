@@ -250,8 +250,10 @@ class BufferPool:
 
     def close(self) -> None:
         if not self._closed:
-            self.flush()
-            self._closed = True
+            try:
+                self.flush()
+            finally:
+                self._closed = True
 
     def __enter__(self) -> "BufferPool":
         return self

@@ -1,7 +1,12 @@
 """Exception hierarchy for the storage layer.
 
 All storage-level failures derive from :class:`StorageError` so callers can
-catch one base class at the public-API boundary.
+catch one base class at the public-API boundary.  Corruption detected on the
+read path is further split: :class:`TornWriteError` (a page whose trailer was
+never completely written — the classic crash-mid-write signature) versus
+:class:`ChecksumError` (a complete trailer whose CRC disagrees with the page
+body — bit rot or a torn body under an old trailer).  Both subclass
+:class:`CorruptPageFileError` so recovery code can treat them uniformly.
 """
 
 
@@ -19,3 +24,11 @@ class PagerClosedError(StorageError):
 
 class CorruptPageFileError(StorageError):
     """The on-disk page file failed a structural sanity check."""
+
+
+class ChecksumError(CorruptPageFileError):
+    """A page's stored CRC32 disagrees with its contents."""
+
+
+class TornWriteError(CorruptPageFileError):
+    """A page's trailer is missing or incomplete (interrupted write)."""

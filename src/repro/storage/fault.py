@@ -1,0 +1,182 @@
+"""Fault injection: a page device wrapper that breaks on command.
+
+:class:`FaultInjectingPageDevice` wraps any page device and injects
+failures *below* the checksum layer, so the corruption it produces is
+exactly what the recovery machinery must detect:
+
+* **crash at write k** — the k-th write (counting ``write`` and ``extend``
+  together) optionally tears (a prefix of the physical slot — data *and*
+  trailer — is written, the suffix keeps its old bytes) and then raises
+  :class:`OSError`; every later write or sync also raises, simulating a
+  process that died at that instant.
+* **scriptable error schedules** — map read/write ordinals to arbitrary
+  exceptions for targeted ``OSError`` testing.
+* **stored bit flips** — :meth:`flip_stored_bit` XORs a byte of the raw
+  slot on disk (under the CRC), modelling bit rot.
+
+The wrapper satisfies the :class:`repro.storage.page.PageDevice` protocol
+and plugs under :class:`repro.storage.pager.Pager` either directly
+(``Pager(device=...)``) or through ``SWSTConfig.device_factory``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .page import PageDevice
+
+
+class InjectedFault(OSError):
+    """The fault injector fired (distinguishable from real IO errors)."""
+
+
+class FaultInjectingPageDevice:
+    """Wrap ``device``, injecting faults according to the configuration.
+
+    Args:
+        device: the real page device (usually a
+            :class:`~repro.storage.page.FilePageDevice`).
+        fail_write: 1-based ordinal of the write operation at which to
+            crash, or ``None`` to never crash.
+        tear_bytes: how many bytes of the crashing write's physical slot
+            reach the disk before the crash (0 = none; the write is lost
+            entirely).
+        write_errors: optional map of write ordinal -> exception to raise
+            *instead of* performing that write (the device stays usable).
+        read_errors: optional map of read ordinal -> exception to raise
+            instead of performing that read.
+    """
+
+    def __init__(self, device: PageDevice, *,
+                 fail_write: int | None = None,
+                 tear_bytes: int = 0,
+                 write_errors: Mapping[int, Exception] | None = None,
+                 read_errors: Mapping[int, Exception] | None = None) -> None:
+        self._inner = device
+        self.fail_write = fail_write
+        self.tear_bytes = tear_bytes
+        self.write_errors = dict(write_errors or {})
+        self.read_errors = dict(read_errors or {})
+        self.writes_seen = 0
+        self.reads_seen = 0
+        self.crashed = False
+
+    # -- delegated attributes ------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self._inner.page_size
+
+    @property
+    def checksums(self) -> bool:
+        return getattr(self._inner, "checksums", False)
+
+    @property
+    def format_version(self) -> int:
+        return getattr(self._inner, "format_version", 1)
+
+    def set_write_generation(self, generation: int) -> None:
+        setter = getattr(self._inner, "set_write_generation", None)
+        if setter is not None:
+            setter(generation)
+
+    def check_page(self, page_id: int) -> int:
+        return self._inner.check_page(page_id)
+
+    def page_count(self) -> int:
+        return self._inner.page_count()
+
+    # -- fault machinery -----------------------------------------------------
+
+    def _check_crashed(self) -> None:
+        if self.crashed:
+            raise InjectedFault("device crashed by fault injection")
+
+    def _next_write(self) -> None:
+        """Advance the write ordinal; raise if a fault is scheduled."""
+        self._check_crashed()
+        self.writes_seen += 1
+        error = self.write_errors.pop(self.writes_seen, None)
+        if error is not None:
+            raise error
+
+    def _crash_due(self) -> bool:
+        return self.fail_write is not None \
+            and self.writes_seen == self.fail_write
+
+    def _tear_slot(self, page_id: int, data: bytes, fresh: bool) -> None:
+        """Leave a torn physical slot: new prefix, stale suffix."""
+        inner = self._inner
+        if hasattr(inner, "_write_raw") and inner.checksums:
+            new_blob = data + inner._make_trailer(data)
+            old_blob = (b"\xff" * len(new_blob) if fresh
+                        else inner._read_raw(page_id))
+        else:
+            new_blob = data
+            old_blob = (b"\x00" * len(data) if fresh
+                        else inner.read(page_id))
+        tear = min(self.tear_bytes, len(new_blob))
+        torn = new_blob[:tear] + old_blob[tear:]
+        if hasattr(inner, "_write_raw") and inner.checksums:
+            inner._write_raw(page_id, torn)
+        else:
+            inner.write(page_id, torn)
+
+    def flip_stored_bit(self, page_id: int, byte_offset: int,
+                        mask: int = 0x01) -> None:
+        """XOR one stored byte of the page's physical slot (bit rot)."""
+        inner = self._inner
+        if hasattr(inner, "_read_raw"):
+            blob = bytearray(inner._read_raw(page_id))
+            blob[byte_offset] ^= mask
+            inner._write_raw(page_id, bytes(blob))
+        else:
+            data = bytearray(inner.read(page_id))
+            data[byte_offset] ^= mask
+            inner.write(page_id, bytes(data))
+
+    # -- device API ----------------------------------------------------------
+
+    def read(self, page_id: int) -> bytes:
+        self.reads_seen += 1
+        error = self.read_errors.pop(self.reads_seen, None)
+        if error is not None:
+            raise error
+        return self._inner.read(page_id)
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._next_write()
+        if self._crash_due():
+            self.crashed = True
+            if self.tear_bytes > 0:
+                self._tear_slot(page_id, data, fresh=False)
+            raise InjectedFault(
+                f"injected crash at write {self.writes_seen} "
+                f"(page {page_id}, {self.tear_bytes} bytes reached disk)")
+        self._inner.write(page_id, data)
+
+    def extend(self) -> int:
+        self._next_write()
+        if self._crash_due():
+            self.crashed = True
+            if self.tear_bytes > 0:
+                page_id = self._inner.extend()
+                self._tear_slot(page_id, b"\x00" * self.page_size,
+                                fresh=True)
+            raise InjectedFault(
+                f"injected crash at write {self.writes_seen} (extend, "
+                f"{self.tear_bytes} bytes reached disk)")
+        return self._inner.extend()
+
+    def truncate(self, page_count: int) -> None:
+        self._check_crashed()
+        self._inner.truncate(page_count)
+
+    def sync(self) -> None:
+        self._check_crashed()
+        self._inner.sync()
+
+    def close(self) -> None:
+        # Always release the real device, even after a simulated crash —
+        # the *handle* must not leak just because the *disk* died.
+        self._inner.close()

@@ -8,22 +8,53 @@ nothing about their contents.  Two implementations are provided:
 * :class:`MemoryPageDevice` — pages live in a dict.  Used by tests and
   benchmarks that only care about *logical* node accesses (the paper's
   metric), where real disk IO would add noise without changing the counts.
+
+On-disk format v2 (the default for new files)::
+
+    superblock (512 bytes): magic "SWSTDV2\\0", page_size, trailer_size, crc32
+    page slot i at offset 512 + i * (page_size + 16):
+        page data (page_size bytes)
+        trailer (16 bytes): crc32, format tag "SWP2", write generation
+
+The trailer lives *outside* the logical page, so the page size seen by every
+layer above (pager, buffer pool, B+ tree fan-out) is identical with and
+without checksums.  Reads verify the trailer: a wrong format tag raises
+:class:`TornWriteError` (the write never completed), a CRC mismatch raises
+:class:`ChecksumError`.  The write generation is stamped by the pager and
+lets crash recovery detect pages written after the last committed header.
+
+Format v1 files (no superblock; raw ``page_size``-sized pages) are detected
+by the absence of the superblock magic and stay fully readable and writable,
+just without checksums.
 """
 
 from __future__ import annotations
 
 import os
+import struct
+import zlib
 from typing import Protocol
 
-from .errors import PageError, PagerClosedError
+from .errors import (ChecksumError, CorruptPageFileError, PageError,
+                     PagerClosedError, TornWriteError)
 
 DEFAULT_PAGE_SIZE = 8192
+
+#: Size of the format-v2 superblock that prefixes the page slots.
+SUPERBLOCK_SIZE = 512
+SUPERBLOCK_MAGIC = b"SWSTDV2\x00"
+_SUPERBLOCK = struct.Struct("<8sIII")  # magic, page_size, trailer_size, crc32
+
+#: Per-page trailer: crc32, format tag, write generation.
+PAGE_TRAILER = struct.Struct("<IIQ")
+TRAILER_TAG = 0x53575032  # "SWP2" little-endian
 
 
 class PageDevice(Protocol):
     """Minimal interface a page store must provide."""
 
     page_size: int
+    checksums: bool
 
     def read(self, page_id: int) -> bytes: ...
 
@@ -33,13 +64,20 @@ class PageDevice(Protocol):
 
     def page_count(self) -> int: ...
 
+    def truncate(self, page_count: int) -> None: ...
+
     def sync(self) -> None: ...
 
     def close(self) -> None: ...
 
 
 class FilePageDevice:
-    """Fixed-size pages stored in one binary file."""
+    """Fixed-size pages stored in one binary file.
+
+    New files are created in format v2 (superblock + per-page checksum
+    trailers); existing v1 files open read/write-compatibly with
+    ``checksums`` False.
+    """
 
     def __init__(self, path: str | os.PathLike[str],
                  page_size: int = DEFAULT_PAGE_SIZE) -> None:
@@ -51,11 +89,99 @@ class FilePageDevice:
         mode = "r+b" if os.path.exists(self.path) else "w+b"
         self._file = open(self.path, mode)
         self._closed = False
-        size = os.fstat(self._file.fileno()).st_size
-        if size % page_size:
-            raise PageError(
-                f"file size {size} is not a multiple of page size {page_size}")
-        self._count = size // page_size
+        self._write_generation = 0
+        try:
+            size = os.fstat(self._file.fileno()).st_size
+            if size == 0:
+                self._init_v2()
+            else:
+                self._open_existing(size)
+        except BaseException:
+            self._closed = True
+            self._file.close()
+            raise
+
+    # -- format handling -----------------------------------------------------
+
+    def _init_v2(self) -> None:
+        self.format_version = 2
+        self.checksums = True
+        self._base = SUPERBLOCK_SIZE
+        self._slot_size = self.page_size + PAGE_TRAILER.size
+        fixed = _SUPERBLOCK.pack(SUPERBLOCK_MAGIC, self.page_size,
+                                 PAGE_TRAILER.size, 0)
+        crc = zlib.crc32(fixed)
+        blob = _SUPERBLOCK.pack(SUPERBLOCK_MAGIC, self.page_size,
+                                PAGE_TRAILER.size, crc)
+        self._file.seek(0)
+        self._file.write(blob.ljust(SUPERBLOCK_SIZE, b"\x00"))
+        self._count = 0
+
+    def _open_existing(self, size: int) -> None:
+        self._file.seek(0)
+        head = self._file.read(_SUPERBLOCK.size)
+        if head[:8] == SUPERBLOCK_MAGIC and len(head) == _SUPERBLOCK.size:
+            magic, ps, trailer_size, crc = _SUPERBLOCK.unpack(head)
+            probe = _SUPERBLOCK.pack(magic, ps, trailer_size, 0)
+            if zlib.crc32(probe) != crc:
+                raise CorruptPageFileError(
+                    f"{self.path}: superblock failed its checksum")
+            if ps != self.page_size:
+                raise CorruptPageFileError(
+                    f"file page size {ps} != requested {self.page_size}")
+            if trailer_size != PAGE_TRAILER.size:
+                raise CorruptPageFileError(
+                    f"unsupported page trailer size {trailer_size}")
+            self.format_version = 2
+            self.checksums = True
+            self._base = SUPERBLOCK_SIZE
+            self._slot_size = self.page_size + PAGE_TRAILER.size
+            payload = max(size - SUPERBLOCK_SIZE, 0)
+            self._count = payload // self._slot_size
+            if payload % self._slot_size:
+                # A torn extend left a partial slot at the tail; drop it —
+                # it was never part of any committed state.
+                self._file.truncate(self._offset(self._count))
+        else:
+            self.format_version = 1
+            self.checksums = False
+            self._base = 0
+            self._slot_size = self.page_size
+            if size % self.page_size:
+                raise PageError(f"file size {size} is not a multiple of "
+                                f"page size {self.page_size}")
+            self._count = size // self.page_size
+
+    def _offset(self, page_id: int) -> int:
+        return self._base + page_id * self._slot_size
+
+    # -- trailer helpers -----------------------------------------------------
+
+    def set_write_generation(self, generation: int) -> None:
+        """Generation stamped into the trailer of every subsequent write."""
+        self._write_generation = generation
+
+    def _make_trailer(self, data: bytes) -> bytes:
+        tail = PAGE_TRAILER.pack(0, TRAILER_TAG, self._write_generation)
+        crc = zlib.crc32(tail, zlib.crc32(data))
+        return PAGE_TRAILER.pack(crc, TRAILER_TAG, self._write_generation)
+
+    def _verify_trailer(self, page_id: int, data: bytes,
+                        trailer: bytes) -> int:
+        crc, tag, generation = PAGE_TRAILER.unpack(trailer)
+        if tag != TRAILER_TAG:
+            raise TornWriteError(
+                f"page {page_id}: invalid trailer (torn or never-completed "
+                f"write)")
+        probe = PAGE_TRAILER.pack(0, tag, generation)
+        expected = zlib.crc32(probe, zlib.crc32(data))
+        if crc != expected:
+            raise ChecksumError(
+                f"page {page_id}: checksum mismatch (stored {crc:#010x}, "
+                f"computed {expected:#010x})")
+        return generation
+
+    # -- device API ----------------------------------------------------------
 
     def _check_open(self) -> None:
         if self._closed:
@@ -69,11 +195,37 @@ class FilePageDevice:
     def read(self, page_id: int) -> bytes:
         self._check_open()
         self._check_id(page_id)
-        self._file.seek(page_id * self.page_size)
-        data = self._file.read(self.page_size)
-        if len(data) != self.page_size:
+        self._file.seek(self._offset(page_id))
+        blob = self._file.read(self._slot_size)
+        if len(blob) != self._slot_size:
             raise PageError(f"short read on page {page_id}")
+        if not self.checksums:
+            return blob
+        data, trailer = blob[:self.page_size], blob[self.page_size:]
+        self._verify_trailer(page_id, data, trailer)
         return data
+
+    def check_page(self, page_id: int) -> int:
+        """Verify one page's trailer; returns its write generation.
+
+        Raises :class:`TornWriteError`/:class:`ChecksumError` on corruption.
+        Format-v1 pages have no trailer and always verify with generation 0.
+        """
+        self._check_open()
+        self._check_id(page_id)
+        if not self.checksums:
+            return 0
+        self._file.seek(self._offset(page_id))
+        blob = self._file.read(self._slot_size)
+        if len(blob) != self._slot_size:
+            raise TornWriteError(f"page {page_id}: short slot on disk")
+        return self._verify_trailer(page_id, blob[:self.page_size],
+                                    blob[self.page_size:])
+
+    def _write_at(self, page_id: int, data: bytes) -> None:
+        blob = data + self._make_trailer(data) if self.checksums else data
+        self._file.seek(self._offset(page_id))
+        self._file.write(blob)
 
     def write(self, page_id: int, data: bytes) -> None:
         self._check_open()
@@ -81,17 +233,25 @@ class FilePageDevice:
         if len(data) != self.page_size:
             raise PageError(f"page data must be exactly {self.page_size} "
                             f"bytes, got {len(data)}")
-        self._file.seek(page_id * self.page_size)
-        self._file.write(data)
+        self._write_at(page_id, data)
 
     def extend(self) -> int:
         """Append one zeroed page and return its id."""
         self._check_open()
         page_id = self._count
-        self._file.seek(page_id * self.page_size)
-        self._file.write(b"\x00" * self.page_size)
+        self._write_at(page_id, b"\x00" * self.page_size)
         self._count += 1
         return page_id
+
+    def truncate(self, page_count: int) -> None:
+        """Discard every page with id >= ``page_count`` (recovery only)."""
+        self._check_open()
+        if not 0 <= page_count <= self._count:
+            raise PageError(f"cannot truncate to {page_count} pages "
+                            f"(device holds {self._count})")
+        self._file.flush()
+        self._file.truncate(self._offset(page_count))
+        self._count = page_count
 
     def page_count(self) -> int:
         return self._count
@@ -103,13 +263,36 @@ class FilePageDevice:
 
     def close(self) -> None:
         if not self._closed:
+            self._closed = True
             self._file.flush()
             self._file.close()
-            self._closed = True
+
+    # -- raw slot access (fault injection and forensics) ---------------------
+
+    def _read_raw(self, page_id: int) -> bytes:
+        """The physical slot bytes (data + trailer), unverified."""
+        self._check_open()
+        self._check_id(page_id)
+        self._file.seek(self._offset(page_id))
+        blob = self._file.read(self._slot_size)
+        return blob.ljust(self._slot_size, b"\x00")
+
+    def _write_raw(self, page_id: int, blob: bytes) -> None:
+        """Overwrite the physical slot verbatim — below the checksum layer."""
+        self._check_open()
+        self._check_id(page_id)
+        if len(blob) != self._slot_size:
+            raise PageError(f"raw slot must be exactly {self._slot_size} "
+                            f"bytes, got {len(blob)}")
+        self._file.seek(self._offset(page_id))
+        self._file.write(blob)
 
 
 class MemoryPageDevice:
     """Pages stored in memory; same contract as :class:`FilePageDevice`."""
+
+    format_version = 2
+    checksums = False
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
         if page_size <= 0:
@@ -132,6 +315,11 @@ class MemoryPageDevice:
         self._check_id(page_id)
         return self._pages[page_id]
 
+    def check_page(self, page_id: int) -> int:
+        self._check_open()
+        self._check_id(page_id)
+        return 0
+
     def write(self, page_id: int, data: bytes) -> None:
         self._check_open()
         self._check_id(page_id)
@@ -144,6 +332,13 @@ class MemoryPageDevice:
         self._check_open()
         self._pages.append(b"\x00" * self.page_size)
         return len(self._pages) - 1
+
+    def truncate(self, page_count: int) -> None:
+        self._check_open()
+        if not 0 <= page_count <= len(self._pages):
+            raise PageError(f"cannot truncate to {page_count} pages "
+                            f"(device holds {len(self._pages)})")
+        del self._pages[page_count:]
 
     def page_count(self) -> int:
         return len(self._pages)

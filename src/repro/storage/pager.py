@@ -1,19 +1,40 @@
 """Pager: page allocation and a persistent free list on top of a page device.
 
-Layout:
+Format-v2 layout (the default for new files):
 
-* Page 0 is the header page::
+* Pages 0 and 1 are the two *header slots*.  Each holds::
 
-      magic (8 bytes)  page_size (u32)  free_head (u64)  meta... (rest)
+      magic (8)  page_size (u32)  generation (u64)  page_count (u64)
+      free_head (u64)  flags (u8)  meta_len (u32)  crc32 (u32)  meta...
 
-  The tail of the header page after the fixed fields is available to the
-  owner as an opaque *meta blob* (SWST stores its tree catalog pointer
-  there).
+  A commit writes the header to the slot holding the *older* generation,
+  so the previous committed header survives a torn write; recovery picks
+  the valid slot with the highest generation.  The tail after the fixed
+  fields is available to the owner as an opaque *meta blob* (SWST stores
+  its tree catalog pointer there).
 * Freed pages are chained through their first 8 bytes.
 
-Header updates from ``allocate``/``free``/``meta`` are deferred: they set a
-dirty flag and the header page is rewritten once per :meth:`Pager.sync` or
-:meth:`Pager.close` rather than on every call.
+Commit protocol: every device write between commits is stamped (in the
+page trailer, see :mod:`repro.storage.page`) with ``generation + 1`` — the
+generation of the *next* commit.  :meth:`sync` and :meth:`close` commit:
+data is fsynced, the header (naming that generation) is written to the
+older slot, and the file is fsynced again.  The first mutation of a
+session first commits a header with the *dirty* flag, so recovery knows a
+write window was open; :meth:`close` commits with the *clean* flag.
+
+Recovery on open (format v2): pick the newest valid header slot; pages
+beyond its committed ``page_count`` are uncommitted extends and are
+truncated away; if the header is dirty (crashed session), every committed
+page is checksum-verified and any page stamped with a generation newer
+than the committed one — an in-place overwrite that never got committed —
+raises :class:`CorruptPageFileError`.  A successful dirty recovery
+commits a clean header so later opens skip the sweep.  Finally the free
+list is walked (with cycle and range checks) into an in-memory freed-set,
+which makes double frees detectable at :meth:`free` time.
+
+Legacy format-v1 files (single in-place header on page 0, no checksums)
+are detected by their magic and stay fully usable, without the
+crash-safety guarantees.
 
 The pager performs raw device IO only; caching and IO accounting live in
 :class:`repro.storage.buffer.BufferPool`, which sits on top.
@@ -23,14 +44,19 @@ from __future__ import annotations
 
 import os
 import struct
+import zlib
 
-from .errors import CorruptPageFileError, PageError
+from .errors import CorruptPageFileError, PageError, PagerClosedError
 from .page import (DEFAULT_PAGE_SIZE, FilePageDevice, MemoryPageDevice,
                    PageDevice)
 
-_MAGIC = b"SWSTPGR1"
-_HEADER = struct.Struct("<8sIQ")  # magic, page_size, free_head
+_MAGIC_V1 = b"SWSTPGR1"
+_MAGIC_V2 = b"SWSTPGR2"
+_HEADER_V1 = struct.Struct("<8sIQ")  # magic, page_size, free_head
+# magic, page_size, generation, page_count, free_head, flags, meta_len, crc
+_HEADER_V2 = struct.Struct("<8sIQQQBII")
 _FREE_LINK = struct.Struct("<Q")
+_FLAG_CLEAN = 0x01
 
 #: Path sentinel selecting the in-memory device.
 MEMORY = ":memory:"
@@ -42,108 +68,321 @@ class Pager:
     Args:
         path: file path, or :data:`MEMORY` for an in-memory device.
         page_size: page size in bytes (must match an existing file).
+        device: pre-built page device to use instead of constructing one
+            from ``path`` (e.g. a
+            :class:`repro.storage.fault.FaultInjectingPageDevice`).
     """
 
     def __init__(self, path: str | os.PathLike[str] = MEMORY,
-                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 device: PageDevice | None = None) -> None:
         self._device: PageDevice
-        if os.fspath(path) == MEMORY:
+        if device is not None:
+            self._device = device
+        elif os.fspath(path) == MEMORY:
             self._device = MemoryPageDevice(page_size)
         else:
             self._device = FilePageDevice(path, page_size)
         self.page_size = self._device.page_size
-        self.meta_capacity = self.page_size - _HEADER.size
-        self._header_dirty = False
         self._closed = False
-        if self._device.page_count() == 0:
-            self._device.extend()  # header page
-            self._free_head = 0
-            self._meta = b""
-            self._write_header()
-        else:
-            self._read_header()
+        self._header_dirty = False   # legacy v1 deferred-header flag
+        self._mutated = False        # any mutation since the last v2 commit
+        self._marked = False         # dirty header committed this session
+        self._freed: set[int] = set()
+        self._meta = b""
+        self._free_head = 0
+        self._generation = 0
+        self._slot = 1
+        try:
+            if self._device.page_count() == 0:
+                self._init_fresh()
+            else:
+                self._open_existing()
+        except BaseException:
+            self._closed = True
+            self._device.close()
+            raise
 
-    # -- header ------------------------------------------------------------
+    # -- open / create -------------------------------------------------------
 
-    def _write_header(self) -> None:
-        fixed = _HEADER.pack(_MAGIC, self.page_size, self._free_head)
-        body = self._meta.ljust(self.meta_capacity, b"\x00")
-        self._device.write(0, fixed + body)
-        self._header_dirty = False
+    @property
+    def _checksums(self) -> bool:
+        return getattr(self._device, "checksums", False)
 
-    def _flush_header(self) -> None:
-        """Write the header page if allocate/free/meta changed it.
+    @property
+    def first_data_page(self) -> int:
+        """Lowest page id available to callers (header pages come first)."""
+        return 2 if self.format_version == 2 else 1
 
-        Header writes are deferred: ``allocate``/``free``/``meta`` only set
-        a dirty flag, and the page is written once per :meth:`sync` /
-        :meth:`close` instead of once per call.  In-memory state is always
-        authoritative while the pager is open.
-        """
-        if self._header_dirty:
-            self._write_header()
+    @property
+    def meta_capacity(self) -> int:
+        header = _HEADER_V2 if self.format_version == 2 else _HEADER_V1
+        return self.page_size - header.size
 
-    def _read_header(self) -> None:
+    @property
+    def generation(self) -> int:
+        """Generation of the last committed header (0 for format v1)."""
+        return self._generation
+
+    def _init_fresh(self) -> None:
+        self.format_version = 2
+        if self._checksums:
+            self._device.set_write_generation(1)
+        self._device.extend()  # header slot 0
+        self._device.extend()  # header slot 1
+        self._commit_header(clean=False)
+        self._marked = True
+
+    def _open_existing(self) -> None:
+        if self._checksums:
+            self._open_v2()
+            return
         raw = self._device.read(0)
-        magic, page_size, free_head = _HEADER.unpack_from(raw)
-        if magic != _MAGIC:
+        magic = raw[:8]
+        if magic == _MAGIC_V2:
+            self.format_version = 2
+            self._open_v2()
+        elif magic == _MAGIC_V1:
+            self.format_version = 1
+            self._read_header_v1(raw)
+            self._load_free_list()
+        else:
             raise CorruptPageFileError("bad magic in page file header")
+
+    def _open_v2(self) -> None:
+        self.format_version = 2
+        slots = [self._parse_header_slot(slot) for slot in (0, 1)]
+        valid = [header for header in slots if header is not None]
+        if not valid:
+            raise CorruptPageFileError(
+                "neither header slot holds a valid committed header")
+        best = max(valid, key=lambda header: header["generation"])
+        self._slot = best["slot"]
+        self._generation = best["generation"]
+        self._free_head = best["free_head"]
+        self._meta = best["meta"]
+        clean = bool(best["flags"] & _FLAG_CLEAN)
+        committed = best["page_count"]
+        present = self._device.page_count()
+        if present < committed:
+            raise CorruptPageFileError(
+                f"file truncated: {present} pages on disk, "
+                f"{committed} committed")
+        if present > committed:
+            # Uncommitted extends past the last commit; drop them.
+            self._device.truncate(committed)
+        if self._checksums:
+            self._device.set_write_generation(self._generation + 1)
+            if not clean:
+                self._recovery_sweep(committed)
+        self._load_free_list()
+        if not clean and self._checksums:
+            # The sweep proved the file is byte-exact at this generation;
+            # commit a clean header so later opens skip it.
+            self._commit_header(clean=True)
+
+    def _parse_header_slot(self, slot: int) -> dict | None:
+        try:
+            raw = self._device.read(slot)
+        except (CorruptPageFileError, PageError):
+            return None
+        try:
+            (magic, page_size, generation, page_count, free_head, flags,
+             meta_len, crc) = _HEADER_V2.unpack_from(raw)
+        except struct.error:
+            return None
+        if magic != _MAGIC_V2 or page_size != self.page_size:
+            return None
+        if meta_len > len(raw) - _HEADER_V2.size:
+            return None
+        meta = raw[_HEADER_V2.size:_HEADER_V2.size + meta_len]
+        probe = _HEADER_V2.pack(magic, page_size, generation, page_count,
+                                free_head, flags, meta_len, 0)
+        if zlib.crc32(probe + meta) != crc:
+            return None
+        return {"slot": slot, "generation": generation,
+                "page_count": page_count, "free_head": free_head,
+                "flags": flags, "meta": meta}
+
+    def _recovery_sweep(self, committed_pages: int) -> None:
+        """Full verify after an unclean shutdown.
+
+        Every committed page must pass its checksum and carry a write
+        generation no newer than the committed header — a newer stamp is
+        an in-place overwrite from the crashed write window, which means
+        the committed snapshot is gone.
+        """
+        for page_id in range(2, committed_pages):
+            generation = self._device.check_page(page_id)
+            if generation > self._generation:
+                raise CorruptPageFileError(
+                    f"page {page_id} holds uncommitted data from "
+                    f"generation {generation} (committed "
+                    f"{self._generation}); the last committed state did "
+                    f"not survive the crash")
+
+    def _read_header_v1(self, raw: bytes) -> None:
+        magic, page_size, free_head = _HEADER_V1.unpack_from(raw)
         if page_size != self.page_size:
             raise CorruptPageFileError(
                 f"file page size {page_size} != requested {self.page_size}")
         self._free_head = free_head
-        self._meta = raw[_HEADER.size:].rstrip(b"\x00")
+        self._meta = raw[_HEADER_V1.size:].rstrip(b"\x00")
+
+    def _load_free_list(self) -> None:
+        """Walk the on-disk free list into the in-memory freed-set.
+
+        Validates every link (range, cycles) so a corrupt chain is caught
+        at open time instead of corrupting allocations later.
+        """
+        seen: set[int] = set()
+        head = self._free_head
+        while head:
+            if head in seen:
+                raise CorruptPageFileError("cycle in free list")
+            if not self.first_data_page <= head < self._device.page_count():
+                raise CorruptPageFileError(
+                    f"free list links to invalid page {head}")
+            seen.add(head)
+            (head,) = _FREE_LINK.unpack_from(self._device.read(head))
+        self._freed = seen
+
+    # -- header commits ------------------------------------------------------
+
+    def _commit_header(self, clean: bool) -> None:
+        """Atomically publish the current state (format v2).
+
+        Data is fsynced first, then the header naming it is written to the
+        slot holding the older generation and fsynced in turn, so a torn
+        header write can only lose the *new* commit, never the old one.
+        """
+        generation = self._generation + 1
+        flags = _FLAG_CLEAN if clean else 0
+        probe = _HEADER_V2.pack(_MAGIC_V2, self.page_size, generation,
+                                self._device.page_count(), self._free_head,
+                                flags, len(self._meta), 0)
+        crc = zlib.crc32(probe + self._meta)
+        fixed = _HEADER_V2.pack(_MAGIC_V2, self.page_size, generation,
+                                self._device.page_count(), self._free_head,
+                                flags, len(self._meta), crc)
+        page = (fixed + self._meta).ljust(self.page_size, b"\x00")
+        slot = 1 - self._slot
+        self._device.sync()
+        self._device.write(slot, page)
+        self._device.sync()
+        self._slot = slot
+        self._generation = generation
+        self._mutated = False
+        if self._checksums:
+            self._device.set_write_generation(self._generation + 1)
+
+    def _ensure_marked(self) -> None:
+        """Commit a dirty header before the session's first mutation."""
+        if self.format_version == 2 and not self._marked:
+            self._marked = True
+            self._commit_header(clean=False)
+
+    def _write_header_v1(self) -> None:
+        fixed = _HEADER_V1.pack(_MAGIC_V1, self.page_size, self._free_head)
+        body = self._meta.ljust(self.meta_capacity, b"\x00")
+        self._device.write(0, fixed + body)
+        self._header_dirty = False
+
+    # -- meta ----------------------------------------------------------------
 
     @property
     def meta(self) -> bytes:
         """Opaque owner-controlled blob persisted in the header page."""
+        self._check_open()
         return self._meta
 
     @meta.setter
     def meta(self, blob: bytes) -> None:
+        self._check_open()
         if len(blob) > self.meta_capacity:
             raise ValueError(f"meta blob of {len(blob)} bytes exceeds "
                              f"capacity {self.meta_capacity}")
+        self._ensure_marked()
         self._meta = bytes(blob)
         self._header_dirty = True
+        self._mutated = True
 
-    # -- page lifecycle ----------------------------------------------------
+    # -- page lifecycle ------------------------------------------------------
 
     def allocate(self) -> int:
         """Return the id of a fresh zeroed page (reusing freed pages)."""
+        self._check_open()
+        self._ensure_marked()
+        self._mutated = True
         if self._free_head:
             page_id = self._free_head
+            if page_id not in self._freed:
+                raise CorruptPageFileError(
+                    f"free list head {page_id} is not a freed page")
             raw = self._device.read(page_id)
-            (self._free_head,) = _FREE_LINK.unpack_from(raw)
+            (next_free,) = _FREE_LINK.unpack_from(raw)
+            if next_free and next_free not in self._freed:
+                raise CorruptPageFileError(
+                    f"free page {page_id} links to non-free page "
+                    f"{next_free}")
+            self._free_head = next_free
+            self._freed.discard(page_id)
             self._header_dirty = True
             self._device.write(page_id, b"\x00" * self.page_size)
             return page_id
         return self._device.extend()
 
     def free(self, page_id: int) -> None:
-        """Return ``page_id`` to the free list."""
-        if page_id == 0:
+        """Return ``page_id`` to the free list.
+
+        Raises :class:`PageError` on a header page, an out-of-range id, or
+        a page that is already free (double free).
+        """
+        self._check_open()
+        if page_id < self.first_data_page:
             raise PageError("cannot free the header page")
+        if page_id >= self._device.page_count():
+            raise PageError(f"page id {page_id} out of range "
+                            f"[0, {self._device.page_count()})")
+        if page_id in self._freed:
+            raise PageError(f"double free of page {page_id}")
+        self._ensure_marked()
         link = _FREE_LINK.pack(self._free_head)
         self._device.write(page_id, link.ljust(self.page_size, b"\x00"))
         self._free_head = page_id
+        self._freed.add(page_id)
         self._header_dirty = True
+        self._mutated = True
+
+    def page_is_free(self, page_id: int) -> bool:
+        """True if ``page_id`` is currently on the free list."""
+        self._check_open()
+        return page_id in self._freed
 
     def read(self, page_id: int) -> bytes:
-        if page_id == 0:
-            raise PageError("page 0 is the pager header; use .meta")
+        self._check_open()
+        if page_id < self.first_data_page:
+            raise PageError(f"page {page_id} is a pager header page; "
+                            f"use .meta")
         return self._device.read(page_id)
 
     def write(self, page_id: int, data: bytes) -> None:
-        if page_id == 0:
-            raise PageError("page 0 is the pager header; use .meta")
+        self._check_open()
+        if page_id < self.first_data_page:
+            raise PageError(f"page {page_id} is a pager header page; "
+                            f"use .meta")
+        self._ensure_marked()
+        self._mutated = True
         self._device.write(page_id, data)
 
     def page_count(self) -> int:
         """Total pages in the device, including header and freed pages."""
+        self._check_open()
         return self._device.page_count()
 
     def free_list_length(self) -> int:
         """Walk the free list and return its length (O(list) reads)."""
+        self._check_open()
         count = 0
         head = self._free_head
         seen: set[int] = set()
@@ -156,15 +395,33 @@ class Pager:
         return count
 
     def sync(self) -> None:
-        self._flush_header()
-        self._device.sync()
+        self._check_open()
+        if self.format_version == 2:
+            if self._mutated or self._header_dirty:
+                self._commit_header(clean=False)
+            else:
+                self._device.sync()
+        else:
+            if self._header_dirty:
+                self._write_header_v1()
+            self._device.sync()
 
     def close(self) -> None:
         if self._closed:
             return
-        self._flush_header()
         self._closed = True
-        self._device.close()
+        try:
+            if self.format_version == 2:
+                if self._marked:
+                    self._commit_header(clean=True)
+            elif self._header_dirty:
+                self._write_header_v1()
+        finally:
+            self._device.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PagerClosedError("pager is closed")
 
     def __enter__(self) -> "Pager":
         return self

@@ -1,0 +1,152 @@
+"""Offline integrity sweep over a page file (the ``repro scrub`` command).
+
+:func:`scrub_page_file` checksum-verifies every page slot and parses the
+pager's header slots without loading the index, reporting the exact ids
+and reasons for any corrupt pages.  It never repairs anything — a clean
+report means "every byte checks out", a non-empty ``corrupt`` list names
+what to restore from backup.
+
+Format-v1 files (no checksums) scrub trivially: only structural checks
+(file size, header magic) can fail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import zlib
+
+from .errors import CorruptPageFileError, StorageError
+from .page import _SUPERBLOCK, SUPERBLOCK_MAGIC, FilePageDevice
+from .pager import _FLAG_CLEAN, _HEADER_V1, _HEADER_V2, _MAGIC_V1, _MAGIC_V2
+
+
+@dataclasses.dataclass
+class HeaderSlot:
+    """One parsed v2 header slot (``valid`` False if it fails checks)."""
+
+    slot: int
+    valid: bool
+    generation: int = 0
+    page_count: int = 0
+    clean: bool = False
+
+
+@dataclasses.dataclass
+class ScrubReport:
+    """Result of a full integrity sweep."""
+
+    path: str
+    format_version: int
+    page_size: int
+    pages: int
+    corrupt: list[tuple[int, str]]
+    header_slots: list[HeaderSlot]
+
+    @property
+    def ok(self) -> bool:
+        return not self.corrupt
+
+    @property
+    def committed(self) -> HeaderSlot | None:
+        """The newest valid header slot, if any."""
+        valid = [slot for slot in self.header_slots if slot.valid]
+        return max(valid, key=lambda slot: slot.generation) if valid \
+            else None
+
+    def render(self) -> str:
+        lines = [f"{self.path}: format v{self.format_version}, "
+                 f"page size {self.page_size}, {self.pages} pages"]
+        head = self.committed
+        if self.format_version == 2:
+            if head is None:
+                lines.append("  header: NO VALID SLOT")
+            else:
+                state = "clean" if head.clean else "dirty"
+                lines.append(f"  header: slot {head.slot} generation "
+                             f"{head.generation}, {head.page_count} "
+                             f"committed pages, {state}")
+        for page_id, reason in self.corrupt:
+            lines.append(f"  page {page_id}: {reason}")
+        lines.append(f"  {len(self.corrupt)} corrupt page(s)")
+        return "\n".join(lines)
+
+
+def probe_page_file(path: str | os.PathLike[str]) -> tuple[int, int]:
+    """Return ``(format_version, page_size)`` without a full open.
+
+    Raises :class:`CorruptPageFileError` if the file is neither a v2
+    device (superblock magic) nor a v1 pager file (header magic).
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        head = handle.read(max(_SUPERBLOCK.size, _HEADER_V1.size))
+    if len(head) >= _SUPERBLOCK.size and head[:8] == SUPERBLOCK_MAGIC:
+        _, page_size, _, _ = _SUPERBLOCK.unpack_from(head)
+        return 2, page_size
+    if len(head) >= _HEADER_V1.size and head[:8] == _MAGIC_V1:
+        _, page_size, _ = _HEADER_V1.unpack_from(head)
+        return 1, page_size
+    raise CorruptPageFileError(f"{path}: not a recognised SWST page file")
+
+
+def _parse_header_slot(slot: int, raw: bytes, page_size: int) -> HeaderSlot:
+    try:
+        (magic, ps, generation, page_count, free_head, flags,
+         meta_len, crc) = _HEADER_V2.unpack_from(raw)
+    except Exception:
+        return HeaderSlot(slot, valid=False)
+    if magic != _MAGIC_V2 or ps != page_size:
+        return HeaderSlot(slot, valid=False)
+    if meta_len > len(raw) - _HEADER_V2.size:
+        return HeaderSlot(slot, valid=False)
+    meta = raw[_HEADER_V2.size:_HEADER_V2.size + meta_len]
+    probe = _HEADER_V2.pack(magic, ps, generation, page_count, free_head,
+                            flags, meta_len, 0)
+    if zlib.crc32(probe + meta) != crc:
+        return HeaderSlot(slot, valid=False)
+    return HeaderSlot(slot, valid=True, generation=generation,
+                      page_count=page_count,
+                      clean=bool(flags & _FLAG_CLEAN))
+
+
+def scrub_page_file(path: str | os.PathLike[str]) -> ScrubReport:
+    """Checksum-verify every page of ``path`` and parse its headers."""
+    path = os.fspath(path)
+    version, page_size = probe_page_file(path)
+    device = FilePageDevice(path, page_size)
+    corrupt: list[tuple[int, str]] = []
+    header_slots: list[HeaderSlot] = []
+    try:
+        pages = device.page_count()
+        for page_id in range(pages):
+            try:
+                device.check_page(page_id)
+            except StorageError as exc:
+                reason = str(exc)
+                prefix = f"page {page_id}: "
+                if reason.startswith(prefix):
+                    reason = reason[len(prefix):]
+                corrupt.append((page_id, reason))
+        if version == 2:
+            bad = {page_id for page_id, _ in corrupt}
+            for slot in (0, 1):
+                if slot < pages and slot not in bad:
+                    header_slots.append(_parse_header_slot(
+                        slot, device.read(slot), page_size))
+                else:
+                    header_slots.append(HeaderSlot(slot, valid=False))
+            if not any(slot.valid for slot in header_slots):
+                corrupt.append((0, "no valid committed header slot"))
+            else:
+                best = max((s for s in header_slots if s.valid),
+                           key=lambda s: s.generation)
+                if best.page_count > pages:
+                    corrupt.append(
+                        (0, f"header claims {best.page_count} pages but "
+                            f"only {pages} are on disk"))
+    finally:
+        device.close()
+    return ScrubReport(path=path, format_version=version,
+                       page_size=page_size, pages=pages,
+                       corrupt=corrupt, header_slots=header_slots)

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.core import Entry, Rect, SWSTConfig, SWSTIndex
+from repro.storage import CorruptPageFileError
 
 CFG = SWSTConfig(window=2000, slide=100, x_partitions=4, y_partitions=4,
                  d_max=300, duration_interval=50,
@@ -92,7 +93,7 @@ class TestSaveOpen:
         path = str(tmp_path / "empty.db")
         index = SWSTIndex(CFG, path=path)
         index.close()
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptPageFileError):
             SWSTIndex.open(path, CFG)
 
     def test_memo_rebuilt_on_open_prunes_identically(self, tmp_path):

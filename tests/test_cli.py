@@ -94,11 +94,42 @@ class TestErrors:
                     str(tmp_path / "out.db"))
 
     def test_query_missing_index_fails(self, tmp_path):
-        with pytest.raises(ValueError):
+        from repro.storage import CorruptPageFileError, Pager
+        with pytest.raises(CorruptPageFileError):
             # A fresh page file has no saved catalog.
-            from repro.storage import Pager
             Pager(tmp_path / "empty.db", page_size=8192).close()
             run_cli("query", str(tmp_path / "empty.db"), "--t-lo", "0")
+
+
+class TestScrub:
+    def _build(self, tmp_path):
+        stream = tmp_path / "stream.csv"
+        index = tmp_path / "idx.db"
+        run_cli("generate", "--objects", "15", "--max-time", "2000",
+                "--output", str(stream))
+        run_cli("build", str(stream), str(index), "--page-size", "1024")
+        return index
+
+    def test_clean_index_scrubs_clean(self, tmp_path, capsys):
+        index = self._build(tmp_path)
+        assert run_cli("scrub", str(index)) == 0
+        out = capsys.readouterr().out
+        assert "0 corrupt page(s)" in out
+
+    def test_bit_flip_reports_exact_page(self, tmp_path, capsys):
+        from repro.storage import FaultInjectingPageDevice, FilePageDevice
+        index = self._build(tmp_path)
+        device = FaultInjectingPageDevice(FilePageDevice(index, 1024))
+        victim = device.page_count() - 1
+        device.flip_stored_bit(victim, 33, 0x08)
+        device.close()
+        assert run_cli("scrub", str(index)) == 1
+        out = capsys.readouterr().out
+        assert f"page {victim}:" in out
+        assert "1 corrupt page(s)" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert run_cli("scrub", str(tmp_path / "nope.db")) == 2
 
 
 class TestModuleEntry:
