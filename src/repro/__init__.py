@@ -12,6 +12,7 @@ Public API::
 Sub-packages:
 
 * ``repro.core`` — the SWST index itself.
+* ``repro.engine`` — the sharded scatter-gather engine over shard pools.
 * ``repro.storage`` / ``repro.btree`` / ``repro.sfc`` — disk substrate.
 * ``repro.rtree`` / ``repro.mv3r`` / ``repro.baselines`` — the comparison
   indexes used in the paper's evaluation.
@@ -21,6 +22,7 @@ Sub-packages:
 """
 
 from .core import Entry, QueryResult, QueryStats, Rect, SWSTConfig, SWSTIndex
+from .engine import ShardedEngine
 
 __version__ = "1.0.0"
 
@@ -31,5 +33,6 @@ __all__ = [
     "Rect",
     "SWSTConfig",
     "SWSTIndex",
+    "ShardedEngine",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..core.config import SWSTConfig
 from ..core.index import SWSTIndex
+from ..core.results import QueryStats
 from ..datagen.gstd import Report
 from ..datagen.workloads import Query
 from ..mv3r.mv3r import MV3RTree
@@ -36,13 +37,19 @@ class BuildResult:
 
 @dataclass
 class QueryBatchResult:
-    """Cost of one query batch on one index."""
+    """Cost of one query batch on one index.
+
+    ``stats`` is the merged per-query :class:`QueryStats` (candidate,
+    refinement and memo counters summed across the batch); ``None`` for
+    indexes whose query path does not report them (MV3R).
+    """
 
     label: str
     queries: int
     node_accesses: int
     cpu_seconds: float
     result_entries: int
+    stats: QueryStats | None = None
 
     @property
     def accesses_per_query(self) -> float:
@@ -103,19 +110,27 @@ def build_mv3r(stream: list[Report], page_size: int = 8192,
 def run_queries_swst(index: SWSTIndex, queries: list[Query],
                      window: int | None = None,
                      label: str = "SWST") -> QueryBatchResult:
-    """Evaluate a query batch on SWST, summing per-query statistics."""
+    """Evaluate a query batch on SWST, summing per-query statistics.
+
+    ``index`` may be a plain :class:`SWSTIndex` or a
+    :class:`~repro.engine.ShardedEngine` — both expose the same query
+    surface and IO-stats snapshot/diff protocol.
+    """
     before = index.stats.snapshot()
     started = time.process_time()
     entries = 0
+    batch_stats = QueryStats()
     for query in queries:
         result = index.query_interval(query.area, query.t_lo, query.t_hi,
                                       window)
         entries += len(result)
+        batch_stats += result.stats
     elapsed = time.process_time() - started
     delta = index.stats.diff(before)
     return QueryBatchResult(label=label, queries=len(queries),
                             node_accesses=delta.node_accesses,
-                            cpu_seconds=elapsed, result_entries=entries)
+                            cpu_seconds=elapsed, result_entries=entries,
+                            stats=batch_stats)
 
 
 def run_queries_mv3r(index: MV3RTree, queries: list[Query],

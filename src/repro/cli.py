@@ -39,12 +39,46 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                         help="maximum duration Dmax (default 2000)")
     parser.add_argument("--page-size", type=int, default=8192,
                         help="page size in bytes (default 8192)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="shard the index over N page files "
+                             "(index path becomes a directory; default 1)")
+    parser.add_argument("--executor", default="thread",
+                        help="scatter-gather executor for --shards > 1: "
+                             "serial | thread[:N] | process[:N] "
+                             "(default thread)")
 
 
 def _config_from(args: argparse.Namespace) -> SWSTConfig:
     return SWSTConfig(window=args.window, slide=args.slide,
                       x_partitions=args.grid, y_partitions=args.grid,
-                      d_max=args.d_max, page_size=args.page_size)
+                      d_max=args.d_max, page_size=args.page_size,
+                      n_shards=args.shards)
+
+
+def _open_index(args: argparse.Namespace, config: SWSTConfig, *,
+                build: bool):
+    """Open (or create) the index named on the command line.
+
+    ``--shards N`` with N > 1 selects the sharded engine, whose on-disk
+    form is a directory of per-shard page files; otherwise the classic
+    single page file.
+    """
+    if config.n_shards == 1:
+        if build:
+            return SWSTIndex(config, path=args.index)
+        return SWSTIndex.open(args.index, config)
+    from .engine import ShardedEngine, resolve_executor
+
+    executor = resolve_executor(args.executor)
+    if build:
+        return ShardedEngine(config, args.index, executor=executor)
+    return ShardedEngine.open(args.index, config, executor=executor)
+
+
+def _page_count(index) -> int:
+    if hasattr(index, "pager"):
+        return index.pager.page_count()
+    return sum(shard.pager.page_count() for shard in index.shards)
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -67,7 +101,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_build(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    with SWSTIndex(config, path=args.index) as index:
+    with _open_index(args, config, build=True) as index:
         with open(args.stream, newline="") as handle:
             rows = (Report(oid=int(row["oid"]), x=int(row["x"]),
                            y=int(row["y"]), t=int(row["t"]))
@@ -75,17 +109,17 @@ def cmd_build(args: argparse.Namespace) -> int:
             count = index.extend(rows)
         index.save()
         stats = index.stats
-        parses_avoided = stats.node_cache_hits
+        sharded = f", {config.n_shards} shards" if config.n_shards > 1 else ""
         print(f"built {args.index}: {count} reports, {len(index)} stored "
               f"entries, {stats.node_accesses} node accesses, "
-              f"{parses_avoided} node parses avoided, "
-              f"{index.pager.page_count()} pages")
+              f"{stats.node_cache_hits} node parses avoided, "
+              f"{_page_count(index)} pages{sharded}")
     return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    with SWSTIndex.open(args.index, config) as index:
+    with _open_index(args, config, build=False) as index:
         area = Rect(*args.area)
         if args.knn:
             result = index.query_knn(args.point[0], args.point[1], args.knn,

@@ -53,6 +53,12 @@ class SWSTConfig:
             (disable only for the ablation study of Section V-D.1).
         use_memo: prune temporal cells with the isPresent memo (disable
             only for the Fig. 11 with/without-memo comparison).
+        n_shards: number of independent index shards the cell space is
+            partitioned across when the index is driven through
+            :class:`repro.engine.ShardedEngine`.  A plain
+            :class:`~repro.core.index.SWSTIndex` ignores this (it is
+            always one shard); the engine requires it to match the
+            on-disk shard directory.
         device_factory: optional ``(path, page_size) -> PageDevice``
             callable; when set, the index builds its pager on the returned
             device instead of opening ``path`` directly.  Used to plug a
@@ -74,6 +80,7 @@ class SWSTConfig:
     node_cache_capacity: int | None = None
     spatial_keys: bool = True
     use_memo: bool = True
+    n_shards: int = 1
     device_factory: Callable[[str, int], Any] | None = \
         field(default=None, compare=False, repr=False)
 
@@ -85,16 +92,29 @@ class SWSTConfig:
         if self.slide > self.window:
             raise ValueError("slide must not exceed the window size")
         if self.x_partitions < 1 or self.y_partitions < 1:
-            raise ValueError("spatial partitions must be >= 1")
+            raise ValueError(
+                f"spatial partitions must be >= 1, got "
+                f"{self.x_partitions}x{self.y_partitions}")
         if self.d_max < 1:
             raise ValueError(f"d_max must be >= 1, got {self.d_max}")
         if self.duration_interval < 1:
-            raise ValueError("duration_interval must be >= 1")
+            raise ValueError(f"duration_interval must be >= 1, got "
+                             f"{self.duration_interval}")
         if self.space.x_lo < 0 or self.space.y_lo < 0:
             raise ValueError("spatial domain must be non-negative")
+        if self.s_partitions is not None and self.s_partitions < 1:
+            raise ValueError(f"s_partitions must be >= 1 or None, got "
+                             f"{self.s_partitions}")
+        if self.page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {self.page_size}")
+        if self.buffer_capacity < 1:
+            raise ValueError(f"buffer_capacity must be >= 1, got "
+                             f"{self.buffer_capacity}")
         if self.node_cache_capacity is not None \
                 and self.node_cache_capacity < 0:
             raise ValueError("node_cache_capacity must be >= 0 or None")
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
 
     # -- derived quantities --------------------------------------------------
 

@@ -209,6 +209,10 @@ class SWSTIndex:
 
     def _ingest_run(self, run: list) -> None:
         self.advance_time(run[-1].t)
+        self._ingest_run_reports(run)
+
+    def _ingest_run_reports(self, run: list) -> None:
+        """Ingest one epoch run, the clock already advanced past it."""
         # Objects reporting more than once in the run must keep their
         # per-object time order (each report finalises the previous one);
         # reports of distinct objects commute, so the rest are grouped by
@@ -643,6 +647,34 @@ class SWSTIndex:
             "s_hi_eff": min(q_hi, t_hi),
             "t_lo": t_lo,
         }
+
+    def _query_area_planned(self, area: Rect, plan: dict) -> QueryResult:
+        """Evaluate a pre-classified interval query over this index's cells.
+
+        The sharded engine's fan-out path: temporal classification and
+        the query plan are pure functions of (config, clock, interval),
+        so the engine computes them once and every shard runs only the
+        per-cell search.  The plan is read-only here, making concurrent
+        calls on *distinct* shards safe.
+        """
+        stats = QueryStats()
+        result = QueryResult(stats=stats)
+        start = self.pool.stats.snapshot()
+        for cell in self.grid.overlapping_cells(area):
+            self._search_cell(cell, plan, area, stats, result.entries)
+        stats.node_accesses = self.pool.stats.diff(start).node_accesses
+        return result
+
+    def _count_area_planned(self, area: Rect,
+                            plan: dict) -> tuple[int, QueryStats]:
+        """Counting twin of :meth:`_query_area_planned`."""
+        stats = QueryStats()
+        count = 0
+        start = self.pool.stats.snapshot()
+        for cell in self.grid.overlapping_cells(area):
+            count += self._count_cell(cell, plan, area, stats)
+        stats.node_accesses = self.pool.stats.diff(start).node_accesses
+        return count, stats
 
     def _search_cell(self, cell, plan: dict, area: Rect, stats: QueryStats,
                      out: list[Entry]) -> None:

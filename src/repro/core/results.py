@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterator
 
 from .records import Entry
@@ -33,6 +33,24 @@ class QueryStats:
     refined_out: int = 0
     full_hits: int = 0
 
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Accumulate another stats block into this one, field by field.
+
+        Every counter is additive, so merging per-shard (or per-query)
+        statistics yields the aggregate cost of the combined evaluation.
+        Returns ``self`` so merges chain.
+        """
+        for name in _QUERY_STAT_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def __iadd__(self, other: "QueryStats") -> "QueryStats":
+        return self.merge(other)
+
+
+#: Counter fields of :class:`QueryStats`, fixed once at import time.
+_QUERY_STAT_FIELDS = tuple(f.name for f in fields(QueryStats))
+
 
 @dataclass
 class QueryResult:
@@ -50,3 +68,14 @@ class QueryResult:
     def oids(self) -> set[int]:
         """Distinct object ids in the result."""
         return {entry.oid for entry in self.entries}
+
+    def merge(self, other: "QueryResult") -> "QueryResult":
+        """Append another result's entries and absorb its statistics.
+
+        The scatter-gather engine uses this to combine per-shard results;
+        entry order is concatenation order (sort before comparing results
+        from differently-sharded evaluations).  Returns ``self``.
+        """
+        self.entries.extend(other.entries)
+        self.stats.merge(other.stats)
+        return self

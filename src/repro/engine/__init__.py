@@ -1,0 +1,28 @@
+"""Sharded scatter-gather engine over independent SWST index shards.
+
+The engine layer scales the single-file SWST index out to a pool of
+independent shards: :class:`GridShardMap` assigns every spatial grid cell
+to exactly one shard, :class:`ShardedEngine` routes inserts, fans queries
+out over an :class:`Executor` worker pool, merges the per-shard results
+and statistics, and coordinates the sliding-window drop epoch across the
+pool.  See ``docs/internals.md`` (engine layer) for the design.
+"""
+
+from .engine import ShardedEngine
+from .errors import EngineClosedError, EngineError, ShardOpenError
+from .executor import (Executor, ProcessExecutor, SerialExecutor,
+                       ThreadedExecutor, resolve_executor)
+from .sharding import GridShardMap
+
+__all__ = [
+    "EngineClosedError",
+    "EngineError",
+    "Executor",
+    "GridShardMap",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardOpenError",
+    "ShardedEngine",
+    "ThreadedExecutor",
+    "resolve_executor",
+]

@@ -1,0 +1,755 @@
+"""Sharded scatter-gather engine over independent SWST index shards.
+
+:class:`ShardedEngine` partitions the spatial grid's cell space across
+``config.n_shards`` independent :class:`~repro.core.index.SWSTIndex`
+instances — each with its own page file, pager, buffer pool and
+decoded-node cache — using the deterministic
+:class:`~repro.engine.sharding.GridShardMap`.  Because the SWST layers
+share nothing between spatial cells, a shard holds exactly the B+ trees
+and memos of the cells it owns, and:
+
+* every insert routes to exactly one shard (the owner of the report's
+  cell),
+* every range query fans out only to the shards owning cells that
+  overlap the query rectangle, scatter-gather over a pluggable
+  :class:`~repro.engine.executor.Executor`, merging per-shard
+  :class:`~repro.core.results.QueryResult`/``QueryStats``,
+* the sliding window is *coordinated*: the engine advances every
+  shard's clock in lockstep, so the wholesale tree-drop epoch (stream
+  time crossing a multiple of ``Wmax``) fires consistently across the
+  pool.
+
+The engine owns the cross-shard part of the current-entry protocol: an
+object's consecutive reports may land in cells owned by different
+shards, in which case the previous shard finalises the old current
+entry while the new shard receives the fresh one.  A single-shard
+engine degenerates to byte-identical behaviour — same entries, same
+query results, same logical node-access counts — as a plain
+``SWSTIndex`` fed the same stream.
+
+On disk an engine is a *directory*::
+
+    index.d/
+      engine.json        # manifest: {"format": 1, "n_shards": N}
+      shard-000.pages    # one crash-safe format-v2 page file per shard
+      shard-001.pages
+      ...
+
+``save()`` persists every shard's catalog; ``open()`` re-opens the
+directory, running the storage layer's recovery-on-open for every
+shard, and wraps the first failure in a typed
+:class:`~repro.engine.errors.ShardOpenError` naming the damaged shard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator
+
+from ..core.config import SWSTConfig
+from ..core.grid import SpatialGrid
+from ..core.index import SWSTIndex
+from ..core.overlap import classify_interval
+from ..core.records import Entry, Rect
+from ..core.results import QueryResult, QueryStats
+from ..storage.pager import MEMORY
+from ..storage.stats import IOStats
+from .errors import EngineClosedError, EngineError, ShardOpenError
+from .executor import Executor, ThreadedExecutor
+from .sharding import GridShardMap
+
+_MANIFEST_NAME = "engine.json"
+_MANIFEST_FORMAT = 1
+
+
+def _shard_file_name(shard_id: int) -> str:
+    return f"shard-{shard_id:03d}.pages"
+
+
+def _open_and_call(task):
+    """Out-of-process task: reopen one saved shard and run one method.
+
+    Used by remote (process-pool) executors, which cannot reach the
+    parent's live shard objects.  The shard is opened read-only in
+    practice: query methods never mutate, so the pager commits nothing.
+    """
+    path, config, method, args = task
+    with SWSTIndex.open(path, config) as shard:
+        return getattr(shard, method)(*args)
+
+
+class ShardedEngine:
+    """Scatter-gather front end over ``config.n_shards`` SWST shards.
+
+    Args:
+        config: index parameters; ``config.n_shards`` fixes the shard
+            count (the default config is a single shard).
+        path: shard directory, or ``":memory:"`` (default) for an
+            all-in-memory engine (each shard on its own memory device).
+        executor: worker pool for scatter-gather; defaults to a
+            :class:`~repro.engine.executor.ThreadedExecutor` sized to
+            the shard count.  A caller-supplied executor is *borrowed*
+            (``close()`` leaves it running); the default one is owned
+            and shut down with the engine.
+
+    The engine exposes the full ``SWSTIndex`` query surface
+    (``query_timeslice``, ``query_interval``, ``count_interval``,
+    ``query_knn``, ``density_grid``, ``object_history``,
+    ``forget_object``, ``set_retention``) plus the ingestion API
+    (``insert``, ``report``, ``extend``, ``close_object``, ``delete``,
+    ``advance_time``).  It is not itself thread-safe for concurrent
+    callers; internal parallelism only ever touches disjoint shards.
+    """
+
+    def __init__(self, config: SWSTConfig | None = None,
+                 path: str = MEMORY,
+                 executor: Executor | None = None) -> None:
+        self.config = config if config is not None else SWSTConfig()
+        self._init_common(executor)
+        self._dir: str | None = None
+        if os.fspath(path) != MEMORY:
+            self._dir = os.fspath(path)
+            self._prepare_directory()
+        self._shards: list[SWSTIndex] = []
+        try:
+            for shard_id in range(self.n_shards):
+                self._shards.append(
+                    SWSTIndex(self.config, self.shard_path(shard_id)))
+        except BaseException:
+            self._abandon()
+            raise
+
+    def _init_common(self, executor: Executor | None) -> None:
+        self.grid = SpatialGrid(self.config.space, self.config.x_partitions,
+                                self.config.y_partitions)
+        self.shard_map = GridShardMap(self.config.x_partitions,
+                                      self.config.y_partitions,
+                                      self.config.n_shards)
+        if executor is None:
+            self._executor: Executor = ThreadedExecutor(
+                max_workers=self.config.n_shards)
+            self._owns_executor = True
+        else:
+            self._executor = executor
+            self._owns_executor = False
+        self._home: dict[int, int] = {}
+        self._clock = 0
+        self._mutated = False
+        self._closed = False
+
+    # -- directory layout -----------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.config.n_shards
+
+    @property
+    def directory(self) -> str | None:
+        """Shard directory path (``None`` for an in-memory engine)."""
+        return self._dir
+
+    def shard_path(self, shard_id: int) -> str:
+        """Page-file path of one shard (``":memory:"`` when memory-backed)."""
+        if self._dir is None:
+            return MEMORY
+        return os.path.join(self._dir, _shard_file_name(shard_id))
+
+    def _manifest_path(self) -> str:
+        assert self._dir is not None
+        return os.path.join(self._dir, _MANIFEST_NAME)
+
+    def _prepare_directory(self) -> None:
+        assert self._dir is not None
+        if os.path.exists(self._dir) and not os.path.isdir(self._dir):
+            raise EngineError(f"engine path {self._dir!r} exists and is "
+                              f"not a directory")
+        os.makedirs(self._dir, exist_ok=True)
+        manifest_path = self._manifest_path()
+        if os.path.exists(manifest_path):
+            manifest = self._load_manifest(manifest_path)
+            if manifest["n_shards"] != self.n_shards:
+                raise EngineError(
+                    f"directory {self._dir!r} holds {manifest['n_shards']} "
+                    f"shards but config.n_shards is {self.n_shards}")
+            return
+        self._write_manifest(manifest_path)
+
+    def _write_manifest(self, manifest_path: str) -> None:
+        blob = json.dumps({"format": _MANIFEST_FORMAT,
+                           "n_shards": self.n_shards}) + "\n"
+        tmp_path = manifest_path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, manifest_path)
+
+    @staticmethod
+    def _load_manifest(manifest_path: str) -> dict:
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise EngineError(f"cannot read engine manifest "
+                              f"{manifest_path!r}: {exc}") from exc
+        if not isinstance(manifest, dict) \
+                or manifest.get("format") != _MANIFEST_FORMAT \
+                or not isinstance(manifest.get("n_shards"), int):
+            raise EngineError(f"engine manifest {manifest_path!r} is not a "
+                              f"format-{_MANIFEST_FORMAT} manifest")
+        return manifest
+
+    def _abandon(self) -> None:
+        """Close whatever was built so far after a failed init/open."""
+        self._closed = True
+        for shard in getattr(self, "_shards", []):
+            try:
+                shard.close()
+            except Exception:
+                pass
+        if self._owns_executor:
+            self._executor.close()
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current stream time τ (shared by every shard)."""
+        return self._clock
+
+    def __len__(self) -> int:
+        """Physically stored entries across every shard."""
+        return sum(len(shard) for shard in self._shards)
+
+    @property
+    def shards(self) -> tuple[SWSTIndex, ...]:
+        """The shard indexes, in shard-id order (diagnostics/tests)."""
+        return tuple(self._shards)
+
+    @property
+    def stats(self) -> IOStats:
+        """Aggregate IO counters across every shard (a fresh snapshot).
+
+        Unlike ``SWSTIndex.stats`` this is not a live object — call again
+        for updated totals.  ``snapshot()``/``diff()`` work as usual, so
+        the engine drops into harness code written for a single index.
+        """
+        total = IOStats()
+        for shard in self._shards:
+            snap = shard.stats.snapshot()
+            for name in vars(snap):
+                setattr(total, name, getattr(total, name) + getattr(snap,
+                                                                    name))
+        return total
+
+    def shard_stats(self) -> list[IOStats]:
+        """Per-shard IO counter snapshots, in shard-id order."""
+        return [shard.stats.snapshot() for shard in self._shards]
+
+    def node_count(self) -> int:
+        """Total B+ tree pages across every shard."""
+        return sum(shard.node_count() for shard in self._shards)
+
+    def current_objects(self) -> dict[int, tuple[int, int, int]]:
+        """Merged current-entry table: oid -> (x, y, s)."""
+        merged: dict[int, tuple[int, int, int]] = {}
+        for shard in self._shards:
+            merged.update(shard.current_objects())
+        return merged
+
+    # -- routing helpers -------------------------------------------------------
+
+    def _shard_id_of(self, x: int, y: int) -> int:
+        cx, cy = self.grid.cell_of(x, y)
+        return self.shard_map.shard_of_cell(cx, cy)
+
+    def _shards_for_area(self, area: Rect) -> list[int]:
+        """Sorted ids of the shards owning cells that overlap ``area``."""
+        ids: set[int] = set()
+        for cell in self.grid.overlapping_cells(area):
+            ids.add(self.shard_map.shard_of_cell(cell.cx, cell.cy))
+            if len(ids) == self.n_shards:
+                break
+        return sorted(ids)
+
+    def _live_home(self, oid: int) -> int | None:
+        """Shard currently holding ``oid``'s current entry, if any.
+
+        The home map is maintained eagerly on routing but window drops
+        remove current entries shard-side; stale homes are reaped here.
+        """
+        home = self._home.get(oid)
+        if home is None:
+            return None
+        if oid not in self._shards[home]._current:
+            del self._home[oid]
+            return None
+        return home
+
+    def _fan_out(self, shard_ids: list[int], method: str,
+                 args: tuple) -> list:
+        """Scatter one read-only method over ``shard_ids``, gather results."""
+        if getattr(self._executor, "remote", False):
+            if self._dir is None:
+                raise EngineError(
+                    "a remote (process) executor needs a disk-backed "
+                    "engine; this one is in-memory")
+            if self._mutated:
+                raise EngineError(
+                    "a remote (process) executor reopens shards from "
+                    "disk; call save() after mutating the engine")
+            import dataclasses
+            config = dataclasses.replace(self.config, device_factory=None)
+            tasks = [(self.shard_path(sid), config, method, args)
+                     for sid in shard_ids]
+            return self._executor.map(_open_and_call, tasks)
+        if len(shard_ids) == 1:
+            sid = shard_ids[0]
+            return [getattr(self._shards[sid], method)(*args)]
+        return self._executor.map(
+            lambda sid: getattr(self._shards[sid], method)(*args),
+            shard_ids)
+
+    # -- insertion and updates -------------------------------------------------
+
+    def insert(self, oid: int, x: int, y: int, s: int,
+               d: int | None = None) -> None:
+        """Insert an entry; ``d=None`` inserts a *current* entry.
+
+        Same contract as :meth:`SWSTIndex.insert` — ordered stream, one
+        live current entry per object — with routing and the cross-shard
+        current protocol handled by the engine.
+        """
+        self._check_open()
+        if not self.config.space.contains(x, y):
+            raise ValueError(f"location ({x}, {y}) outside the spatial "
+                             f"domain {self.config.space}")
+        if s < self._clock:
+            raise ValueError(f"out-of-order start timestamp {s} < current "
+                             f"time {self._clock}")
+        if d is not None and d < 1:
+            raise ValueError(f"duration must be >= 1, got {d}")
+        self.advance_time(s)
+        if d is not None:
+            self._shards[self._shard_id_of(x, y)].insert(oid, x, y, s, d)
+            return
+        self._route_report(oid, x, y, s)
+
+    def report(self, oid: int, x: int, y: int, t: int) -> None:
+        """Position report of a moving object (alias of a current insert)."""
+        self.insert(oid, x, y, t, None)
+
+    def _route_report(self, oid: int, x: int, y: int, s: int) -> None:
+        """Current-entry protocol across shards, clock already advanced.
+
+        Mirrors the single-index protocol exactly: a re-report at the
+        same timestamp replaces the current entry (position correction);
+        otherwise the previous current entry — wherever it lives — is
+        finalised with its real duration before the new one is inserted
+        into the destination shard.
+        """
+        self._mutated = True
+        home = self._live_home(oid)
+        dest_id = self._shard_id_of(x, y)
+        dest = self._shards[dest_id]
+        if home is not None:
+            home_shard = self._shards[home]
+            px, py, ps = home_shard._current[oid]
+            if ps == s:
+                home_shard._physical_delete(Entry(oid, px, py, ps, None))
+                del home_shard._current[oid]
+            else:
+                del home_shard._current[oid]
+                home_shard._finalize_current(oid, (px, py, ps), end=s)
+        dest._physical_insert(Entry(oid, x, y, s, None))
+        dest._current[oid] = (x, y, s)
+        self._home[oid] = dest_id
+
+    def extend(self, reports, batch_size: int = 1024) -> int:
+        """Batched ingestion: split per shard and ingest in parallel.
+
+        Reports are consumed in chunks of ``batch_size``; each chunk is
+        validated, split into ``Wmax``-epoch runs (window drops only
+        fire at epoch boundaries), and every run is partitioned by
+        destination shard.  Objects whose reports stay within one shard
+        are ingested per shard — in parallel on the engine's executor —
+        through the same cell-grouped batch path as
+        :meth:`SWSTIndex.extend`; objects whose current entry hops
+        between shards take the serial cross-shard protocol first
+        (reports of distinct objects commute within a run).
+
+        Returns the number of reports ingested.
+        """
+        self._check_open()
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        count = 0
+        batch: list = []
+        for report in reports:
+            batch.append(report)
+            if len(batch) >= batch_size:
+                count += self._extend_batch(batch)
+                batch.clear()
+        if batch:
+            count += self._extend_batch(batch)
+        return count
+
+    def _extend_batch(self, batch: list) -> int:
+        clock = self._clock
+        for report in batch:
+            if not self.config.space.contains(report.x, report.y):
+                raise ValueError(f"location ({report.x}, {report.y}) outside "
+                                 f"the spatial domain {self.config.space}")
+            if report.t < clock:
+                raise ValueError(f"out-of-order start timestamp {report.t} "
+                                 f"< current time {clock}")
+            clock = report.t
+        w_max = self.config.w_max
+        start = 0
+        for idx in range(1, len(batch) + 1):
+            if idx == len(batch) \
+                    or batch[idx].t // w_max != batch[start].t // w_max:
+                self._ingest_run(batch[start:idx])
+                start = idx
+        return len(batch)
+
+    def _ingest_run(self, run: list) -> None:
+        """One epoch run: serial cross-shard reports, then parallel rest."""
+        self.advance_time(run[-1].t)
+        self._mutated = True
+        # An object is shard-local when its live home (if any) and every
+        # destination cell of its reports in this run agree on one shard.
+        touched: dict[int, set[int]] = {}
+        for report in run:
+            touched.setdefault(report.oid, set()).add(
+                self._shard_id_of(report.x, report.y))
+        cross_shard: set[int] = set()
+        for oid, dests in touched.items():
+            home = self._live_home(oid)
+            if home is not None:
+                dests = dests | {home}
+            if len(dests) > 1:
+                cross_shard.add(oid)
+        per_shard: dict[int, list] = {}
+        for report in run:
+            if report.oid in cross_shard:
+                self._route_report(report.oid, report.x, report.y, report.t)
+            else:
+                sid = self._shard_id_of(report.x, report.y)
+                per_shard.setdefault(sid, []).append(report)
+                self._home[report.oid] = sid
+        if not per_shard:
+            return
+        # Every shard clock already sits at the run maximum, so the
+        # per-shard dispatch skips the advance and goes straight to the
+        # cell-grouped ingest body.
+        items = sorted(per_shard.items())
+        if len(items) == 1 or getattr(self._executor, "remote", False):
+            for sid, sub_run in items:
+                self._shards[sid]._ingest_run_reports(sub_run)
+            return
+        self._executor.map(
+            lambda item: self._shards[item[0]]._ingest_run_reports(item[1]),
+            items)
+
+    def close_object(self, oid: int, t: int) -> bool:
+        """Finalise an object's current entry at end time ``t``."""
+        self._check_open()
+        self.advance_time(t)
+        home = self._live_home(oid)
+        if home is None:
+            return False
+        self._mutated = True
+        self._home.pop(oid, None)
+        return self._shards[home].close_object(oid, t)
+
+    def delete(self, oid: int, x: int, y: int, s: int,
+               d: int | None = None) -> bool:
+        """Delete one specific entry from the shard owning its cell."""
+        self._check_open()
+        sid = self._shard_id_of(x, y)
+        if not self._shards[sid].delete(oid, x, y, s, d):
+            return False
+        self._mutated = True
+        if d is None and self._home.get(oid) == sid \
+                and oid not in self._shards[sid]._current:
+            del self._home[oid]
+        return True
+
+    def set_retention(self, oid: int, retention: int | None) -> None:
+        """Per-object retention override, applied to every shard."""
+        self._check_open()
+        self._mutated = True
+        for shard in self._shards:
+            shard.set_retention(oid, retention)
+
+    def retention_of(self, oid: int) -> int:
+        """The object's retention time (defaults to the window size)."""
+        self._check_open()
+        return self._shards[0].retention_of(oid)
+
+    def forget_object(self, oid: int) -> int:
+        """Delete every queriable entry of one object across all shards."""
+        self._check_open()
+        self._mutated = True
+        deleted = sum(shard.forget_object(oid) for shard in self._shards)
+        self._home.pop(oid, None)
+        return deleted
+
+    # -- coordinated sliding window --------------------------------------------
+
+    def advance_time(self, now: int) -> None:
+        """Advance every shard's clock in lockstep.
+
+        Drop epochs are a pure function of the clock, so advancing all
+        shards to the same time makes the wholesale tree drop fire
+        consistently across the pool — a query fanning out immediately
+        afterwards sees the same window boundary on every shard.
+        """
+        self._check_open()
+        if now < self._clock:
+            raise ValueError(f"clock cannot move backwards "
+                             f"({now} < {self._clock})")
+        if now == self._clock and all(shard.now == now
+                                      for shard in self._shards):
+            return
+        self._mutated = True
+        for shard in self._shards:
+            shard.advance_time(now)
+        self._clock = now
+
+    # -- queries ---------------------------------------------------------------
+
+    def query_timeslice(self, area: Rect, t: int,
+                        window: int | None = None) -> QueryResult:
+        """All entries within ``area`` valid at timestamp ``t``."""
+        return self.query_interval(area, t, t, window)
+
+    def query_interval(self, area: Rect, t_lo: int, t_hi: int,
+                       window: int | None = None) -> QueryResult:
+        """Scatter-gather interval query over the overlapping shards."""
+        self._check_open()
+        if t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
+        self.config.queriable_period(self._clock, window)  # validate window
+        merged = QueryResult()
+        shard_ids = self._shards_for_area(area)
+        if not shard_ids:
+            return merged
+        if getattr(self._executor, "remote", False):
+            for result in self._fan_out(shard_ids, "query_interval",
+                                        (area, t_lo, t_hi, window)):
+                merged.merge(result)
+            return merged
+        # Temporal classification and the query plan depend only on
+        # (config, clock, interval) — shared by every shard in lockstep —
+        # so compute them once and fan out the per-cell search alone.
+        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
+                                    window)
+        if not columns:
+            return merged
+        plan = self._shards[0]._query_plan(columns, t_lo, t_hi, window)
+        for result in self._fan_out(shard_ids, "_query_area_planned",
+                                    (area, plan)):
+            merged.merge(result)
+        return merged
+
+    def count_interval(self, area: Rect, t_lo: int, t_hi: int,
+                       window: int | None = None) -> tuple[int, QueryStats]:
+        """Count qualifying entries without materialising them."""
+        self._check_open()
+        if t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
+        self.config.queriable_period(self._clock, window)  # validate window
+        total = 0
+        stats = QueryStats()
+        shard_ids = self._shards_for_area(area)
+        if not shard_ids:
+            return total, stats
+        if getattr(self._executor, "remote", False):
+            for count, shard_stats in self._fan_out(
+                    shard_ids, "count_interval", (area, t_lo, t_hi, window)):
+                total += count
+                stats.merge(shard_stats)
+            return total, stats
+        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
+                                    window)
+        if not columns:
+            return total, stats
+        plan = self._shards[0]._query_plan(columns, t_lo, t_hi, window)
+        for count, shard_stats in self._fan_out(
+                shard_ids, "_count_area_planned", (area, plan)):
+            total += count
+            stats.merge(shard_stats)
+        return total, stats
+
+    def query_knn(self, x: int, y: int, k: int, t_lo: int,
+                  t_hi: int | None = None,
+                  window: int | None = None) -> QueryResult:
+        """K nearest entries: every shard returns its local top-k, the
+        engine keeps the global k best (ties by object id and start)."""
+        self._check_open()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not self.config.space.contains(x, y):
+            raise ValueError(f"query point ({x}, {y}) outside the domain")
+        if t_hi is not None and t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
+        self.config.queriable_period(self._clock, window)  # validate window
+        merged = QueryResult()
+        candidates: list[tuple[tuple[int, int, int], Entry]] = []
+        shard_ids = list(range(self.n_shards))
+        for result in self._fan_out(shard_ids, "query_knn",
+                                    (x, y, k, t_lo, t_hi, window)):
+            merged.stats.merge(result.stats)
+            for entry in result.entries:
+                dist2 = (entry.x - x) ** 2 + (entry.y - y) ** 2
+                candidates.append(((dist2, entry.oid, entry.s), entry))
+        candidates.sort(key=lambda item: item[0])
+        merged.entries.extend(entry for _, entry in candidates[:k])
+        return merged
+
+    def density_grid(self, area: Rect, t: int,
+                     window: int | None = None) -> dict[tuple[int, int],
+                                                        int]:
+        """Distinct objects per grid cell valid at time ``t``."""
+        self._check_open()
+        result = self.query_timeslice(area, t, window)
+        density: dict[tuple[int, int], set[int]] = {}
+        for entry in result:
+            cell = self.grid.cell_of(entry.x, entry.y)
+            density.setdefault(cell, set()).add(entry.oid)
+        counts = {cell: len(oids) for cell, oids in density.items()}
+        for cell_overlap in self.grid.overlapping_cells(area):
+            counts.setdefault((cell_overlap.cx, cell_overlap.cy), 0)
+        return counts
+
+    def object_history(self, oid: int, t_lo: int | None = None,
+                       t_hi: int | None = None,
+                       window: int | None = None) -> list[Entry]:
+        """The object's trajectory within the (logical) window."""
+        self._check_open()
+        q_lo, q_hi = self.config.queriable_period(self._clock, window)
+        t_lo = q_lo if t_lo is None else t_lo
+        t_hi = q_hi if t_hi is None else t_hi
+        result = self.query_interval(self.config.space, t_lo, t_hi, window)
+        return sorted((e for e in result if e.oid == oid),
+                      key=lambda e: e.s)
+
+    # -- introspection ---------------------------------------------------------
+
+    def scan(self) -> Iterator[Entry]:
+        """Yield every physically stored entry (diagnostics/tests only)."""
+        self._check_open()
+        for shard in self._shards:
+            yield from shard.scan()
+
+    def check_integrity(self) -> None:
+        """Per-shard invariants plus the engine's own placement invariants."""
+        self._check_open()
+        for shard_id, shard in enumerate(self._shards):
+            shard.check_integrity()
+            if shard.now != self._clock:
+                raise AssertionError(
+                    f"shard {shard_id} clock {shard.now} != engine clock "
+                    f"{self._clock}")
+            for (cx, cy), trees in shard._trees.items():
+                if any(tree is not None for tree in trees) \
+                        and self.shard_map.shard_of_cell(cx, cy) != shard_id:
+                    raise AssertionError(
+                        f"cell ({cx}, {cy}) stored in shard {shard_id}, "
+                        f"owned by shard "
+                        f"{self.shard_map.shard_of_cell(cx, cy)}")
+            for oid in shard._current:
+                if self._home.get(oid) != shard_id:
+                    raise AssertionError(
+                        f"object {oid} current in shard {shard_id} but "
+                        f"home map says {self._home.get(oid)}")
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self) -> None:
+        """Persist every shard's catalog (manifest already on disk)."""
+        self._check_open()
+        for shard in self._shards:
+            shard.save()
+        self._mutated = False
+
+    @classmethod
+    def open(cls, path: str, config: SWSTConfig,
+             executor: Executor | None = None) -> "ShardedEngine":
+        """Re-open a saved shard directory, recovering every shard.
+
+        Each shard runs the storage layer's full recovery-on-open
+        (committed-header pick, truncate of uncommitted extends, dirty
+        checksum sweep, catalog validation).  The first shard that fails
+        raises :class:`ShardOpenError` naming it; shards opened before
+        the failure are closed again.  Shard clocks are re-synchronised
+        to the newest shard (a crash between per-shard saves can leave a
+        lagging shard, whose pending window drops then fire here).
+        """
+        engine = cls.__new__(cls)
+        engine.config = config
+        engine._init_common(executor)
+        engine._dir = os.fspath(path)
+        engine._shards = []
+        try:
+            manifest = cls._load_manifest(
+                os.path.join(engine._dir, _MANIFEST_NAME))
+            if manifest["n_shards"] != config.n_shards:
+                raise EngineError(
+                    f"directory {engine._dir!r} holds "
+                    f"{manifest['n_shards']} shards but config.n_shards "
+                    f"is {config.n_shards}")
+            for shard_id in range(config.n_shards):
+                shard_path = engine.shard_path(shard_id)
+                try:
+                    engine._shards.append(SWSTIndex.open(shard_path, config))
+                except Exception as exc:
+                    raise ShardOpenError(shard_id, shard_path, exc) from exc
+            engine._clock = max(shard.now for shard in engine._shards)
+            lagging = any(shard.now != engine._clock
+                          for shard in engine._shards)
+            for shard in engine._shards:
+                shard.advance_time(engine._clock)
+            engine._mutated = lagging
+            for shard_id, shard in enumerate(engine._shards):
+                for oid, (_, _, s) in shard.current_objects().items():
+                    other = engine._home.get(oid)
+                    if other is None or \
+                            engine._shards[other]._current[oid][2] < s:
+                        engine._home[oid] = shard_id
+        except BaseException:
+            engine._abandon()
+            raise
+        return engine
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+
+    def close(self) -> None:
+        """Close every shard and (if owned) the executor."""
+        if self._closed:
+            return
+        self._closed = True
+        first_error: BaseException | None = None
+        for shard in self._shards:
+            try:
+                shard.close()
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        if self._owns_executor:
+            self._executor.close()
+        if first_error is not None:
+            raise first_error
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

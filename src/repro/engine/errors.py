@@ -1,0 +1,34 @@
+"""Exception types of the sharded engine layer.
+
+The engine sits above the storage layer, so its failures get their own
+small hierarchy rooted at :class:`EngineError`.  Shard-open failures are
+wrapped in :class:`ShardOpenError` carrying the shard id and page-file
+path, so a caller supervising a shard directory can tell *which* shard is
+damaged (and knows the healthy siblings reopened cleanly before the error
+was raised — shards are opened in order and closed again on failure).
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for sharded-engine failures."""
+
+
+class ShardOpenError(EngineError):
+    """One shard of an engine directory failed to open.
+
+    Attributes:
+        shard_id: index of the failing shard in the cell->shard map.
+        path: page-file path of the failing shard.
+    """
+
+    def __init__(self, shard_id: int, path: str, cause: Exception) -> None:
+        super().__init__(f"shard {shard_id} ({path}) failed to open: "
+                         f"{cause}")
+        self.shard_id = shard_id
+        self.path = path
+
+
+class EngineClosedError(EngineError):
+    """An operation was attempted on a closed engine."""

@@ -1,0 +1,162 @@
+"""Worker-pool abstraction for per-shard scatter-gather.
+
+The engine fans operations out over its shards through a minimal
+:class:`Executor` protocol — ``map`` plus ``close`` — so the execution
+strategy is pluggable:
+
+* :class:`SerialExecutor` runs tasks inline (deterministic, zero
+  overhead; the right choice for tests and one-shard engines).
+* :class:`ThreadedExecutor` (the default) runs tasks on a thread pool.
+  The shard hot path is buffer-pool IO plus C-level ``struct``/``zlib``
+  work, and shards share no mutable state, so threads overlap shard IO
+  and, on free-threaded builds, shard CPU as well.
+* :class:`ProcessExecutor` runs tasks on a process pool for true CPU
+  parallelism under the GIL.  Processes cannot see the parent's live
+  shard objects, so the engine only accepts it for *read-only* fan-out
+  against a saved, unmodified shard directory: each task reopens its
+  shard from disk inside the worker (see
+  ``ShardedEngine``'s ``remote`` handling).
+
+All three preserve input order in their results and propagate the first
+raised exception.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Minimal worker-pool protocol used by the engine.
+
+    Attributes:
+        remote: True if tasks run outside the engine's process (the
+            engine then ships picklable task descriptors instead of
+            closures over live shards).
+    """
+
+    remote: bool
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release pool resources; the executor is unusable afterwards."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialExecutor:
+    """Run every task inline on the calling thread."""
+
+    remote = False
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Iterable[Any]) -> list[Any]:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadedExecutor:
+    """Thread-pool executor (the engine default).
+
+    The pool is created lazily on first use, so an engine that only ever
+    touches one shard per operation never spawns a thread.
+    """
+
+    remote = False
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._max_workers = max_workers
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            workers = self._max_workers
+            if workers is None:
+                workers = min(32, (os.cpu_count() or 1) + 4)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="swst-shard")
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Iterable[Any]) -> list[Any]:
+        work: Sequence[Any] = list(items)
+        if len(work) <= 1:
+            return [fn(item) for item in work]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in work]
+        # Collect in submission order; result() re-raises the task's
+        # exception, and the remaining futures are awaited by close().
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor:
+    """Process-pool executor for read-only scatter-gather.
+
+    Tasks and their results must be picklable; the engine pairs this
+    executor with module-level task functions that reopen shards from
+    disk, so it is only valid against a saved, unmodified engine.
+    """
+
+    remote = True
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._max_workers = max_workers
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Iterable[Any]) -> list[Any]:
+        work: Sequence[Any] = list(items)
+        if not work:
+            return []
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in work]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def resolve_executor(spec: str) -> SerialExecutor | ThreadedExecutor | \
+        ProcessExecutor:
+    """Build an executor from a CLI-style spec.
+
+    Accepted forms: ``serial``, ``thread``, ``thread:N``, ``process``,
+    ``process:N`` (N = worker count).
+    """
+    kind, _, arg = spec.partition(":")
+    workers = int(arg) if arg else None
+    if workers is not None and workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    if kind == "serial":
+        if arg:
+            raise ValueError("serial executor takes no worker count")
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadedExecutor(max_workers=workers)
+    if kind == "process":
+        return ProcessExecutor(max_workers=workers)
+    raise ValueError(f"unknown executor spec {spec!r} "
+                     f"(expected serial | thread[:N] | process[:N])")

@@ -12,7 +12,8 @@ pages (:mod:`repro.storage.page`), the dual-slot header commit protocol
 from .buffer import DEFAULT_CAPACITY, BufferPool
 from .errors import (ChecksumError, CorruptPageFileError, PageError,
                      PagerClosedError, StorageError, TornWriteError)
-from .fault import FaultInjectingPageDevice, InjectedFault
+from .fault import (FaultInjectingPageDevice, InjectedFault,
+                    per_path_device_factory)
 from .page import DEFAULT_PAGE_SIZE, FilePageDevice, MemoryPageDevice
 from .pager import MEMORY, Pager
 from .scrub import ScrubReport, probe_page_file, scrub_page_file
@@ -37,6 +38,7 @@ __all__ = [
     "StatsRecorder",
     "StorageError",
     "TornWriteError",
+    "per_path_device_factory",
     "probe_page_file",
     "scrub_page_file",
 ]

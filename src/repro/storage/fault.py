@@ -21,13 +21,52 @@ and plugs under :class:`repro.storage.pager.Pager` either directly
 
 from __future__ import annotations
 
-from typing import Mapping
+import os
+from typing import Any, Callable, Mapping
 
 from .page import PageDevice
 
 
 class InjectedFault(OSError):
     """The fault injector fired (distinguishable from real IO errors)."""
+
+
+def per_path_device_factory(
+        match: str,
+        base_factory: Callable[[str, int], Any] | None = None,
+        **fault_kwargs) -> Callable[[str, int], Any]:
+    """Build a ``device_factory`` that injects faults for selected paths.
+
+    The sharded engine opens one page device per shard through the same
+    ``SWSTConfig.device_factory``; each shard is distinguished only by its
+    file path (``shard-000.pages``, ``shard-001.pages``, ...).  The factory
+    returned here wraps the device in a
+    :class:`FaultInjectingPageDevice` configured with ``fault_kwargs``
+    *only* when ``match`` occurs in the path, so a single shard of an
+    engine can be made to fail while its siblings stay healthy.
+
+    Args:
+        match: substring of the path that selects the faulty device(s).
+        base_factory: how to build the underlying device; defaults to a
+            plain :class:`~repro.storage.page.FilePageDevice`.
+        **fault_kwargs: passed to :class:`FaultInjectingPageDevice`.
+
+    Returns:
+        A ``(path, page_size) -> PageDevice`` callable for
+        ``SWSTConfig.device_factory``.
+    """
+    def factory(path: str, page_size: int):
+        from .page import FilePageDevice
+
+        if base_factory is not None:
+            device = base_factory(path, page_size)
+        else:
+            device = FilePageDevice(path, page_size)
+        if match in os.fspath(path):
+            return FaultInjectingPageDevice(device, **fault_kwargs)
+        return device
+
+    return factory
 
 
 class FaultInjectingPageDevice:

@@ -56,6 +56,36 @@ class TestQueryBatches:
         swst.close()
         mv3r.close()
 
+    def test_swst_batch_merges_per_query_stats(self, stream):
+        swst, _ = build_swst(stream, TINY.index)
+        workload = WorkloadConfig(spatial_extent=0.04, temporal_extent=0.05,
+                                  count=10)
+        queries = generate_queries(TINY.index, workload, swst.now)
+        batch = run_queries_swst(swst, queries)
+        assert batch.stats is not None
+        # The merged per-query stats agree with the batch-level counters.
+        assert batch.stats.node_accesses == batch.node_accesses
+        assert batch.stats.candidates >= batch.result_entries
+        swst.close()
+
+    def test_sharded_engine_drops_into_harness(self, stream):
+        from dataclasses import replace
+
+        from repro.engine import SerialExecutor, ShardedEngine
+
+        config = replace(TINY.index, n_shards=3)
+        engine = ShardedEngine(config, executor=SerialExecutor())
+        for report in stream:
+            engine.report(report.oid, report.x, report.y, report.t)
+        workload = WorkloadConfig(spatial_extent=0.04, temporal_extent=0.05,
+                                  count=10)
+        queries = generate_queries(TINY.index, workload, engine.now)
+        batch = run_queries_swst(engine, queries, label="SWST-sharded")
+        assert batch.queries == 10
+        assert batch.stats is not None
+        assert batch.stats.node_accesses == batch.node_accesses
+        engine.close()
+
     def test_logical_window_reduces_results(self, stream):
         swst, _ = build_swst(stream, TINY.index)
         workload = WorkloadConfig(spatial_extent=0.04, temporal_extent=0.10,

@@ -58,6 +58,42 @@ class TestValidation:
         with pytest.raises(ValueError):
             SWSTConfig(space=Rect(-5, 0, 10, 10))
 
+    def test_nonpositive_slide_rejected(self):
+        with pytest.raises(ValueError, match="slide"):
+            SWSTConfig(slide=0)
+
+    def test_nonpositive_grid_dims_rejected(self):
+        with pytest.raises(ValueError, match="partitions"):
+            SWSTConfig(y_partitions=0)
+        with pytest.raises(ValueError, match="partitions"):
+            SWSTConfig(x_partitions=-3)
+
+    def test_nonpositive_duration_interval_rejected(self):
+        with pytest.raises(ValueError, match="duration_interval"):
+            SWSTConfig(duration_interval=0)
+
+    def test_bad_s_partitions_override_rejected(self):
+        with pytest.raises(ValueError, match="s_partitions"):
+            SWSTConfig(s_partitions=0)
+
+    def test_nonpositive_page_size_rejected(self):
+        with pytest.raises(ValueError, match="page_size"):
+            SWSTConfig(page_size=0)
+
+    def test_nonpositive_buffer_capacity_rejected(self):
+        with pytest.raises(ValueError, match="buffer_capacity"):
+            SWSTConfig(buffer_capacity=0)
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            SWSTConfig(n_shards=0)
+        with pytest.raises(ValueError, match="n_shards"):
+            SWSTConfig(n_shards=-2)
+
+    def test_single_shard_is_default(self):
+        assert SWSTConfig().n_shards == 1
+        assert SWSTConfig(n_shards=8).n_shards == 8
+
 
 class TestPartitionFormulas:
     def test_s_partition_ranges(self, cfg):

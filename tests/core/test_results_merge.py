@@ -1,0 +1,58 @@
+"""QueryStats/QueryResult merging: additive counters, chaining, iadd."""
+
+from dataclasses import fields
+
+from repro.core import Entry, QueryResult, QueryStats
+
+
+def stats_with(value):
+    return QueryStats(**{f.name: value for f in fields(QueryStats)})
+
+
+class TestQueryStatsMerge:
+    def test_merge_adds_every_counter(self):
+        merged = stats_with(1).merge(stats_with(2))
+        assert merged == stats_with(3)
+
+    def test_merge_returns_self_for_chaining(self):
+        base = stats_with(1)
+        assert base.merge(stats_with(1)).merge(stats_with(1)) is base
+        assert base == stats_with(3)
+
+    def test_iadd_accumulates(self):
+        total = QueryStats()
+        for _ in range(4):
+            total += stats_with(2)
+        assert total == stats_with(8)
+
+    def test_merge_with_zero_is_identity(self):
+        base = QueryStats(node_accesses=7, candidates=3, full_hits=1)
+        assert base.merge(QueryStats()) == QueryStats(
+            node_accesses=7, candidates=3, full_hits=1)
+
+
+class TestQueryResultMerge:
+    def test_merge_concatenates_entries_and_adds_stats(self):
+        a = QueryResult(entries=[Entry(1, 0, 0, 0, 5)],
+                        stats=QueryStats(node_accesses=2))
+        b = QueryResult(entries=[Entry(2, 1, 1, 1, None)],
+                        stats=QueryStats(node_accesses=3))
+        merged = a.merge(b)
+        assert merged is a
+        assert [e.oid for e in merged] == [1, 2]
+        assert merged.stats.node_accesses == 5
+        # The source result is untouched.
+        assert [e.oid for e in b] == [2]
+        assert b.stats.node_accesses == 3
+
+    def test_merge_empty_results(self):
+        a = QueryResult()
+        a.merge(QueryResult())
+        assert len(a) == 0
+        assert a.stats == QueryStats()
+
+    def test_oids_after_merge(self):
+        a = QueryResult(entries=[Entry(1, 0, 0, 0, 5)])
+        a.merge(QueryResult(entries=[Entry(1, 2, 2, 2, 5),
+                                     Entry(3, 3, 3, 3, None)]))
+        assert a.oids() == {1, 3}

@@ -1,0 +1,104 @@
+"""Crash behaviour: fault-inject a single shard's device — the healthy
+siblings reopen cleanly, the failing shard raises a typed error naming it."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core import Rect, SWSTConfig, SWSTIndex
+from repro.engine import SerialExecutor, ShardedEngine, ShardOpenError
+from repro.storage import InjectedFault, per_path_device_factory
+
+
+def make_config(n_shards=3, **overrides):
+    params = dict(window=200, slide=20, x_partitions=4, y_partitions=4,
+                  d_max=40, duration_interval=10, space=Rect(0, 0, 99, 99),
+                  page_size=512, n_shards=n_shards)
+    params.update(overrides)
+    return SWSTConfig(**params)
+
+
+class R:
+    def __init__(self, oid, x, y, t):
+        self.oid, self.x, self.y, self.t = oid, x, y, t
+
+
+def build_saved_engine(path, config):
+    rng = random.Random(3)
+    t = 0
+    reports = []
+    for _ in range(300):
+        t += rng.choice([0, 1, 1, 2])
+        reports.append(R(rng.randrange(25), rng.randrange(100),
+                         rng.randrange(100), t))
+    with ShardedEngine(config, path, executor=SerialExecutor()) as eng:
+        eng.extend(reports)
+        eng.save()
+        return eng.now
+
+
+class TestShardOpenFailure:
+    def test_failing_shard_raises_typed_error(self, tmp_path):
+        config = make_config()
+        path = tmp_path / "index.d"
+        build_saved_engine(path, config)
+        faulty = dataclasses.replace(
+            config,
+            device_factory=per_path_device_factory(
+                "shard-001",
+                read_errors={1: InjectedFault("device gone")}))
+        with pytest.raises(ShardOpenError) as excinfo:
+            ShardedEngine.open(path, faulty, executor=SerialExecutor())
+        assert excinfo.value.shard_id == 1
+        assert "shard-001" in excinfo.value.path
+        assert isinstance(excinfo.value.__cause__, Exception)
+
+    def test_healthy_shards_unaffected_by_siblings_fault(self, tmp_path):
+        config = make_config()
+        path = tmp_path / "index.d"
+        now = build_saved_engine(path, config)
+        faulty = dataclasses.replace(
+            config,
+            device_factory=per_path_device_factory(
+                "shard-001",
+                read_errors={1: InjectedFault("device gone")}))
+        with pytest.raises(ShardOpenError):
+            ShardedEngine.open(path, faulty, executor=SerialExecutor())
+        # The fault was confined to one device: the full directory still
+        # opens once the fault clears, data intact...
+        with ShardedEngine.open(path, config,
+                                executor=SerialExecutor()) as eng:
+            assert len(eng) > 0
+            eng.check_integrity()
+        # ...and each healthy shard also opens fine on its own while the
+        # faulty device is still broken.
+        for shard_id in (0, 2):
+            shard_path = path / f"shard-{shard_id:03d}.pages"
+            with SWSTIndex.open(shard_path, faulty) as shard:
+                assert shard.now == now
+
+    def test_fault_during_shard_write_is_isolated(self, tmp_path):
+        config = make_config()
+        path = tmp_path / "index.d"
+        build_saved_engine(path, config)
+        # Crash shard-002's device at its next write; the engine's save
+        # surfaces the fault but the other shards' files stay committed.
+        faulty = dataclasses.replace(
+            config,
+            device_factory=per_path_device_factory("shard-002",
+                                                   fail_write=1))
+        eng = ShardedEngine.open(path, faulty, executor=SerialExecutor())
+        try:
+            t = eng.now
+            for oid in range(20):
+                eng.report(oid, (oid * 13) % 100, (oid * 29) % 100, t)
+            with pytest.raises(OSError):
+                eng.save()
+        finally:
+            with pytest.raises(OSError):
+                eng.close()
+        # Recovery-on-open brings every shard back to a committed state.
+        with ShardedEngine.open(path, config,
+                                executor=SerialExecutor()) as eng:
+            eng.check_integrity()

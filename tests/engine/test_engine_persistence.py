@@ -1,0 +1,189 @@
+"""ShardedEngine persistence: directory layout, save/open roundtrip,
+manifest validation, remote (process) executor discipline."""
+
+import dataclasses
+import json
+import os
+import random
+
+import pytest
+
+from repro.core import Rect, SWSTConfig
+from repro.engine import (EngineError, ProcessExecutor, SerialExecutor,
+                          ShardedEngine)
+
+
+def make_config(n_shards=3, **overrides):
+    params = dict(window=200, slide=20, x_partitions=4, y_partitions=4,
+                  d_max=40, duration_interval=10, space=Rect(0, 0, 99, 99),
+                  page_size=512, n_shards=n_shards)
+    params.update(overrides)
+    return SWSTConfig(**params)
+
+
+class R:
+    def __init__(self, oid, x, y, t):
+        self.oid, self.x, self.y, self.t = oid, x, y, t
+
+
+def random_reports(count, seed=1):
+    rng = random.Random(seed)
+    t = 0
+    reports = []
+    for _ in range(count):
+        t += rng.choice([0, 1, 1, 2])
+        reports.append(R(rng.randrange(25), rng.randrange(100),
+                         rng.randrange(100), t))
+    return reports
+
+
+def entry_key(entry):
+    return (entry.oid, entry.x, entry.y, entry.s,
+            -1 if entry.d is None else entry.d)
+
+
+class TestDirectoryLayout:
+    def test_build_creates_manifest_and_shard_files(self, tmp_path):
+        config = make_config()
+        path = tmp_path / "index.d"
+        with ShardedEngine(config, path, executor=SerialExecutor()) as eng:
+            eng.extend(random_reports(100))
+            eng.save()
+        names = sorted(os.listdir(path))
+        assert names == ["engine.json", "shard-000.pages",
+                         "shard-001.pages", "shard-002.pages"]
+        manifest = json.loads((path / "engine.json").read_text())
+        assert manifest == {"format": 1, "n_shards": 3}
+
+    def test_engine_path_must_be_directory(self, tmp_path):
+        file_path = tmp_path / "plain.pages"
+        file_path.write_text("not a directory")
+        with pytest.raises(EngineError):
+            ShardedEngine(make_config(), file_path,
+                          executor=SerialExecutor())
+
+
+class TestRoundtrip:
+    def test_save_open_preserves_everything(self, tmp_path):
+        config = make_config()
+        path = tmp_path / "index.d"
+        reports = random_reports(400)
+        with ShardedEngine(config, path, executor=SerialExecutor()) as eng:
+            eng.extend(reports)
+            eng.set_retention(3, 40)
+            expected_entries = sorted(entry_key(e) for e in eng.scan())
+            expected_current = eng.current_objects()
+            expected_now = eng.now
+            eng.save()
+        with ShardedEngine.open(path, config,
+                                executor=SerialExecutor()) as eng:
+            assert eng.now == expected_now
+            assert eng.current_objects() == expected_current
+            assert sorted(entry_key(e) for e in eng.scan()) == \
+                expected_entries
+            assert eng.retention_of(3) == 40
+            eng.check_integrity()
+            result = eng.query_interval(config.space, 0, expected_now + 1)
+            stored = set(expected_entries)
+            assert result.entries
+            assert all(entry_key(e) in stored for e in result)
+
+    def test_home_map_rebuilt_on_open(self, tmp_path):
+        config = make_config()
+        path = tmp_path / "index.d"
+        with ShardedEngine(config, path, executor=SerialExecutor()) as eng:
+            eng.report(1, 5, 5, 0)
+            eng.report(1, 95, 95, 10)
+            eng.save()
+            expected_home = dict(eng._home)
+        with ShardedEngine.open(path, config,
+                                executor=SerialExecutor()) as eng:
+            assert eng._home == expected_home
+            # The reopened engine can keep running the current protocol.
+            eng.report(1, 50, 50, 20)
+            assert eng.current_objects() == {1: (50, 50, 20)}
+
+    def test_shard_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "index.d"
+        with ShardedEngine(make_config(n_shards=3), path,
+                           executor=SerialExecutor()) as eng:
+            eng.save()
+        with pytest.raises(EngineError, match="n_shards"):
+            ShardedEngine.open(path, make_config(n_shards=2),
+                               executor=SerialExecutor())
+        with pytest.raises(EngineError, match="n_shards"):
+            ShardedEngine(make_config(n_shards=2), path,
+                          executor=SerialExecutor())
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(EngineError, match="manifest"):
+            ShardedEngine.open(tmp_path / "nothing.d", make_config())
+
+
+class TestRemoteExecutor:
+    def test_process_executor_queries_saved_engine(self, tmp_path):
+        config = make_config(n_shards=2)
+        path = tmp_path / "index.d"
+        reports = random_reports(150)
+        with ShardedEngine(config, path, executor=SerialExecutor()) as eng:
+            eng.extend(reports)
+            eng.save()
+            expected = sorted(
+                entry_key(e)
+                for e in eng.query_interval(config.space, 0, eng.now + 1))
+            now = eng.now
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            with ShardedEngine.open(path, config, executor=executor) as eng:
+                result = eng.query_interval(config.space, 0, now + 1)
+                assert sorted(entry_key(e) for e in result) == expected
+        finally:
+            executor.close()
+
+    def test_remote_executor_refuses_unsaved_mutations(self, tmp_path):
+        config = make_config(n_shards=2)
+        path = tmp_path / "index.d"
+        with ShardedEngine(config, path, executor=SerialExecutor()) as eng:
+            eng.extend(random_reports(50))
+            eng.save()
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            with ShardedEngine.open(path, config, executor=executor) as eng:
+                eng.report(1, 5, 5, eng.now + 1)
+                with pytest.raises(EngineError, match="save"):
+                    eng.query_interval(config.space, 0, eng.now)
+                eng.save()
+                eng.query_interval(config.space, 0, eng.now)
+        finally:
+            executor.close()
+
+    def test_remote_executor_requires_disk_engine(self):
+        executor = ProcessExecutor()
+        try:
+            with ShardedEngine(make_config(n_shards=2),
+                               executor=executor) as eng:
+                with pytest.raises(EngineError, match="disk"):
+                    eng.query_interval(eng.config.space, 0, 1)
+        finally:
+            executor.close()
+
+    def test_unpicklable_device_factory_is_stripped(self, tmp_path):
+        # A device_factory is often a closure (unpicklable).  The engine
+        # strips it from the config it ships to worker processes, so a
+        # remote query works even when the local engine uses one.
+        from repro.storage import FilePageDevice
+
+        clean = make_config(n_shards=2)
+        config = dataclasses.replace(
+            clean, device_factory=lambda path, size: FilePageDevice(path,
+                                                                    size))
+        path = tmp_path / "index.d"
+        with ShardedEngine(clean, path, executor=SerialExecutor()) as eng:
+            eng.extend(random_reports(40))
+            eng.save()
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            with ShardedEngine.open(path, config, executor=executor) as eng:
+                eng.query_interval(clean.space, 0, eng.now + 1)
+        finally:
+            executor.close()

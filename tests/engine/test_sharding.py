@@ -1,0 +1,70 @@
+"""GridShardMap: determinism, total coverage, balance, validation."""
+
+import pytest
+
+from repro.engine import GridShardMap
+
+
+class TestPlacement:
+    def test_every_cell_owned_by_exactly_one_shard(self):
+        shard_map = GridShardMap(5, 7, 3)
+        seen = {}
+        for shard_id in range(3):
+            for cell in shard_map.cells_of_shard(shard_id):
+                assert cell not in seen
+                seen[cell] = shard_id
+        assert len(seen) == 5 * 7
+        for (cx, cy), shard_id in seen.items():
+            assert shard_map.shard_of_cell(cx, cy) == shard_id
+
+    def test_single_shard_owns_everything(self):
+        shard_map = GridShardMap(4, 4, 1)
+        assert all(shard_map.shard_of_cell(cx, cy) == 0
+                   for cx in range(4) for cy in range(4))
+
+    def test_deterministic_across_instances(self):
+        a = GridShardMap(20, 20, 8)
+        b = GridShardMap(20, 20, 8)
+        for cx in range(20):
+            for cy in range(20):
+                assert a.shard_of_cell(cx, cy) == b.shard_of_cell(cx, cy)
+
+    def test_shard_counts_sum_to_grid(self):
+        shard_map = GridShardMap(20, 20, 7)
+        counts = shard_map.shard_counts()
+        assert sum(counts) == 400
+        assert len(counts) == 7
+
+    def test_hash_spreads_adjacent_cells(self):
+        # A row of adjacent cells should not serialise on one shard.
+        shard_map = GridShardMap(20, 20, 4)
+        row = {shard_map.shard_of_cell(cx, 10) for cx in range(20)}
+        assert len(row) > 1
+
+    def test_reasonable_balance_on_paper_grid(self):
+        counts = GridShardMap(20, 20, 4).shard_counts()
+        assert min(counts) >= 0.5 * (400 / 4)
+        assert max(counts) <= 1.5 * (400 / 4)
+
+
+class TestValidation:
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridShardMap(0, 5, 2)
+        with pytest.raises(ValueError):
+            GridShardMap(5, -1, 2)
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            GridShardMap(5, 5, 0)
+
+    def test_cell_bounds_checked(self):
+        shard_map = GridShardMap(3, 3, 2)
+        with pytest.raises(ValueError):
+            shard_map.shard_of_cell(3, 0)
+        with pytest.raises(ValueError):
+            shard_map.shard_of_cell(0, -1)
+
+    def test_shard_id_bounds_checked(self):
+        with pytest.raises(ValueError):
+            GridShardMap(3, 3, 2).cells_of_shard(2)

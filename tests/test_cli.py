@@ -68,6 +68,56 @@ class TestBuildAndQuery:
                        *args) == 0
 
 
+class TestShardedBuildAndQuery:
+    @pytest.fixture
+    def built(self, tmp_path, capsys):
+        stream = tmp_path / "stream.csv"
+        index = tmp_path / "index.d"
+        run_cli("generate", "--objects", "30", "--max-time", "30000",
+                "--output", str(stream))
+        args = ["--window", "20000", "--slide", "100", "--grid", "4",
+                "--page-size", "1024", "--shards", "3"]
+        assert run_cli("build", str(stream), str(index), *args) == 0
+        capsys.readouterr()
+        return index, args
+
+    def test_build_creates_shard_directory(self, built, capsys):
+        index, args = built
+        assert (index / "engine.json").exists()
+        assert (index / "shard-000.pages").exists()
+        assert (index / "shard-002.pages").exists()
+
+    def test_sharded_interval_query(self, built, capsys):
+        index, args = built
+        assert run_cli("query", str(index), "--t-lo", "15000",
+                       "--t-hi", "25000", *args) == 0
+        captured = capsys.readouterr()
+        assert "node accesses" in captured.err
+        assert "oid=" in captured.out
+
+    def test_sharded_matches_unsharded_results(self, built, tmp_path,
+                                               capsys):
+        index, args = built
+        plain = tmp_path / "plain.db"
+        stream = tmp_path / "stream.csv"
+        plain_args = [a for a in args if a not in ("--shards", "3")]
+        assert run_cli("build", str(stream), str(plain), *plain_args) == 0
+        capsys.readouterr()
+        assert run_cli("query", str(index), "--t-lo", "15000",
+                       "--t-hi", "25000", *args) == 0
+        sharded_out = capsys.readouterr().out
+        assert run_cli("query", str(plain), "--t-lo", "15000",
+                       "--t-hi", "25000", *plain_args) == 0
+        plain_out = capsys.readouterr().out
+        assert sorted(sharded_out.splitlines()) == \
+            sorted(plain_out.splitlines())
+
+    def test_sharded_query_with_serial_executor(self, built, capsys):
+        index, args = built
+        assert run_cli("query", str(index), "--t-lo", "25000",
+                       "--executor", "serial", *args) == 0
+
+
 class TestBench:
     def test_bench_single_figure(self, capsys):
         assert run_cli("bench", "--scale", "tiny",
