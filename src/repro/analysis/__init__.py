@@ -1,0 +1,40 @@
+"""Project-specific static analysis (``repro lint``).
+
+The previous PRs each established invariants that ordinary linters cannot
+see: logical node-access counters must match the paper's cost model, the
+storage layer owns all raw page I/O, errors cross module boundaries only
+through the typed hierarchies, and the executor fan-out must stay free of
+shared-state races.  This package machine-checks them.
+
+Entry points:
+
+* ``python -m repro.analysis [paths...]`` — standalone runner,
+* ``repro lint`` — the same runner wired into the main CLI,
+* :func:`lint_paths` — programmatic API used by the test suite.
+
+Findings are compared against a committed baseline file
+(``lint-baseline.txt`` at the repository root) so deliberate legacy
+findings are pinned without blocking CI; any *new* finding fails the run.
+"""
+
+from __future__ import annotations
+
+from .baseline import compare_to_baseline, load_baseline, write_baseline
+from .findings import Finding
+from .registry import Rule, all_rules, get_rule, register
+from .runner import FileContext, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "all_rules",
+    "compare_to_baseline",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register",
+    "write_baseline",
+]

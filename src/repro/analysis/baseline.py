@@ -1,0 +1,75 @@
+"""Baseline files: pin deliberate legacy findings without blocking CI.
+
+A baseline is a text file of rendered findings (one per line, ``#``
+comments and blank lines ignored).  A lint run fails only on findings
+*not* in the baseline; baseline entries that no longer fire are reported
+as stale so the file can be re-tightened with ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+_HEADER = """\
+# repro lint baseline — deliberate legacy findings, pinned.
+#
+# Each line is one finding in `path:line:col: RULE message` form.
+# Regenerate with:  python -m repro.analysis --update-baseline
+# New findings (not listed here) fail the lint run; entries that stop
+# firing are reported as stale and should be removed.
+"""
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineDiff:
+    """Result of comparing a lint run against a baseline."""
+
+    new: tuple[Finding, ...]        # fire now, not pinned -> fail
+    pinned: tuple[Finding, ...]     # fire now, pinned -> allowed
+    stale: tuple[str, ...]          # pinned, no longer fire -> warn
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def load_baseline(path: str | Path) -> list[str]:
+    """Rendered-finding lines from ``path`` ([] if the file is absent)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    lines = []
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            lines.append(line)
+    return lines
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new baseline at ``path``."""
+    body = "".join(finding.render() + "\n"
+                   for finding in sorted(set(findings)))
+    Path(path).write_text(_HEADER + body, encoding="utf-8")
+
+
+def compare_to_baseline(findings: Iterable[Finding],
+                        baseline_lines: Iterable[str]) -> BaselineDiff:
+    """Split ``findings`` into new vs pinned, and spot stale entries."""
+    baseline = set(baseline_lines)
+    new = []
+    pinned = []
+    seen = set()
+    for finding in sorted(set(findings)):
+        rendered = finding.render()
+        if rendered in baseline:
+            pinned.append(finding)
+            seen.add(rendered)
+        else:
+            new.append(finding)
+    stale = tuple(sorted(baseline - seen))
+    return BaselineDiff(new=tuple(new), pinned=tuple(pinned), stale=stale)

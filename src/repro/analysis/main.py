@@ -1,0 +1,89 @@
+"""Shared driver behind ``python -m repro.analysis`` and ``repro lint``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, Iterable, Sequence
+
+from .baseline import compare_to_baseline, load_baseline, write_baseline
+from .registry import all_rules
+from .runner import lint_paths
+
+DEFAULT_PATHS = ("src",)
+DEFAULT_BASELINE = "lint-baseline.txt"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the lint options (shared with the ``repro lint`` CLI)."""
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file of pinned findings "
+                             "(default: lint-baseline.txt)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, ignoring the baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's "
+                             "findings and exit 0")
+    parser.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+
+
+def run_lint(args: argparse.Namespace,
+             out: IO[str] | None = None) -> int:
+    """Execute a lint run described by parsed ``args``; returns exit code."""
+    stream = out if out is not None else sys.stdout
+
+    def emit(line: str = "") -> None:
+        print(line, file=stream)
+
+    if args.list_rules:
+        for rule in all_rules():
+            emit(f"{rule.rule_id}  {rule.title}")
+            emit(f"      {rule.rationale}")
+        return 0
+
+    selected: Iterable[str] | None = None
+    if args.select:
+        selected = {rule_id.strip() for rule_id in args.select.split(",")}
+    rules = all_rules() if selected is None else [
+        rule for rule in all_rules() if rule.rule_id in selected]
+
+    # Anchor finding paths at the baseline's directory so entries match
+    # the committed file no matter where the lint is invoked from.
+    root = Path(args.baseline).resolve().parent
+    findings = lint_paths(args.paths, root=root, rules=rules)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        emit(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    baseline = [] if args.no_baseline else load_baseline(args.baseline)
+    diff = compare_to_baseline(findings, baseline)
+
+    for finding in diff.new:
+        emit(finding.render())
+    if diff.pinned:
+        emit(f"[{len(diff.pinned)} pinned finding(s) allowed by "
+             f"{args.baseline}]")
+    for entry in diff.stale:
+        emit(f"stale baseline entry (fixed? remove it): {entry}")
+    if diff.new:
+        emit(f"{len(diff.new)} new finding(s)")
+        return 1
+    emit("ok")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-invariant lint for the SWST reproduction")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

@@ -1,0 +1,19 @@
+"""Built-in rules; importing this package registers all of them."""
+
+from __future__ import annotations
+
+from .r001_raw_page_io import RawPageIO
+from .r002_nondeterminism import Nondeterminism
+from .r003_typed_errors import TypedErrors
+from .r004_resource_guard import ResourceGuard
+from .r005_executor_closures import ExecutorClosures
+from .r006_swallowed_errors import SwallowedErrors
+
+__all__ = [
+    "RawPageIO",
+    "Nondeterminism",
+    "TypedErrors",
+    "ResourceGuard",
+    "ExecutorClosures",
+    "SwallowedErrors",
+]

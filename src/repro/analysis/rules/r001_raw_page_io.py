@@ -1,0 +1,47 @@
+"""R001 — raw page I/O stays inside ``storage/``.
+
+Every page read/write outside the storage layer must go through
+:class:`~repro.storage.buffer.BufferPool`, which is what maintains the
+logical node-access counters (the paper's cost metric, PR 1) and the
+checksum/generation trailers (PR 2).  A direct ``pager.read(...)`` or
+``device.write(...)`` elsewhere silently skews the reproduced figures
+and can bypass torn-write detection.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register
+from ..runner import FileContext
+from ._util import name_tokens
+
+_IO_METHODS = frozenset({"read", "write"})
+_RAW_SUFFIXES = ("pager", "device")
+
+
+@register
+class RawPageIO(Rule):
+    rule_id = "R001"
+    title = "no raw pager/device page I/O outside storage/"
+    rationale = ("page reads/writes outside storage/ bypass the buffer "
+                 "pool's node-access counters and checksum handling")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.subpackage == "storage":
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _IO_METHODS):
+                continue
+            tokens = name_tokens(node.func.value)
+            if any(token.endswith(_RAW_SUFFIXES) for token in tokens):
+                receiver = ".".join(tokens) or "<expr>"
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset,
+                    f"raw page I/O {receiver}.{node.func.attr}() outside "
+                    f"storage/ — route through BufferPool so node-access "
+                    f"counters and checksums stay correct")

@@ -1,0 +1,66 @@
+"""R002 — no wall-clock or RNG nondeterminism in the index stack.
+
+The reproduction's headline claim is that logical node accesses match
+the paper's cost model exactly, independent of machine and run.  Any
+``time``/``random`` use inside ``core/``, ``btree/``, ``storage/`` or
+``engine/`` could leak into eviction order, key layout or query plans
+and break run-to-run reproducibility.  Benchmarks (``bench/``) and data
+generation (``datagen/``, seeded) are deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register
+from ..runner import FileContext
+from ._util import dotted_name
+
+_SCOPE = frozenset({"core", "btree", "storage", "engine"})
+_BANNED_MODULES = frozenset({"random", "time", "secrets", "uuid",
+                             "datetime"})
+_BANNED_CALLS = frozenset({"os.urandom", "os.getrandom"})
+
+
+@register
+class Nondeterminism(Rule):
+    rule_id = "R002"
+    title = "no wall-clock/random nondeterminism in core/btree/storage/engine"
+    rationale = ("node-access counts must be bit-for-bit reproducible; "
+                 "clocks and RNGs belong in bench/ and datagen/ only")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.subpackage not in _SCOPE:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top in _BANNED_MODULES:
+                        yield self._import_finding(ctx, node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                top = (node.module or "").split(".")[0]
+                if node.level == 0 and top in _BANNED_MODULES:
+                    yield self._import_finding(ctx, node, node.module or "")
+                elif node.level == 0 and top == "os":
+                    for alias in node.names:
+                        if alias.name in ("urandom", "getrandom"):
+                            yield self._import_finding(
+                                ctx, node, f"os.{alias.name}")
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _BANNED_CALLS:
+                    yield self.finding(
+                        ctx, node.lineno, node.col_offset,
+                        f"nondeterministic call {name}() in "
+                        f"{ctx.subpackage}/ breaks node-access "
+                        f"reproducibility")
+
+    def _import_finding(self, ctx: FileContext, node: ast.stmt,
+                        module: str) -> Finding:
+        return self.finding(
+            ctx, node.lineno, node.col_offset,
+            f"import of nondeterministic module {module!r} in "
+            f"{ctx.subpackage}/ breaks node-access reproducibility")

@@ -1,0 +1,53 @@
+"""R003 — storage/ and engine/ raise only typed errors.
+
+PR 2 and PR 3 built dedicated hierarchies (``StorageError`` ->
+``ChecksumError``/``TornWriteError``/``PagerClosedError``/...,
+``EngineError`` -> ``ShardOpenError``/``EngineClosedError``) precisely so
+callers can distinguish crash-safety conditions from plain bugs.  Raising
+a generic builtin (``RuntimeError``, ``OSError``, bare ``Exception``)
+from these layers collapses that contract.  ``ValueError``/``TypeError``
+for argument validation and ``AssertionError``/``NotImplementedError``
+for programming contracts remain allowed — those signal caller bugs, not
+storage conditions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register
+from ..runner import FileContext
+
+_SCOPE = frozenset({"storage", "engine"})
+_BANNED = frozenset({
+    "Exception", "BaseException", "RuntimeError", "OSError", "IOError",
+    "EnvironmentError", "SystemError", "KeyError", "IndexError",
+    "LookupError", "ArithmeticError", "ZeroDivisionError",
+    "StopIteration", "StopAsyncIteration", "EOFError", "BufferError",
+})
+
+
+@register
+class TypedErrors(Rule):
+    rule_id = "R003"
+    title = "only typed errors raised from storage/ and engine/"
+    rationale = ("generic builtins erase the StorageError/EngineError "
+                 "contract callers use to detect crash-safety conditions")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.subpackage not in _SCOPE:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name) and exc.id in _BANNED:
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset,
+                    f"raise of generic builtin {exc.id} in "
+                    f"{ctx.subpackage}/ — use the module's typed error "
+                    f"hierarchy (StorageError/EngineError subclasses)")

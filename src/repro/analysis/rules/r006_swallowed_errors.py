@@ -1,0 +1,62 @@
+"""R006 — no broad ``except`` that swallows crash-safety errors.
+
+``ChecksumError`` and ``TornWriteError`` are how the storage layer
+reports on-disk corruption (PR 2); a bare ``except:`` or a silent
+``except Exception:`` converts detected corruption into silent data
+loss.  A broad handler is accepted only when it visibly propagates or
+records the error: it re-raises, or it binds the exception
+(``as exc``) and actually uses the name (logging, wrapping, stashing
+for later re-raise).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register
+from ..runner import FileContext
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_catch(handler: ast.ExceptHandler) -> str | None:
+    """The broad class name this handler catches, or None if narrow."""
+    if handler.type is None:
+        return "bare except"
+    types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            return node.id
+    return None
+
+
+@register
+class SwallowedErrors(Rule):
+    rule_id = "R006"
+    title = "no bare/broad except swallowing ChecksumError/TornWriteError"
+    rationale = ("a silent broad handler turns detected on-disk "
+                 "corruption into silent data loss; re-raise, narrow the "
+                 "types, or use the bound exception")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_catch(node)
+            if broad is None:
+                continue
+            if any(isinstance(sub, ast.Raise)
+                   for stmt in node.body for sub in ast.walk(stmt)):
+                continue
+            if node.name is not None and any(
+                    isinstance(sub, ast.Name) and sub.id == node.name
+                    for stmt in node.body for sub in ast.walk(stmt)):
+                continue
+            yield self.finding(
+                ctx, node.lineno, node.col_offset,
+                f"{broad} handler swallows ChecksumError/TornWriteError "
+                f"— narrow the exception types, re-raise, or handle the "
+                f"bound exception")

@@ -1,0 +1,155 @@
+"""Walk files, parse them once, run every rule, honour suppressions.
+
+The runner owns everything rules share: the parsed AST, a child->parent
+map (rules climb it to classify the context of a node), the source lines
+(for ``# repro-lint: ignore[...]`` suppression comments) and the file's
+position inside the package (rules scope themselves to subpackages).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator, Sequence
+
+from .findings import Finding
+from .registry import Rule, all_rules
+
+#: Inline suppression: ``# repro-lint: ignore[R001]`` silences one rule on
+#: that line, ``# repro-lint: ignore`` silences every rule.  Use sparingly
+#: and justify in a neighbouring comment; prefer the baseline for legacy
+#: findings.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<rules>[A-Z0-9, ]+)\])?")
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may want to know about one file."""
+
+    path: str                       # posix-style path used in findings
+    tree: ast.Module
+    source_lines: Sequence[str]
+    package_parts: tuple[str, ...]  # path inside the repro package
+    _parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    @classmethod
+    def from_source(cls, source: str, path: str) -> "FileContext":
+        posix = PurePosixPath(path.replace(os.sep, "/"))
+        parts = posix.parts
+        package = (parts[parts.index("repro") + 1:]
+                   if "repro" in parts else parts)
+        return cls(path=str(posix),
+                   tree=ast.parse(source, filename=str(posix)),
+                   source_lines=source.splitlines(),
+                   package_parts=tuple(package))
+
+    # -- helpers rules lean on --------------------------------------------
+
+    @property
+    def subpackage(self) -> str:
+        """First package directory under ``repro`` ('' for top level)."""
+        if len(self.package_parts) > 1:
+            return self.package_parts[0]
+        return ""
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module node."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        """Nearest enclosing function/lambda, else the module."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                return ancestor
+        return self.tree
+
+    def statement_of(self, node: ast.AST) -> ast.stmt:
+        """The smallest statement containing ``node``."""
+        current: ast.AST = node
+        while not isinstance(current, ast.stmt):
+            parent = self._parents.get(current)
+            if parent is None:
+                raise ValueError("node is not inside a statement")
+            current = parent
+        return current
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        index = finding.line - 1
+        if not 0 <= index < len(self.source_lines):
+            return False
+        match = _SUPPRESS_RE.search(self.source_lines[index])
+        if match is None:
+            return False
+        rules = match.group("rules")
+        if rules is None:
+            return True
+        return finding.rule_id in {r.strip() for r in rules.split(",")}
+
+
+def lint_source(source: str, path: str,
+                rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint one in-memory source blob (the fixture tests' entry point)."""
+    ctx = FileContext.from_source(source, path)
+    active = list(rules) if rules is not None else all_rules()
+    findings = [finding
+                for rule in active
+                for finding in rule.check(ctx)
+                if not ctx.is_suppressed(finding)]
+    return sorted(findings)
+
+
+def lint_file(path: str | Path, *, root: str | Path | None = None,
+              rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint one file; finding paths are relative to ``root`` if given.
+
+    Files outside ``root`` keep their given spelling — relativisation is
+    best-effort so baseline paths stay stable however the tree is named
+    on the command line (absolute, relative, symlinked).
+    """
+    path = Path(path)
+    shown = path
+    if root is not None:
+        try:
+            shown = path.resolve().relative_to(Path(root).resolve())
+        except ValueError:
+            pass
+    return lint_source(path.read_text(encoding="utf-8"), str(shown),
+                       rules=rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(p for p in entry.rglob("*.py")
+                              if "__pycache__" not in p.parts)
+        else:
+            yield entry
+
+
+def lint_paths(paths: Iterable[str | Path], *,
+               root: str | Path | None = None,
+               rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint every python file under ``paths`` (files or directories)."""
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, root=root, rules=active))
+    return sorted(findings)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from ..core.records import Rect
 from ..storage.buffer import BufferPool
 from ..storage.pager import MEMORY, Pager
+from ..storage.stats import IOStats
 
 _HEADER = struct.Struct("<BH")
 _LEAF_TYPE = 1
@@ -36,7 +37,7 @@ _INT_ENTRY = struct.Struct("<IIIIQ")           # rect, child
 @dataclass
 class _Node:
     is_leaf: bool
-    entries: list = field(default_factory=list)
+    entries: list[tuple] = field(default_factory=list)
     # leaf entries: (oid, x, y); internal entries: (Rect, child_page)
 
     def mbr(self) -> Rect:
@@ -71,7 +72,7 @@ class HRTree:
         self.now = 0
 
     @property
-    def stats(self):
+    def stats(self) -> IOStats:
         return self.pool.stats
 
     def version_count(self) -> int:

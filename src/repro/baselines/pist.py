@@ -24,6 +24,7 @@ from ..core.grid import SpatialGrid
 from ..core.records import Entry, RECORD_SIZE, Rect
 from ..storage.buffer import BufferPool
 from ..storage.pager import MEMORY, Pager
+from ..storage.stats import IOStats
 
 _TIME_BITS = 40
 _TIME_LIMIT = 1 << _TIME_BITS
@@ -51,7 +52,7 @@ class PISTIndex:
         self._size = 0
 
     @property
-    def stats(self):
+    def stats(self) -> IOStats:
         return self.pool.stats
 
     def __len__(self) -> int:

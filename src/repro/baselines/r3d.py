@@ -17,6 +17,7 @@ from ..rtree.geometry import Box
 from ..rtree.tree import RTree
 from ..storage.buffer import BufferPool
 from ..storage.pager import MEMORY, Pager
+from ..storage.stats import IOStats
 
 _ALIVE = (1 << 63) - 1  # open-ended time for current entries
 _PAYLOAD = struct.Struct("<QQ")  # oid, duration (0 = current)
@@ -35,7 +36,7 @@ class R3DIndex:
         self._size = 0
 
     @property
-    def stats(self):
+    def stats(self) -> IOStats:
         return self.pool.stats
 
     def __len__(self) -> int:

@@ -25,6 +25,7 @@ from ..core.records import Entry, RECORD_SIZE, Rect
 from ..sfc.zcurve import zc_encode
 from ..storage.buffer import BufferPool
 from ..storage.pager import MEMORY, Pager
+from ..storage.stats import IOStats
 
 
 class WaveIndex:
@@ -53,7 +54,7 @@ class WaveIndex:
         return self._clock
 
     @property
-    def stats(self):
+    def stats(self) -> IOStats:
         return self.pool.stats
 
     def __len__(self) -> int:

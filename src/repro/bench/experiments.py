@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..baselines.pist import PISTIndex
 from ..baselines.r3d import R3DIndex
@@ -23,6 +23,9 @@ from .harness import (build_mv3r, build_swst, run_queries_mv3r,
                       run_queries_swst)
 from .params import BenchParams
 from .reporting import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..core.index import SWSTIndex
 
 
 @dataclass
@@ -44,7 +47,7 @@ class ExperimentResult:
 
 
 def _stream_for(params: BenchParams, num_objects: int,
-                **overrides) -> list[Report]:
+                **overrides: Any) -> list[Report]:
     config = replace(params.stream, num_objects=num_objects, **overrides)
     return GSTDGenerator(config).materialize()
 
@@ -459,29 +462,34 @@ def experiment_physical_io(params: BenchParams,
                                   count=max(params.query_count // 4, 5))
         for capacity in capacities:
             config = replace(params.index, buffer_capacity=capacity)
-            reopened = SWSTIndex.open(path, config)
-            reopened.pool.drop_cache()
-            reopened.stats.reset()
-            queries = generate_queries(config, workload, now)
-            for query in queries:
-                reopened.query_interval(query.area, query.t_lo, query.t_hi)
-            stats = reopened.stats
-            result.rows.append([capacity,
-                                stats.physical_reads / len(queries),
-                                stats.node_accesses / len(queries)])
-            reopened.close()
+            with SWSTIndex.open(path, config) as reopened:
+                reopened.pool.drop_cache()
+                reopened.stats.reset()
+                queries = generate_queries(config, workload, now)
+                for query in queries:
+                    reopened.query_interval(query.area, query.t_lo,
+                                            query.t_hi)
+                stats = reopened.stats
+                result.rows.append([capacity,
+                                    stats.physical_reads / len(queries),
+                                    stats.node_accesses / len(queries)])
     result.notes = ("logical accesses are capacity-independent; physical "
                     "reads shrink as the pool grows — key clustering at "
                     "work")
     return result
 
 
-def _replay_to_disk(stream: list[Report], config: SWSTConfig, path: str):
+def _replay_to_disk(stream: list[Report], config: SWSTConfig,
+                    path: str) -> "SWSTIndex":
     from ..core.index import SWSTIndex
 
     index = SWSTIndex(config, path=path)
-    for report in stream:
-        index.report(report.oid, report.x, report.y, report.t)
+    try:
+        for report in stream:
+            index.report(report.oid, report.x, report.y, report.t)
+    except BaseException:
+        index.close()
+        raise
     return index
 
 

@@ -60,12 +60,16 @@ def build_swst(stream: list[Report], config: SWSTConfig,
                label: str = "SWST") -> tuple[SWSTIndex, BuildResult]:
     """Feed a report stream into a fresh SWST index."""
     index = SWSTIndex(config)
-    before = index.stats.snapshot()
-    started = time.process_time()
-    for report in stream:
-        index.report(report.oid, report.x, report.y, report.t)
-    elapsed = time.process_time() - started
-    delta = index.stats.diff(before)
+    try:
+        before = index.stats.snapshot()
+        started = time.process_time()
+        for report in stream:
+            index.report(report.oid, report.x, report.y, report.t)
+        elapsed = time.process_time() - started
+        delta = index.stats.diff(before)
+    except BaseException:
+        index.close()
+        raise
     return index, BuildResult(label=label, records=len(stream),
                               node_accesses=delta.node_accesses,
                               cpu_seconds=elapsed)
@@ -80,11 +84,15 @@ def build_swst_batched(stream: list[Report], config: SWSTConfig,
     locality; final index state identical to per-report :func:`build_swst`).
     """
     index = SWSTIndex(config)
-    before = index.stats.snapshot()
-    started = time.process_time()
-    index.extend(stream, batch_size=batch_size)
-    elapsed = time.process_time() - started
-    delta = index.stats.diff(before)
+    try:
+        before = index.stats.snapshot()
+        started = time.process_time()
+        index.extend(stream, batch_size=batch_size)
+        elapsed = time.process_time() - started
+        delta = index.stats.diff(before)
+    except BaseException:
+        index.close()
+        raise
     return index, BuildResult(label=label, records=len(stream),
                               node_accesses=delta.node_accesses,
                               cpu_seconds=elapsed)
@@ -96,12 +104,16 @@ def build_mv3r(stream: list[Report], page_size: int = 8192,
     """Feed the same report stream into a fresh MV3R tree."""
     index = MV3RTree(page_size=page_size, buffer_capacity=buffer_capacity,
                      use_aux=use_aux)
-    before = index.stats.snapshot()
-    started = time.process_time()
-    for report in stream:
-        index.report(report.oid, report.x, report.y, report.t)
-    elapsed = time.process_time() - started
-    delta = index.stats.diff(before)
+    try:
+        before = index.stats.snapshot()
+        started = time.process_time()
+        for report in stream:
+            index.report(report.oid, report.x, report.y, report.t)
+        elapsed = time.process_time() - started
+        delta = index.stats.diff(before)
+    except BaseException:
+        index.close()
+        raise
     return index, BuildResult(label=label, records=len(stream),
                               node_accesses=delta.node_accesses,
                               cpu_seconds=elapsed)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 
 def format_table(title: str, headers: Sequence[str],
@@ -15,10 +15,13 @@ def format_table(title: str, headers: Sequence[str],
             widths[idx] = max(widths[idx], len(cell))
     sep = "-+-".join("-" * w for w in widths)
     lines = [title, "=" * len(title),
-             " | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+             " | ".join(h.ljust(w)
+                        for h, w in zip(headers, widths, strict=True)),
+             sep]
     for row in cells:
         lines.append(" | ".join(cell.rjust(w)
-                                for cell, w in zip(row, widths)))
+                                for cell, w in zip(row, widths,
+                                                   strict=True)))
     return "\n".join(lines)
 
 
@@ -63,7 +66,7 @@ def ascii_chart(title: str, series: dict[str, list[float]],
     return "\n".join(lines).rstrip()
 
 
-def chart_from_result(result, value_columns: dict[str, int],
+def chart_from_result(result: Any, value_columns: dict[str, int],
                       width: int = 50) -> str:
     """Render an :class:`ExperimentResult` as a grouped bar chart.
 

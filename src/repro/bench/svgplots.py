@@ -10,7 +10,7 @@ labels and a legend.  ``python -m repro bench --svg DIR`` writes one
 from __future__ import annotations
 
 import html
-from typing import Sequence
+from typing import Any, Sequence
 
 #: Flat, print-friendly series colours.
 PALETTE = ["#4878a8", "#d65f5f", "#6acc64", "#956cb4", "#d5bb67"]
@@ -79,7 +79,7 @@ def render_bar_chart(title: str, series: dict[str, list[float]],
     # Bars.
     for group, label in enumerate(labels):
         gx = x0 + group * group_w + group_w * 0.1
-        for idx, (name, values) in enumerate(series.items()):
+        for idx, (_name, values) in enumerate(series.items()):
             value = values[group]
             height = plot_h * value / peak
             bx = gx + idx * bar_w
@@ -108,7 +108,7 @@ def render_bar_chart(title: str, series: dict[str, list[float]],
     return "\n".join(parts)
 
 
-def svg_from_result(result, value_columns: dict[str, int],
+def svg_from_result(result: Any, value_columns: dict[str, int],
                     y_label: str = "node accesses / query") -> str:
     """Render an :class:`ExperimentResult` as a grouped-bar SVG."""
     labels = [str(row[0]) for row in result.rows]

@@ -69,7 +69,7 @@ class LeafNode:
         if len(self.keys) != len(self.values):
             raise NodeFormatError("keys/values length mismatch")
         parts = [_LEAF_HEADER.pack(LEAF_TYPE, len(self.keys), self.next_leaf)]
-        for key, value in zip(self.keys, self.values):
+        for key, value in zip(self.keys, self.values, strict=True):
             if len(value) != value_size:
                 raise NodeFormatError(
                     f"value of {len(value)} bytes != value_size {value_size}")
@@ -116,7 +116,7 @@ class InternalNode:
             raise NodeFormatError("children must be len(keys) + 1")
         parts = [_INTERNAL_HEADER.pack(INTERNAL_TYPE, len(self.keys),
                                        self.children[0])]
-        for key, child in zip(self.keys, self.children[1:]):
+        for key, child in zip(self.keys, self.children[1:], strict=True):
             parts.append(_encode_key(key))
             parts.append(_CHILD.pack(child))
         raw = b"".join(parts)

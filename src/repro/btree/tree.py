@@ -223,10 +223,9 @@ class BPlusTree:
         if isinstance(match, (bytes, bytearray)):
             target = bytes(match)
             predicate = lambda value: value == target  # noqa: E731
-        elif match is None:
-            predicate = lambda value: True  # noqa: E731
         else:
-            predicate = match
+            predicate = (match if match is not None
+                         else (lambda value: True))
         deleted, _ = self._delete(self.root_page, key, predicate)
         if deleted:
             root = self._read_node(self.root_page)

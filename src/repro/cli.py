@@ -7,6 +7,8 @@ Commands:
 * ``query`` — run a timeslice/interval/KNN query against a saved index.
 * ``scrub`` — checksum-sweep a page file and report corrupt page ids.
 * ``bench`` — regenerate one (or all) of the paper's figures.
+* ``lint`` — run the project-invariant lint (``repro.analysis``) against
+  the committed baseline.
 
 Every command prints what it did and the node-access cost, so the CLI
 doubles as a quick way to poke at the index's behaviour.
@@ -19,6 +21,7 @@ import contextlib
 import csv
 import sys
 from dataclasses import replace
+from typing import TYPE_CHECKING, Iterator
 
 from .bench.experiments import run_all
 from .bench.params import PAPER, SCALED, TINY
@@ -26,6 +29,9 @@ from .core.config import SWSTConfig
 from .core.index import SWSTIndex
 from .core.records import Rect
 from .datagen.gstd import GSTDConfig, GSTDGenerator, Report
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .engine import ShardedEngine
 
 
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
@@ -55,28 +61,40 @@ def _config_from(args: argparse.Namespace) -> SWSTConfig:
                       n_shards=args.shards)
 
 
+@contextlib.contextmanager
 def _open_index(args: argparse.Namespace, config: SWSTConfig, *,
-                build: bool):
+                build: bool) -> Iterator[SWSTIndex | "ShardedEngine"]:
     """Open (or create) the index named on the command line.
 
     ``--shards N`` with N > 1 selects the sharded engine, whose on-disk
     form is a directory of per-shard page files; otherwise the classic
-    single page file.
+    single page file.  A context manager so the resolved executor (which
+    may own a process pool) is torn down alongside the index even when
+    the command body raises.
     """
     if config.n_shards == 1:
         if build:
-            return SWSTIndex(config, path=args.index)
-        return SWSTIndex.open(args.index, config)
+            with SWSTIndex(config, path=args.index) as index:
+                yield index
+        else:
+            with SWSTIndex.open(args.index, config) as index:
+                yield index
+        return
     from .engine import ShardedEngine, resolve_executor
 
-    executor = resolve_executor(args.executor)
-    if build:
-        return ShardedEngine(config, args.index, executor=executor)
-    return ShardedEngine.open(args.index, config, executor=executor)
+    with contextlib.ExitStack() as stack:
+        executor = resolve_executor(args.executor)
+        stack.callback(executor.close)
+        engine = (ShardedEngine(config, args.index, executor=executor)
+                  if build
+                  else ShardedEngine.open(args.index, config,
+                                          executor=executor))
+        stack.enter_context(engine)
+        yield engine
 
 
-def _page_count(index) -> int:
-    if hasattr(index, "pager"):
+def _page_count(index: SWSTIndex | "ShardedEngine") -> int:
+    if isinstance(index, SWSTIndex):
         return index.pager.page_count()
     return sum(shard.pager.page_count() for shard in index.shards)
 
@@ -162,6 +180,12 @@ _CHARTABLE = {
     "Sec.V-E(a)": {"SWST": 2},
     "Sec.V-E(b)": {"SWST": 2},
 }
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.main import run_lint
+
+    return run_lint(args)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -256,6 +280,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--svg", default=None, metavar="DIR",
                        help="also write one SVG chart per figure to DIR")
     bench.set_defaults(func=cmd_bench)
+
+    from .analysis.main import add_lint_arguments
+
+    lint = commands.add_parser(
+        "lint", help="run the project-invariant lint (rules R001-R006)")
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

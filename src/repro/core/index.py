@@ -19,19 +19,20 @@ in-memory *isPresent* memo per spatial cell.  Supports:
 from __future__ import annotations
 
 import struct
-from typing import Iterator
+from typing import Any, Iterable, Iterator
 
 from ..btree.multisearch import multi_range_search
 from ..btree.tree import BPlusTree
 from ..storage.buffer import BufferPool
 from ..storage.errors import CorruptPageFileError
 from ..storage.pager import MEMORY, Pager
+from ..storage.stats import IOStats
 from .config import SWSTConfig
-from .grid import SpatialGrid
+from .grid import CellOverlap, SpatialGrid
 from .keys import KeyCodec
 from .memo import CellMemo
 from .overlap import ColumnOverlap, classify_interval
-from .records import RECORD_SIZE, Entry, Rect
+from .records import RECORD_SIZE, Entry, Rect, ReportLike
 from .results import QueryResult, QueryStats
 
 _CATALOG_HEADER = struct.Struct("<QQQI")       # clock, drop_epoch, size, n_cells
@@ -98,7 +99,7 @@ class SWSTIndex:
         return self._clock
 
     @property
-    def stats(self):
+    def stats(self) -> IOStats:
         """Shared IO statistics of the underlying buffer pool."""
         return self.pool.stats
 
@@ -152,7 +153,8 @@ class SWSTIndex:
         """Position report of a moving object (alias of a current insert)."""
         self.insert(oid, x, y, t, None)
 
-    def extend(self, reports, batch_size: int = 1024) -> int:
+    def extend(self, reports: Iterable[ReportLike],
+               batch_size: int = 1024) -> int:
         """Feed an iterable of position reports (objects with ``oid``,
         ``x``, ``y``, ``t`` attributes, e.g. :class:`repro.datagen.Report`).
 
@@ -171,7 +173,7 @@ class SWSTIndex:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         count = 0
-        batch: list = []
+        batch: list[ReportLike] = []
         for report in reports:
             batch.append(report)
             if len(batch) >= batch_size:
@@ -181,7 +183,7 @@ class SWSTIndex:
             count += self._extend_batch(batch)
         return count
 
-    def _extend_batch(self, batch: list) -> int:
+    def _extend_batch(self, batch: list[ReportLike]) -> int:
         """Validate one chunk, then ingest it run by run.
 
         A *run* is a maximal sub-sequence whose start timestamps fall in
@@ -207,11 +209,11 @@ class SWSTIndex:
                 start = idx
         return len(batch)
 
-    def _ingest_run(self, run: list) -> None:
+    def _ingest_run(self, run: list[ReportLike]) -> None:
         self.advance_time(run[-1].t)
         self._ingest_run_reports(run)
 
-    def _ingest_run_reports(self, run: list) -> None:
+    def _ingest_run_reports(self, run: list[ReportLike]) -> None:
         """Ingest one epoch run, the clock already advanced past it."""
         # Objects reporting more than once in the run must keep their
         # per-object time order (each report finalises the previous one);
@@ -230,7 +232,7 @@ class SWSTIndex:
         for report in singles:
             self._ingest_report(report)
 
-    def _ingest_report(self, report) -> None:
+    def _ingest_report(self, report: ReportLike) -> None:
         """The current-entry protocol of :meth:`insert`, clock already set."""
         oid, x, y, s = report.oid, report.x, report.y, report.t
         previous = self._current.get(oid)
@@ -574,8 +576,9 @@ class SWSTIndex:
         stats.node_accesses = self.pool.stats.diff(start).node_accesses
         return result
 
-    def _knn_ring_search(self, x: int, y: int, k: int, plan: dict,
-                         stats: QueryStats) -> list:
+    def _knn_ring_search(self, x: int, y: int, k: int, plan: dict[str, Any],
+                         stats: QueryStats
+                         ) -> list[tuple[tuple[int, int, int], Entry]]:
         """Expanding-ring search keeping only the k best candidates.
 
         The k nearest seen so far live in a bounded max-heap (heapq is a
@@ -634,7 +637,7 @@ class SWSTIndex:
                 for (n0, n1, n2), _, entry in ordered]
 
     def _query_plan(self, columns: list[ColumnOverlap], t_lo: int,
-                    t_hi: int, window: int | None) -> dict:
+                    t_hi: int, window: int | None) -> dict[str, Any]:
         """Pre-computed per-query state shared by every spatial cell."""
         q_lo, q_hi = self.config.queriable_period(self._clock, window)
         by_tree: list[list[ColumnOverlap]] = [[], []]
@@ -648,7 +651,8 @@ class SWSTIndex:
             "t_lo": t_lo,
         }
 
-    def _query_area_planned(self, area: Rect, plan: dict) -> QueryResult:
+    def _query_area_planned(self, area: Rect,
+                            plan: dict[str, Any]) -> QueryResult:
         """Evaluate a pre-classified interval query over this index's cells.
 
         The sharded engine's fan-out path: temporal classification and
@@ -666,7 +670,8 @@ class SWSTIndex:
         return result
 
     def _count_area_planned(self, area: Rect,
-                            plan: dict) -> tuple[int, QueryStats]:
+                            plan: dict[str, Any]
+                            ) -> tuple[int, QueryStats]:
         """Counting twin of :meth:`_query_area_planned`."""
         stats = QueryStats()
         count = 0
@@ -676,7 +681,8 @@ class SWSTIndex:
         stats.node_accesses = self.pool.stats.diff(start).node_accesses
         return count, stats
 
-    def _search_cell(self, cell, plan: dict, area: Rect, stats: QueryStats,
+    def _search_cell(self, cell: CellOverlap, plan: dict[str, Any],
+                     area: Rect, stats: QueryStats,
                      out: list[Entry]) -> None:
         """Steps (b)-(d) of the query pipeline for one spatial cell."""
         trees = self._trees.get((cell.cx, cell.cy))
@@ -746,17 +752,17 @@ class SWSTIndex:
                 stats.full_hits += 1
                 out.append(entry)
                 continue
-            if not temporal_full:
-                if not (q_lo <= entry.s <= s_hi_eff and entry.end > t_lo):
-                    stats.refined_out += 1
-                    continue
+            if not temporal_full and \
+                    not (q_lo <= entry.s <= s_hi_eff and entry.end > t_lo):
+                stats.refined_out += 1
+                continue
             if not spatial_full and not area.contains(entry.x, entry.y):
                 stats.refined_out += 1
                 continue
             out.append(entry)
 
-    def _count_cell(self, cell, plan: dict, area: Rect,
-                    stats: QueryStats) -> int:
+    def _count_cell(self, cell: CellOverlap, plan: dict[str, Any],
+                    area: Rect, stats: QueryStats) -> int:
         """Counting twin of :meth:`_search_cell` — no entries materialise."""
         trees = self._trees.get((cell.cx, cell.cy))
         if trees is None:
@@ -812,10 +818,10 @@ class SWSTIndex:
                 stats.full_hits += 1
                 count += 1
                 continue
-            if not temporal_full:
-                if not (q_lo <= entry.s <= s_hi_eff and entry.end > t_lo):
-                    stats.refined_out += 1
-                    continue
+            if not temporal_full and \
+                    not (q_lo <= entry.s <= s_hi_eff and entry.end > t_lo):
+                stats.refined_out += 1
+                continue
             if not spatial_full and not area.contains(entry.x, entry.y):
                 stats.refined_out += 1
                 continue

@@ -127,10 +127,8 @@ def _classify_column(config: SWSTConfig, base: int, m: int, q_lo: int,
     # A column can only contain full cells when every physically present
     # start is both queriable (s1 >= q_lo) and within the query's start
     # bound (s2 - 1 <= s_hi_eff).
-    if s1 >= q_lo and s2 - 1 <= s_hi_eff:
-        d_full = _first_full_d(config, s1, t_lo)
-    else:
-        d_full = dp
+    d_full = (_first_full_d(config, s1, t_lo)
+              if s1 >= q_lo and s2 - 1 <= s_hi_eff else dp)
     return ColumnOverlap(s_part=m, tree=0 if m < config.sp else 1,
                          s_abs_lo=a_lo, s_abs_hi=a_hi,
                          d_first=max(d_first, 0),

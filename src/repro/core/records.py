@@ -11,9 +11,30 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import Protocol
 
 #: On-disk duration sentinel marking a current entry inside a record payload.
 CURRENT_DURATION = 0
+
+
+class ReportLike(Protocol):
+    """Anything the batched ingestion paths accept as a position report.
+
+    Read-only properties so both plain and frozen dataclasses (e.g.
+    :class:`repro.datagen.gstd.Report`) conform structurally.
+    """
+
+    @property
+    def oid(self) -> int: ...
+
+    @property
+    def x(self) -> int: ...
+
+    @property
+    def y(self) -> int: ...
+
+    @property
+    def t(self) -> int: ...
 
 _RECORD = struct.Struct("<QIIQQ")  # oid, x, y, s, d
 

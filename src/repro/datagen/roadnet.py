@@ -95,7 +95,7 @@ class RoadNetGenerator:
             for i, j in self.graph.nodes()
         }
 
-    def _route(self, origin, destination) -> list:
+    def _route(self, origin: int, destination: int) -> list[int]:
         return nx.shortest_path(self.graph, origin, destination,
                                 weight="travel")
 
@@ -106,7 +106,7 @@ class RoadNetGenerator:
         nodes = list(self.graph.nodes())
         # Heap of (next_report_time, vehicle, itinerary); the itinerary is
         # the remaining node path, empty = choose a new destination.
-        heap: list[tuple[int, int, list]] = []
+        heap: list[tuple[int, int, list[int]]] = []
         for vehicle in range(cfg.num_vehicles):
             start = rng.choice(nodes)
             heapq.heappush(heap, (rng.randint(0, cfg.travel_hi), vehicle,

@@ -43,16 +43,18 @@ shard, and wraps the first failure in a typed
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
-from typing import Iterator
+from typing import Any, Iterable, Iterator
 
 from ..core.config import SWSTConfig
 from ..core.grid import SpatialGrid
 from ..core.index import SWSTIndex
 from ..core.overlap import classify_interval
-from ..core.records import Entry, Rect
+from ..core.records import Entry, Rect, ReportLike
 from ..core.results import QueryResult, QueryStats
+from ..storage.errors import StorageError
 from ..storage.pager import MEMORY
 from ..storage.stats import IOStats
 from .errors import EngineClosedError, EngineError, ShardOpenError
@@ -67,7 +69,8 @@ def _shard_file_name(shard_id: int) -> str:
     return f"shard-{shard_id:03d}.pages"
 
 
-def _open_and_call(task):
+def _open_and_call(task: tuple[str, SWSTConfig, str, tuple[Any, ...]]
+                   ) -> Any:
     """Out-of-process task: reopen one saved shard and run one method.
 
     Used by remote (process-pool) executors, which cannot reach the
@@ -186,7 +189,7 @@ class ShardedEngine:
         os.replace(tmp_path, manifest_path)
 
     @staticmethod
-    def _load_manifest(manifest_path: str) -> dict:
+    def _load_manifest(manifest_path: str) -> dict[str, Any]:
         try:
             with open(manifest_path) as handle:
                 manifest = json.load(handle)
@@ -204,10 +207,10 @@ class ShardedEngine:
         """Close whatever was built so far after a failed init/open."""
         self._closed = True
         for shard in getattr(self, "_shards", []):
-            try:
+            # Best-effort: a shard whose close fails (its device already
+            # torn down) must not mask the original init/open error.
+            with contextlib.suppress(StorageError, OSError, ValueError):
                 shard.close()
-            except Exception:
-                pass
         if self._owns_executor:
             self._executor.close()
 
@@ -288,7 +291,7 @@ class ShardedEngine:
         return home
 
     def _fan_out(self, shard_ids: list[int], method: str,
-                 args: tuple) -> list:
+                 args: tuple[Any, ...]) -> list[Any]:
         """Scatter one read-only method over ``shard_ids``, gather results."""
         if getattr(self._executor, "remote", False):
             if self._dir is None:
@@ -366,7 +369,8 @@ class ShardedEngine:
         dest._current[oid] = (x, y, s)
         self._home[oid] = dest_id
 
-    def extend(self, reports, batch_size: int = 1024) -> int:
+    def extend(self, reports: Iterable[ReportLike],
+               batch_size: int = 1024) -> int:
         """Batched ingestion: split per shard and ingest in parallel.
 
         Reports are consumed in chunks of ``batch_size``; each chunk is
@@ -385,7 +389,7 @@ class ShardedEngine:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         count = 0
-        batch: list = []
+        batch: list[ReportLike] = []
         for report in reports:
             batch.append(report)
             if len(batch) >= batch_size:
@@ -395,7 +399,7 @@ class ShardedEngine:
             count += self._extend_batch(batch)
         return count
 
-    def _extend_batch(self, batch: list) -> int:
+    def _extend_batch(self, batch: list[ReportLike]) -> int:
         clock = self._clock
         for report in batch:
             if not self.config.space.contains(report.x, report.y):
@@ -414,7 +418,7 @@ class ShardedEngine:
                 start = idx
         return len(batch)
 
-    def _ingest_run(self, run: list) -> None:
+    def _ingest_run(self, run: list[ReportLike]) -> None:
         """One epoch run: serial cross-shard reports, then parallel rest."""
         self.advance_time(run[-1].t)
         self._mutated = True
@@ -431,7 +435,7 @@ class ShardedEngine:
                 dests = dests | {home}
             if len(dests) > 1:
                 cross_shard.add(oid)
-        per_shard: dict[int, list] = {}
+        per_shard: dict[int, list[ReportLike]] = {}
         for report in run:
             if report.oid in cross_shard:
                 self._route_report(report.oid, report.x, report.y, report.t)

@@ -24,7 +24,11 @@ raised exception.
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Iterable, Protocol, Sequence, runtime_checkable
+from typing import (TYPE_CHECKING, Any, Callable, Iterable, Protocol,
+                    Sequence, runtime_checkable)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 
 @runtime_checkable
@@ -73,9 +77,9 @@ class ThreadedExecutor:
 
     def __init__(self, max_workers: int | None = None) -> None:
         self._max_workers = max_workers
-        self._pool = None
+        self._pool: ThreadPoolExecutor | None = None
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             from concurrent.futures import ThreadPoolExecutor
 
@@ -115,9 +119,9 @@ class ProcessExecutor:
 
     def __init__(self, max_workers: int | None = None) -> None:
         self._max_workers = max_workers
-        self._pool = None
+        self._pool: ProcessPoolExecutor | None = None
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 

@@ -20,8 +20,9 @@ from __future__ import annotations
 from ..core.records import Entry, Rect
 from ..storage.buffer import BufferPool
 from ..storage.pager import MEMORY, Pager
+from ..storage.stats import IOStats
 from .aux3d import LeafDirectory
-from .mvrtree import INF, MVRTree
+from .mvrtree import INF, MVRTree, VersionedEntry
 
 
 class MV3RTree:
@@ -55,7 +56,7 @@ class MV3RTree:
         return self.mvr.now
 
     @property
-    def stats(self):
+    def stats(self) -> IOStats:
         return self.pool.stats
 
     def __len__(self) -> int:
@@ -137,7 +138,7 @@ class MV3RTree:
         return results
 
     @staticmethod
-    def _to_entry(versioned) -> Entry:
+    def _to_entry(versioned: VersionedEntry) -> Entry:
         d = None if versioned.te == INF else versioned.te - versioned.ts
         return Entry(oid=versioned.oid, x=versioned.x, y=versioned.y,
                      s=versioned.ts, d=d)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from ..core.records import Rect
 from ..storage.buffer import BufferPool
@@ -76,7 +77,7 @@ class _ChildRef:
 @dataclass(slots=True)
 class _Node:
     is_leaf: bool
-    entries: list = field(default_factory=list)
+    entries: list[Any] = field(default_factory=list)
 
 
 @dataclass
@@ -199,7 +200,7 @@ class MVRTree:
         self.insert(oid, x, y, t)
 
     def _insert_rec(self, page_id: int, oid: int, x: int, y: int, ts: int,
-                    te: int):
+                    te: int) -> Rect | _Replacement:
         """Returns the node's new MBR, or a :class:`_Replacement` if the
         node version-split."""
         node = self._read(page_id)
@@ -296,16 +297,22 @@ class MVRTree:
             nodes.append((self._mbr(new_node), page))
         return _Replacement(nodes=nodes)
 
-    def _maybe_key_split(self, entries: list, cap: int, key) -> list[list]:
+    def _maybe_key_split(
+            self, entries: list[Any], cap: int,
+            key: Callable[[Any], tuple[int, int, int, int]],
+    ) -> list[list[Any]]:
         """Strong version condition: key-split a too-full version copy."""
         if len(entries) <= int(cap * self.strong_fraction):
             return [entries]
         return self._quadratic_split(entries, key)
 
     @staticmethod
-    def _quadratic_split(entries: list, key) -> list[list]:
+    def _quadratic_split(
+            entries: list[Any],
+            key: Callable[[Any], tuple[int, int, int, int]],
+    ) -> list[list[Any]]:
         """Guttman quadratic split on the entry rectangles."""
-        def rect_of(e) -> Rect:
+        def rect_of(e: Any) -> Rect:
             x_lo, y_lo, x_hi, y_hi = key(e)
             return Rect(x_lo, y_lo, x_hi, y_hi)
 
@@ -417,7 +424,8 @@ class MVRTree:
         object.
         """
         for (_, _, prev_end), (_, start, _) in zip(self.roots,
-                                                   self.roots[1:]):
+                                                   self.roots[1:],
+                                                   strict=False):
             assert prev_end == start, "root version intervals have gaps"
         assert self.roots[-1][2] == INF, "no current root"
         self._check_alive_subtree(self.root_page)

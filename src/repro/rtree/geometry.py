@@ -20,7 +20,7 @@ class Box:
     def __post_init__(self) -> None:
         if len(self.lo) != len(self.hi):
             raise ValueError("lo/hi dimensionality mismatch")
-        if any(l > h for l, h in zip(self.lo, self.hi)):
+        if any(l > h for l, h in zip(self.lo, self.hi, strict=True)):
             raise ValueError(f"empty box {self.lo}..{self.hi}")
 
     @property
@@ -35,27 +35,31 @@ class Box:
     def intersects(self, other: "Box") -> bool:
         return all(a_lo <= b_hi and b_lo <= a_hi
                    for a_lo, a_hi, b_lo, b_hi
-                   in zip(self.lo, self.hi, other.lo, other.hi))
+                   in zip(self.lo, self.hi, other.lo, other.hi,
+                          strict=True))
 
     def contains(self, other: "Box") -> bool:
         return all(a_lo <= b_lo and b_hi <= a_hi
                    for a_lo, a_hi, b_lo, b_hi
-                   in zip(self.lo, self.hi, other.lo, other.hi))
+                   in zip(self.lo, self.hi, other.lo, other.hi,
+                          strict=True))
 
     def union(self, other: "Box") -> "Box":
-        return Box(tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
-                   tuple(max(a, b) for a, b in zip(self.hi, other.hi)))
+        return Box(tuple(min(a, b) for a, b
+                         in zip(self.lo, other.lo, strict=True)),
+                   tuple(max(a, b) for a, b
+                         in zip(self.hi, other.hi, strict=True)))
 
     def volume(self) -> int:
         """Closed-box volume (side lengths measured as ``hi - lo``)."""
         result = 1
-        for l, h in zip(self.lo, self.hi):
+        for l, h in zip(self.lo, self.hi, strict=True):
             result *= h - l
         return result
 
     def margin(self) -> int:
         """Sum of side lengths."""
-        return sum(h - l for l, h in zip(self.lo, self.hi))
+        return sum(h - l for l, h in zip(self.lo, self.hi, strict=True))
 
     def enlargement(self, other: "Box") -> int:
         """Volume increase needed to absorb ``other``."""

@@ -124,7 +124,8 @@ class RTree:
             self.root_page = self.pool.allocate()
             self._write(self.root_page, root)
 
-    def _insert(self, page_id: int, box: Box, payload: bytes):
+    def _insert(self, page_id: int, box: Box, payload: bytes
+                ) -> tuple[tuple[Box, int], tuple[Box, int]] | None:
         """Recursive insert; returns two (mbr, page) halves on split."""
         node = self._read(page_id)
         if node.is_leaf:
@@ -161,7 +162,8 @@ class RTree:
                 best_idx = idx
         return best_idx
 
-    def _split(self, page_id: int, node: _Node):
+    def _split(self, page_id: int, node: _Node
+               ) -> tuple[tuple[Box, int], tuple[Box, int]]:
         """Guttman quadratic split of an overflowing node (in place + new)."""
         seed_a, seed_b = self._pick_seeds(node.boxes)
         groups: tuple[list[int], list[int]] = ([seed_a], [seed_b])
@@ -238,11 +240,13 @@ class RTree:
         while stack:
             node = self._read(stack.pop())
             if node.is_leaf:
-                for entry_box, payload in zip(node.boxes, node.payloads):
+                for entry_box, payload in zip(node.boxes, node.payloads,
+                                              strict=True):
                     if entry_box.intersects(box):
                         yield entry_box, payload
             else:
-                for entry_box, child in zip(node.boxes, node.children):
+                for entry_box, child in zip(node.boxes, node.children,
+                                            strict=True):
                     if entry_box.intersects(box):
                         stack.append(child)
 
@@ -271,15 +275,15 @@ class RTree:
         node = self._read(page_id)
         if node.is_leaf:
             for idx, (entry_box, entry_payload) in enumerate(
-                    zip(node.boxes, node.payloads)):
+                    zip(node.boxes, node.payloads, strict=True)):
                 if entry_box == box and entry_payload == payload:
                     del node.boxes[idx]
                     del node.payloads[idx]
                     self._write(page_id, node)
                     return True
             return False
-        for idx, (entry_box, child) in enumerate(zip(node.boxes,
-                                                     node.children)):
+        for idx, (entry_box, child) in enumerate(
+                zip(node.boxes, node.children, strict=True)):
             if not entry_box.intersects(box):
                 continue
             if not self._delete(child, box, payload, orphans):
@@ -302,7 +306,7 @@ class RTree:
                          orphans: list[tuple[Box, bytes]]) -> None:
         node = self._read(page_id)
         if node.is_leaf:
-            orphans.extend(zip(node.boxes, node.payloads))
+            orphans.extend(zip(node.boxes, node.payloads, strict=True))
         else:
             for child in node.children:
                 self._collect_entries(child, orphans)
@@ -330,5 +334,5 @@ class RTree:
         if node.is_leaf:
             return
         assert node.children, "empty internal node"
-        for box, child in zip(node.boxes, node.children):
+        for box, child in zip(node.boxes, node.children, strict=True):
             self._check(child, box, is_root=False)

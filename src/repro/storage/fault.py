@@ -34,7 +34,7 @@ class InjectedFault(OSError):
 def per_path_device_factory(
         match: str,
         base_factory: Callable[[str, int], Any] | None = None,
-        **fault_kwargs) -> Callable[[str, int], Any]:
+        **fault_kwargs: Any) -> Callable[[str, int], Any]:
     """Build a ``device_factory`` that injects faults for selected paths.
 
     The sharded engine opens one page device per shard through the same
@@ -55,16 +55,19 @@ def per_path_device_factory(
         A ``(path, page_size) -> PageDevice`` callable for
         ``SWSTConfig.device_factory``.
     """
-    def factory(path: str, page_size: int):
+    def factory(path: str, page_size: int) -> Any:
         from .page import FilePageDevice
 
-        if base_factory is not None:
-            device = base_factory(path, page_size)
-        else:
-            device = FilePageDevice(path, page_size)
-        if match in os.fspath(path):
-            return FaultInjectingPageDevice(device, **fault_kwargs)
-        return device
+        device = (base_factory(path, page_size)
+                  if base_factory is not None
+                  else FilePageDevice(path, page_size))
+        try:
+            if match in os.fspath(path):
+                return FaultInjectingPageDevice(device, **fault_kwargs)
+            return device
+        except BaseException:
+            device.close()
+            raise
 
     return factory
 

@@ -45,6 +45,7 @@ from __future__ import annotations
 import os
 import struct
 import zlib
+from typing import Any
 
 from .errors import CorruptPageFileError, PageError, PagerClosedError
 from .page import (DEFAULT_PAGE_SIZE, FilePageDevice, MemoryPageDevice,
@@ -181,7 +182,7 @@ class Pager:
             # commit a clean header so later opens skip it.
             self._commit_header(clean=True)
 
-    def _parse_header_slot(self, slot: int) -> dict | None:
+    def _parse_header_slot(self, slot: int) -> dict[str, Any] | None:
         try:
             raw = self._device.read(slot)
         except (CorruptPageFileError, PageError):

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import struct
 import zlib
 
 from .errors import CorruptPageFileError, StorageError
@@ -94,7 +95,9 @@ def _parse_header_slot(slot: int, raw: bytes, page_size: int) -> HeaderSlot:
     try:
         (magic, ps, generation, page_count, free_head, flags,
          meta_len, crc) = _HEADER_V2.unpack_from(raw)
-    except Exception:
+    except struct.error:
+        # Short slot -> invalid; anything else (ChecksumError from a
+        # fault-injecting device, OSError) must propagate to the caller.
         return HeaderSlot(slot, valid=False)
     if magic != _MAGIC_V2 or ps != page_size:
         return HeaderSlot(slot, valid=False)

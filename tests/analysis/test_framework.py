@@ -1,0 +1,147 @@
+"""The lint framework itself: findings, registry, baseline, CLI driver."""
+
+import argparse
+
+import pytest
+
+from repro.analysis import (Rule, all_rules, compare_to_baseline, get_rule,
+                            load_baseline, register, write_baseline)
+from repro.analysis.findings import Finding
+from repro.analysis.main import add_lint_arguments, run_lint
+from repro.analysis.registry import _REGISTRY
+
+
+def make_finding(**overrides):
+    base = dict(path="src/repro/core/x.py", line=3, col=4,
+                rule_id="R001", message="raw page I/O")
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestFinding:
+    def test_render_parse_roundtrip(self):
+        finding = make_finding()
+        assert finding.render() == "src/repro/core/x.py:3:4: R001 raw page I/O"
+        assert Finding.parse(finding.render()) == finding
+
+    def test_ordering_is_positional(self):
+        early = make_finding(line=1)
+        late = make_finding(line=9)
+        assert sorted([late, early]) == [early, late]
+
+
+class TestRegistry:
+    def test_builtin_rules_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+        assert ids == sorted(ids)
+
+    def test_every_rule_documented(self):
+        for rule in all_rules():
+            assert rule.title, rule.rule_id
+            assert rule.rationale, rule.rule_id
+
+    def test_get_rule(self):
+        assert get_rule("R003").rule_id == "R003"
+        with pytest.raises(KeyError):
+            get_rule("R999")
+
+    def test_duplicate_id_rejected(self):
+        class Clash(Rule):
+            rule_id = "R001"
+
+        with pytest.raises(ValueError, match="duplicate rule id"):
+            register(Clash)
+        assert _REGISTRY["R001"] is not Clash
+
+    def test_missing_id_rejected(self):
+        class Anonymous(Rule):
+            pass
+
+        with pytest.raises(ValueError, match="no rule_id"):
+            register(Anonymous)
+
+
+class TestBaseline:
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.txt"
+        findings = [make_finding(line=9), make_finding(line=1)]
+        write_baseline(path, findings)
+        assert load_baseline(path) == [f.render() for f in
+                                       sorted(findings)]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.txt") == []
+
+    def test_compare_splits_new_pinned_stale(self):
+        pinned = make_finding(line=1)
+        fresh = make_finding(line=2)
+        gone = make_finding(line=3)
+        diff = compare_to_baseline(
+            [pinned, fresh], [pinned.render(), gone.render()])
+        assert diff.new == (fresh,)
+        assert diff.pinned == (pinned,)
+        assert diff.stale == (gone.render(),)
+        assert not diff.ok
+        clean = compare_to_baseline([pinned], [pinned.render()])
+        assert clean.ok
+
+
+def parse_lint_args(argv):
+    parser = argparse.ArgumentParser()
+    add_lint_arguments(parser)
+    return parser.parse_args(argv)
+
+
+class TestRunLint:
+    BAD_SOURCE = ("def scrub(page):\n"
+                  "    try:\n"
+                  "        check(page)\n"
+                  "    except Exception:\n"
+                  "        pass\n")
+
+    def write_tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "storage"
+        pkg.mkdir(parents=True)
+        (pkg / "scrub.py").write_text(self.BAD_SOURCE)
+        return tmp_path / "src"
+
+    def test_new_finding_fails(self, tmp_path, capsys):
+        src = self.write_tree(tmp_path)
+        args = parse_lint_args(
+            [str(src), "--baseline", str(tmp_path / "baseline.txt")])
+        assert run_lint(args) == 1
+        out = capsys.readouterr().out
+        assert "R006" in out and "1 new finding(s)" in out
+
+    def test_update_then_clean(self, tmp_path, capsys):
+        src = self.write_tree(tmp_path)
+        baseline = str(tmp_path / "baseline.txt")
+        assert run_lint(parse_lint_args(
+            [str(src), "--baseline", baseline, "--update-baseline"])) == 0
+        assert run_lint(parse_lint_args(
+            [str(src), "--baseline", baseline])) == 0
+        assert "pinned finding(s) allowed" in capsys.readouterr().out
+
+    def test_stale_entry_warns_but_passes(self, tmp_path, capsys):
+        src = tmp_path / "src" / "repro" / "storage"
+        src.mkdir(parents=True)
+        (src / "clean.py").write_text("x = 1\n")
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("src/repro/storage/old.py:1:0: R006 gone\n")
+        args = parse_lint_args(
+            [str(tmp_path / "src"), "--baseline", str(baseline)])
+        assert run_lint(args) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_select_restricts_rules(self, tmp_path):
+        src = self.write_tree(tmp_path)
+        args = parse_lint_args(
+            [str(src), "--no-baseline", "--select", "R001"])
+        assert run_lint(args) == 0
+
+    def test_list_rules(self, capsys):
+        assert run_lint(parse_lint_args(["--list-rules"])) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert rule_id in out

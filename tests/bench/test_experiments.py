@@ -68,7 +68,7 @@ class TestFigures:
         swst = [row[1] for row in result.rows]
         wave = [row[2] for row in result.rows]
         # Wave pays the multi-sub-index cost at every interval length.
-        assert all(w >= s for s, w in zip(swst, wave))
+        assert all(w >= s for s, w in zip(swst, wave, strict=True))
         assert wave[0] > 3 * max(swst[0], 1)
 
     def test_hrtree_interval_collapse_and_storage(self):
@@ -85,7 +85,7 @@ class TestFigures:
         logical = [row[2] for row in result.rows]
         # Physical reads never exceed logical accesses and never grow
         # with a bigger cache.
-        assert all(p <= l for p, l in zip(physical, logical))
+        assert all(p <= l for p, l in zip(physical, logical, strict=True))
         assert physical[0] >= physical[-1]
         # Logical accesses are capacity-independent.
         assert len(set(logical)) == 1

@@ -147,13 +147,15 @@ class TestPartitionFormulas:
         edges = [cfg.s_cell_bounds(m) for m in range(2 * cfg.sp)]
         assert edges[0][0] == 0
         assert edges[-1][1] == 2 * cfg.w_max
-        for (_, prev_hi), (lo, _) in zip(edges, edges[1:]):
+        for (_, prev_hi), (lo, _) in zip(edges, edges[1:],
+                                         strict=False):
             assert prev_hi == lo
         # d-cells tile [1, ND + 1).
         d_edges = [cfg.d_cell_bounds(n) for n in range(cfg.dp)]
         assert d_edges[0][0] == 1
         assert d_edges[-1][1] == cfg.nd + 1
-        for (_, prev_hi), (lo, _) in zip(d_edges, d_edges[1:]):
+        for (_, prev_hi), (lo, _) in zip(d_edges, d_edges[1:],
+                                         strict=False):
             assert prev_hi == lo
 
 

@@ -76,7 +76,8 @@ class TestVersionSplits:
         assert len(tree.roots) > 1
         # Root version intervals partition [0, now).
         for (_, _, prev_end), (_, start, _) in zip(tree.roots,
-                                                   tree.roots[1:]):
+                                                   tree.roots[1:],
+                                                   strict=False):
             assert prev_end == start
         assert tree.roots[-1][2] == INF
 

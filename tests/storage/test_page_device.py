@@ -8,10 +8,9 @@ from repro.storage.errors import PagerClosedError
 
 @pytest.fixture(params=["memory", "file"])
 def device(request, tmp_path):
-    if request.param == "memory":
-        dev = MemoryPageDevice(page_size=512)
-    else:
-        dev = FilePageDevice(tmp_path / "pages.bin", page_size=512)
+    dev = (MemoryPageDevice(page_size=512)
+           if request.param == "memory"
+           else FilePageDevice(tmp_path / "pages.bin", page_size=512))
     yield dev
     dev.close()
 
