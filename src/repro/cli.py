@@ -4,8 +4,10 @@ Commands:
 
 * ``generate`` — produce a GSTD report stream as CSV.
 * ``build`` — build an on-disk SWST index from a stream CSV.
-* ``query`` — run a timeslice/interval/KNN query against a saved index.
-* ``scrub`` — checksum-sweep a page file and report corrupt page ids.
+* ``query`` — run a timeslice/interval/KNN query against a saved index
+  (``--no-strict`` degrades gracefully when shards fail).
+* ``scrub`` — checksum-sweep a page file — or, given an engine
+  directory, every shard file plus the manifest.
 * ``bench`` — regenerate one (or all) of the paper's figures.
 * ``lint`` — run the project-invariant lint (``repro.analysis``) against
   the committed baseline.
@@ -80,15 +82,26 @@ def _open_index(args: argparse.Namespace, config: SWSTConfig, *,
             with SWSTIndex.open(args.index, config) as index:
                 yield index
         return
-    from .engine import ShardedEngine, resolve_executor
+    import random
+    import time
 
+    from .engine import RetryPolicy, ShardedEngine, resolve_executor
+
+    # Unlike the engine's deterministic in-process default, the CLI
+    # wires real backoff: transient device errors get retried with
+    # actual sleeps and seeded jitter (the engine core itself stays
+    # clock-free; the seams are injected here, at the edge).
+    retry = RetryPolicy(jitter=0.1, sleep=time.sleep,
+                        rng=random.Random(0).random)
     with contextlib.ExitStack() as stack:
         executor = resolve_executor(args.executor)
         stack.callback(executor.close)
-        engine = (ShardedEngine(config, args.index, executor=executor)
+        engine = (ShardedEngine(config, args.index, executor=executor,
+                                retry_policy=retry)
                   if build
                   else ShardedEngine.open(args.index, config,
-                                          executor=executor))
+                                          executor=executor,
+                                          retry_policy=retry))
         stack.enter_context(engine)
         yield engine
 
@@ -137,30 +150,51 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     config = _config_from(args)
+    kwargs: dict[str, object] = {"window": args.logical_window}
+    if config.n_shards > 1:
+        # strict is an engine-level notion; the single-file index has
+        # no shards to lose.
+        kwargs["strict"] = not args.no_strict
+    elif args.no_strict:
+        print("--no-strict has no effect without --shards > 1",
+              file=sys.stderr)
     with _open_index(args, config, build=False) as index:
         area = Rect(*args.area)
         if args.knn:
             result = index.query_knn(args.point[0], args.point[1], args.knn,
                                      args.t_lo,
                                      args.t_hi if args.t_hi >= 0 else None,
-                                     window=args.logical_window)
+                                     **kwargs)
         else:
             t_hi = args.t_hi if args.t_hi >= 0 else args.t_lo
-            result = index.query_interval(area, args.t_lo, t_hi,
-                                          window=args.logical_window)
+            result = index.query_interval(area, args.t_lo, t_hi, **kwargs)
         for entry in result:
             end = "current" if entry.d is None else entry.s + entry.d
             print(f"oid={entry.oid} x={entry.x} y={entry.y} "
                   f"s={entry.s} end={end}")
         print(f"-- {len(result)} entries, "
               f"{result.stats.node_accesses} node accesses", file=sys.stderr)
+        if result.stats.degraded:
+            failures = getattr(result, "failures", [])
+            for failure in failures:
+                print(f"degraded: {failure}", file=sys.stderr)
+            print(f"-- DEGRADED result: {len(failures)} shard(s) missing",
+                  file=sys.stderr)
     return 0
 
 
 def cmd_scrub(args: argparse.Namespace) -> int:
+    import os
+
     from .storage import StorageError
     from .storage.scrub import scrub_page_file
 
+    if os.path.isdir(args.index):
+        from .engine import scrub_directory
+
+        dir_report = scrub_directory(args.index)
+        print(dir_report.render())
+        return 0 if dir_report.ok else 1
     try:
         report = scrub_page_file(args.index)
     except (StorageError, OSError) as exc:
@@ -259,12 +293,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="return the K nearest entries instead")
     query.add_argument("--point", type=int, nargs=2, default=[5000, 5000],
                        metavar=("X", "Y"), help="KNN query point")
+    query.add_argument("--no-strict", action="store_true",
+                       help="with --shards > 1: answer from the surviving "
+                            "shards when one fails, instead of erroring "
+                            "(failures are reported on stderr)")
     _add_config_args(query)
     query.set_defaults(func=cmd_query)
 
     scrub = commands.add_parser(
-        "scrub", help="checksum-sweep a page file, reporting corrupt pages")
-    scrub.add_argument("index", help="page file to verify")
+        "scrub", help="checksum-sweep a page file (or a whole engine "
+                      "directory), reporting corruption")
+    scrub.add_argument("index", help="page file or engine directory to "
+                                     "verify")
     scrub.set_defaults(func=cmd_scrub)
 
     bench = commands.add_parser(

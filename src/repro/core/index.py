@@ -253,10 +253,13 @@ class SWSTIndex:
         """
         self._check_open()
         self.advance_time(t)
-        previous = self._current.pop(oid, None)
+        previous = self._current.get(oid)
         if previous is None:
             return False
+        # Finalise before dropping the table entry so a rejected close
+        # (t <= the entry's start) leaves the current table consistent.
         self._finalize_current(oid, previous, end=t)
+        del self._current[oid]
         return True
 
     def _finalize_current(self, oid: int, previous: tuple[int, int, int],

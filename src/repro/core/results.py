@@ -23,6 +23,9 @@ class QueryStats:
         refined_out: candidates discarded by the refinement step.
         full_hits: candidates accepted without any predicate evaluation
             because both their temporal cell and spatial cell overlap fully.
+        degraded: True if the result was produced in degraded mode — a
+            sharded query ran with ``strict=False`` and at least one
+            shard failed, so the entries cover only the surviving shards.
     """
 
     node_accesses: int = 0
@@ -32,24 +35,29 @@ class QueryStats:
     candidates: int = 0
     refined_out: int = 0
     full_hits: int = 0
+    degraded: bool = False
 
     def merge(self, other: "QueryStats") -> "QueryStats":
         """Accumulate another stats block into this one, field by field.
 
         Every counter is additive, so merging per-shard (or per-query)
-        statistics yields the aggregate cost of the combined evaluation.
-        Returns ``self`` so merges chain.
+        statistics yields the aggregate cost of the combined evaluation;
+        the ``degraded`` flag is sticky (OR-merged).  Returns ``self`` so
+        merges chain.
         """
         for name in _QUERY_STAT_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.degraded = self.degraded or other.degraded
         return self
 
     def __iadd__(self, other: "QueryStats") -> "QueryStats":
         return self.merge(other)
 
 
-#: Counter fields of :class:`QueryStats`, fixed once at import time.
-_QUERY_STAT_FIELDS = tuple(f.name for f in fields(QueryStats))
+#: Additive counter fields of :class:`QueryStats`, fixed at import time
+#: (the ``degraded`` flag OR-merges instead).
+_QUERY_STAT_FIELDS = tuple(f.name for f in fields(QueryStats)
+                           if f.name != "degraded")
 
 
 @dataclass

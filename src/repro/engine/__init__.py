@@ -5,24 +5,44 @@ independent shards: :class:`GridShardMap` assigns every spatial grid cell
 to exactly one shard, :class:`ShardedEngine` routes inserts, fans queries
 out over an :class:`Executor` worker pool, merges the per-shard results
 and statistics, and coordinates the sliding-window drop epoch across the
-pool.  See ``docs/internals.md`` (engine layer) for the design.
+pool.  Persistence is a two-phase epoch commit (``save()`` is atomic for
+the whole directory); query fan-out is resilient (:class:`RetryPolicy`,
+per-shard :class:`CircuitBreaker`, degraded :class:`PartialResult`
+mode).  See ``docs/internals.md`` (engine layer, failure model) for the
+design.
 """
 
-from .engine import ShardedEngine
-from .errors import EngineClosedError, EngineError, ShardOpenError
+from .engine import PartialResult, ShardedEngine, load_manifest
+from .errors import (CircuitOpenError, EngineClosedError, EngineCloseError,
+                     EngineError, EpochTornError, ShardFailure,
+                     ShardOpenError, ShardQueryError, TaskTimeoutError)
 from .executor import (Executor, ProcessExecutor, SerialExecutor,
                        ThreadedExecutor, resolve_executor)
+from .retry import CircuitBreaker, RetryPolicy
+from .scrub import DirectoryScrubReport, scrub_directory
 from .sharding import GridShardMap
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DirectoryScrubReport",
+    "EngineCloseError",
     "EngineClosedError",
     "EngineError",
+    "EpochTornError",
     "Executor",
     "GridShardMap",
+    "PartialResult",
     "ProcessExecutor",
+    "RetryPolicy",
     "SerialExecutor",
+    "ShardFailure",
     "ShardOpenError",
+    "ShardQueryError",
     "ShardedEngine",
+    "TaskTimeoutError",
     "ThreadedExecutor",
+    "load_manifest",
     "resolve_executor",
+    "scrub_directory",
 ]

@@ -30,23 +30,46 @@ query results, same logical node-access counts — as a plain
 On disk an engine is a *directory*::
 
     index.d/
-      engine.json        # manifest: {"format": 1, "n_shards": N}
-      shard-000.pages    # one crash-safe format-v2 page file per shard
-      shard-001.pages
+      engine.json          # manifest: {"format": 2, "n_shards": N,
+      shard-000.pages      #            "epoch": E, "shards": [gen...]}
+      shard-001.pages      # one crash-safe format-v2 page file per shard
       ...
+      engine.prepare.json  # transient save marker (two-phase commit)
 
-``save()`` persists every shard's catalog; ``open()`` re-opens the
-directory, running the storage layer's recovery-on-open for every
-shard, and wraps the first failure in a typed
-:class:`~repro.engine.errors.ShardOpenError` naming the damaged shard.
+**Two-phase epoch commit.**  ``save()`` makes the whole directory one
+atomic unit: it first durably writes a PREPARE marker recording the next
+epoch and the exact header generation each shard will reach when its
+commit lands, then commits every shard, then atomically flips the
+manifest to the new epoch and removes the marker (every step fsyncs the
+file and the containing directory).  ``open()`` after a crash
+classifies the directory deterministically from the marker: if no shard
+committed the new epoch it *rolls back* (the old snapshot is intact);
+if every shard committed it *rolls forward* (finishing the manifest
+flip); if the crash landed between shard commits — the one window the
+in-place storage layer cannot undo — it raises a typed
+:class:`~repro.engine.errors.EpochTornError` naming both shard groups
+instead of silently serving a mixed snapshot.  Format-1 manifests (no
+epoch) still open; their first ``save()`` upgrades them.
+
+**Resilient fan-out.**  Read-only query fan-out wraps each per-shard
+task in the engine's :class:`~repro.engine.retry.RetryPolicy`
+(transient ``OSError``/worker-death retries with exponential backoff
+over injected seams) and per-shard
+:class:`~repro.engine.retry.CircuitBreaker` accounting.  ``strict=True``
+(default) raises a typed :class:`~repro.engine.errors.ShardQueryError`
+naming the first failed shard; ``strict=False`` degrades gracefully,
+returning a :class:`PartialResult` carrying the surviving shards' merged
+entries plus a typed :class:`~repro.engine.errors.ShardFailure` per
+failed shard, with ``stats.degraded`` set.
 """
 
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import json
 import os
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from ..core.config import SWSTConfig
 from ..core.grid import SpatialGrid
@@ -55,31 +78,147 @@ from ..core.overlap import classify_interval
 from ..core.records import Entry, Rect, ReportLike
 from ..core.results import QueryResult, QueryStats
 from ..storage.errors import StorageError
+from ..storage.fileops import DURABLE_FILE_OPS, FileOps
 from ..storage.pager import MEMORY
+from ..storage.scrub import probe_committed_generation
 from ..storage.stats import IOStats
-from .errors import EngineClosedError, EngineError, ShardOpenError
+from .errors import (CircuitOpenError, EngineClosedError, EngineCloseError,
+                     EngineError, EpochTornError, ShardFailure,
+                     ShardOpenError, ShardQueryError, TaskTimeoutError)
 from .executor import Executor, ThreadedExecutor
+from .retry import CircuitBreaker, RetryPolicy
 from .sharding import GridShardMap
 
 _MANIFEST_NAME = "engine.json"
-_MANIFEST_FORMAT = 1
+_PREPARE_NAME = "engine.prepare.json"
+_MANIFEST_FORMAT = 2
+
+#: Per-shard failures a degraded fan-out absorbs into ``ShardFailure``
+#: records: storage-layer corruption/IO, raw OS errors, and the engine's
+#: own typed errors (timeouts, open circuit breakers).
+_SHARD_FAILURE_ERRORS = (StorageError, OSError, EngineError)
 
 
 def _shard_file_name(shard_id: int) -> str:
     return f"shard-{shard_id:03d}.pages"
 
 
-def _open_and_call(task: tuple[str, SWSTConfig, str, tuple[Any, ...]]
-                   ) -> Any:
+def load_manifest(manifest_path: str) -> dict[str, Any]:
+    """Read and validate an engine manifest, normalising across formats.
+
+    Returns ``{"format", "n_shards", "epoch", "shards"}``; format-1
+    manifests (pre-epoch) normalise to epoch 0 with ``shards=None``.
+    """
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise EngineError(f"cannot read engine manifest "
+                          f"{manifest_path!r}: {exc}") from exc
+    if not isinstance(manifest, dict) \
+            or not isinstance(manifest.get("n_shards"), int) \
+            or manifest["n_shards"] < 1:
+        raise EngineError(f"engine manifest {manifest_path!r} is not a "
+                          f"recognised SWST engine manifest")
+    n_shards: int = manifest["n_shards"]
+    fmt = manifest.get("format")
+    if fmt == 1:
+        return {"format": 1, "n_shards": n_shards, "epoch": 0,
+                "shards": None}
+    if fmt == _MANIFEST_FORMAT:
+        epoch = manifest.get("epoch")
+        gens = manifest.get("shards")
+        if not isinstance(epoch, int) or epoch < 0 \
+                or not isinstance(gens, list) or len(gens) != n_shards \
+                or not all(isinstance(g, int) and g >= 0 for g in gens):
+            raise EngineError(f"engine manifest {manifest_path!r} is a "
+                              f"malformed format-{_MANIFEST_FORMAT} "
+                              f"manifest")
+        return {"format": _MANIFEST_FORMAT, "n_shards": n_shards,
+                "epoch": epoch, "shards": list(gens)}
+    raise EngineError(f"engine manifest {manifest_path!r} has unsupported "
+                      f"format {fmt!r}")
+
+
+def _load_prepare(prepare_path: str) -> dict[str, Any] | None:
+    """Read the PREPARE marker; ``None`` if absent, typed error if torn.
+
+    The marker is written atomically (temp file + fsync + rename + dir
+    fsync), so on a healthy filesystem it is either absent or valid; an
+    unreadable marker means external damage and recovery refuses to
+    guess.
+    """
+    try:
+        with open(prepare_path) as handle:
+            record = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as exc:
+        raise EngineError(f"cannot read save marker {prepare_path!r}: "
+                          f"{exc}") from exc
+    expected = record.get("expected") if isinstance(record, dict) else None
+    if not isinstance(record, dict) \
+            or record.get("format") != _MANIFEST_FORMAT \
+            or not isinstance(record.get("epoch"), int) \
+            or record["epoch"] < 1 \
+            or not isinstance(record.get("n_shards"), int) \
+            or not isinstance(expected, list) \
+            or len(expected) != record["n_shards"] \
+            or not all(isinstance(g, int) and g >= 1 for g in expected):
+        raise EngineError(f"save marker {prepare_path!r} is malformed")
+    return record
+
+
+def _guarded_call(policy: RetryPolicy,
+                  fn: Callable[[], Any]) -> tuple[str, Any]:
+    """Run ``fn`` under ``policy``; return ``("ok", result)`` or
+    ``("err", exception)``.
+
+    Outcome tuples keep executor task callables free of shared-state
+    mutation (invariant R005): the engine folds outcomes into circuit
+    breaker state on the gathering side, never inside the task.
+    """
+    try:
+        return ("ok", policy.call(fn))
+    except _SHARD_FAILURE_ERRORS as exc:
+        return ("err", exc)
+
+
+def _remote_query_task(
+        task: tuple[str, SWSTConfig, str, tuple[Any, ...], RetryPolicy]
+) -> tuple[str, Any]:
     """Out-of-process task: reopen one saved shard and run one method.
 
     Used by remote (process-pool) executors, which cannot reach the
     parent's live shard objects.  The shard is opened read-only in
     practice: query methods never mutate, so the pager commits nothing.
+    Retries run *inside* the worker so a transient open failure does not
+    cost a round trip through the pool.
     """
-    path, config, method, args = task
-    with SWSTIndex.open(path, config) as shard:
-        return getattr(shard, method)(*args)
+    path, config, method, args, policy = task
+
+    def attempt() -> Any:
+        with SWSTIndex.open(path, config) as shard:
+            return getattr(shard, method)(*args)
+
+    return _guarded_call(policy, attempt)
+
+
+@dataclasses.dataclass
+class PartialResult(QueryResult):
+    """A degraded (``strict=False``) query result.
+
+    Carries the merged entries and statistics of the shards that
+    answered, plus one typed :class:`ShardFailure` per shard that did
+    not.  ``stats.degraded`` is True iff ``failures`` is non-empty.
+    """
+
+    failures: list[ShardFailure] = dataclasses.field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True if every dispatched shard answered (no failures)."""
+        return not self.failures
 
 
 class ShardedEngine:
@@ -95,6 +234,20 @@ class ShardedEngine:
             the shard count.  A caller-supplied executor is *borrowed*
             (``close()`` leaves it running); the default one is owned
             and shut down with the engine.
+        retry_policy: per-shard retry policy for read-only query
+            fan-out; defaults to ``RetryPolicy()`` (3 deterministic
+            immediate attempts).  Pass ``RetryPolicy(attempts=1)`` to
+            disable retries.
+        breaker_factory: builds one circuit breaker per shard;
+            defaults to :class:`~repro.engine.retry.CircuitBreaker`
+            with its deterministic attempt-counting clock.  Pass
+            ``None`` to disable breakers entirely.
+        task_timeout: per-task deadline (seconds) for query fan-out, or
+            ``None`` (default) for no deadline.  Timeouts are typed
+            (:class:`~repro.engine.errors.TaskTimeoutError`) and never
+            retried — an abandoned worker may still hold its shard.
+        file_ops: durable filesystem seam for the manifest protocol;
+            tests substitute a fault-injecting implementation.
 
     The engine exposes the full ``SWSTIndex`` query surface
     (``query_timeslice``, ``query_interval``, ``count_interval``,
@@ -107,9 +260,15 @@ class ShardedEngine:
 
     def __init__(self, config: SWSTConfig | None = None,
                  path: str = MEMORY,
-                 executor: Executor | None = None) -> None:
+                 executor: Executor | None = None, *,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker_factory: Callable[[], CircuitBreaker] | None
+                 = CircuitBreaker,
+                 task_timeout: float | None = None,
+                 file_ops: FileOps | None = None) -> None:
         self.config = config if config is not None else SWSTConfig()
-        self._init_common(executor)
+        self._init_common(executor, retry_policy, breaker_factory,
+                          task_timeout, file_ops)
         self._dir: str | None = None
         if os.fspath(path) != MEMORY:
             self._dir = os.fspath(path)
@@ -123,7 +282,11 @@ class ShardedEngine:
             self._abandon()
             raise
 
-    def _init_common(self, executor: Executor | None) -> None:
+    def _init_common(self, executor: Executor | None,
+                     retry_policy: RetryPolicy | None,
+                     breaker_factory: Callable[[], CircuitBreaker] | None,
+                     task_timeout: float | None,
+                     file_ops: FileOps | None) -> None:
         self.grid = SpatialGrid(self.config.space, self.config.x_partitions,
                                 self.config.y_partitions)
         self.shard_map = GridShardMap(self.config.x_partitions,
@@ -136,8 +299,17 @@ class ShardedEngine:
         else:
             self._executor = executor
             self._owns_executor = False
+        self._retry_policy = retry_policy if retry_policy is not None \
+            else RetryPolicy()
+        self._breakers: list[CircuitBreaker | None] = [
+            breaker_factory() if breaker_factory is not None else None
+            for _ in range(self.config.n_shards)]
+        self._task_timeout = task_timeout
+        self._fops: FileOps = file_ops if file_ops is not None \
+            else DURABLE_FILE_OPS
         self._home: dict[int, int] = {}
         self._clock = 0
+        self._epoch = 0
         self._mutated = False
         self._closed = False
 
@@ -152,6 +324,11 @@ class ShardedEngine:
         """Shard directory path (``None`` for an in-memory engine)."""
         return self._dir
 
+    @property
+    def epoch(self) -> int:
+        """Manifest epoch of the last whole-directory save (0 = never)."""
+        return self._epoch
+
     def shard_path(self, shard_id: int) -> str:
         """Page-file path of one shard (``":memory:"`` when memory-backed)."""
         if self._dir is None:
@@ -162,49 +339,54 @@ class ShardedEngine:
         assert self._dir is not None
         return os.path.join(self._dir, _MANIFEST_NAME)
 
+    def _prepare_path(self) -> str:
+        assert self._dir is not None
+        return os.path.join(self._dir, _PREPARE_NAME)
+
     def _prepare_directory(self) -> None:
         assert self._dir is not None
         if os.path.exists(self._dir) and not os.path.isdir(self._dir):
             raise EngineError(f"engine path {self._dir!r} exists and is "
                               f"not a directory")
         os.makedirs(self._dir, exist_ok=True)
+        if os.path.exists(self._prepare_path()):
+            raise EngineError(
+                f"directory {self._dir!r} holds an interrupted save "
+                f"(marker {_PREPARE_NAME}); recover it with "
+                f"ShardedEngine.open() first")
         manifest_path = self._manifest_path()
         if os.path.exists(manifest_path):
-            manifest = self._load_manifest(manifest_path)
+            manifest = load_manifest(manifest_path)
             if manifest["n_shards"] != self.n_shards:
                 raise EngineError(
                     f"directory {self._dir!r} holds {manifest['n_shards']} "
                     f"shards but config.n_shards is {self.n_shards}")
+            self._epoch = manifest["epoch"]
             return
-        self._write_manifest(manifest_path)
+        self._write_json_atomic(
+            manifest_path,
+            {"format": _MANIFEST_FORMAT, "n_shards": self.n_shards,
+             "epoch": 0, "shards": [0] * self.n_shards})
 
-    def _write_manifest(self, manifest_path: str) -> None:
-        blob = json.dumps({"format": _MANIFEST_FORMAT,
-                           "n_shards": self.n_shards}) + "\n"
-        tmp_path = manifest_path + ".tmp"
-        with open(tmp_path, "w") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, manifest_path)
-
-    @staticmethod
-    def _load_manifest(manifest_path: str) -> dict[str, Any]:
-        try:
-            with open(manifest_path) as handle:
-                manifest = json.load(handle)
-        except (OSError, ValueError) as exc:
-            raise EngineError(f"cannot read engine manifest "
-                              f"{manifest_path!r}: {exc}") from exc
-        if not isinstance(manifest, dict) \
-                or manifest.get("format") != _MANIFEST_FORMAT \
-                or not isinstance(manifest.get("n_shards"), int):
-            raise EngineError(f"engine manifest {manifest_path!r} is not a "
-                              f"format-{_MANIFEST_FORMAT} manifest")
-        return manifest
+    def _write_json_atomic(self, path: str, blob: dict[str, Any]) -> None:
+        """Durable atomic JSON write: temp + fsync, rename, dir fsync."""
+        assert self._dir is not None
+        data = (json.dumps(blob, sort_keys=True) + "\n").encode()
+        tmp_path = path + ".tmp"
+        self._fops.write_file(tmp_path, data)
+        self._fops.replace(tmp_path, path)
+        self._fops.fsync_dir(self._dir)
 
     def _abandon(self) -> None:
-        """Close whatever was built so far after a failed init/open."""
+        """Close whatever was built so far after a failed init/open.
+
+        Idempotent: the shard-opening helpers abandon on their own
+        failures and the outer ``open()``/``__init__`` guard abandons
+        again on the way out.
+        """
+        if getattr(self, "_abandoned", False):
+            return
+        self._abandoned = True
         self._closed = True
         for shard in getattr(self, "_shards", []):
             # Best-effort: a shard whose close fails (its device already
@@ -212,7 +394,8 @@ class ShardedEngine:
             with contextlib.suppress(StorageError, OSError, ValueError):
                 shard.close()
         if self._owns_executor:
-            self._executor.close()
+            with contextlib.suppress(OSError, RuntimeError):
+                self._executor.close()
 
     # -- properties ------------------------------------------------------------
 
@@ -229,6 +412,11 @@ class ShardedEngine:
     def shards(self) -> tuple[SWSTIndex, ...]:
         """The shard indexes, in shard-id order (diagnostics/tests)."""
         return tuple(self._shards)
+
+    @property
+    def breakers(self) -> tuple[CircuitBreaker | None, ...]:
+        """Per-shard circuit breakers, in shard-id order (diagnostics)."""
+        return tuple(self._breakers)
 
     @property
     def stats(self) -> IOStats:
@@ -290,9 +478,45 @@ class ShardedEngine:
             return None
         return home
 
-    def _fan_out(self, shard_ids: list[int], method: str,
-                 args: tuple[Any, ...]) -> list[Any]:
-        """Scatter one read-only method over ``shard_ids``, gather results."""
+    # -- resilient fan-out -----------------------------------------------------
+
+    def _dispatchable(self, shard_ids: list[int]
+                      ) -> tuple[list[int], list[ShardFailure]]:
+        """Split ``shard_ids`` by circuit breaker state.
+
+        Shards whose breaker is open are failed up front (typed
+        :class:`CircuitOpenError`, no dispatch); the rest are returned
+        for fan-out.
+        """
+        dispatch: list[int] = []
+        failures: list[ShardFailure] = []
+        for sid in shard_ids:
+            breaker = self._breakers[sid]
+            if breaker is not None and not breaker.allow():
+                failures.append(ShardFailure(
+                    sid, self.shard_path(sid), CircuitOpenError(sid)))
+            else:
+                dispatch.append(sid)
+        return dispatch, failures
+
+    def _fan_out_query(self, shard_ids: list[int], method: str,
+                       args: tuple[Any, ...]
+                       ) -> tuple[list[tuple[int, Any]], list[ShardFailure]]:
+        """Scatter one read-only method over ``shard_ids`` resiliently.
+
+        Every dispatched task runs under the engine's retry policy;
+        outcomes are folded into the per-shard circuit breakers here on
+        the gathering side (executor callables never mutate shared
+        state).  Returns ``(successes, failures)`` where ``successes``
+        is ``(shard_id, result)`` pairs in ``shard_ids`` order and
+        ``failures`` is one typed :class:`ShardFailure` per shard that
+        was skipped (open breaker), exhausted its retries, or was
+        abandoned by a fan-out deadline.
+        """
+        dispatch, failures = self._dispatchable(shard_ids)
+        if not dispatch:
+            return [], failures
+        policy = self._retry_policy
         if getattr(self._executor, "remote", False):
             if self._dir is None:
                 raise EngineError(
@@ -302,17 +526,61 @@ class ShardedEngine:
                 raise EngineError(
                     "a remote (process) executor reopens shards from "
                     "disk; call save() after mutating the engine")
-            import dataclasses
             config = dataclasses.replace(self.config, device_factory=None)
-            tasks = [(self.shard_path(sid), config, method, args)
-                     for sid in shard_ids]
-            return self._executor.map(_open_and_call, tasks)
-        if len(shard_ids) == 1:
-            sid = shard_ids[0]
-            return [getattr(self._shards[sid], method)(*args)]
-        return self._executor.map(
-            lambda sid: getattr(self._shards[sid], method)(*args),
-            shard_ids)
+            tasks = [(self.shard_path(sid), config, method, args, policy)
+                     for sid in dispatch]
+
+            def run() -> list[tuple[str, Any]]:
+                return self._executor.map(_remote_query_task, tasks,
+                                          timeout=self._task_timeout)
+        else:
+            shards = self._shards
+
+            def local_task(sid: int) -> tuple[str, Any]:
+                return _guarded_call(
+                    policy, lambda: getattr(shards[sid], method)(*args))
+
+            def run() -> list[tuple[str, Any]]:
+                return self._executor.map(local_task, dispatch,
+                                          timeout=self._task_timeout)
+        try:
+            outcomes = run()
+        except TaskTimeoutError as exc:
+            # The whole gather is abandoned: the timed-out task may
+            # still be running, and tasks after it were never collected.
+            # Timeouts are not retried (the worker may still hold the
+            # shard) and only the overrunning shard's breaker records a
+            # failure — its siblings were merely collateral.
+            timed_sid = dispatch[exc.item_index]
+            breaker = self._breakers[timed_sid]
+            if breaker is not None:
+                breaker.record_failure()
+            for sid in dispatch:
+                error: EngineError = exc if sid == timed_sid else \
+                    EngineError(f"fan-out abandoned after shard "
+                                f"{timed_sid} exceeded its deadline")
+                failures.append(ShardFailure(
+                    sid, self.shard_path(sid), error))
+            return [], failures
+        successes: list[tuple[int, Any]] = []
+        for sid, (tag, value) in zip(dispatch, outcomes):
+            breaker = self._breakers[sid]
+            if tag == "ok":
+                if breaker is not None:
+                    breaker.record_success()
+                successes.append((sid, value))
+            else:
+                if breaker is not None:
+                    breaker.record_failure()
+                failures.append(ShardFailure(
+                    sid, self.shard_path(sid), value))
+        return successes, failures
+
+    def _raise_shard_failure(self, failures: list[ShardFailure]) -> None:
+        """Strict mode: surface the first shard failure as a typed error."""
+        failure = failures[0]
+        raise ShardQueryError(failure.shard_id, failure.path,
+                              failure.error) from failure.error
 
     # -- insertion and updates -------------------------------------------------
 
@@ -447,7 +715,9 @@ class ShardedEngine:
             return
         # Every shard clock already sits at the run maximum, so the
         # per-shard dispatch skips the advance and goes straight to the
-        # cell-grouped ingest body.
+        # cell-grouped ingest body.  Ingestion mutates, so it never
+        # retries and ignores the breaker state: a half-applied batch
+        # must surface, not be papered over.
         items = sorted(per_shard.items())
         if len(items) == 1 or getattr(self._executor, "remote", False):
             for sid, sub_run in items:
@@ -464,9 +734,12 @@ class ShardedEngine:
         home = self._live_home(oid)
         if home is None:
             return False
+        # Let the shard validate first: a rejected close must not drop
+        # the engine's home-map entry for a still-live current record.
+        closed = self._shards[home].close_object(oid, t)
         self._mutated = True
         self._home.pop(oid, None)
-        return self._shards[home].close_object(oid, t)
+        return closed
 
     def delete(self, oid: int, x: int, y: int, s: int,
                d: int | None = None) -> bool:
@@ -526,42 +799,62 @@ class ShardedEngine:
     # -- queries ---------------------------------------------------------------
 
     def query_timeslice(self, area: Rect, t: int,
-                        window: int | None = None) -> QueryResult:
+                        window: int | None = None, *,
+                        strict: bool = True) -> QueryResult:
         """All entries within ``area`` valid at timestamp ``t``."""
-        return self.query_interval(area, t, t, window)
+        return self.query_interval(area, t, t, window, strict=strict)
 
     def query_interval(self, area: Rect, t_lo: int, t_hi: int,
-                       window: int | None = None) -> QueryResult:
-        """Scatter-gather interval query over the overlapping shards."""
+                       window: int | None = None, *,
+                       strict: bool = True) -> QueryResult:
+        """Scatter-gather interval query over the overlapping shards.
+
+        ``strict=True`` (default) raises :class:`ShardQueryError` if any
+        shard fails after retries; ``strict=False`` returns a
+        :class:`PartialResult` covering the surviving shards, with the
+        failures listed and ``stats.degraded`` set.
+        """
         self._check_open()
         if t_hi < t_lo:
             raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
         self.config.queriable_period(self._clock, window)  # validate window
-        merged = QueryResult()
+        merged = QueryResult() if strict else PartialResult()
         shard_ids = self._shards_for_area(area)
         if not shard_ids:
             return merged
         if getattr(self._executor, "remote", False):
-            for result in self._fan_out(shard_ids, "query_interval",
-                                        (area, t_lo, t_hi, window)):
-                merged.merge(result)
-            return merged
-        # Temporal classification and the query plan depend only on
-        # (config, clock, interval) — shared by every shard in lockstep —
-        # so compute them once and fan out the per-cell search alone.
-        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
-                                    window)
-        if not columns:
-            return merged
-        plan = self._shards[0]._query_plan(columns, t_lo, t_hi, window)
-        for result in self._fan_out(shard_ids, "_query_area_planned",
-                                    (area, plan)):
+            method, args = "query_interval", (area, t_lo, t_hi, window)
+        else:
+            # Temporal classification and the query plan depend only on
+            # (config, clock, interval) — shared by every shard in
+            # lockstep — so compute them once and fan out the per-cell
+            # search alone.
+            columns = classify_interval(self.config, self._clock, t_lo,
+                                        t_hi, window)
+            if not columns:
+                return merged
+            plan = self._shards[0]._query_plan(columns, t_lo, t_hi, window)
+            method, args = "_query_area_planned", (area, plan)
+        successes, failures = self._fan_out_query(shard_ids, method, args)
+        if failures and strict:
+            self._raise_shard_failure(failures)
+        for _, result in successes:
             merged.merge(result)
+        if failures:
+            assert isinstance(merged, PartialResult)
+            merged.failures.extend(failures)
+            merged.stats.degraded = True
         return merged
 
     def count_interval(self, area: Rect, t_lo: int, t_hi: int,
-                       window: int | None = None) -> tuple[int, QueryStats]:
-        """Count qualifying entries without materialising them."""
+                       window: int | None = None, *,
+                       strict: bool = True) -> tuple[int, QueryStats]:
+        """Count qualifying entries without materialising them.
+
+        With ``strict=False`` a failed shard is simply absent from the
+        count (``stats.degraded`` is set); callers needing the per-shard
+        failure details should use :meth:`query_interval`.
+        """
         self._check_open()
         if t_hi < t_lo:
             raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
@@ -572,25 +865,28 @@ class ShardedEngine:
         if not shard_ids:
             return total, stats
         if getattr(self._executor, "remote", False):
-            for count, shard_stats in self._fan_out(
-                    shard_ids, "count_interval", (area, t_lo, t_hi, window)):
-                total += count
-                stats.merge(shard_stats)
-            return total, stats
-        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
-                                    window)
-        if not columns:
-            return total, stats
-        plan = self._shards[0]._query_plan(columns, t_lo, t_hi, window)
-        for count, shard_stats in self._fan_out(
-                shard_ids, "_count_area_planned", (area, plan)):
+            method, args = "count_interval", (area, t_lo, t_hi, window)
+        else:
+            columns = classify_interval(self.config, self._clock, t_lo,
+                                        t_hi, window)
+            if not columns:
+                return total, stats
+            plan = self._shards[0]._query_plan(columns, t_lo, t_hi, window)
+            method, args = "_count_area_planned", (area, plan)
+        successes, failures = self._fan_out_query(shard_ids, method, args)
+        if failures and strict:
+            self._raise_shard_failure(failures)
+        for _, (count, shard_stats) in successes:
             total += count
             stats.merge(shard_stats)
+        if failures:
+            stats.degraded = True
         return total, stats
 
     def query_knn(self, x: int, y: int, k: int, t_lo: int,
                   t_hi: int | None = None,
-                  window: int | None = None) -> QueryResult:
+                  window: int | None = None, *,
+                  strict: bool = True) -> QueryResult:
         """K nearest entries: every shard returns its local top-k, the
         engine keeps the global k best (ties by object id and start)."""
         self._check_open()
@@ -601,17 +897,24 @@ class ShardedEngine:
         if t_hi is not None and t_hi < t_lo:
             raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
         self.config.queriable_period(self._clock, window)  # validate window
-        merged = QueryResult()
+        merged = QueryResult() if strict else PartialResult()
         candidates: list[tuple[tuple[int, int, int], Entry]] = []
         shard_ids = list(range(self.n_shards))
-        for result in self._fan_out(shard_ids, "query_knn",
-                                    (x, y, k, t_lo, t_hi, window)):
+        successes, failures = self._fan_out_query(
+            shard_ids, "query_knn", (x, y, k, t_lo, t_hi, window))
+        if failures and strict:
+            self._raise_shard_failure(failures)
+        for _, result in successes:
             merged.stats.merge(result.stats)
             for entry in result.entries:
                 dist2 = (entry.x - x) ** 2 + (entry.y - y) ** 2
                 candidates.append(((dist2, entry.oid, entry.s), entry))
         candidates.sort(key=lambda item: item[0])
         merged.entries.extend(entry for _, entry in candidates[:k])
+        if failures:
+            assert isinstance(merged, PartialResult)
+            merged.failures.extend(failures)
+            merged.stats.degraded = True
         return merged
 
     def density_grid(self, area: Rect, t: int,
@@ -674,60 +977,234 @@ class ShardedEngine:
     # -- persistence -----------------------------------------------------------
 
     def save(self) -> None:
-        """Persist every shard's catalog (manifest already on disk)."""
+        """Persist the whole directory as one two-phase epoch commit.
+
+        Protocol (each file step durable: fsync + directory fsync):
+
+        1. **PREPARE** — atomically write ``engine.prepare.json``
+           recording the next epoch and the exact header generation each
+           shard's pager will reach when its commit lands (derived from
+           the storage layer's deterministic commit arithmetic: one
+           commit for the sync, plus one if this session's dirty mark is
+           still pending).
+        2. **COMMIT** — save every shard (catalog write + page flush +
+           header sync), in shard order.
+        3. **FLIP** — atomically rewrite the manifest with the new epoch
+           and the observed generations, then unlink the marker.
+
+        A crash anywhere in the protocol leaves a directory that
+        ``open()`` classifies deterministically from the marker: roll
+        back (no shard committed), roll forward (all did), or a typed
+        :class:`EpochTornError` for the unrecoverable middle.
+
+        Memory-backed engines and legacy v1 shard files skip the
+        protocol and save each shard directly (no generations to
+        record).
+        """
         self._check_open()
+        if self._dir is None \
+                or any(shard.pager.format_version != 2
+                       for shard in self._shards):
+            for shard in self._shards:
+                shard.save()
+            self._mutated = False
+            return
+        next_epoch = self._epoch + 1
+        expected = [shard.pager.generation
+                    + (1 if shard.pager.session_marked else 2)
+                    for shard in self._shards]
+        self._write_json_atomic(
+            self._prepare_path(),
+            {"format": _MANIFEST_FORMAT, "epoch": next_epoch,
+             "n_shards": self.n_shards, "expected": expected})
         for shard in self._shards:
             shard.save()
+        gens = [shard.pager.generation for shard in self._shards]
+        self._write_json_atomic(
+            self._manifest_path(),
+            {"format": _MANIFEST_FORMAT, "n_shards": self.n_shards,
+             "epoch": next_epoch, "shards": gens})
+        self._fops.unlink(self._prepare_path())
+        assert self._dir is not None
+        self._fops.fsync_dir(self._dir)
+        self._epoch = next_epoch
         self._mutated = False
 
     @classmethod
     def open(cls, path: str, config: SWSTConfig,
-             executor: Executor | None = None) -> "ShardedEngine":
-        """Re-open a saved shard directory, recovering every shard.
+             executor: Executor | None = None, *,
+             retry_policy: RetryPolicy | None = None,
+             breaker_factory: Callable[[], CircuitBreaker] | None
+             = CircuitBreaker,
+             task_timeout: float | None = None,
+             file_ops: FileOps | None = None) -> "ShardedEngine":
+        """Re-open a saved shard directory, recovering it as one unit.
 
-        Each shard runs the storage layer's full recovery-on-open
-        (committed-header pick, truncate of uncommitted extends, dirty
-        checksum sweep, catalog validation).  The first shard that fails
-        raises :class:`ShardOpenError` naming it; shards opened before
-        the failure are closed again.  Shard clocks are re-synchronised
-        to the newest shard (a crash between per-shard saves can leave a
-        lagging shard, whose pending window drops then fire here).
+        A leftover PREPARE marker (crashed save) is resolved *before*
+        any shard opens: the marker's expected generations are compared
+        against each shard's committed header generation — probed
+        passively, without opening (opening itself commits a header) —
+        and the directory rolls back, rolls forward, or raises a typed
+        :class:`EpochTornError`.  Then each shard runs the storage
+        layer's full recovery-on-open; the first shard that fails raises
+        :class:`ShardOpenError` naming it.  Under a format-2 manifest
+        the shards must agree on one clock and sit at or above their
+        recorded generations — disagreement means the directory mixes
+        snapshots and is refused with a typed error rather than
+        heuristically resynchronised.  Format-1 directories keep the
+        legacy behaviour (newest-shard clock resync).
         """
         engine = cls.__new__(cls)
         engine.config = config
-        engine._init_common(executor)
+        engine._init_common(executor, retry_policy, breaker_factory,
+                            task_timeout, file_ops)
         engine._dir = os.fspath(path)
         engine._shards = []
         try:
-            manifest = cls._load_manifest(
+            manifest = load_manifest(
                 os.path.join(engine._dir, _MANIFEST_NAME))
             if manifest["n_shards"] != config.n_shards:
                 raise EngineError(
                     f"directory {engine._dir!r} holds "
                     f"{manifest['n_shards']} shards but config.n_shards "
                     f"is {config.n_shards}")
-            for shard_id in range(config.n_shards):
-                shard_path = engine.shard_path(shard_id)
-                try:
-                    engine._shards.append(SWSTIndex.open(shard_path, config))
-                except Exception as exc:
-                    raise ShardOpenError(shard_id, shard_path, exc) from exc
-            engine._clock = max(shard.now for shard in engine._shards)
-            lagging = any(shard.now != engine._clock
-                          for shard in engine._shards)
-            for shard in engine._shards:
-                shard.advance_time(engine._clock)
-            engine._mutated = lagging
-            for shard_id, shard in enumerate(engine._shards):
-                for oid, (_, _, s) in shard.current_objects().items():
-                    other = engine._home.get(oid)
-                    if other is None or \
-                            engine._shards[other]._current[oid][2] < s:
-                        engine._home[oid] = shard_id
+            # Marker recovery runs for *both* formats: a crashed save
+            # from a legacy directory leaves a marker next to a still-
+            # format-1 manifest (the flip is what upgrades it).
+            manifest = engine._recover_epoch(manifest)
+            if manifest["format"] >= 2:
+                engine._open_shards_v2(manifest)
+            else:
+                engine._open_shards_legacy()
         except BaseException:
             engine._abandon()
             raise
         return engine
+
+    def _recover_epoch(self, manifest: dict[str, Any]) -> dict[str, Any]:
+        """Resolve a leftover PREPARE marker; returns the manifest to use.
+
+        Classification against the marker's expected generations:
+
+        * marker epoch == manifest epoch: the flip landed, only the
+          marker cleanup was lost — finish it.
+        * no shard reached its expected generation: nothing committed,
+          the old snapshot is intact — **roll back** (drop the marker).
+        * every shard reached it: the save fully committed, only the
+          flip was lost — **roll forward** (rewrite the manifest).
+        * anything in between: the in-place storage layer cannot undo a
+          committed shard, so neither snapshot is whole — raise
+          :class:`EpochTornError`.
+        """
+        prepare = _load_prepare(self._prepare_path())
+        if prepare is None:
+            return manifest
+        if prepare["n_shards"] != self.n_shards:
+            raise EngineError(
+                f"save marker in {self._dir!r} records "
+                f"{prepare['n_shards']} shards but the manifest holds "
+                f"{self.n_shards}")
+        epoch: int = manifest["epoch"]
+        if prepare["epoch"] == epoch:
+            self._fops.unlink(self._prepare_path())
+            assert self._dir is not None
+            self._fops.fsync_dir(self._dir)
+            return manifest
+        if prepare["epoch"] != epoch + 1:
+            raise EngineError(
+                f"save marker epoch {prepare['epoch']} is inconsistent "
+                f"with manifest epoch {epoch} in {self._dir!r} "
+                f"(external tampering?)")
+        observed = [probe_committed_generation(self.shard_path(sid))
+                    for sid in range(self.n_shards)]
+        committed = [sid for sid in range(self.n_shards)
+                     if observed[sid] is not None
+                     and observed[sid] >= prepare["expected"][sid]]
+        assert self._dir is not None
+        if len(committed) == self.n_shards:
+            gens = [gen if gen is not None else 0 for gen in observed]
+            rolled = {"format": _MANIFEST_FORMAT,
+                      "n_shards": self.n_shards,
+                      "epoch": prepare["epoch"], "shards": gens}
+            self._write_json_atomic(self._manifest_path(), rolled)
+            self._fops.unlink(self._prepare_path())
+            self._fops.fsync_dir(self._dir)
+            return rolled
+        if not committed:
+            self._fops.unlink(self._prepare_path())
+            self._fops.fsync_dir(self._dir)
+            return manifest
+        pending = [sid for sid in range(self.n_shards)
+                   if sid not in set(committed)]
+        raise EpochTornError(prepare["epoch"], committed, pending)
+
+    def _open_shards_v2(self, manifest: dict[str, Any]) -> None:
+        """Open every shard and verify it sits at the manifest epoch."""
+        try:
+            for shard_id in range(self.n_shards):
+                shard_path = self.shard_path(shard_id)
+                try:
+                    self._shards.append(
+                        SWSTIndex.open(shard_path, self.config))
+                except Exception as exc:
+                    raise ShardOpenError(shard_id, shard_path, exc) from exc
+        except BaseException:
+            self._abandon()
+            raise
+        gens: list[int] = manifest["shards"]
+        for shard_id, shard in enumerate(self._shards):
+            if shard.pager.format_version == 2 \
+                    and shard.pager.generation < gens[shard_id]:
+                raise EngineError(
+                    f"shard {shard_id} is behind the manifest: committed "
+                    f"generation {shard.pager.generation} < recorded "
+                    f"{gens[shard_id]} (page file replaced or restored "
+                    f"from an older backup?)")
+        clocks = {shard.now for shard in self._shards}
+        if len(clocks) > 1:
+            raise EngineError(
+                f"shard clocks disagree under manifest epoch "
+                f"{manifest['epoch']}: {sorted(clocks)}; the directory "
+                f"mixes snapshots (restore from backup)")
+        self._clock = self._shards[0].now
+        self._epoch = manifest["epoch"]
+        self._mutated = False
+        self._rebuild_home()
+
+    def _open_shards_legacy(self) -> None:
+        """Format-1 open: per-shard recovery plus heuristic clock resync.
+
+        A crash between the old per-shard saves can leave a lagging
+        shard, whose pending window drops then fire here.  The first
+        ``save()`` upgrades the directory to the epoch protocol.
+        """
+        try:
+            for shard_id in range(self.n_shards):
+                shard_path = self.shard_path(shard_id)
+                try:
+                    self._shards.append(
+                        SWSTIndex.open(shard_path, self.config))
+                except Exception as exc:
+                    raise ShardOpenError(shard_id, shard_path, exc) from exc
+        except BaseException:
+            self._abandon()
+            raise
+        self._clock = max(shard.now for shard in self._shards)
+        lagging = any(shard.now != self._clock for shard in self._shards)
+        for shard in self._shards:
+            shard.advance_time(self._clock)
+        self._mutated = lagging
+        self._epoch = 0
+        self._rebuild_home()
+
+    def _rebuild_home(self) -> None:
+        """Rebuild the oid -> home-shard map from shard current tables."""
+        for shard_id, shard in enumerate(self._shards):
+            for oid, (_, _, s) in shard.current_objects().items():
+                other = self._home.get(oid)
+                if other is None or \
+                        self._shards[other]._current[oid][2] < s:
+                    self._home[oid] = shard_id
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -736,21 +1213,31 @@ class ShardedEngine:
             raise EngineClosedError("engine is closed")
 
     def close(self) -> None:
-        """Close every shard and (if owned) the executor."""
+        """Close every shard and (if owned) the executor.
+
+        Every resource is closed even if an earlier one fails.  A single
+        failure re-raises as itself; several raise an
+        :class:`EngineCloseError` aggregate listing all of them (first
+        chained as ``__cause__``), so no error is silently dropped.
+        """
         if self._closed:
             return
         self._closed = True
-        first_error: BaseException | None = None
+        errors: list[BaseException] = []
         for shard in self._shards:
             try:
                 shard.close()
             except BaseException as exc:
-                if first_error is None:
-                    first_error = exc
+                errors.append(exc)
         if self._owns_executor:
-            self._executor.close()
-        if first_error is not None:
-            raise first_error
+            try:
+                self._executor.close()
+            except BaseException as exc:
+                errors.append(exc)
+        if len(errors) == 1:
+            raise errors[0]
+        if errors:
+            raise EngineCloseError(errors) from errors[0]
 
     def __enter__(self) -> "ShardedEngine":
         return self

@@ -1,14 +1,32 @@
 """Exception types of the sharded engine layer.
 
 The engine sits above the storage layer, so its failures get their own
-small hierarchy rooted at :class:`EngineError`.  Shard-open failures are
-wrapped in :class:`ShardOpenError` carrying the shard id and page-file
-path, so a caller supervising a shard directory can tell *which* shard is
-damaged (and knows the healthy siblings reopened cleanly before the error
-was raised — shards are opened in order and closed again on failure).
+small hierarchy rooted at :class:`EngineError`:
+
+* :class:`ShardOpenError` — one shard of a directory failed to open
+  (carries the shard id and page-file path).
+* :class:`ShardQueryError` — a strict-mode query fan-out failed on one
+  shard after the retry policy was exhausted; names the shard.
+* :class:`CircuitOpenError` — a shard was skipped because its circuit
+  breaker is open (no request was dispatched at all).
+* :class:`TaskTimeoutError` — an executor task overran its per-task
+  deadline.
+* :class:`EpochTornError` — the two-phase epoch commit was interrupted
+  in the one window the storage layer cannot undo: some shards committed
+  the new epoch, some did not, so neither the pre-save nor the post-save
+  snapshot exists on disk.  The error names both groups.
+* :class:`EngineCloseError` — aggregate raised when *several* resources
+  fail during :meth:`ShardedEngine.close`; every underlying error is
+  kept (``errors`` attribute plus exception notes), none are dropped.
+* :class:`EngineClosedError` — use-after-close.
+
+:class:`ShardFailure` is not an exception: it is the typed per-shard
+failure record carried by degraded (``strict=False``) query results.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 
 class EngineError(Exception):
@@ -30,5 +48,117 @@ class ShardOpenError(EngineError):
         self.path = path
 
 
+class ShardQueryError(EngineError):
+    """A strict-mode query failed on one shard (retries exhausted).
+
+    Attributes:
+        shard_id: index of the failing shard.
+        path: page-file path of the failing shard.
+    """
+
+    def __init__(self, shard_id: int, path: str,
+                 cause: BaseException) -> None:
+        super().__init__(f"query failed on shard {shard_id} ({path}): "
+                         f"{cause!r}")
+        self.shard_id = shard_id
+        self.path = path
+
+
+class CircuitOpenError(EngineError):
+    """A shard was skipped because its circuit breaker is open.
+
+    Attributes:
+        shard_id: index of the skipped shard.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(f"circuit breaker for shard {shard_id} is open; "
+                         f"shard skipped without dispatch")
+        self.shard_id = shard_id
+
+
+class TaskTimeoutError(EngineError):
+    """An executor task overran its per-task deadline.
+
+    Attributes:
+        item_index: position of the task in the ``map`` input (the
+            engine maps this back to a shard id).
+        timeout: the deadline in seconds.
+    """
+
+    def __init__(self, item_index: int, timeout: float) -> None:
+        super().__init__(f"executor task {item_index} exceeded its "
+                         f"{timeout}s deadline")
+        self.item_index = item_index
+        self.timeout = timeout
+
+
+class EpochTornError(EngineError):
+    """A crashed save left shards split across two manifest epochs.
+
+    Shards that committed the new epoch overwrote pages of the old
+    snapshot in place (the storage layer commits per shard, not per
+    directory), and the shards that never committed lost the new data
+    with the process — so neither snapshot is recoverable.  Detected
+    deterministically from the PREPARE record; never silently served.
+
+    Attributes:
+        epoch: the epoch the interrupted save was committing.
+        committed: shard ids that committed the new epoch.
+        pending: shard ids still on the previous epoch.
+    """
+
+    def __init__(self, epoch: int, committed: list[int],
+                 pending: list[int]) -> None:
+        super().__init__(
+            f"save of epoch {epoch} was interrupted between shard "
+            f"commits: shards {committed} committed it, shards "
+            f"{pending} did not; neither snapshot is whole "
+            f"(restore the directory from backup)")
+        self.epoch = epoch
+        self.committed = committed
+        self.pending = pending
+
+
+class EngineCloseError(EngineError):
+    """Multiple resources failed while closing the engine.
+
+    The first failure is chained as ``__cause__``; every failure
+    (including the first) is listed in ``errors`` and attached as an
+    exception note, so no error is silently dropped.
+
+    Attributes:
+        errors: all close failures, in the order they occurred.
+    """
+
+    def __init__(self, errors: list[BaseException]) -> None:
+        super().__init__(f"{len(errors)} resources failed to close: "
+                         + "; ".join(repr(exc) for exc in errors))
+        self.errors = list(errors)
+        for exc in errors:
+            self.add_note(f"close failure: {exc!r}")
+
+
 class EngineClosedError(EngineError):
     """An operation was attempted on a closed engine."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardFailure:
+    """Typed record of one shard's failure during a degraded query.
+
+    Attributes:
+        shard_id: index of the failed shard.
+        path: page-file path of the failed shard.
+        error: the exception that exhausted the retry policy (a
+            :class:`CircuitOpenError` if the shard was never dispatched,
+            a :class:`TaskTimeoutError` if the task overran its
+            deadline).
+    """
+
+    shard_id: int
+    path: str
+    error: BaseException
+
+    def __str__(self) -> str:
+        return f"shard {self.shard_id} ({self.path}): {self.error!r}"

@@ -1,8 +1,8 @@
 """Worker-pool abstraction for per-shard scatter-gather.
 
 The engine fans operations out over its shards through a minimal
-:class:`Executor` protocol — ``map`` plus ``close`` — so the execution
-strategy is pluggable:
+:class:`Executor` protocol — ``map`` (with an optional per-task
+deadline) plus ``close`` — so the execution strategy is pluggable:
 
 * :class:`SerialExecutor` runs tasks inline (deterministic, zero
   overhead; the right choice for tests and one-shard engines).
@@ -13,12 +13,25 @@ strategy is pluggable:
 * :class:`ProcessExecutor` runs tasks on a process pool for true CPU
   parallelism under the GIL.  Processes cannot see the parent's live
   shard objects, so the engine only accepts it for *read-only* fan-out
-  against a saved, unmodified shard directory: each task reopens its
-  shard from disk inside the worker (see
-  ``ShardedEngine``'s ``remote`` handling).
+  against a saved shard directory: each task reopens its shard from disk
+  inside the worker (see ``ShardedEngine``'s ``remote`` handling).  A
+  broken pool (worker killed mid-task) is discarded so the next ``map``
+  starts a fresh one — paired with the engine's
+  :class:`~repro.engine.retry.RetryPolicy` this makes worker death a
+  transient, retryable fault.
 
 All three preserve input order in their results and propagate the first
 raised exception.
+
+Per-task deadlines: ``map(fn, items, timeout=...)`` bounds how long the
+caller waits for each task.  Pool executors enforce it when *gathering*
+(``future.result(timeout)``) and convert an overrun into a typed
+:class:`~repro.engine.errors.TaskTimeoutError` naming the input index.
+The task itself is not preempted — an abandoned worker may still hold
+its shard, which is why the engine treats timeouts as non-retryable.
+``SerialExecutor`` runs inline and cannot enforce a deadline; it ignores
+``timeout`` (documented, not an error, so one-shard engines keep
+working unchanged).
 """
 
 from __future__ import annotations
@@ -27,8 +40,11 @@ import os
 from typing import (TYPE_CHECKING, Any, Callable, Iterable, Protocol,
                     Sequence, runtime_checkable)
 
+from .errors import TaskTimeoutError
+
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
-    from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+    from concurrent.futures import (Future, ProcessPoolExecutor,
+                                    ThreadPoolExecutor)
 
 
 @runtime_checkable
@@ -43,9 +59,14 @@ class Executor(Protocol):
 
     remote: bool
 
-    def map(self, fn: Callable[[Any], Any],
-            items: Iterable[Any]) -> list[Any]:
-        """Apply ``fn`` to every item, returning results in input order."""
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
+            timeout: float | None = None) -> list[Any]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        ``timeout`` is a per-task deadline in seconds; a task overrunning
+        it raises :class:`TaskTimeoutError` (best effort — inline
+        executors cannot enforce it).
+        """
         ...  # pragma: no cover - protocol
 
     def close(self) -> None:
@@ -53,13 +74,37 @@ class Executor(Protocol):
         ...  # pragma: no cover - protocol
 
 
+def _gather(futures: "Sequence[Future[Any]]",
+            timeout: float | None) -> list[Any]:
+    """Collect future results in submission order with per-task deadlines.
+
+    ``future.result()`` re-raises the task's exception; remaining futures
+    are awaited by the pool's ``shutdown(wait=True)`` on close.  A
+    deadline overrun is converted to :class:`TaskTimeoutError` carrying
+    the input index, so callers can map it back to a shard.
+    """
+    from concurrent.futures import TimeoutError as FuturesTimeout
+
+    results = []
+    for index, future in enumerate(futures):
+        try:
+            results.append(future.result(timeout=timeout))
+        except FuturesTimeout:
+            raise TaskTimeoutError(index, timeout or 0.0) from None
+    return results
+
+
 class SerialExecutor:
-    """Run every task inline on the calling thread."""
+    """Run every task inline on the calling thread.
+
+    Inline execution cannot be preempted, so the ``timeout`` parameter
+    is accepted for protocol compatibility and ignored.
+    """
 
     remote = False
 
-    def map(self, fn: Callable[[Any], Any],
-            items: Iterable[Any]) -> list[Any]:
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
+            timeout: float | None = None) -> list[Any]:
         return [fn(item) for item in items]
 
     def close(self) -> None:
@@ -70,7 +115,9 @@ class ThreadedExecutor:
     """Thread-pool executor (the engine default).
 
     The pool is created lazily on first use, so an engine that only ever
-    touches one shard per operation never spawns a thread.
+    touches one shard per operation never spawns a thread.  Single-item
+    maps run inline — unless a deadline is set, which forces the pool so
+    the deadline is enforceable.
     """
 
     remote = False
@@ -90,16 +137,14 @@ class ThreadedExecutor:
                 max_workers=workers, thread_name_prefix="swst-shard")
         return self._pool
 
-    def map(self, fn: Callable[[Any], Any],
-            items: Iterable[Any]) -> list[Any]:
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
+            timeout: float | None = None) -> list[Any]:
         work: Sequence[Any] = list(items)
-        if len(work) <= 1:
+        if len(work) <= 1 and timeout is None:
             return [fn(item) for item in work]
         pool = self._ensure_pool()
         futures = [pool.submit(fn, item) for item in work]
-        # Collect in submission order; result() re-raises the task's
-        # exception, and the remaining futures are awaited by close().
-        return [future.result() for future in futures]
+        return _gather(futures, timeout)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -113,6 +158,11 @@ class ProcessExecutor:
     Tasks and their results must be picklable; the engine pairs this
     executor with module-level task functions that reopen shards from
     disk, so it is only valid against a saved, unmodified engine.
+
+    If the pool breaks (a worker process dies, every pending task fails
+    with ``BrokenExecutor``), the broken pool is discarded so the *next*
+    ``map`` call transparently builds a fresh one.  The failed call
+    still raises — recovery is the caller's retry policy's job.
     """
 
     remote = True
@@ -128,14 +178,22 @@ class ProcessExecutor:
             self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
         return self._pool
 
-    def map(self, fn: Callable[[Any], Any],
-            items: Iterable[Any]) -> list[Any]:
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
+            timeout: float | None = None) -> list[Any]:
+        from concurrent.futures import BrokenExecutor
+
         work: Sequence[Any] = list(items)
         if not work:
             return []
         pool = self._ensure_pool()
         futures = [pool.submit(fn, item) for item in work]
-        return [future.result() for future in futures]
+        try:
+            return _gather(futures, timeout)
+        except BrokenExecutor:
+            # The pool is dead; drop it so the next map self-heals.
+            pool.shutdown(wait=False)
+            self._pool = None
+            raise
 
     def close(self) -> None:
         if self._pool is not None:

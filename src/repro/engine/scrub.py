@@ -1,0 +1,114 @@
+"""Offline integrity sweep over a whole engine directory.
+
+:func:`scrub_directory` extends the single-file ``repro scrub`` to a
+sharded engine directory: it validates the ``engine.json`` manifest,
+checksum-sweeps every ``shard-*.pages`` file with
+:func:`~repro.storage.scrub.scrub_page_file`, and cross-checks each
+shard's committed header generation against the manifest's recorded
+epoch generations.  Like the file-level scrub it never repairs
+anything — a leftover save marker is *reported* but left for
+``ShardedEngine.open()`` to resolve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from ..storage.errors import StorageError
+from ..storage.scrub import ScrubReport, scrub_page_file
+from .engine import _MANIFEST_NAME, _PREPARE_NAME, _shard_file_name, \
+    load_manifest
+from .errors import EngineError
+
+
+@dataclasses.dataclass
+class DirectoryScrubReport:
+    """Result of sweeping one engine directory.
+
+    Attributes:
+        path: the directory swept.
+        manifest_ok: True if ``engine.json`` parsed and validated.
+        problems: directory-level findings — unreadable manifest,
+            missing or unrecognisable shard files, shards behind the
+            manifest's recorded generations.
+        notes: non-fatal observations (e.g. a leftover save marker,
+            which ``ShardedEngine.open()`` recovers).
+        reports: per-shard file sweeps, in shard-id order (missing
+            files have no report; see ``problems``).
+    """
+
+    path: str
+    manifest_ok: bool
+    problems: list[str]
+    notes: list[str]
+    reports: list[ScrubReport]
+
+    @property
+    def ok(self) -> bool:
+        """True if the manifest and every shard file check out."""
+        return self.manifest_ok and not self.problems \
+            and all(report.ok for report in self.reports)
+
+    def render(self) -> str:
+        state = "manifest ok" if self.manifest_ok else "manifest INVALID"
+        lines = [f"{self.path}: engine directory, {state}, "
+                 f"{len(self.reports)} shard file(s) swept"]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for problem in self.problems:
+            lines.append(f"  PROBLEM: {problem}")
+        for report in self.reports:
+            lines.extend("  " + line for line in
+                         report.render().splitlines())
+        verdict = "clean" if self.ok else "CORRUPT"
+        lines.append(f"  directory verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def scrub_directory(path: str | os.PathLike[str]) -> DirectoryScrubReport:
+    """Sweep every shard file of an engine directory plus its manifest."""
+    path = os.fspath(path)
+    problems: list[str] = []
+    notes: list[str] = []
+    reports: list[ScrubReport] = []
+    manifest = None
+    manifest_path = os.path.join(path, _MANIFEST_NAME)
+    try:
+        manifest = load_manifest(manifest_path)
+    except EngineError as exc:
+        problems.append(str(exc))
+    if os.path.exists(os.path.join(path, _PREPARE_NAME)):
+        notes.append(f"interrupted save marker {_PREPARE_NAME} present; "
+                     f"ShardedEngine.open() will roll it back or forward")
+    if manifest is not None:
+        shard_files = [_shard_file_name(shard_id)
+                       for shard_id in range(manifest["n_shards"])]
+    else:
+        # No usable manifest: sweep whatever shard files are present.
+        shard_files = sorted(
+            name for name in os.listdir(path)
+            if name.startswith("shard-") and name.endswith(".pages")
+        ) if os.path.isdir(path) else []
+    for shard_id, name in enumerate(shard_files):
+        shard_path = os.path.join(path, name)
+        if not os.path.exists(shard_path):
+            problems.append(f"shard file {name} is missing")
+            continue
+        try:
+            report = scrub_page_file(shard_path)
+        except (StorageError, OSError) as exc:
+            problems.append(f"shard file {name} cannot be swept: {exc}")
+            continue
+        reports.append(report)
+        if manifest is not None and manifest["shards"] is not None:
+            recorded = manifest["shards"][shard_id]
+            head = report.committed
+            observed = head.generation if head is not None else None
+            if observed is not None and observed < recorded:
+                problems.append(
+                    f"shard file {name} is behind the manifest: committed "
+                    f"generation {observed} < recorded {recorded}")
+    return DirectoryScrubReport(path=path, manifest_ok=manifest is not None,
+                                problems=problems, notes=notes,
+                                reports=reports)

@@ -17,13 +17,21 @@ exactly what the recovery machinery must detect:
 The wrapper satisfies the :class:`repro.storage.page.PageDevice` protocol
 and plugs under :class:`repro.storage.pager.Pager` either directly
 (``Pager(device=...)``) or through ``SWSTConfig.device_factory``.
+
+:class:`FaultInjectingFileOps` is the same idea one level up: it wraps
+the engine's durable-file seam (:class:`repro.storage.fileops.FileOps`)
+so the *manifest protocol* — temp-file writes, ``os.replace`` flips,
+directory fsyncs, marker unlinks — can be killed at any single step.
+The engine-level crash matrix iterates ``fail_op`` over every ordinal of
+a ``save()`` and proves each prefix leaves a recoverable directory.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, MutableSequence
 
+from .fileops import DURABLE_FILE_OPS, FileOps
 from .page import PageDevice
 
 
@@ -34,6 +42,7 @@ class InjectedFault(OSError):
 def per_path_device_factory(
         match: str,
         base_factory: Callable[[str, int], Any] | None = None,
+        registry: MutableSequence["FaultInjectingPageDevice"] | None = None,
         **fault_kwargs: Any) -> Callable[[str, int], Any]:
     """Build a ``device_factory`` that injects faults for selected paths.
 
@@ -49,6 +58,9 @@ def per_path_device_factory(
         match: substring of the path that selects the faulty device(s).
         base_factory: how to build the underlying device; defaults to a
             plain :class:`~repro.storage.page.FilePageDevice`.
+        registry: optional mutable sequence that collects every wrapper
+            built; the engine crash matrix uses it to flip ``crashed``
+            on all of an engine's devices at once (simulated kill).
         **fault_kwargs: passed to :class:`FaultInjectingPageDevice`.
 
     Returns:
@@ -63,7 +75,10 @@ def per_path_device_factory(
                   else FilePageDevice(path, page_size))
         try:
             if match in os.fspath(path):
-                return FaultInjectingPageDevice(device, **fault_kwargs)
+                wrapper = FaultInjectingPageDevice(device, **fault_kwargs)
+                if registry is not None:
+                    registry.append(wrapper)
+                return wrapper
             return device
         except BaseException:
             device.close()
@@ -83,6 +98,9 @@ class FaultInjectingPageDevice:
         tear_bytes: how many bytes of the crashing write's physical slot
             reach the disk before the crash (0 = none; the write is lost
             entirely).
+        fail_read: 1-based ordinal of the read operation at which to
+            crash (sets ``crashed``, so every later operation fails
+            too), or ``None`` to never crash on read.
         write_errors: optional map of write ordinal -> exception to raise
             *instead of* performing that write (the device stays usable).
         read_errors: optional map of read ordinal -> exception to raise
@@ -92,11 +110,13 @@ class FaultInjectingPageDevice:
     def __init__(self, device: PageDevice, *,
                  fail_write: int | None = None,
                  tear_bytes: int = 0,
+                 fail_read: int | None = None,
                  write_errors: Mapping[int, Exception] | None = None,
                  read_errors: Mapping[int, Exception] | None = None) -> None:
         self._inner = device
         self.fail_write = fail_write
         self.tear_bytes = tear_bytes
+        self.fail_read = fail_read
         self.write_errors = dict(write_errors or {})
         self.read_errors = dict(read_errors or {})
         self.writes_seen = 0
@@ -180,10 +200,16 @@ class FaultInjectingPageDevice:
     # -- device API ----------------------------------------------------------
 
     def read(self, page_id: int) -> bytes:
+        self._check_crashed()
         self.reads_seen += 1
         error = self.read_errors.pop(self.reads_seen, None)
         if error is not None:
             raise error
+        if self.fail_read is not None and self.reads_seen == self.fail_read:
+            self.crashed = True
+            raise InjectedFault(
+                f"injected crash at read {self.reads_seen} "
+                f"(page {page_id})")
         return self._inner.read(page_id)
 
     def write(self, page_id: int, data: bytes) -> None:
@@ -222,3 +248,66 @@ class FaultInjectingPageDevice:
         # Always release the real device, even after a simulated crash —
         # the *handle* must not leak just because the *disk* died.
         self._inner.close()
+
+
+class FaultInjectingFileOps:
+    """Wrap a :class:`~repro.storage.fileops.FileOps`, failing on command.
+
+    Counts every durable-file operation the engine's manifest protocol
+    performs — ``write_file``, ``replace``, ``fsync_dir``, ``unlink`` —
+    and crashes at a chosen ordinal, after which every further operation
+    fails too (the process is dead).  ``ops`` records each completed or
+    attempted operation as ``(name, path)``, so the crash matrix can
+    first run a fault-free save to learn the protocol length, then kill
+    at every ordinal ``1..len(ops)``.
+
+    Args:
+        inner: the real implementation; defaults to the shared
+            :data:`~repro.storage.fileops.DURABLE_FILE_OPS`.
+        fail_op: 1-based ordinal of the operation at which to crash, or
+            ``None`` to never crash.  The crashing operation does *not*
+            reach the inner implementation — the kill lands just before
+            the syscall.
+        op_errors: optional map of ordinal -> exception raised instead
+            of performing that operation (the ops object stays usable:
+            a transient fault, not a kill).
+    """
+
+    def __init__(self, inner: FileOps | None = None, *,
+                 fail_op: int | None = None,
+                 op_errors: Mapping[int, Exception] | None = None) -> None:
+        self._inner: FileOps = inner if inner is not None \
+            else DURABLE_FILE_OPS
+        self.fail_op = fail_op
+        self.op_errors = dict(op_errors or {})
+        self.ops: list[tuple[str, str]] = []
+        self.crashed = False
+
+    def _next_op(self, name: str, path: str) -> None:
+        if self.crashed:
+            raise InjectedFault("file ops crashed by fault injection")
+        self.ops.append((name, path))
+        ordinal = len(self.ops)
+        error = self.op_errors.pop(ordinal, None)
+        if error is not None:
+            raise error
+        if self.fail_op is not None and ordinal == self.fail_op:
+            self.crashed = True
+            raise InjectedFault(
+                f"injected crash at file op {ordinal} ({name} {path!r})")
+
+    def write_file(self, path: str, data: bytes) -> None:
+        self._next_op("write_file", path)
+        self._inner.write_file(path, data)
+
+    def replace(self, src: str, dst: str) -> None:
+        self._next_op("replace", dst)
+        self._inner.replace(src, dst)
+
+    def fsync_dir(self, path: str) -> None:
+        self._next_op("fsync_dir", path)
+        self._inner.fsync_dir(path)
+
+    def unlink(self, path: str) -> None:
+        self._next_op("unlink", path)
+        self._inner.unlink(path)

@@ -125,6 +125,18 @@ class Pager:
         """Generation of the last committed header (0 for format v1)."""
         return self._generation
 
+    @property
+    def session_marked(self) -> bool:
+        """True once this session's dirty header has been committed.
+
+        Exactly one dirty-mark commit happens per pager session (at the
+        first mutation after open); knowing whether it already fired lets
+        a caller predict the generation a ``sync()`` commit will reach —
+        the sharded engine's two-phase epoch commit records that
+        expectation in its PREPARE record.
+        """
+        return self._marked
+
     def _init_fresh(self) -> None:
         self.format_version = 2
         if self._checksums:

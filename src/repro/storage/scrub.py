@@ -91,6 +91,47 @@ def probe_page_file(path: str | os.PathLike[str]) -> tuple[int, int]:
     raise CorruptPageFileError(f"{path}: not a recognised SWST page file")
 
 
+def probe_committed_generation(path: str | os.PathLike[str]) -> int | None:
+    """Newest committed header generation of a page file, probed passively.
+
+    The engine's epoch recovery must learn how far each shard got
+    *without opening it* — ``Pager`` open itself commits a header
+    (recovery + clean mark), which would advance the generation and
+    destroy the evidence.  This reads the two v2 header slots directly
+    and returns the highest valid generation.
+
+    Returns ``0`` for a format-v1 file (no generations) and ``None``
+    when no committed state is observable at all: the file is missing,
+    unrecognisable, or neither header slot checks out.
+    """
+    path = os.fspath(path)
+    try:
+        version, page_size = probe_page_file(path)
+    except (OSError, StorageError):
+        return None
+    if version != 2:
+        return 0
+    device = FilePageDevice(path, page_size)
+    best: int | None = None
+    try:
+        pages = device.page_count()
+        for slot in (0, 1):
+            if slot >= pages:
+                continue
+            try:
+                raw = device.read(slot)
+            except StorageError:
+                # A torn header slot is an expected crash artefact; the
+                # other slot decides.
+                continue
+            parsed = _parse_header_slot(slot, raw, page_size)
+            if parsed.valid and (best is None or parsed.generation > best):
+                best = parsed.generation
+    finally:
+        device.close()
+    return best
+
+
 def _parse_header_slot(slot: int, raw: bytes, page_size: int) -> HeaderSlot:
     try:
         (magic, ps, generation, page_count, free_head, flags,
@@ -122,9 +163,10 @@ def scrub_page_file(path: str | os.PathLike[str]) -> ScrubReport:
     header_slots: list[HeaderSlot] = []
     try:
         pages = device.page_count()
+        generations: dict[int, int] = {}
         for page_id in range(pages):
             try:
-                device.check_page(page_id)
+                generations[page_id] = device.check_page(page_id)
             except StorageError as exc:
                 reason = str(exc)
                 prefix = f"page {page_id}: "
@@ -148,6 +190,19 @@ def scrub_page_file(path: str | os.PathLike[str]) -> ScrubReport:
                     corrupt.append(
                         (0, f"header claims {best.page_count} pages but "
                             f"only {pages} are on disk"))
+                # A committed page stamped newer than the committed
+                # header is an in-place overwrite from a crashed write
+                # window: the committed snapshot did not survive, and
+                # recovery-on-open will refuse the file the same way.
+                for page_id in range(2, min(best.page_count, pages)):
+                    generation = generations.get(page_id)
+                    if generation is not None \
+                            and generation > best.generation:
+                        corrupt.append(
+                            (page_id,
+                             f"uncommitted data from generation "
+                             f"{generation} overwrites the committed "
+                             f"snapshot (generation {best.generation})"))
     finally:
         device.close()
     return ScrubReport(path=path, format_version=version,

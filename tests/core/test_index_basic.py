@@ -90,6 +90,14 @@ class TestCurrentEntries:
     def test_close_object_without_current_entry(self, index):
         assert not index.close_object(99, 10)
 
+    def test_rejected_close_leaves_state_intact(self, index):
+        index.report(1, 100, 100, 50)
+        with pytest.raises(ValueError):
+            index.close_object(1, 50)
+        assert index.current_objects() == {1: (100, 100, 50)}
+        index.check_integrity()
+        assert index.close_object(1, 90)
+
     def test_current_objects_snapshot(self, index):
         index.report(1, 100, 100, 50)
         index.report(2, 200, 200, 60)

@@ -6,13 +6,24 @@ from repro.core import Entry, QueryResult, QueryStats
 
 
 def stats_with(value):
-    return QueryStats(**{f.name: value for f in fields(QueryStats)})
+    # Every additive counter gets ``value``; the sticky ``degraded``
+    # flag OR-merges instead and is exercised separately below.
+    return QueryStats(**{f.name: value for f in fields(QueryStats)
+                         if f.name != "degraded"})
 
 
 class TestQueryStatsMerge:
     def test_merge_adds_every_counter(self):
         merged = stats_with(1).merge(stats_with(2))
         assert merged == stats_with(3)
+
+    def test_degraded_flag_is_sticky_not_additive(self):
+        base = QueryStats()
+        assert not base.merge(QueryStats()).degraded
+        base.merge(QueryStats(degraded=True))
+        assert base.degraded
+        base.merge(QueryStats())  # never resets once set
+        assert base.degraded
 
     def test_merge_returns_self_for_chaining(self):
         base = stats_with(1)

@@ -108,6 +108,15 @@ class TestCrossShardCurrents:
                    for e in engine.query_interval(engine.config.space, 0, 40)]
         assert entries == [(x2, y2, 10, 20)]
 
+    def test_rejected_close_keeps_home_map_entry(self, engine):
+        (x1, y1), _ = cells_in_different_shards(engine)
+        engine.report(7, x1, y1, 10)
+        with pytest.raises(ValueError):
+            engine.close_object(7, 10)
+        assert engine.current_objects() == {7: (x1, y1, 10)}
+        engine.check_integrity()
+        assert engine.close_object(7, 30) is True
+
     def test_delete_routed_by_cell(self, engine):
         engine.insert(1, 5, 5, 0, 10)
         assert engine.delete(1, 5, 5, 0, 10) is True

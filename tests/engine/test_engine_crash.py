@@ -7,7 +7,8 @@ import random
 import pytest
 
 from repro.core import Rect, SWSTConfig, SWSTIndex
-from repro.engine import SerialExecutor, ShardedEngine, ShardOpenError
+from repro.engine import (EpochTornError, SerialExecutor, ShardedEngine,
+                          ShardOpenError)
 from repro.storage import InjectedFault, per_path_device_factory
 
 
@@ -78,12 +79,15 @@ class TestShardOpenFailure:
             with SWSTIndex.open(shard_path, faulty) as shard:
                 assert shard.now == now
 
-    def test_fault_during_shard_write_is_isolated(self, tmp_path):
+    def test_fault_between_shard_commits_is_detected_as_torn(self,
+                                                             tmp_path):
         config = make_config()
         path = tmp_path / "index.d"
         build_saved_engine(path, config)
-        # Crash shard-002's device at its next write; the engine's save
-        # surfaces the fault but the other shards' files stay committed.
+        # Crash shard-002's device at its next write: save() commits
+        # shards 0 and 1 to the new epoch, then fails on shard 2.  The
+        # storage layer commits in place, so neither the old nor the new
+        # snapshot is whole across the directory.
         faulty = dataclasses.replace(
             config,
             device_factory=per_path_device_factory("shard-002",
@@ -98,7 +102,39 @@ class TestShardOpenFailure:
         finally:
             with pytest.raises(OSError):
                 eng.close()
-        # Recovery-on-open brings every shard back to a committed state.
+        # Reopen refuses the mixed snapshot with a typed error naming
+        # both shard groups — deterministically, on every attempt —
+        # instead of silently resynchronising shard clocks.
+        for _ in range(2):
+            with pytest.raises(EpochTornError) as excinfo:
+                ShardedEngine.open(path, config, executor=SerialExecutor())
+            assert excinfo.value.committed == [0, 1]
+            assert excinfo.value.pending == [2]
+
+    def test_transient_save_fault_is_retryable_in_process(self, tmp_path):
+        config = make_config()
+        path = tmp_path / "index.d"
+        build_saved_engine(path, config)
+        # A *transient* write error (not a crash) fails one save()
+        # mid-epoch; the process is still alive, so simply calling
+        # save() again completes the epoch and the directory is whole.
+        faulty = dataclasses.replace(
+            config,
+            device_factory=per_path_device_factory(
+                "shard-002",
+                write_errors={1: InjectedFault("transient write fault")}))
+        with ShardedEngine.open(path, faulty,
+                                executor=SerialExecutor()) as eng:
+            t = eng.now
+            for oid in range(20):
+                eng.report(oid, (oid * 13) % 100, (oid * 29) % 100, t)
+            epoch_before = eng.epoch
+            with pytest.raises(OSError):
+                eng.save()
+            eng.save()
+            assert eng.epoch == epoch_before + 1
+            expected_len = len(eng)
         with ShardedEngine.open(path, config,
                                 executor=SerialExecutor()) as eng:
             eng.check_integrity()
+            assert len(eng) == expected_len

@@ -54,7 +54,13 @@ def apply_workload(target, ops):
         elif op == "insert":
             target.insert(oid, x, y, t, duration)
         elif op == "close":
-            target.close_object(oid, t)
+            try:
+                target.close_object(oid, t)
+            except ValueError:
+                # close at/before the object's current start is invalid
+                # input; both targets must reject it identically (state
+                # divergence would fail the assertions below).
+                pass
         elif op == "forget":
             target.forget_object(oid)
         elif op == "advance":

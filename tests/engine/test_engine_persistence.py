@@ -53,7 +53,13 @@ class TestDirectoryLayout:
         assert names == ["engine.json", "shard-000.pages",
                          "shard-001.pages", "shard-002.pages"]
         manifest = json.loads((path / "engine.json").read_text())
-        assert manifest == {"format": 1, "n_shards": 3}
+        assert manifest["format"] == 2
+        assert manifest["n_shards"] == 3
+        assert manifest["epoch"] == 1  # one save() = one epoch commit
+        # One committed header generation recorded per shard.
+        assert len(manifest["shards"]) == 3
+        assert all(isinstance(g, int) and g >= 1
+                   for g in manifest["shards"])
 
     def test_engine_path_must_be_directory(self, tmp_path):
         file_path = tmp_path / "plain.pages"

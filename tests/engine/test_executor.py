@@ -3,7 +3,8 @@
 import pytest
 
 from repro.engine import (Executor, ProcessExecutor, SerialExecutor,
-                          ThreadedExecutor, resolve_executor)
+                          TaskTimeoutError, ThreadedExecutor,
+                          resolve_executor)
 
 
 class TestSerialExecutor:
@@ -87,3 +88,45 @@ class TestResolveExecutor:
     def test_serial_takes_no_worker_count(self):
         with pytest.raises(ValueError):
             resolve_executor("serial:2")
+
+
+def _sleepy(seconds):
+    import time
+
+    time.sleep(seconds)
+    return seconds
+
+
+class TestPerTaskDeadlines:
+    def test_threaded_timeout_is_typed_with_item_index(self):
+        ex = ThreadedExecutor(max_workers=2)
+        try:
+            with pytest.raises(TaskTimeoutError) as excinfo:
+                ex.map(_sleepy, [0.0, 5.0], timeout=0.2)
+            assert excinfo.value.item_index == 1
+            assert excinfo.value.timeout == pytest.approx(0.2)
+        finally:
+            ex.close()
+
+    def test_threaded_within_deadline_succeeds(self):
+        ex = ThreadedExecutor(max_workers=2)
+        try:
+            assert ex.map(_sleepy, [0.0, 0.01], timeout=30.0) \
+                == [0.0, 0.01]
+        finally:
+            ex.close()
+
+    def test_serial_executor_ignores_timeout(self):
+        # Inline execution cannot be preempted; documented no-op.
+        ex = SerialExecutor()
+        assert ex.map(_sleepy, [0.05], timeout=0.001) == [0.05]
+        ex.close()
+
+    def test_process_timeout_is_typed(self):
+        ex = ProcessExecutor(max_workers=2)
+        try:
+            with pytest.raises(TaskTimeoutError) as excinfo:
+                ex.map(_sleepy, [5.0], timeout=0.2)
+            assert excinfo.value.item_index == 0
+        finally:
+            ex.close()

@@ -1,0 +1,161 @@
+"""RetryPolicy backoff/seams and CircuitBreaker state machine."""
+
+import pytest
+
+from repro.engine import CircuitBreaker, RetryPolicy
+
+
+class Flaky:
+    """Callable failing ``failures`` times before returning ``value``."""
+
+    def __init__(self, failures, value="ok", exc=OSError):
+        self.failures = failures
+        self.value = value
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"fault #{self.calls}")
+        return self.value
+
+
+class TestRetryPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"attempts": 0},
+        {"base_delay": -1.0},
+        {"max_delay": -0.5},
+        {"multiplier": 0.5},
+        {"jitter": -0.1},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryPolicyBackoff:
+    def test_exponential_schedule_capped_at_max(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.5)
+        delays = [policy.delay_for(i) for i in range(5)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_uses_injected_rng(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5, rng=lambda: 1.0)
+        assert policy.delay_for(0) == pytest.approx(1.5)
+
+    def test_default_seams_are_deterministic(self):
+        # No jitter, no sleeping: two policies built alike agree exactly.
+        a, b = RetryPolicy(attempts=4), RetryPolicy(attempts=4)
+        assert [a.delay_for(i) for i in range(3)] \
+            == [b.delay_for(i) for i in range(3)]
+
+
+class TestRetryPolicyCall:
+    def test_retries_retryable_until_success(self):
+        slept = []
+        policy = RetryPolicy(attempts=3, base_delay=0.25, multiplier=2.0,
+                             sleep=slept.append)
+        flaky = Flaky(failures=2)
+        assert policy.call(flaky) == "ok"
+        assert flaky.calls == 3
+        assert slept == pytest.approx([0.25, 0.5])
+
+    def test_exhausted_attempts_raise_last_error(self):
+        policy = RetryPolicy(attempts=3)
+        flaky = Flaky(failures=99)
+        with pytest.raises(OSError, match="fault #3"):
+            policy.call(flaky)
+        assert flaky.calls == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        policy = RetryPolicy(attempts=5)
+        flaky = Flaky(failures=99, exc=ValueError)
+        with pytest.raises(ValueError, match="fault #1"):
+            policy.call(flaky)
+        assert flaky.calls == 1
+
+    def test_single_attempt_never_sleeps(self):
+        slept = []
+        policy = RetryPolicy(attempts=1, sleep=slept.append)
+        with pytest.raises(OSError):
+            policy.call(Flaky(failures=1))
+        assert slept == []
+
+    def test_custom_retryable_classes(self):
+        policy = RetryPolicy(attempts=2, retryable=(KeyError,))
+        assert policy.call(Flaky(failures=1, exc=KeyError)) == "ok"
+        with pytest.raises(OSError):
+            policy.call(Flaky(failures=1, exc=OSError))
+
+
+class TestCircuitBreaker:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+
+    def test_stays_closed_below_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_trips_at_threshold_and_blocks(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=100.0)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_after_cooldown(self):
+        # Default clock ticks once per allow(): cooldown measures
+        # dispatch attempts.
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=3.0)
+        breaker.record_failure()
+        outcomes = [breaker.allow() for _ in range(5)]
+        assert outcomes.count(True) == 1  # exactly one probe let through
+        assert breaker.state == "half-open"
+        # Further traffic is held while the probe is in flight.
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        while not breaker.allow():
+            pass
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2.0)
+        breaker.record_failure()
+        while not breaker.allow():
+            pass
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # new cooldown, not instantly probing
+
+    def test_injected_clock_controls_cooldown(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0,
+                                 clock=lambda: now[0])
+        breaker.record_failure()
+        assert not breaker.allow()
+        now[0] = 9.9
+        assert not breaker.allow()
+        now[0] = 10.0
+        assert breaker.allow()
+        assert breaker.state == "half-open"

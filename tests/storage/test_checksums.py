@@ -165,6 +165,29 @@ class TestScrub:
         assert not report.ok
         assert [pid for pid, _ in report.corrupt] == [victim]
 
+
+    def test_scrub_flags_uncommitted_overwrite_of_committed_page(
+            self, tmp_path):
+        # A committed page stamped with a newer generation than the
+        # committed header is a crashed session's in-place overwrite;
+        # recovery-on-open refuses such a file and scrub must agree.
+        path = tmp_path / "v2.db"
+        with Pager(path, page_size=PAGE_SIZE) as pager:
+            pids = [pager.allocate() for _ in range(4)]
+            for pid in pids:
+                pager.write(pid, b"\x42" * PAGE_SIZE)
+        committed = scrub_page_file(path).committed.generation
+        device = FilePageDevice(path, PAGE_SIZE)
+        try:
+            device.set_write_generation(committed + 1)
+            device.write(pids[1], b"\x99" * PAGE_SIZE)
+        finally:
+            device.close()
+        report = scrub_page_file(path)
+        assert not report.ok
+        assert [pid for pid, _ in report.corrupt] == [pids[1]]
+        assert "overwrites the committed snapshot" in report.corrupt[0][1]
+
     def test_scrub_v1_file(self, tmp_path):
         path = tmp_path / "v1.db"
         _make_v1_file(path, [b"\x11" * PAGE_SIZE])

@@ -182,6 +182,70 @@ class TestScrub:
         assert run_cli("scrub", str(tmp_path / "nope.db")) == 2
 
 
+class TestScrubDirectory:
+    def _build_dir(self, tmp_path):
+        stream = tmp_path / "stream.csv"
+        index = tmp_path / "index.d"
+        run_cli("generate", "--objects", "20", "--max-time", "3000",
+                "--output", str(stream))
+        run_cli("build", str(stream), str(index), "--page-size", "1024",
+                "--shards", "3")
+        return index
+
+    def test_clean_directory_scrubs_clean(self, tmp_path, capsys):
+        index = self._build_dir(tmp_path)
+        assert run_cli("scrub", str(index)) == 0
+        out = capsys.readouterr().out
+        assert "engine directory" in out
+        assert "3 shard file(s) swept" in out
+        assert "directory verdict: clean" in out
+
+    def test_corrupt_shard_fails_directory_scrub(self, tmp_path, capsys):
+        from repro.storage import FaultInjectingPageDevice, FilePageDevice
+        index = self._build_dir(tmp_path)
+        shard = index / "shard-001.pages"
+        device = FaultInjectingPageDevice(FilePageDevice(shard, 1024))
+        device.flip_stored_bit(device.page_count() - 1, 17, 0x04)
+        device.close()
+        assert run_cli("scrub", str(index)) == 1
+        out = capsys.readouterr().out
+        assert "directory verdict: CORRUPT" in out
+
+    def test_missing_shard_file_is_a_problem(self, tmp_path, capsys):
+        index = self._build_dir(tmp_path)
+        (index / "shard-002.pages").unlink()
+        assert run_cli("scrub", str(index)) == 1
+        out = capsys.readouterr().out
+        assert "shard-002.pages is missing" in out
+
+
+class TestNoStrictFlag:
+    def test_sharded_query_accepts_no_strict(self, tmp_path, capsys):
+        stream = tmp_path / "stream.csv"
+        index = tmp_path / "index.d"
+        run_cli("generate", "--objects", "20", "--max-time", "30000",
+                "--output", str(stream))
+        args = ["--page-size", "1024", "--shards", "3"]
+        run_cli("build", str(stream), str(index), *args)
+        capsys.readouterr()
+        assert run_cli("query", str(index), "--t-lo", "25000",
+                       "--no-strict", *args) == 0
+        captured = capsys.readouterr()
+        # Healthy directory: full answer, no degradation banner.
+        assert "DEGRADED" not in captured.err
+
+    def test_no_strict_warns_without_shards(self, tmp_path, capsys):
+        stream = tmp_path / "stream.csv"
+        index = tmp_path / "idx.db"
+        run_cli("generate", "--objects", "10", "--max-time", "2000",
+                "--output", str(stream))
+        run_cli("build", str(stream), str(index), "--page-size", "1024")
+        capsys.readouterr()
+        assert run_cli("query", str(index), "--t-lo", "1500",
+                       "--no-strict", "--page-size", "1024") == 0
+        assert "no effect" in capsys.readouterr().err
+
+
 class TestModuleEntry:
     def test_python_dash_m_repro(self):
         proc = subprocess.run([sys.executable, "-m", "repro", "--help"],
