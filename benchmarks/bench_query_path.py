@@ -1,0 +1,182 @@
+"""Query fast path — plan cache + batched multi-rectangle evaluation A/B.
+
+The workload is a *dashboard refresh*: a fixed panel of rectangles
+mixing the paper's Fig. 9 spatial extents (1%–16% of the space edge)
+and Fig. 10 interval lengths (1%–16% of the window), re-evaluated
+several times against the same sliding window — the repeated-query
+shape the plan cache targets.  Three modes answer the identical panel:
+
+1. ``baseline``  — plan cache disabled (``PlanCache(0)``), one
+   :meth:`SWSTIndex.query_interval` per rectangle (the pre-fast-path
+   behaviour: classification, plan build, memo pruning and key-range
+   generation re-run for every query).
+2. ``cached``    — the same scalar loop with the plan cache on.
+3. ``batched``   — :meth:`SWSTIndex.query_interval_many` per refresh,
+   sharing one plan and one level-wise descent per (cell, tree) across
+   the whole panel.
+
+Per-rectangle entries must be identical in all three modes, and the
+scalar modes must report byte-identical node accesses (the cache only
+removes CPU work, never a counted access).  Speedups are recorded as
+machine-independent ratios; the CI gate compares them against the
+committed ``BENCH_query.json``.
+
+Run directly to (re)generate the trajectory file at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_query_path.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import random
+import time
+
+from repro.bench import active_params, build_swst
+from repro.core import QueryStats, Rect, SWSTIndex
+from repro.core.plan import PlanCache
+from repro.datagen import GSTDGenerator
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_query.json"
+
+REFRESHES = 5
+
+
+def _stream(params):
+    config = dataclasses.replace(params.stream,
+                                 num_objects=params.dataset_objects[-1])
+    return GSTDGenerator(config).materialize()
+
+
+def _dashboard(index: SWSTIndex, params) -> tuple[list[Rect], int, int]:
+    """The panel: rectangles over Fig. 9 extents, one Fig. 10 interval."""
+    rng = random.Random(4321)
+    space = index.config.space
+    q_lo, q_hi = index.config.queriable_period(index.now)
+    panels = []
+    extents = [space.x_hi // 100, space.x_hi // 25, space.x_hi // 12,
+               space.x_hi // 6]  # ~1%, 4%, 8%, 16% of the space edge
+    for i in range(params.query_count):
+        edge = extents[i % len(extents)]
+        x0 = rng.randrange(space.x_hi - edge)
+        y0 = rng.randrange(space.y_hi - edge)
+        panels.append(Rect(x0, y0, x0 + edge, y0 + edge))
+    length = min(index.config.window // 12, q_hi - q_lo)  # ~8% of W
+    t_hi = q_hi
+    t_lo = t_hi - length
+    return panels, t_lo, t_hi
+
+
+def _run_scalar(index, panels, t_lo, t_hi):
+    stats = QueryStats()
+    started = time.process_time()
+    results = []
+    for _ in range(REFRESHES):
+        for area in panels:
+            result = index.query_interval(area, t_lo, t_hi)
+            results.append(sorted((e.oid, e.s) for e in result))
+            stats.merge(result.stats)
+    return time.process_time() - started, results, stats
+
+
+def _run_batched(index, panels, t_lo, t_hi):
+    stats = QueryStats()
+    started = time.process_time()
+    results = []
+    for _ in range(REFRESHES):
+        batch = index.query_interval_many(panels, t_lo, t_hi)
+        for result in batch.results:
+            results.append(sorted((e.oid, e.s) for e in result))
+        stats.merge(batch.stats)
+    return time.process_time() - started, results, stats
+
+
+def run_query_path_bench(params=None) -> dict:
+    """A/B the query fast path; returns (and asserts) the record."""
+    params = params if params is not None else active_params()
+    stream = _stream(params)
+    index, _ = build_swst(stream, params.index, label="query-path")
+    try:
+        panels, t_lo, t_hi = _dashboard(index, params)
+        queries = REFRESHES * len(panels)
+
+        # Baseline: cache disabled.  PlanCache(0) retains nothing, so
+        # every query re-derives classification, plan and key ranges.
+        index._plans = PlanCache(0)
+        base_secs, base_results, base_stats = _run_scalar(
+            index, panels, t_lo, t_hi)
+
+        index._plans = PlanCache(params.index.plan_cache_size)
+        cached_secs, cached_results, cached_stats = _run_scalar(
+            index, panels, t_lo, t_hi)
+
+        index._plans = PlanCache(params.index.plan_cache_size)
+        many_secs, many_results, many_stats = _run_batched(
+            index, panels, t_lo, t_hi)
+    finally:
+        index.close()
+
+    # Correctness before speed: identical entries in all three modes,
+    # byte-identical node accesses between the scalar modes.
+    assert cached_results == base_results, \
+        "plan cache changed query results"
+    assert many_results == base_results, \
+        "batched evaluation changed query results"
+    assert cached_stats.node_accesses == base_stats.node_accesses, \
+        "plan cache changed query node accesses"
+    assert cached_stats.plan_cache_hits == queries - 1
+    assert many_stats.plan_cache_hits == REFRESHES - 1
+    assert many_stats.node_accesses < base_stats.node_accesses, \
+        "batched descents should share node accesses"
+
+    def rate(count, seconds):
+        return round(count / seconds, 1) if seconds > 0 else float("inf")
+
+    record = {
+        "figure": "query_path",
+        "scale": params.name,
+        "panel_rects": len(panels),
+        "refreshes": REFRESHES,
+        "queries": queries,
+        "interval": [t_lo, t_hi],
+        "queries_per_sec_baseline": rate(queries, base_secs),
+        "queries_per_sec_cached": rate(queries, cached_secs),
+        "queries_per_sec_batched": rate(queries, many_secs),
+        "speedup_cached": round(base_secs / max(cached_secs, 1e-9), 2),
+        "speedup_batched": round(base_secs / max(many_secs, 1e-9), 2),
+        "node_accesses_scalar": base_stats.node_accesses,
+        "node_accesses_batched": many_stats.node_accesses,
+        "node_access_reduction": round(
+            base_stats.node_accesses
+            / max(many_stats.node_accesses, 1), 2),
+        "plan_cache_hits_cached": cached_stats.plan_cache_hits,
+        "plan_cache_hits_batched": many_stats.plan_cache_hits,
+    }
+    return record
+
+
+def test_query_path(benchmark, params):
+    record = run_query_path_bench(params)
+
+    def noop():
+        return record
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    for key, value in record.items():
+        benchmark.extra_info[key] = value
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    # The acceptance floor for the fast path on the repeated-dashboard
+    # workload (observed ~25-35x at the scaled parameters).
+    assert record["speedup_cached"] >= 5.0
+    assert record["speedup_batched"] >= 5.0
+    assert record["node_access_reduction"] > 1.0
+
+
+if __name__ == "__main__":
+    rec = run_query_path_bench()
+    RESULT_PATH.write_text(json.dumps(rec, indent=2) + "\n")
+    print(json.dumps(rec, indent=2))
+    print(f"wrote {RESULT_PATH}")

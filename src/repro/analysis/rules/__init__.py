@@ -8,6 +8,7 @@ from .r003_typed_errors import TypedErrors
 from .r004_resource_guard import ResourceGuard
 from .r005_executor_closures import ExecutorClosures
 from .r006_swallowed_errors import SwallowedErrors
+from .r007_plan_purity import PlanPurity
 
 __all__ = [
     "RawPageIO",
@@ -16,4 +17,5 @@ __all__ = [
     "ResourceGuard",
     "ExecutorClosures",
     "SwallowedErrors",
+    "PlanPurity",
 ]

@@ -1,6 +1,7 @@
 """Disk-based B+ tree: SWST's per-spatial-cell temporal index substrate."""
 
-from .multisearch import multi_range_search, normalize_ranges
+from .multisearch import (hits_in_ranges, multi_range_search,
+                          multi_range_search_many, normalize_ranges)
 from .node import (InternalNode, KEY_BYTES, KEY_MAX, LeafNode,
                    NodeFormatError, internal_capacity, leaf_capacity)
 from .tree import BPlusTree, KeyRange
@@ -13,8 +14,10 @@ __all__ = [
     "KeyRange",
     "LeafNode",
     "NodeFormatError",
+    "hits_in_ranges",
     "internal_capacity",
     "leaf_capacity",
     "multi_range_search",
+    "multi_range_search_many",
     "normalize_ranges",
 ]

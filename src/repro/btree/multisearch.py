@@ -15,12 +15,13 @@ notes the IO cost is unchanged and only CPU work grows).
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from typing import Sequence
 
 from .node import InternalNode, LeafNode
 from .tree import BPlusTree, KeyRange
 
 
-def normalize_ranges(ranges: list[tuple[int, int]]) -> list[KeyRange]:
+def normalize_ranges(ranges: Sequence[tuple[int, int]]) -> list[KeyRange]:
     """Sort ranges and coalesce overlapping/adjacent ones.
 
     The SWST key-range generator already emits sorted disjoint ranges; this
@@ -38,7 +39,7 @@ def normalize_ranges(ranges: list[tuple[int, int]]) -> list[KeyRange]:
 
 
 def multi_range_search(tree: BPlusTree,
-                       ranges: list[tuple[int, int]],
+                       ranges: Sequence[tuple[int, int]],
                        ) -> list[tuple[int, bytes]]:
     """Search several key ranges visiting each tree node at most once.
 
@@ -67,6 +68,47 @@ def multi_range_search(tree: BPlusTree,
             _assign_children(node, assigned, next_level)
         level = list(next_level.items())
     return results
+
+
+def multi_range_search_many(tree: BPlusTree,
+                            groups: Sequence[Sequence[tuple[int, int]]],
+                            ) -> list[tuple[int, bytes]]:
+    """One level-wise descent over the *union* of several range groups.
+
+    The multi-rectangle query path amortises a single descent across the
+    key ranges of every rectangle overlapping one spatial cell: the
+    groups are flattened and normalised (sorted, overlapping/adjacent
+    ranges coalesced), so each tree node is still visited at most once
+    and no hit is returned twice.  Use :func:`hits_in_ranges` to slice
+    the shared hit list back down to one group's own ranges.
+    """
+    return multi_range_search(tree,
+                              [r for group in groups for r in group])
+
+
+def hits_in_ranges(hits: Sequence[tuple[int, bytes]],
+                   keys: Sequence[int],
+                   ranges: Sequence[tuple[int, int]],
+                   ) -> list[tuple[int, bytes]]:
+    """Subset of key-ordered ``hits`` whose key falls in ``ranges``.
+
+    Args:
+        hits: (key, value) pairs sorted by key (a
+            :func:`multi_range_search` result).
+        keys: the keys of ``hits`` as their own list (hoisted once by
+            the caller, reused across many groups).
+        ranges: closed, sorted, pairwise-disjoint key ranges.
+
+    Each qualifying hit is returned exactly once, in key order, via two
+    bisections per range — no per-hit Python loop.
+    """
+    out: list[tuple[int, bytes]] = []
+    for lo, hi in ranges:
+        start = bisect_left(keys, lo)
+        stop = bisect_right(keys, hi, start)
+        if stop > start:
+            out.extend(hits[start:stop])
+    return out
 
 
 def _scan_leaf(node: LeafNode, assigned: list[KeyRange],

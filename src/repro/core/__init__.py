@@ -7,8 +7,9 @@ from .keys import DecodedKey, KeyCodec
 from .memo import CellMemo
 from .merge import classify_interval_merge
 from .overlap import ColumnOverlap, classify_interval, classify_timeslice
+from .plan import PlanCache, PlanEntry, QueryPlan, build_query_plan
 from .records import CURRENT_DURATION, Entry, RECORD_SIZE, Rect
-from .results import QueryResult, QueryStats
+from .results import MultiQueryResult, QueryResult, QueryStats
 from .tuning import (TuningAdvice, memo_bytes_per_cell, memo_bytes_total,
                      suggest_config)
 
@@ -20,6 +21,10 @@ __all__ = [
     "DecodedKey",
     "Entry",
     "KeyCodec",
+    "MultiQueryResult",
+    "PlanCache",
+    "PlanEntry",
+    "QueryPlan",
     "QueryResult",
     "QueryStats",
     "RECORD_SIZE",
@@ -28,6 +33,7 @@ __all__ = [
     "SWSTIndex",
     "SpatialGrid",
     "TuningAdvice",
+    "build_query_plan",
     "classify_interval",
     "classify_interval_merge",
     "classify_timeslice",

@@ -59,6 +59,13 @@ class SWSTConfig:
             :class:`~repro.core.index.SWSTIndex` ignores this (it is
             always one shard); the engine requires it to match the
             on-disk shard directory.
+        plan_cache_size: capacity of the compiled query-plan cache
+            (entries), both per index and at the engine front end.
+            ``0`` disables plan caching, forcing temporal
+            classification and column-overlap derivation on every
+            query — the A/B baseline for the query-path benchmark.
+            Has no effect on query results or logical node-access
+            counts.
         device_factory: optional ``(path, page_size) -> PageDevice``
             callable; when set, the index builds its pager on the returned
             device instead of opening ``path`` directly.  Used to plug a
@@ -81,6 +88,7 @@ class SWSTConfig:
     spatial_keys: bool = True
     use_memo: bool = True
     n_shards: int = 1
+    plan_cache_size: int = 128
     device_factory: Callable[[str, int], Any] | None = \
         field(default=None, compare=False, repr=False)
 
@@ -115,6 +123,9 @@ class SWSTConfig:
             raise ValueError("node_cache_capacity must be >= 0 or None")
         if self.n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.plan_cache_size < 0:
+            raise ValueError(f"plan_cache_size must be >= 0, got "
+                             f"{self.plan_cache_size}")
 
     # -- derived quantities --------------------------------------------------
 

@@ -19,9 +19,9 @@ in-memory *isPresent* memo per spatial cell.  Supports:
 from __future__ import annotations
 
 import struct
-from typing import Any, Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
-from ..btree.multisearch import multi_range_search
+from ..btree.multisearch import hits_in_ranges, multi_range_search
 from ..btree.tree import BPlusTree
 from ..storage.buffer import BufferPool
 from ..storage.errors import CorruptPageFileError
@@ -32,8 +32,9 @@ from .grid import CellOverlap, SpatialGrid
 from .keys import KeyCodec
 from .memo import CellMemo
 from .overlap import ColumnOverlap, classify_interval
+from .plan import PlanCache, PlanEntry, QueryPlan, build_query_plan
 from .records import RECORD_SIZE, Entry, Rect, ReportLike
-from .results import QueryResult, QueryStats
+from .results import MultiQueryResult, QueryResult, QueryStats
 
 _CATALOG_HEADER = struct.Struct("<QQQI")       # clock, drop_epoch, size, n_cells
 _CATALOG_CELL = struct.Struct("<IIQQ")         # cx, cy, root0+1, root1+1
@@ -86,6 +87,7 @@ class SWSTIndex:
         self._memos: dict[tuple[int, int], CellMemo] = {}
         self._current: dict[int, tuple[int, int, int]] = {}
         self._retentions: dict[int, int] = {}
+        self._plans = PlanCache(self.config.plan_cache_size)
         self._clock = 0
         self._drop_epoch = 0
         self._size = 0
@@ -387,6 +389,11 @@ class SWSTIndex:
         if now < self._clock:
             raise ValueError(f"clock cannot move backwards "
                              f"({now} < {self._clock})")
+        if now != self._clock:
+            # The queriable period changed: every cached query plan is
+            # stale.  (Each entry is additionally clock-fenced, so even a
+            # missed invalidation could never serve a pre-slide plan.)
+            self._plans.invalidate()
         self._clock = now
         boundary = now // self.config.w_max
         while self._drop_epoch < boundary:
@@ -438,15 +445,50 @@ class SWSTIndex:
         stats = QueryStats()
         result = QueryResult(stats=stats)
         start = self.pool.stats.snapshot()
-        # Step (a): static temporal classification, shared by every cell.
-        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
-                                    window)
-        if columns:
-            plan = self._query_plan(columns, t_lo, t_hi, window)
+        # Step (a): static temporal classification, shared by every cell
+        # (served from the plan cache when this temporal signature was
+        # classified before at the current clock).
+        entry = self._plan_entry(t_lo, t_hi, window, stats)
+        if entry is not None:
             for cell in self.grid.overlapping_cells(area):
-                self._search_cell(cell, plan, area, stats, result.entries)
+                self._search_cell(cell, entry.plan, area, stats,
+                                  result.entries, entry)
         stats.node_accesses = self.pool.stats.diff(start).node_accesses
         return result
+
+    def query_interval_many(self, areas: Sequence[Rect], t_lo: int,
+                            t_hi: int,
+                            window: int | None = None) -> MultiQueryResult:
+        """Evaluate many rectangles against one time interval in a batch.
+
+        Equivalent to one :meth:`query_interval` per rectangle — the
+        per-rectangle entries and refinement statistics are identical —
+        but the whole batch shares a single query plan, and rectangles
+        overlapping the *same* spatial cell share one level-wise B+ tree
+        descent over the union of their key ranges (each tree node is
+        read once for the batch instead of once per rectangle).  Node
+        accesses therefore cannot be attributed to single rectangles and
+        are reported only on the batch-level
+        :attr:`MultiQueryResult.stats`.
+
+        Args:
+            areas: the query rectangles, any overlap structure.
+            t_lo, t_hi: closed query time interval shared by the batch.
+            window: optional logical window ``W' <= W``.
+        """
+        self._check_open()
+        if t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
+        areas = list(areas)
+        batch = MultiQueryResult(results=[QueryResult() for _ in areas])
+        start = self.pool.stats.snapshot()
+        entry = self._plan_entry(t_lo, t_hi, window, batch.stats)
+        if entry is not None and areas:
+            self._evaluate_many(areas, entry.plan, entry, batch.results)
+        for result in batch.results:
+            batch.stats.merge(result.stats)
+        batch.stats.node_accesses = self.pool.stats.diff(start).node_accesses
+        return batch
 
     def count_interval(self, area: Rect, t_lo: int, t_hi: int,
                        window: int | None = None) -> tuple[int, QueryStats]:
@@ -467,12 +509,11 @@ class SWSTIndex:
         stats = QueryStats()
         count = 0
         start = self.pool.stats.snapshot()
-        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
-                                    window)
-        if columns:
-            plan = self._query_plan(columns, t_lo, t_hi, window)
+        entry = self._plan_entry(t_lo, t_hi, window, stats)
+        if entry is not None:
             for cell in self.grid.overlapping_cells(area):
-                count += self._count_cell(cell, plan, area, stats)
+                count += self._count_cell(cell, entry.plan, area, stats,
+                                          entry)
         stats.node_accesses = self.pool.stats.diff(start).node_accesses
         return count, stats
 
@@ -570,17 +611,15 @@ class SWSTIndex:
         stats = QueryStats()
         result = QueryResult(stats=stats)
         start = self.pool.stats.snapshot()
-        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
-                                    window)
-        if columns:
-            plan = self._query_plan(columns, t_lo, t_hi, window)
-            candidates = self._knn_ring_search(x, y, k, plan, stats)
+        plan_entry = self._plan_entry(t_lo, t_hi, window, stats)
+        if plan_entry is not None:
+            candidates = self._knn_ring_search(x, y, k, plan_entry, stats)
             result.entries.extend(entry for _, entry in candidates)
         stats.node_accesses = self.pool.stats.diff(start).node_accesses
         return result
 
-    def _knn_ring_search(self, x: int, y: int, k: int, plan: dict[str, Any],
-                         stats: QueryStats
+    def _knn_ring_search(self, x: int, y: int, k: int,
+                         plan_entry: PlanEntry, stats: QueryStats
                          ) -> list[tuple[tuple[int, int, int], Entry]]:
         """Expanding-ring search keeping only the k best candidates.
 
@@ -627,7 +666,8 @@ class SWSTIndex:
                 bounds = self.grid.cell_bounds(cx, cy)
                 cell = _CellOverlap(cx=cx, cy=cy, full=True, clipped=bounds)
                 found: list[Entry] = []
-                self._search_cell(cell, plan, bounds, stats, found)
+                self._search_cell(cell, plan_entry.plan, bounds, stats,
+                                  found, plan_entry)
                 for entry in found:
                     dist2 = ((entry.x - x) ** 2 + (entry.y - y) ** 2)
                     neg_key = (-dist2, -entry.oid, -entry.s)
@@ -639,30 +679,39 @@ class SWSTIndex:
         return [((-n0, -n1, -n2), entry)
                 for (n0, n1, n2), _, entry in ordered]
 
-    def _query_plan(self, columns: list[ColumnOverlap], t_lo: int,
-                    t_hi: int, window: int | None) -> dict[str, Any]:
-        """Pre-computed per-query state shared by every spatial cell."""
-        q_lo, q_hi = self.config.queriable_period(self._clock, window)
-        by_tree: list[list[ColumnOverlap]] = [[], []]
-        for column in columns:
-            by_tree[column.tree].append(column)
-        return {
-            "by_tree": by_tree,
-            "column_of": {column.s_part: column for column in columns},
-            "q_lo": q_lo,
-            "s_hi_eff": min(q_hi, t_hi),
-            "t_lo": t_lo,
-        }
+    def _plan_entry(self, t_lo: int, t_hi: int, window: int | None,
+                    stats: QueryStats) -> PlanEntry | None:
+        """Resolve the query plan for one temporal signature.
+
+        Serves a cached plan when one was compiled for the same
+        ``(t_lo, t_hi, window)`` at the current clock (counted in
+        ``stats.plan_cache_hits``); otherwise runs the classification
+        sweep, compiles and caches a fresh plan.  Returns ``None`` when
+        no s-partition column qualifies — the query result is empty
+        without touching any cell.
+        """
+        entry = self._plans.lookup(t_lo, t_hi, window, self._clock)
+        if entry is not None:
+            stats.plan_cache_hits += 1
+            return entry
+        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
+                                    window)
+        if not columns:
+            return None
+        plan = build_query_plan(self.config, self._clock, columns, t_lo,
+                                t_hi, window)
+        return self._plans.store(plan, t_lo, t_hi, window)
 
     def _query_area_planned(self, area: Rect,
-                            plan: dict[str, Any]) -> QueryResult:
+                            plan: QueryPlan) -> QueryResult:
         """Evaluate a pre-classified interval query over this index's cells.
 
         The sharded engine's fan-out path: temporal classification and
         the query plan are pure functions of (config, clock, interval),
         so the engine computes them once and every shard runs only the
-        per-cell search.  The plan is read-only here, making concurrent
-        calls on *distinct* shards safe.
+        per-cell search.  The plan is immutable and read-only here (lint
+        rule R007), making concurrent calls on *distinct* shards — and
+        retried calls sharing one plan object — safe.
         """
         stats = QueryStats()
         result = QueryResult(stats=stats)
@@ -672,9 +721,19 @@ class SWSTIndex:
         stats.node_accesses = self.pool.stats.diff(start).node_accesses
         return result
 
+    def _query_area_planned_many(self, areas: Sequence[Rect],
+                                 plan: QueryPlan) -> MultiQueryResult:
+        """Batched twin of :meth:`_query_area_planned` (engine fan-out)."""
+        batch = MultiQueryResult(results=[QueryResult() for _ in areas])
+        start = self.pool.stats.snapshot()
+        self._evaluate_many(list(areas), plan, None, batch.results)
+        for result in batch.results:
+            batch.stats.merge(result.stats)
+        batch.stats.node_accesses = self.pool.stats.diff(start).node_accesses
+        return batch
+
     def _count_area_planned(self, area: Rect,
-                            plan: dict[str, Any]
-                            ) -> tuple[int, QueryStats]:
+                            plan: QueryPlan) -> tuple[int, QueryStats]:
         """Counting twin of :meth:`_query_area_planned`."""
         stats = QueryStats()
         count = 0
@@ -684,9 +743,38 @@ class SWSTIndex:
         stats.node_accesses = self.pool.stats.diff(start).node_accesses
         return count, stats
 
-    def _search_cell(self, cell: CellOverlap, plan: dict[str, Any],
-                     area: Rect, stats: QueryStats,
-                     out: list[Entry]) -> None:
+    def _evaluate_many(self, areas: list[Rect], plan: QueryPlan,
+                       plan_entry: PlanEntry | None,
+                       results: list[QueryResult]) -> None:
+        """Evaluate one plan over many rectangles, sharing descents.
+
+        Rectangles are grouped by overlapping spatial cell; a cell hit
+        by several rectangles is searched once per tree over the union
+        of their key ranges (:meth:`_search_cell_multi`).  Per-rectangle
+        entries and refinement statistics match a rectangle-at-a-time
+        evaluation exactly.
+        """
+        by_cell: dict[tuple[int, int], list[tuple[int, CellOverlap]]] = {}
+        for idx, area in enumerate(areas):
+            for cell in self.grid.overlapping_cells(area):
+                by_cell.setdefault((cell.cx, cell.cy), []).append((idx,
+                                                                   cell))
+        # Ascending cell order: overlapping_cells() walks each rect's
+        # cells row-major, so sorted iteration keeps every rectangle's
+        # entry order identical to its scalar evaluation.
+        for _, members in sorted(by_cell.items()):
+            if len(members) == 1:
+                idx, cell = members[0]
+                result = results[idx]
+                self._search_cell(cell, plan, areas[idx], result.stats,
+                                  result.entries, plan_entry)
+            else:
+                self._search_cell_multi(members, plan, areas, results,
+                                        plan_entry)
+
+    def _search_cell(self, cell: CellOverlap, plan: QueryPlan,
+                     area: Rect, stats: QueryStats, out: list[Entry],
+                     plan_entry: PlanEntry | None = None) -> None:
         """Steps (b)-(d) of the query pipeline for one spatial cell."""
         trees = self._trees.get((cell.cx, cell.cy))
         if trees is None:
@@ -695,31 +783,109 @@ class SWSTIndex:
         stats.spatial_cells += 1
         for tree_idx in (0, 1):
             tree = trees[tree_idx]
-            if tree is None or not plan["by_tree"][tree_idx]:
+            columns = plan.by_tree[tree_idx]
+            if tree is None or not columns:
                 continue
-            ranges = self._build_key_ranges(plan["by_tree"][tree_idx], memo,
-                                            cell.clipped, stats)
+            ranges = self._ranges_for(plan_entry, columns, memo, cell.cx,
+                                      cell.cy, tree_idx, cell.clipped,
+                                      stats)
             if not ranges:
                 continue
             stats.key_ranges += len(ranges)
             hits = multi_range_search(tree, ranges)
-            self._refine(hits, plan["column_of"], cell.full, area,
-                         plan["q_lo"], plan["s_hi_eff"], plan["t_lo"],
-                         stats, out)
+            self._refine(hits, plan, cell.full, area, stats, out)
 
-    def _build_key_ranges(self, columns: list[ColumnOverlap], memo: CellMemo,
-                          clipped: Rect,
-                          stats: QueryStats) -> list[tuple[int, int]]:
-        """Step (b): memo-pruned key ranges, one per non-empty column."""
+    def _search_cell_multi(self, members: list[tuple[int, CellOverlap]],
+                           plan: QueryPlan, areas: list[Rect],
+                           results: list[QueryResult],
+                           plan_entry: PlanEntry | None) -> None:
+        """Search one spatial cell for several rectangles at once.
+
+        One level-wise descent per tree covers the union of every
+        member rectangle's key ranges; each rectangle's own candidates
+        are then recovered by bisecting the key-ordered hit list with
+        its own (sorted, disjoint) ranges, so per-rectangle refinement
+        statistics are identical to a scalar evaluation.
+        """
+        cx, cy = members[0][1].cx, members[0][1].cy
+        trees = self._trees.get((cx, cy))
+        if trees is None:
+            return
+        memo = self._memos[(cx, cy)]
+        for idx, _ in members:
+            results[idx].stats.spatial_cells += 1
+        for tree_idx in (0, 1):
+            tree = trees[tree_idx]
+            columns = plan.by_tree[tree_idx]
+            if tree is None or not columns:
+                continue
+            active: list[tuple[int, CellOverlap,
+                               tuple[tuple[int, int], ...]]] = []
+            for idx, cell in members:
+                stats = results[idx].stats
+                ranges = self._ranges_for(plan_entry, columns, memo, cx, cy,
+                                          tree_idx, cell.clipped, stats)
+                if ranges:
+                    stats.key_ranges += len(ranges)
+                    active.append((idx, cell, ranges))
+            if not active:
+                continue
+            hits = multi_range_search(
+                tree, [r for _, _, ranges in active for r in ranges])
+            keys = [key for key, _ in hits]
+            for idx, cell, ranges in active:
+                own = hits_in_ranges(hits, keys, ranges)
+                self._refine(own, plan, cell.full, areas[idx],
+                             results[idx].stats, results[idx].entries)
+
+    def _ranges_for(self, plan_entry: PlanEntry | None,
+                    columns: tuple[ColumnOverlap, ...], memo: CellMemo,
+                    cx: int, cy: int, tree_idx: int, clipped: Rect,
+                    stats: QueryStats) -> tuple[tuple[int, int], ...]:
+        """Memo-pruned key ranges of one (cell, tree), cached per plan.
+
+        A cache slot is only replayed while the memo generation it was
+        derived at is current; the replay restores the same
+        ``columns_examined`` accounting the pruning sweep would have
+        produced, so statistics are identical with and without the
+        cache.
+        """
+        generation = memo.generation
+        if plan_entry is not None:
+            cached = plan_entry.cell_ranges(cx, cy, tree_idx, clipped,
+                                            generation)
+            if cached is not None:
+                stats.columns_examined += cached[2]
+                return cached[1]
+        ranges, examined = self._build_key_ranges(columns, memo, clipped)
+        stats.columns_examined += examined
+        if plan_entry is not None:
+            plan_entry.store_cell_ranges(cx, cy, tree_idx, clipped,
+                                         generation, ranges, examined)
+        return ranges
+
+    def _build_key_ranges(self, columns: tuple[ColumnOverlap, ...],
+                          memo: CellMemo, clipped: Rect
+                          ) -> tuple[tuple[tuple[int, int], ...], int]:
+        """Step (b): memo-pruned key ranges, one per non-empty column.
+
+        Returns ``(ranges, columns_examined)``; the caller owns the
+        statistics accounting so cached replays stay byte-identical.
+        """
         dp = self.config.dp
+        use_memo = self.config.use_memo
+        overlaps = memo.overlaps
+        z_lo, z_hi = self.codec.rect_z(clipped)
+        column_range_z = self.codec.column_range_z
         ranges: list[tuple[int, int]] = []
+        examined = 0
         for column in columns:
-            stats.columns_examined += 1
-            if self.config.use_memo:
+            examined += 1
+            if use_memo:
                 n_min = -1
                 n_max = -1
                 for n in range(column.d_first, dp):
-                    if memo.overlaps(column.s_part, n, clipped):
+                    if overlaps(column.s_part, n, clipped):
                         if n_min < 0:
                             n_min = n
                         n_max = n
@@ -728,29 +894,35 @@ class SWSTIndex:
             else:
                 # Fig. 11 ablation: search the whole overlapping band.
                 n_min, n_max = column.d_first, dp - 1
-            ranges.append(self.codec.column_range(column.s_part, n_min,
-                                                  n_max, clipped))
-        return ranges
+            ranges.append(column_range_z(column.s_part, n_min, n_max,
+                                         z_lo, z_hi))
+        return tuple(ranges), examined
 
-    def _refine(self, hits: list[tuple[int, bytes]],
-                column_of: dict[int, ColumnOverlap], spatial_full: bool,
-                area: Rect, q_lo: int, s_hi_eff: int, t_lo: int,
-                stats: QueryStats, out: list[Entry]) -> None:
+    def _refine(self, hits: list[tuple[int, bytes]], plan: QueryPlan,
+                spatial_full: bool, area: Rect, stats: QueryStats,
+                out: list[Entry]) -> None:
         """Step (d): drop false positives; skip checks for full overlaps."""
-        for key, payload in hits:
+        if not hits:
+            return
+        column_of = plan.column_of
+        q_lo, s_hi_eff, t_lo = plan.q_lo, plan.s_hi_eff, plan.t_lo
+        check_retention = bool(self._retentions)
+        unpack = Entry.unpack
+        splits = self.codec.split_many([key for key, _ in hits])
+        for (_, payload), (s_part, d_part) in zip(hits, splits,
+                                                  strict=True):
             stats.candidates += 1
-            decoded = self.codec.decode(key)
-            column = column_of.get(decoded.s_part)
+            column = column_of.get(s_part)
             if column is None:
                 # Physically present entry of an s-partition with no
                 # qualifying starts (expired band of a shared cycle).
                 stats.refined_out += 1
                 continue
-            entry = Entry.unpack(payload)
-            if self._retentions and not self._passes_retention(entry):
+            entry = unpack(payload)
+            if check_retention and not self._passes_retention(entry):
                 stats.refined_out += 1
                 continue
-            temporal_full = decoded.d_part >= column.d_full
+            temporal_full = d_part >= column.d_full
             if temporal_full and spatial_full:
                 stats.full_hits += 1
                 out.append(entry)
@@ -764,8 +936,9 @@ class SWSTIndex:
                 continue
             out.append(entry)
 
-    def _count_cell(self, cell: CellOverlap, plan: dict[str, Any],
-                    area: Rect, stats: QueryStats) -> int:
+    def _count_cell(self, cell: CellOverlap, plan: QueryPlan, area: Rect,
+                    stats: QueryStats,
+                    plan_entry: PlanEntry | None = None) -> int:
         """Counting twin of :meth:`_search_cell` — no entries materialise."""
         trees = self._trees.get((cell.cx, cell.cy))
         if trees is None:
@@ -775,24 +948,22 @@ class SWSTIndex:
         count = 0
         for tree_idx in (0, 1):
             tree = trees[tree_idx]
-            if tree is None or not plan["by_tree"][tree_idx]:
+            columns = plan.by_tree[tree_idx]
+            if tree is None or not columns:
                 continue
-            ranges = self._build_key_ranges(plan["by_tree"][tree_idx], memo,
-                                            cell.clipped, stats)
+            ranges = self._ranges_for(plan_entry, columns, memo, cell.cx,
+                                      cell.cy, tree_idx, cell.clipped,
+                                      stats)
             if not ranges:
                 continue
             stats.key_ranges += len(ranges)
             hits = multi_range_search(tree, ranges)
-            count += self._refine_count(hits, plan["column_of"], cell.full,
-                                        area, plan["q_lo"],
-                                        plan["s_hi_eff"], plan["t_lo"],
-                                        stats)
+            count += self._refine_count(hits, plan, cell.full, area, stats)
         return count
 
-    def _refine_count(self, hits: list[tuple[int, bytes]],
-                      column_of: dict[int, ColumnOverlap],
-                      spatial_full: bool, area: Rect, q_lo: int,
-                      s_hi_eff: int, t_lo: int, stats: QueryStats) -> int:
+    def _refine_count(self, hits: list[tuple[int, bytes]], plan: QueryPlan,
+                      spatial_full: bool, area: Rect,
+                      stats: QueryStats) -> int:
         """Refinement that counts instead of accumulating entries.
 
         Mirrors :meth:`_refine` predicate for predicate, but never builds
@@ -800,21 +971,28 @@ class SWSTIndex:
         retention overrides are counted from the key alone — the record
         payload is not even unpacked.
         """
+        if not hits:
+            return 0
+        column_of = plan.column_of
+        q_lo, s_hi_eff, t_lo = plan.q_lo, plan.s_hi_eff, plan.t_lo
+        check_retention = bool(self._retentions)
+        unpack = Entry.unpack
+        splits = self.codec.split_many([key for key, _ in hits])
         count = 0
-        for key, payload in hits:
+        for (_, payload), (s_part, d_part) in zip(hits, splits,
+                                                  strict=True):
             stats.candidates += 1
-            decoded = self.codec.decode(key)
-            column = column_of.get(decoded.s_part)
+            column = column_of.get(s_part)
             if column is None:
                 stats.refined_out += 1
                 continue
-            temporal_full = decoded.d_part >= column.d_full
-            if temporal_full and spatial_full and not self._retentions:
+            temporal_full = d_part >= column.d_full
+            if temporal_full and spatial_full and not check_retention:
                 stats.full_hits += 1
                 count += 1
                 continue
-            entry = Entry.unpack(payload)
-            if self._retentions and not self._passes_retention(entry):
+            entry = unpack(payload)
+            if check_retention and not self._passes_retention(entry):
                 stats.refined_out += 1
                 continue
             if temporal_full and spatial_full:
@@ -991,6 +1169,10 @@ class SWSTIndex:
             index._memos = {}
             index._current = {}
             index._retentions = {}
+            index._plans = PlanCache(config.plan_cache_size)
+            index._clock = 0
+            index._drop_epoch = 0
+            index._size = 0
             index._closed = False
             index._load_catalog()
             index._rebuild_memos()

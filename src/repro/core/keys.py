@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sfc.zcurve import zc_encode
+from typing import Iterable, Sequence
+
+from ..sfc.zcurve import zc_encode, zc_encode_many
 from .config import SWSTConfig
 from .records import Rect
 
@@ -72,6 +74,35 @@ class KeyCodec:
         s_part = rest >> self.d_bits
         return DecodedKey(s_part=s_part, d_part=d_part, z_value=z_value)
 
+    # -- batched encode/decode ---------------------------------------------------
+
+    def encode_many(self,
+                    items: Iterable[tuple[int, int, int, int]]) -> list[int]:
+        """Keys of many ``(s, d, x, y)`` tuples in one pass."""
+        s_partition = self.config.s_partition
+        d_partition = self.config.d_partition
+        d_bits, z_bits = self.d_bits, self.z_bits
+        if not z_bits:
+            return [(s_partition(s) << d_bits) | d_partition(d)
+                    for s, d, _x, _y in items]
+        batch = list(items)
+        zs = zc_encode_many(((x, y) for _s, _d, x, y in batch),
+                            self.zc_order)
+        return [(((s_partition(s) << d_bits) | d_partition(d)) << z_bits) | z
+                for (s, d, _x, _y), z in zip(batch, zs, strict=True)]
+
+    def split_many(self, keys: Sequence[int]) -> list[tuple[int, int]]:
+        """``(s_part, d_part)`` of many keys in one pass.
+
+        The refinement step classifies every candidate by its temporal
+        cell but never needs the Z bits, so this skips materialising
+        :class:`DecodedKey` objects.
+        """
+        z_bits, d_bits = self.z_bits, self.d_bits
+        d_mask = (1 << d_bits) - 1
+        return [(key >> z_bits >> d_bits, (key >> z_bits) & d_mask)
+                for key in keys]
+
     # -- range generation --------------------------------------------------------
 
     def column_range(self, s_part: int, d_lo: int, d_hi: int,
@@ -85,12 +116,24 @@ class KeyCodec:
         """
         if d_lo > d_hi:
             raise ValueError(f"empty d-partition range [{d_lo}, {d_hi}]")
-        if self.z_bits:
-            z_lo = zc_encode(clipped.x_lo, clipped.y_lo, self.zc_order)
-            z_hi = zc_encode(clipped.x_hi, clipped.y_hi, self.zc_order)
-            lo = ((s_part << self.d_bits | d_lo) << self.z_bits) | z_lo
-            hi = ((s_part << self.d_bits | d_hi) << self.z_bits) | z_hi
-        else:
-            lo = s_part << self.d_bits | d_lo
-            hi = s_part << self.d_bits | d_hi
-        return lo, hi
+        z_lo, z_hi = self.rect_z(clipped)
+        return self.column_range_z(s_part, d_lo, d_hi, z_lo, z_hi)
+
+    def rect_z(self, clipped: Rect) -> tuple[int, int]:
+        """Z-values of a rectangle's lower-left and upper-right corners.
+
+        The query pipeline encodes these once per spatial cell and
+        reuses them for every s-partition column of both trees (the
+        clipped rectangle is a per-cell constant).
+        """
+        if not self.z_bits:
+            return 0, 0
+        return (zc_encode(clipped.x_lo, clipped.y_lo, self.zc_order),
+                zc_encode(clipped.x_hi, clipped.y_hi, self.zc_order))
+
+    def column_range_z(self, s_part: int, d_lo: int, d_hi: int,
+                       z_lo: int, z_hi: int) -> tuple[int, int]:
+        """:meth:`column_range` with the corner Z-values precomputed."""
+        d_bits, z_bits = self.d_bits, self.z_bits
+        return (((s_part << d_bits | d_lo) << z_bits) | z_lo,
+                ((s_part << d_bits | d_hi) << z_bits) | z_hi)

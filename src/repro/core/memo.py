@@ -26,14 +26,26 @@ from .records import Rect
 class CellMemo:
     """isPresent memo for one spatial cell."""
 
-    __slots__ = ("_cells",)
+    __slots__ = ("_cells", "_generation")
 
     def __init__(self) -> None:
         # (s_part, d_part) -> [count, x_lo, y_lo, x_hi, y_hi]
         self._cells: dict[tuple[int, int], list[int]] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped by every mutation.
+
+        Cached artifacts derived from the memo (the plan cache's
+        memo-pruned key ranges) fence themselves on this counter: a
+        generation mismatch means the pruning decision must be redone.
+        """
+        return self._generation
 
     def add(self, s_part: int, d_part: int, x: int, y: int) -> None:
         """Record one entry at ``(x, y)`` in temporal cell (s_part, d_part)."""
+        self._generation += 1
         cell = self._cells.get((s_part, d_part))
         if cell is None:
             self._cells[(s_part, d_part)] = [1, x, y, x, y]
@@ -54,6 +66,7 @@ class CellMemo:
         cell = self._cells.get(key)
         if cell is None:
             raise KeyError(f"temporal cell {key} is already empty")
+        self._generation += 1
         cell[0] -= 1
         if cell[0] == 0:
             del self._cells[key]
@@ -84,6 +97,8 @@ class CellMemo:
         boundary.
         """
         stale = [key for key in self._cells if s_lo <= key[0] < s_hi]
+        if stale:
+            self._generation += 1
         for key in stale:
             del self._cells[key]
 

@@ -23,6 +23,9 @@ class QueryStats:
         refined_out: candidates discarded by the refinement step.
         full_hits: candidates accepted without any predicate evaluation
             because both their temporal cell and spatial cell overlap fully.
+        plan_cache_hits: queries (or batch evaluations) that reused a
+            compiled query plan from the plan cache instead of
+            re-deriving the temporal classification.
         degraded: True if the result was produced in degraded mode — a
             sharded query ran with ``strict=False`` and at least one
             shard failed, so the entries cover only the surviving shards.
@@ -35,6 +38,7 @@ class QueryStats:
     candidates: int = 0
     refined_out: int = 0
     full_hits: int = 0
+    plan_cache_hits: int = 0
     degraded: bool = False
 
     def merge(self, other: "QueryStats") -> "QueryStats":
@@ -87,3 +91,29 @@ class QueryResult:
         self.entries.extend(other.entries)
         self.stats.merge(other.stats)
         return self
+
+
+@dataclass
+class MultiQueryResult:
+    """Result of a batched multi-rectangle query.
+
+    Attributes:
+        results: one :class:`QueryResult` per input rectangle, in input
+            order.  Per-rectangle statistics carry that rectangle's own
+            refinement counters (candidates, full hits, refined-out, key
+            ranges, ...); node accesses of the shared level-wise B+ tree
+            descents cannot be attributed to a single rectangle and are
+            reported only on the batch-level :attr:`stats`.
+        stats: aggregate statistics of the whole batch — the merge of
+            every per-rectangle block plus the batch's total logical
+            node accesses and plan-cache hits.
+    """
+
+    results: list[QueryResult] = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)

@@ -75,8 +75,9 @@ from ..core.config import SWSTConfig
 from ..core.grid import SpatialGrid
 from ..core.index import SWSTIndex
 from ..core.overlap import classify_interval
+from ..core.plan import PlanCache, QueryPlan, build_query_plan
 from ..core.records import Entry, Rect, ReportLike
-from ..core.results import QueryResult, QueryStats
+from ..core.results import MultiQueryResult, QueryResult, QueryStats
 from ..storage.errors import StorageError
 from ..storage.fileops import DURABLE_FILE_OPS, FileOps
 from ..storage.pager import MEMORY
@@ -85,7 +86,8 @@ from ..storage.stats import IOStats
 from .errors import (CircuitOpenError, EngineClosedError, EngineCloseError,
                      EngineError, EpochTornError, ShardFailure,
                      ShardOpenError, ShardQueryError, TaskTimeoutError)
-from .executor import Executor, ThreadedExecutor
+from .executor import (Executor, ThreadedExecutor, discard_worker_shard,
+                       open_worker_shard)
 from .retry import CircuitBreaker, RetryPolicy
 from .sharding import GridShardMap
 
@@ -185,21 +187,32 @@ def _guarded_call(policy: RetryPolicy,
 
 
 def _remote_query_task(
-        task: tuple[str, SWSTConfig, str, tuple[Any, ...], RetryPolicy]
+        task: tuple[str, SWSTConfig, str, tuple[Any, ...], RetryPolicy, int]
 ) -> tuple[str, Any]:
-    """Out-of-process task: reopen one saved shard and run one method.
+    """Out-of-process task: open one saved shard and run one method.
 
     Used by remote (process-pool) executors, which cannot reach the
     parent's live shard objects.  The shard is opened read-only in
-    practice: query methods never mutate, so the pager commits nothing.
-    Retries run *inside* the worker so a transient open failure does not
-    cost a round trip through the pool.
+    practice (query methods never mutate, so the pager commits nothing)
+    through the worker-local handle cache keyed on the engine's save
+    epoch — repeated queries against an unchanged directory reuse the
+    open shard instead of re-parsing the catalog and warming the buffer
+    pool from scratch.  A failed attempt discards the cached handle, so
+    retries (which run *inside* the worker — a transient fault does not
+    cost a round trip through the pool) start from a fresh open.
     """
-    path, config, method, args, policy = task
+    path, config, method, args, policy, epoch = task
+
+    def open_shard() -> SWSTIndex:
+        return SWSTIndex.open(path, config)
 
     def attempt() -> Any:
-        with SWSTIndex.open(path, config) as shard:
+        shard = open_worker_shard(path, epoch, open_shard)
+        try:
             return getattr(shard, method)(*args)
+        except BaseException:
+            discard_worker_shard(path)
+            raise
 
     return _guarded_call(policy, attempt)
 
@@ -308,6 +321,7 @@ class ShardedEngine:
         self._fops: FileOps = file_ops if file_ops is not None \
             else DURABLE_FILE_OPS
         self._home: dict[int, int] = {}
+        self._plans = PlanCache(self.config.plan_cache_size)
         self._clock = 0
         self._epoch = 0
         self._mutated = False
@@ -527,7 +541,8 @@ class ShardedEngine:
                     "a remote (process) executor reopens shards from "
                     "disk; call save() after mutating the engine")
             config = dataclasses.replace(self.config, device_factory=None)
-            tasks = [(self.shard_path(sid), config, method, args, policy)
+            tasks = [(self.shard_path(sid), config, method, args, policy,
+                      self._epoch)
                      for sid in dispatch]
 
             def run() -> list[tuple[str, Any]]:
@@ -792,11 +807,43 @@ class ShardedEngine:
                                       for shard in self._shards):
             return
         self._mutated = True
+        if now != self._clock:
+            # Queriable period changed: no engine-level plan survives a
+            # slide (entries are clock-fenced besides, see PlanCache).
+            self._plans.invalidate()
         for shard in self._shards:
             shard.advance_time(now)
         self._clock = now
 
     # -- queries ---------------------------------------------------------------
+
+    def _plan_for(self, t_lo: int, t_hi: int, window: int | None,
+                  stats: QueryStats) -> QueryPlan | None:
+        """Resolve one query plan at the engine front end.
+
+        Temporal classification and the plan depend only on (config,
+        clock, interval) — shared by every shard in lockstep — so the
+        engine derives the plan **once** per temporal signature, caches
+        it, and fans out only the per-cell search.  The same immutable
+        plan object is shipped to every shard task, including *retried*
+        tasks: a retry re-enters ``_query_area_planned`` with the
+        original plan instead of re-deriving it (and, on the process
+        path, instead of re-running the whole public query), so retries
+        cannot skew the classification work or double-derive state.
+        Returns ``None`` when no s-partition column qualifies.
+        """
+        entry = self._plans.lookup(t_lo, t_hi, window, self._clock)
+        if entry is not None:
+            stats.plan_cache_hits += 1
+            return entry.plan
+        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
+                                    window)
+        if not columns:
+            return None
+        plan = build_query_plan(self.config, self._clock, columns, t_lo,
+                                t_hi, window)
+        self._plans.store(plan, t_lo, t_hi, window)
+        return plan
 
     def query_timeslice(self, area: Rect, t: int,
                         window: int | None = None, *,
@@ -822,20 +869,15 @@ class ShardedEngine:
         shard_ids = self._shards_for_area(area)
         if not shard_ids:
             return merged
-        if getattr(self._executor, "remote", False):
-            method, args = "query_interval", (area, t_lo, t_hi, window)
-        else:
-            # Temporal classification and the query plan depend only on
-            # (config, clock, interval) — shared by every shard in
-            # lockstep — so compute them once and fan out the per-cell
-            # search alone.
-            columns = classify_interval(self.config, self._clock, t_lo,
-                                        t_hi, window)
-            if not columns:
-                return merged
-            plan = self._shards[0]._query_plan(columns, t_lo, t_hi, window)
-            method, args = "_query_area_planned", (area, plan)
-        successes, failures = self._fan_out_query(shard_ids, method, args)
+        # One plan for the whole fan-out — local threads, process
+        # workers and retried tasks all evaluate the same frozen object
+        # (it is picklable, so the process path no longer re-derives
+        # classification on every attempt).
+        plan = self._plan_for(t_lo, t_hi, window, merged.stats)
+        if plan is None:
+            return merged
+        successes, failures = self._fan_out_query(
+            shard_ids, "_query_area_planned", (area, plan))
         if failures and strict:
             self._raise_shard_failure(failures)
         for _, result in successes:
@@ -845,6 +887,61 @@ class ShardedEngine:
             merged.failures.extend(failures)
             merged.stats.degraded = True
         return merged
+
+    def query_interval_many(self, areas: Iterable[Rect], t_lo: int,
+                            t_hi: int, window: int | None = None, *,
+                            strict: bool = True) -> MultiQueryResult:
+        """Batched multi-rectangle scatter-gather interval query.
+
+        Equivalent to one :meth:`query_interval` per rectangle, but the
+        whole batch shares one plan and one fan-out: every overlapping
+        shard receives the full rectangle list and evaluates it with
+        shared per-cell descents
+        (:meth:`SWSTIndex._query_area_planned_many`).
+
+        With ``strict=False`` the per-rectangle results are
+        :class:`PartialResult` objects; a failed shard is attributed to
+        exactly the rectangles whose area it overlaps (other rectangles
+        stay complete).
+        """
+        self._check_open()
+        if t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
+        self.config.queriable_period(self._clock, window)  # validate window
+        areas = list(areas)
+        results: list[QueryResult] = [
+            QueryResult() if strict else PartialResult() for _ in areas]
+        batch = MultiQueryResult(results=results)
+        if not areas:
+            return batch
+        rect_shards = [self._shards_for_area(area) for area in areas]
+        shard_ids = sorted({sid for sids in rect_shards for sid in sids})
+        if not shard_ids:
+            return batch
+        plan = self._plan_for(t_lo, t_hi, window, batch.stats)
+        if plan is None:
+            return batch
+        successes, failures = self._fan_out_query(
+            shard_ids, "_query_area_planned_many", (areas, plan))
+        if failures and strict:
+            self._raise_shard_failure(failures)
+        for _, shard_batch in successes:
+            for result, shard_result in zip(results, shard_batch.results,
+                                            strict=True):
+                result.merge(shard_result)
+            batch.stats.merge(shard_batch.stats)
+        if failures:
+            for idx, sids in enumerate(rect_shards):
+                overlapping = [failure for failure in failures
+                               if failure.shard_id in sids]
+                if not overlapping:
+                    continue
+                result = results[idx]
+                assert isinstance(result, PartialResult)
+                result.failures.extend(overlapping)
+                result.stats.degraded = True
+            batch.stats.degraded = True
+        return batch
 
     def count_interval(self, area: Rect, t_lo: int, t_hi: int,
                        window: int | None = None, *,
@@ -864,16 +961,11 @@ class ShardedEngine:
         shard_ids = self._shards_for_area(area)
         if not shard_ids:
             return total, stats
-        if getattr(self._executor, "remote", False):
-            method, args = "count_interval", (area, t_lo, t_hi, window)
-        else:
-            columns = classify_interval(self.config, self._clock, t_lo,
-                                        t_hi, window)
-            if not columns:
-                return total, stats
-            plan = self._shards[0]._query_plan(columns, t_lo, t_hi, window)
-            method, args = "_count_area_planned", (area, plan)
-        successes, failures = self._fan_out_query(shard_ids, method, args)
+        plan = self._plan_for(t_lo, t_hi, window, stats)
+        if plan is None:
+            return total, stats
+        successes, failures = self._fan_out_query(
+            shard_ids, "_count_area_planned", (area, plan))
         if failures and strict:
             self._raise_shard_failure(failures)
         for _, (count, shard_stats) in successes:

@@ -13,10 +13,12 @@ deadline) plus ``close`` — so the execution strategy is pluggable:
 * :class:`ProcessExecutor` runs tasks on a process pool for true CPU
   parallelism under the GIL.  Processes cannot see the parent's live
   shard objects, so the engine only accepts it for *read-only* fan-out
-  against a saved shard directory: each task reopens its shard from disk
-  inside the worker (see ``ShardedEngine``'s ``remote`` handling).  A
-  broken pool (worker killed mid-task) is discarded so the next ``map``
-  starts a fresh one — paired with the engine's
+  against a saved shard directory: each task opens its shard from disk
+  inside the worker (see ``ShardedEngine``'s ``remote`` handling),
+  through the worker-local handle cache below so a repeated-query
+  workload pays the open once per (shard, save epoch) instead of once
+  per query.  A broken pool (worker killed mid-task) is discarded so
+  the next ``map`` starts a fresh one — paired with the engine's
   :class:`~repro.engine.retry.RetryPolicy` this makes worker death a
   transient, retryable fault.
 
@@ -36,15 +38,88 @@ working unchanged).
 
 from __future__ import annotations
 
+import atexit
+import contextlib
 import os
 from typing import (TYPE_CHECKING, Any, Callable, Iterable, Protocol,
                     Sequence, runtime_checkable)
 
+from ..storage.errors import StorageError
 from .errors import TaskTimeoutError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from concurrent.futures import (Future, ProcessPoolExecutor,
                                     ThreadPoolExecutor)
+
+
+# -- worker-local shard handle cache ------------------------------------------
+#
+# Remote (process-pool) query tasks cannot see the parent's live shards,
+# so historically every task reopened its shard from disk — catalog
+# parse, buffer pool from cold — which dwarfs the per-query cost on a
+# repeated-dashboard workload.  Queries are read-only and the engine
+# refuses remote fan-out over unsaved mutations, so a worker may keep
+# the handle open and reuse it for as long as the directory's save
+# *epoch* is unchanged: the engine stamps each task with its manifest
+# epoch, and an epoch bump (a new save rewrote the shard files in
+# place) closes the stale handle and reopens.  The cache is per worker
+# process; handles are closed at worker exit.
+
+_WORKER_SHARD_CAP = 32
+
+#: path -> (save epoch, open shard handle).  Worker-process-local.
+_worker_shards: dict[str, tuple[int, Any]] = {}
+_worker_cleanup_registered = False
+
+
+def _close_handle(handle: Any) -> None:
+    with contextlib.suppress(OSError, StorageError, ValueError):
+        handle.close()
+
+
+def _close_worker_shards() -> None:
+    while _worker_shards:
+        _, (_, handle) = _worker_shards.popitem()
+        _close_handle(handle)
+
+
+def open_worker_shard(path: str, epoch: int,
+                      opener: Callable[[], Any]) -> Any:
+    """Per-process memoised shard open for remote read-only tasks.
+
+    Returns the cached handle for ``path`` if it was opened at the same
+    save ``epoch``; otherwise closes any stale handle, opens a fresh one
+    via ``opener`` and caches it.  The cache is bounded: at
+    ``_WORKER_SHARD_CAP`` entries it is cleared wholesale (directories
+    come and go in tests; steady-state serving uses one directory).
+    """
+    global _worker_cleanup_registered
+    cached = _worker_shards.get(path)
+    if cached is not None:
+        if cached[0] == epoch:
+            return cached[1]
+        del _worker_shards[path]
+        _close_handle(cached[1])
+    handle = opener()
+    if len(_worker_shards) >= _WORKER_SHARD_CAP:
+        _close_worker_shards()
+    _worker_shards[path] = (epoch, handle)
+    if not _worker_cleanup_registered:
+        _worker_cleanup_registered = True
+        atexit.register(_close_worker_shards)
+    return handle
+
+
+def discard_worker_shard(path: str) -> None:
+    """Drop (and close) ``path``'s cached handle, if any.
+
+    Called by the remote task wrapper when an attempt fails: the retry
+    then starts from a fresh open instead of reusing a handle whose
+    device may be mid-failure.
+    """
+    cached = _worker_shards.pop(path, None)
+    if cached is not None:
+        _close_handle(cached[1])
 
 
 @runtime_checkable

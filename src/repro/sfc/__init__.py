@@ -1,15 +1,17 @@
 """Space-filling curves used to linearise 2-D locations into B+ tree keys."""
 
 from .hilbert import hc_decode, hc_encode
-from .zcurve import (DEFAULT_ORDER, zc_decode, zc_encode, zc_in_rect,
-                     zc_range)
+from .zcurve import (DEFAULT_ORDER, zc_decode, zc_decode_many, zc_encode,
+                     zc_encode_many, zc_in_rect, zc_range)
 
 __all__ = [
     "DEFAULT_ORDER",
     "hc_decode",
     "hc_encode",
     "zc_decode",
+    "zc_decode_many",
     "zc_encode",
+    "zc_encode_many",
     "zc_in_rect",
     "zc_range",
 ]

@@ -33,7 +33,8 @@ class TestFinding:
 class TestRegistry:
     def test_builtin_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006",
+                       "R007"]
         assert ids == sorted(ids)
 
     def test_every_rule_documented(self):

@@ -343,6 +343,91 @@ class TestR006SwallowedErrors:
         assert rule_ids(findings) == ["R006"]
 
 
+# -- R007: query plans are immutable after construction -----------------------
+
+
+class TestR007PlanPurity:
+    def test_subscript_store_flagged(self):
+        source = """\
+            def tweak(plan):
+                plan.column_of[3] = None
+            """
+        findings = lint(source, "src/repro/core/index.py", "R007")
+        assert rule_ids(findings) == ["R007"]
+        assert "plan.column_of" in findings[0].message
+
+    def test_attribute_store_through_holder_flagged(self):
+        source = """\
+            def tweak(entry):
+                entry.plan.q_lo = 0
+            """
+        findings = lint(source, "src/repro/engine/engine.py", "R007")
+        assert rule_ids(findings) == ["R007"]
+
+    def test_legacy_dict_plan_store_flagged(self):
+        source = """\
+            def tweak(shard_plan):
+                shard_plan["by_tree"] = []
+            """
+        findings = lint(source, "src/repro/engine/engine.py", "R007")
+        assert rule_ids(findings) == ["R007"]
+
+    def test_mutator_call_flagged(self):
+        source = """\
+            def tweak(plan, extra):
+                plan.column_of.update(extra)
+            """
+        findings = lint(source, "src/repro/core/index.py", "R007")
+        assert rule_ids(findings) == ["R007"]
+
+    def test_augassign_flagged(self):
+        source = """\
+            def tweak(plan):
+                plan.s_hi_eff += 1
+            """
+        findings = lint(source, "src/repro/core/index.py", "R007")
+        assert rule_ids(findings) == ["R007"]
+
+    def test_delete_flagged(self):
+        source = """\
+            def tweak(plan):
+                del plan.column_of[3]
+            """
+        findings = lint(source, "src/repro/core/index.py", "R007")
+        assert rule_ids(findings) == ["R007"]
+
+    def test_holder_rebinding_passes(self):
+        source = """\
+            class PlanEntry:
+                def __init__(self, plan):
+                    self.plan = plan
+            """
+        assert lint(source, "src/repro/core/plan.py", "R007") == []
+
+    def test_local_rebinding_passes(self):
+        source = """\
+            def resolve(plan, other):
+                plan = other
+                return plan.q_lo
+            """
+        assert lint(source, "src/repro/core/index.py", "R007") == []
+
+    def test_reads_pass(self):
+        source = """\
+            def use(plan):
+                column = plan.column_of.get(3)
+                return plan.by_tree[0], column
+            """
+        assert lint(source, "src/repro/core/index.py", "R007") == []
+
+    def test_out_of_scope_subpackage_passes(self):
+        source = """\
+            def tweak(plan):
+                plan.column_of[3] = None
+            """
+        assert lint(source, "src/repro/storage/pager.py", "R007") == []
+
+
 # -- suppression comments -----------------------------------------------------
 
 

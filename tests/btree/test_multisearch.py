@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.btree import BPlusTree, multi_range_search, normalize_ranges
+from repro.btree import (BPlusTree, hits_in_ranges, multi_range_search,
+                         multi_range_search_many, normalize_ranges)
 from repro.storage import MEMORY, BufferPool, Pager
 
 VALUE = 8
@@ -97,3 +98,65 @@ class TestSearch:
             tree.insert(55, value(i))
         got = multi_range_search(tree, [(55, 55)])
         assert len(got) == n
+
+
+class TestSearchMany:
+    """The batched entry point: one descent over the union of several
+    range groups, sliced back per group with :func:`hits_in_ranges`."""
+
+    def test_union_equals_flat_search(self, loaded):
+        _, tree = loaded
+        groups = [[(0, 10), (500, 510)], [(5, 30)], [(990, 999)]]
+        assert multi_range_search_many(tree, groups) == \
+            multi_range_search(tree, [r for g in groups for r in g])
+
+    def test_single_descent_io(self, loaded):
+        pool, tree = loaded
+        groups = [[(i * 30, i * 30 + 10)] for i in range(20)]
+        before = pool.stats.snapshot()
+        multi_range_search_many(tree, groups)
+        delta = pool.stats.diff(before)
+        assert delta.logical_reads <= tree.node_count()
+
+    def test_empty_groups(self, loaded):
+        _, tree = loaded
+        assert multi_range_search_many(tree, []) == []
+        assert multi_range_search_many(tree, [[], []]) == []
+
+    def test_slicing_recovers_each_group(self, loaded):
+        _, tree = loaded
+        groups = [[(0, 20), (100, 120)], [(10, 110)], [(115, 130)]]
+        hits = multi_range_search_many(tree, groups)
+        keys = [k for k, _ in hits]
+        for group in groups:
+            own = hits_in_ranges(hits, keys, sorted(group))
+            expected = multi_range_search(tree, group)
+            assert own == expected
+
+
+class TestHitsInRanges:
+    HITS = [(k, value(k)) for k in [1, 3, 3, 5, 8, 13, 21, 34]]
+    KEYS = [k for k, _ in HITS]
+
+    def test_selects_in_key_order(self):
+        got = hits_in_ranges(self.HITS, self.KEYS, [(3, 8), (21, 40)])
+        assert [k for k, _ in got] == [3, 3, 5, 8, 21, 34]
+
+    def test_each_hit_once(self):
+        got = hits_in_ranges(self.HITS, self.KEYS, [(0, 100)])
+        assert got == self.HITS
+
+    def test_empty_inputs(self):
+        assert hits_in_ranges([], [], [(1, 5)]) == []
+        assert hits_in_ranges(self.HITS, self.KEYS, []) == []
+
+    def test_non_matching_ranges(self):
+        assert hits_in_ranges(self.HITS, self.KEYS, [(9, 12), (35, 99)]) == []
+
+    def test_boundary_keys_inclusive(self):
+        got = hits_in_ranges(self.HITS, self.KEYS, [(1, 1), (34, 34)])
+        assert [k for k, _ in got] == [1, 34]
+
+    def test_duplicate_keys_all_returned(self):
+        got = hits_in_ranges(self.HITS, self.KEYS, [(3, 3)])
+        assert got == [(3, value(3)), (3, value(3))]

@@ -1,0 +1,224 @@
+"""The compiled query-plan cache: hits, epoch fencing (a pre-slide plan
+is never reused after a slide), memo-generation fencing of cached key
+ranges, LRU bounding, and byte-identical statistics with the cache on
+and off."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core import (PlanCache, QueryStats, Rect, SWSTConfig, SWSTIndex,
+                        build_query_plan, classify_interval)
+
+CFG = SWSTConfig(window=200, slide=20, x_partitions=4, y_partitions=4,
+                 d_max=40, duration_interval=10, space=Rect(0, 0, 99, 99),
+                 page_size=512)
+
+
+def fill(index, seed=7, count=250):
+    rng = random.Random(seed)
+    t = 0
+    for _ in range(count):
+        t += rng.choice([0, 1, 1, 2])
+        index.report(rng.randrange(30), rng.randrange(100),
+                     rng.randrange(100), t)
+    return t
+
+
+def entry_key(entry):
+    return (entry.oid, entry.x, entry.y, entry.s,
+            -1 if entry.d is None else entry.d)
+
+
+def stats_without_cache_hits(stats):
+    clone = dataclasses.replace(stats)
+    clone.plan_cache_hits = 0
+    return clone
+
+
+class TestPlanCacheHits:
+    def test_repeated_query_hits_the_cache(self):
+        with SWSTIndex(CFG) as index:
+            t = fill(index)
+            area = Rect(10, 10, 60, 60)
+            first = index.query_interval(area, t - 50, t)
+            second = index.query_interval(area, t - 50, t)
+            assert first.stats.plan_cache_hits == 0
+            assert second.stats.plan_cache_hits == 1
+            assert sorted(map(entry_key, first.entries)) == \
+                sorted(map(entry_key, second.entries))
+
+    def test_cached_results_and_stats_are_identical(self):
+        """Everything except the hit counter is byte-identical on a hit
+        — including node accesses (the cache must not change IO)."""
+        with SWSTIndex(CFG) as index:
+            t = fill(index)
+            area = Rect(5, 5, 80, 80)
+            first = index.query_interval(area, t - 80, t)
+            second = index.query_interval(area, t - 80, t)
+            assert stats_without_cache_hits(first.stats) == \
+                stats_without_cache_hits(second.stats)
+            assert [entry_key(e) for e in first.entries] == \
+                [entry_key(e) for e in second.entries]
+
+    def test_distinct_signatures_miss(self):
+        with SWSTIndex(CFG) as index:
+            t = fill(index)
+            area = Rect(0, 0, 99, 99)
+            index.query_interval(area, t - 50, t)
+            other = index.query_interval(area, t - 51, t)
+            assert other.stats.plan_cache_hits == 0
+            windowed = index.query_interval(area, t - 50, t, 100)
+            assert windowed.stats.plan_cache_hits == 0
+
+    def test_count_and_knn_share_the_cache(self):
+        with SWSTIndex(CFG) as index:
+            t = fill(index)
+            area = Rect(0, 0, 99, 99)
+            index.query_interval(area, t - 30, t)
+            _, count_stats = index.count_interval(area, t - 30, t)
+            assert count_stats.plan_cache_hits == 1
+            knn = index.query_knn(50, 50, 3, t - 30, t)
+            assert knn.stats.plan_cache_hits == 1
+
+
+class TestEpochFence:
+    def test_pre_slide_plan_is_never_reused_after_slide(self):
+        """S1 regression: a plan compiled before advance_time must not
+        answer queries after the clock moved — the queriable period
+        (and possibly the live tree set) changed."""
+        with SWSTIndex(CFG) as index:
+            t = fill(index)
+            area = Rect(0, 0, 99, 99)
+            index.query_interval(area, t - 50, t)  # populate the cache
+            index.advance_time(t + CFG.slide)
+            post = index.query_interval(area, t - 50, t)
+            assert post.stats.plan_cache_hits == 0
+            # The post-slide result matches a fresh index that never
+            # cached anything.
+            with SWSTIndex(CFG) as fresh:
+                fill(fresh)
+                fresh.advance_time(t + CFG.slide)
+                expected = fresh.query_interval(area, t - 50, t)
+            assert sorted(map(entry_key, post.entries)) == \
+                sorted(map(entry_key, expected.entries))
+            assert stats_without_cache_hits(post.stats) == \
+                stats_without_cache_hits(expected.stats)
+
+    def test_slide_across_drop_boundary_invalidates(self):
+        """A slide that crosses a Wmax boundary drops a whole tree; the
+        fence must hold there too (the old plan references dropped
+        columns)."""
+        with SWSTIndex(CFG) as index:
+            t = fill(index)
+            area = Rect(0, 0, 99, 99)
+            index.query_interval(area, max(t - 50, 0), t)
+            boundary = (t // CFG.w_max + 2) * CFG.w_max
+            index.advance_time(boundary)
+            q_lo, q_hi = CFG.queriable_period(boundary)
+            post = index.query_interval(area, q_lo, q_hi)
+            assert post.stats.plan_cache_hits == 0
+            index.check_integrity()
+
+    def test_same_clock_mutation_is_visible_through_the_cache(self):
+        """Inserts at an unchanged clock don't invalidate the plan (the
+        classification can't change) but must invalidate the cached
+        memo-pruned ranges — the new entry has to be found."""
+        with SWSTIndex(CFG) as index:
+            t = fill(index)
+            area = Rect(0, 0, 99, 99)
+            index.query_interval(area, t - 30, t)
+            index.insert(991, 50, 50, t, 5)  # same clock
+            hit = index.query_interval(area, t - 30, t)
+            assert hit.stats.plan_cache_hits == 1
+            assert (991, 50, 50, t, 5) in [entry_key(e)
+                                           for e in hit.entries]
+
+    def test_same_clock_delete_is_visible_through_the_cache(self):
+        with SWSTIndex(CFG) as index:
+            t = fill(index)
+            index.insert(992, 40, 40, t, 7)
+            area = Rect(0, 0, 99, 99)
+            before = index.query_interval(area, t - 30, t)
+            assert (992, 40, 40, t, 7) in [entry_key(e)
+                                           for e in before.entries]
+            assert index.delete(992, 40, 40, t, 7)
+            after = index.query_interval(area, t - 30, t)
+            assert after.stats.plan_cache_hits == 1
+            assert (992, 40, 40, t, 7) not in [entry_key(e)
+                                               for e in after.entries]
+
+
+class TestCacheDisabled:
+    def test_size_zero_disables_caching_with_identical_results(self):
+        cached_cfg = CFG
+        uncached_cfg = dataclasses.replace(CFG, plan_cache_size=0)
+        with SWSTIndex(cached_cfg) as cached, \
+                SWSTIndex(uncached_cfg) as uncached:
+            t = fill(cached)
+            fill(uncached)
+            area = Rect(10, 0, 70, 90)
+            for _ in range(3):
+                a = cached.query_interval(area, t - 40, t)
+                b = uncached.query_interval(area, t - 40, t)
+                assert b.stats.plan_cache_hits == 0
+                assert [entry_key(e) for e in a.entries] == \
+                    [entry_key(e) for e in b.entries]
+                # Identical logical work, in particular node accesses.
+                assert stats_without_cache_hits(a.stats) == \
+                    stats_without_cache_hits(b.stats)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="plan_cache_size"):
+            dataclasses.replace(CFG, plan_cache_size=-1)
+
+
+class TestPlanCacheUnit:
+    def make_plan(self, clock, t_lo, t_hi, window=None):
+        columns = classify_interval(CFG, clock, t_lo, t_hi, window)
+        assert columns
+        return build_query_plan(CFG, clock, columns, t_lo, t_hi, window)
+
+    def test_lru_bound(self):
+        cache = PlanCache(4)
+        for t_lo in range(10):
+            plan = self.make_plan(100, t_lo, 100)
+            cache.store(plan, t_lo, 100, None)
+        assert len(cache) == 4
+        assert cache.lookup(9, 100, None, 100) is not None
+        assert cache.lookup(0, 100, None, 100) is None
+
+    def test_lookup_moves_to_front(self):
+        cache = PlanCache(2)
+        cache.store(self.make_plan(100, 1, 100), 1, 100, None)
+        cache.store(self.make_plan(100, 2, 100), 2, 100, None)
+        assert cache.lookup(1, 100, None, 100) is not None
+        cache.store(self.make_plan(100, 3, 100), 3, 100, None)
+        assert cache.lookup(1, 100, None, 100) is not None
+        assert cache.lookup(2, 100, None, 100) is None
+
+    def test_clock_fence_drops_stale_entry_defensively(self):
+        cache = PlanCache(4)
+        cache.store(self.make_plan(100, 5, 100), 5, 100, None)
+        assert cache.lookup(5, 100, None, 120) is None
+        assert len(cache) == 0
+
+    def test_invalidate_clears_everything(self):
+        cache = PlanCache(4)
+        cache.store(self.make_plan(100, 5, 100), 5, 100, None)
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.lookup(5, 100, None, 100) is None
+
+    def test_capacity_zero_stores_nothing(self):
+        cache = PlanCache(0)
+        entry = cache.store(self.make_plan(100, 5, 100), 5, 100, None)
+        assert entry.plan.clock == 100  # entry still usable in-query
+        assert len(cache) == 0
+        assert cache.lookup(5, 100, None, 100) is None
+
+    def test_plan_is_frozen(self):
+        plan = self.make_plan(100, 5, 100)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.q_lo = 0

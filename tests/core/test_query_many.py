@@ -1,0 +1,164 @@
+"""S3/S4 sweeps: boundary semantics (degenerate intervals and
+rectangles) and the ``query_interval_many`` equivalence oracle — the
+batched multi-rectangle path must return, per rectangle, exactly what a
+rectangle-at-a-time ``query_interval`` loop returns, including the
+refinement statistics (node accesses excepted: batched descents are
+shared and reported only at batch level)."""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MultiQueryResult, Rect, SWSTConfig, SWSTIndex
+
+CFG = SWSTConfig(window=200, slide=20, x_partitions=4, y_partitions=4,
+                 d_max=40, duration_interval=10, space=Rect(0, 0, 99, 99),
+                 page_size=512)
+
+
+def fill(index, seed=13, count=300):
+    rng = random.Random(seed)
+    t = 0
+    for _ in range(count):
+        t += rng.choice([0, 1, 1, 2])
+        if rng.random() < 0.25:
+            index.insert(rng.randrange(30), rng.randrange(100),
+                         rng.randrange(100), t, rng.randrange(1, 45))
+        else:
+            index.report(rng.randrange(30), rng.randrange(100),
+                         rng.randrange(100), t)
+    return t
+
+
+def entry_key(entry):
+    return (entry.oid, entry.x, entry.y, entry.s,
+            -1 if entry.d is None else entry.d)
+
+
+def stats_without_node_accesses(stats):
+    clone = dataclasses.replace(stats)
+    clone.node_accesses = 0
+    clone.plan_cache_hits = 0
+    return clone
+
+
+rect_strategy = st.builds(
+    lambda x, y, w, h: Rect(x, y, min(x + w, 99), min(y + h, 99)),
+    st.integers(0, 99), st.integers(0, 99),
+    st.integers(0, 70), st.integers(0, 70),
+)
+
+
+@pytest.fixture(scope="module")
+def filled_index():
+    with SWSTIndex(CFG) as index:
+        t = fill(index)
+        yield index, t
+
+
+class TestBoundarySemantics:
+    """S3: point intervals and degenerate rectangles."""
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(area=rect_strategy, back=st.integers(0, 250),
+           window=st.sampled_from([None, 50, 200]))
+    def test_point_interval_equals_timeslice(self, filled_index, area,
+                                             back, window):
+        index, t = filled_index
+        at = max(t - back, 0)
+        interval = index.query_interval(area, at, at, window)
+        timeslice = index.query_timeslice(area, at, window)
+        assert sorted(map(entry_key, interval.entries)) == \
+            sorted(map(entry_key, timeslice.entries))
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(x=st.integers(0, 99), y=st.integers(0, 99),
+           back=st.integers(0, 150), length=st.integers(0, 80))
+    def test_degenerate_rects_scalar_vs_batched(self, filled_index, x, y,
+                                                back, length):
+        """Line and point rectangles (x_lo == x_hi and/or y_lo == y_hi)
+        through both evaluation paths."""
+        index, t = filled_index
+        t_lo = max(t - back, 0)
+        t_hi = t_lo + length
+        areas = [Rect(x, y, x, y),           # point
+                 Rect(x, 0, x, 99),          # vertical line
+                 Rect(0, y, 99, y)]          # horizontal line
+        batch = index.query_interval_many(areas, t_lo, t_hi)
+        assert isinstance(batch, MultiQueryResult)
+        assert len(batch) == len(areas)
+        for area, result in zip(areas, batch):
+            scalar = index.query_interval(area, t_lo, t_hi)
+            assert [entry_key(e) for e in result.entries] == \
+                [entry_key(e) for e in scalar.entries]
+
+    def test_count_matches_query_on_degenerate_rects(self, filled_index):
+        index, t = filled_index
+        for area in (Rect(50, 50, 50, 50), Rect(0, 31, 99, 31)):
+            count, _ = index.count_interval(area, t - 60, t)
+            assert count == len(index.query_interval(area, t - 60, t))
+
+
+class TestManyEquivalence:
+    """S4: the hypothesis oracle over the batched API."""
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(areas=st.lists(rect_strategy, min_size=1, max_size=8),
+           back=st.integers(0, 250), length=st.integers(0, 120),
+           window=st.sampled_from([None, 50, 200]))
+    def test_batched_equals_scalar_loop(self, filled_index, areas, back,
+                                        length, window):
+        index, t = filled_index
+        t_lo = max(t - back, 0)
+        t_hi = t_lo + length
+        batch = index.query_interval_many(areas, t_lo, t_hi, window)
+        assert len(batch.results) == len(areas)
+        for area, result in zip(areas, batch.results):
+            scalar = index.query_interval(area, t_lo, t_hi, window)
+            assert [entry_key(e) for e in result.entries] == \
+                [entry_key(e) for e in scalar.entries]
+            # Per-rectangle refinement statistics are exact; only node
+            # accesses live at batch level (shared descents).
+            assert result.stats.node_accesses == 0
+            assert stats_without_node_accesses(result.stats) == \
+                stats_without_node_accesses(scalar.stats)
+
+    def test_empty_batch(self, filled_index):
+        index, t = filled_index
+        batch = index.query_interval_many([], t - 10, t)
+        assert len(batch) == 0
+        assert batch.stats.node_accesses == 0
+
+    def test_duplicate_and_nested_rects(self, filled_index):
+        """Identical and fully-nested rectangles share every cell; the
+        per-rect slicing must still attribute hits correctly."""
+        index, t = filled_index
+        big = Rect(0, 0, 99, 99)
+        small = Rect(20, 20, 40, 40)
+        areas = [big, big, small, big]
+        batch = index.query_interval_many(areas, t - 40, t)
+        expected_big = index.query_interval(big, t - 40, t)
+        expected_small = index.query_interval(small, t - 40, t)
+        for idx, expected in zip(range(4), [expected_big, expected_big,
+                                            expected_small, expected_big]):
+            assert [entry_key(e) for e in batch.results[idx].entries] == \
+                [entry_key(e) for e in expected.entries]
+
+    def test_batch_reuses_one_plan(self, filled_index):
+        index, t = filled_index
+        index.query_interval(Rect(0, 0, 9, 9), t - 25, t)
+        batch = index.query_interval_many(
+            [Rect(0, 0, 50, 50), Rect(10, 10, 99, 99)], t - 25, t)
+        # One cache hit for the whole batch, not one per rectangle.
+        assert batch.stats.plan_cache_hits == 1
+
+    def test_invalid_interval_rejected(self, filled_index):
+        index, t = filled_index
+        with pytest.raises(ValueError, match="empty query interval"):
+            index.query_interval_many([Rect(0, 0, 9, 9)], t, t - 1)

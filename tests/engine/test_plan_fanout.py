@@ -1,0 +1,368 @@
+"""Engine-side query planning: one plan per fan-out (S2 — retried shard
+tasks reuse the original plan, with no stats double-count), the engine
+plan cache's epoch fence (S1), the batched multi-rectangle scatter-gather
+equivalence oracle (S4), and plan picklability for the process path."""
+
+import contextlib
+import dataclasses
+import pickle
+import random
+
+import pytest
+
+from repro.core import (QueryPlan, Rect, SWSTConfig, build_query_plan,
+                        classify_interval)
+from repro.engine import (EngineCloseError, PartialResult, RetryPolicy,
+                          SerialExecutor, ShardedEngine)
+from repro.storage import per_path_device_factory
+
+N_SHARDS = 3
+
+
+def make_config(**overrides):
+    params = dict(window=200, slide=20, x_partitions=4, y_partitions=4,
+                  d_max=40, duration_interval=10, space=Rect(0, 0, 99, 99),
+                  page_size=512, n_shards=N_SHARDS)
+    params.update(overrides)
+    return SWSTConfig(**params)
+
+
+class R:
+    def __init__(self, oid, x, y, t):
+        self.oid, self.x, self.y, self.t = oid, x, y, t
+
+
+def workload(seed=11, count=300, t0=0):
+    rng = random.Random(seed)
+    t = t0
+    reports = []
+    for _ in range(count):
+        t += rng.choice([0, 1, 1, 2])
+        reports.append(R(rng.randrange(25), rng.randrange(100),
+                         rng.randrange(100), t))
+    return reports
+
+
+def entry_key(entry):
+    return (entry.oid, entry.x, entry.y, entry.s,
+            -1 if entry.d is None else entry.d)
+
+
+def stats_without_cache_hits(stats):
+    clone = dataclasses.replace(stats)
+    clone.plan_cache_hits = 0
+    return clone
+
+
+def close_quietly(eng):
+    with contextlib.suppress(OSError, EngineCloseError):
+        eng.close()
+
+
+@pytest.fixture(scope="module")
+def saved_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("planfanout") / "index.d"
+    with ShardedEngine(make_config(), path,
+                       executor=SerialExecutor()) as eng:
+        eng.extend(workload())
+        eng.save()
+    return path
+
+
+class _FlakyOnce:
+    """Wraps a shard's bound ``_query_area_planned``; the first call
+    raises a retryable fault *before* doing any work, later calls pass
+    through.  Records ``id(plan)`` per attempt."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.plan_ids = []
+        self.failures_left = 1
+
+    def __call__(self, area, plan):
+        self.plan_ids.append(id(plan))
+        if self.failures_left:
+            self.failures_left -= 1
+            raise OSError("injected transient fault")
+        return self.inner(area, plan)
+
+
+class TestRetriedTasksSharePlan:
+    """S2 regression: a retried shard task must re-enter the planned
+    entry point with the *original* plan object — not re-derive it —
+    and the retry must not double-count any statistics."""
+
+    def test_retry_reuses_the_original_plan_object(self, saved_dir):
+        with ShardedEngine.open(saved_dir, make_config(),
+                                executor=SerialExecutor()) as eng:
+            q_lo, q_hi = eng.config.queriable_period(eng.now)
+            healthy = eng.query_interval(eng.config.space, q_lo, q_hi)
+        with ShardedEngine.open(saved_dir, make_config(),
+                                executor=SerialExecutor()) as eng:
+            shard = eng.shards[1]
+            flaky = _FlakyOnce(shard._query_area_planned)
+            shard._query_area_planned = flaky
+            result = eng.query_interval(eng.config.space, q_lo, q_hi)
+            assert len(flaky.plan_ids) == 2  # failed attempt + retry
+            assert flaky.plan_ids[0] == flaky.plan_ids[1]
+            assert sorted(map(entry_key, result.entries)) == \
+                sorted(map(entry_key, healthy.entries))
+            # The failed attempt contributed nothing: the merged stats
+            # are identical to an entirely healthy run.
+            assert stats_without_cache_hits(result.stats) == \
+                stats_without_cache_hits(healthy.stats)
+
+    def test_all_shards_receive_the_same_plan_instance(self, saved_dir):
+        with ShardedEngine.open(saved_dir, make_config(),
+                                executor=SerialExecutor()) as eng:
+            seen = []
+            for shard in eng.shards:
+                inner = shard._query_area_planned
+
+                def spy(area, plan, _inner=inner):
+                    seen.append(id(plan))
+                    return _inner(area, plan)
+
+                shard._query_area_planned = spy
+            q_lo, q_hi = eng.config.queriable_period(eng.now)
+            eng.query_interval(eng.config.space, q_lo, q_hi)
+            assert len(seen) == N_SHARDS
+            assert len(set(seen)) == 1
+
+
+class TestEngineEpochFence:
+    """S1 at the engine front end: the engine-level plan cache is
+    invalidated by advance_time, so a pre-slide plan is never fanned
+    out after the clock moved."""
+
+    def test_cache_hit_then_fence_on_slide(self, saved_dir):
+        cfg = make_config()
+        with ShardedEngine.open(saved_dir, cfg,
+                                executor=SerialExecutor()) as eng:
+            q_lo, q_hi = eng.config.queriable_period(eng.now)
+            area = eng.config.space
+            first = eng.query_interval(area, q_lo, q_hi)
+            assert first.stats.plan_cache_hits == 0
+            again = eng.query_interval(area, q_lo, q_hi)
+            assert again.stats.plan_cache_hits == 1
+            eng.advance_time(eng.now + cfg.slide)
+            post = eng.query_interval(area, q_lo, q_hi)
+            assert post.stats.plan_cache_hits == 0
+        with ShardedEngine.open(saved_dir, cfg,
+                                executor=SerialExecutor()) as fresh:
+            fresh.advance_time(fresh.now + cfg.slide)
+            expected = fresh.query_interval(area, q_lo, q_hi)
+        assert sorted(map(entry_key, post.entries)) == \
+            sorted(map(entry_key, expected.entries))
+        assert stats_without_cache_hits(post.stats) == \
+            stats_without_cache_hits(expected.stats)
+
+
+class TestEngineManyEquivalence:
+    AREAS = [Rect(0, 0, 99, 99), Rect(10, 10, 40, 70), Rect(60, 5, 99, 30),
+             Rect(25, 25, 25, 25), Rect(10, 10, 40, 70)]
+
+    def test_batched_equals_scalar_loop(self, saved_dir):
+        with ShardedEngine.open(saved_dir, make_config(),
+                                executor=SerialExecutor()) as eng:
+            q_lo, q_hi = eng.config.queriable_period(eng.now)
+            batch = eng.query_interval_many(self.AREAS, q_lo, q_hi)
+            assert len(batch.results) == len(self.AREAS)
+            for area, result in zip(self.AREAS, batch.results):
+                scalar = eng.query_interval(area, q_lo, q_hi)
+                assert [entry_key(e) for e in result.entries] == \
+                    [entry_key(e) for e in scalar.entries]
+
+    def test_batch_shares_one_engine_plan(self, saved_dir):
+        with ShardedEngine.open(saved_dir, make_config(),
+                                executor=SerialExecutor()) as eng:
+            q_lo, q_hi = eng.config.queriable_period(eng.now)
+            eng.query_interval(eng.config.space, q_lo, q_hi)
+            batch = eng.query_interval_many(self.AREAS, q_lo, q_hi)
+            assert batch.stats.plan_cache_hits == 1
+
+    def test_empty_batch(self, saved_dir):
+        with ShardedEngine.open(saved_dir, make_config(),
+                                executor=SerialExecutor()) as eng:
+            q_lo, q_hi = eng.config.queriable_period(eng.now)
+            batch = eng.query_interval_many([], q_lo, q_hi)
+            assert len(batch) == 0
+
+    def test_invalid_interval_rejected(self, saved_dir):
+        with ShardedEngine.open(saved_dir, make_config(),
+                                executor=SerialExecutor()) as eng:
+            with pytest.raises(ValueError, match="empty query interval"):
+                eng.query_interval_many([Rect(0, 0, 9, 9)], 10, 9)
+
+
+class TestDegradedManyAttribution:
+    def test_failures_attributed_only_to_overlapping_rects(self, saved_dir):
+        """strict=False: a failed shard degrades exactly the rectangles
+        whose area overlaps it; disjoint rectangles stay complete."""
+        crashed = 1
+        with ShardedEngine.open(saved_dir, make_config(),
+                                executor=SerialExecutor()) as eng:
+            # Probe for a small rectangle that misses the crashed shard
+            # (grid-hash sharding: cell-sized rects map to few shards).
+            clear = next(
+                rect for rect in (Rect(x, y, x + 24, y + 24)
+                                  for x in range(0, 75, 25)
+                                  for y in range(0, 75, 25))
+                if crashed not in eng._shards_for_area(rect))
+            q_lo, q_hi = eng.config.queriable_period(eng.now)
+            clear_oracle = sorted(
+                entry_key(e)
+                for e in eng.query_interval(clear, q_lo, q_hi))
+            full = eng.query_interval(eng.config.space, q_lo, q_hi)
+            surviving = sorted(
+                entry_key(e) for e in full
+                if eng._shard_id_of(e.x, e.y) != crashed)
+        devices = []
+        config = dataclasses.replace(
+            make_config(node_cache_capacity=0),
+            device_factory=per_path_device_factory(
+                f"shard-{crashed:03d}", registry=devices))
+        eng = ShardedEngine.open(saved_dir, config,
+                                 executor=SerialExecutor(),
+                                 retry_policy=RetryPolicy(attempts=1))
+        try:
+            (device,) = devices
+            device.crashed = True
+            areas = [eng.config.space, clear]
+            batch = eng.query_interval_many(areas, q_lo, q_hi,
+                                            strict=False)
+            assert batch.stats.degraded
+            degraded, unaffected = batch.results
+            assert isinstance(degraded, PartialResult)
+            assert not degraded.complete
+            assert [f.shard_id for f in degraded.failures] == [crashed]
+            assert sorted(map(entry_key, degraded.entries)) == surviving
+            assert unaffected.complete
+            assert not unaffected.stats.degraded
+            assert sorted(map(entry_key, unaffected.entries)) == \
+                clear_oracle
+        finally:
+            close_quietly(eng)
+
+    def test_strict_batch_raises_on_any_failure(self, saved_dir):
+        from repro.engine import ShardQueryError
+
+        devices = []
+        config = dataclasses.replace(
+            make_config(node_cache_capacity=0),
+            device_factory=per_path_device_factory("shard-000",
+                                                   registry=devices))
+        eng = ShardedEngine.open(saved_dir, config,
+                                 executor=SerialExecutor(),
+                                 retry_policy=RetryPolicy(attempts=1))
+        try:
+            devices[0].crashed = True
+            q_lo, q_hi = eng.config.queriable_period(eng.now)
+            with pytest.raises(ShardQueryError) as excinfo:
+                eng.query_interval_many([eng.config.space], q_lo, q_hi)
+            assert excinfo.value.shard_id == 0
+        finally:
+            close_quietly(eng)
+
+
+class _Handle:
+    def __init__(self, log):
+        self.log = log
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestWorkerShardCache:
+    """The worker-local handle cache behind the remote query path."""
+
+    def make_opener(self, opened):
+        def opener():
+            handle = _Handle(opened)
+            opened.append(handle)
+            return handle
+        return opener
+
+    def test_same_epoch_reuses_the_handle(self, tmp_path):
+        from repro.engine.executor import open_worker_shard
+
+        opened = []
+        path = str(tmp_path / "a")
+        first = open_worker_shard(path, 3, self.make_opener(opened))
+        second = open_worker_shard(path, 3, self.make_opener(opened))
+        assert first is second
+        assert len(opened) == 1
+        assert not first.closed
+
+    def test_epoch_bump_closes_and_reopens(self, tmp_path):
+        from repro.engine.executor import open_worker_shard
+
+        opened = []
+        path = str(tmp_path / "b")
+        stale = open_worker_shard(path, 1, self.make_opener(opened))
+        fresh = open_worker_shard(path, 2, self.make_opener(opened))
+        assert fresh is not stale
+        assert stale.closed
+        assert not fresh.closed
+        assert len(opened) == 2
+
+    def test_discard_closes_and_forces_reopen(self, tmp_path):
+        from repro.engine.executor import (discard_worker_shard,
+                                           open_worker_shard)
+
+        opened = []
+        path = str(tmp_path / "c")
+        first = open_worker_shard(path, 1, self.make_opener(opened))
+        discard_worker_shard(path)
+        assert first.closed
+        second = open_worker_shard(path, 1, self.make_opener(opened))
+        assert second is not first
+        assert len(opened) == 2
+        discard_worker_shard(path)  # idempotent on a missing entry
+        discard_worker_shard(path)
+
+
+class TestProcessExecutorWarmWorkers:
+    def test_repeated_remote_queries_stay_correct(self, saved_dir):
+        """Workers reuse their shard handles across queries (same save
+        epoch) and reopen after a save bumps it — results identical to
+        the serial oracle throughout."""
+        from repro.engine import ProcessExecutor
+
+        cfg = make_config()
+        with ShardedEngine.open(saved_dir, cfg,
+                                executor=SerialExecutor()) as eng:
+            q_lo, q_hi = eng.config.queriable_period(eng.now)
+            oracle = sorted(entry_key(e) for e in eng.query_interval(
+                eng.config.space, q_lo, q_hi))
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            with ShardedEngine.open(saved_dir, cfg,
+                                    executor=executor) as eng:
+                for _ in range(3):  # warm-handle reuse
+                    result = eng.query_interval(eng.config.space,
+                                                q_lo, q_hi)
+                    assert sorted(map(entry_key, result.entries)) == \
+                        oracle
+                eng.report(990, 50, 50, eng.now)
+                eng.save()  # epoch bump: workers must reopen
+                after = eng.query_interval(eng.config.space, q_lo,
+                                           eng.now)
+                assert (990, 50, 50, eng.now, -1) in \
+                    [entry_key(e) for e in after.entries]
+        finally:
+            executor.close()
+
+
+class TestPlanPicklability:
+    """The process-executor path ships the frozen plan to workers."""
+
+    def test_round_trip(self):
+        cfg = make_config()
+        columns = classify_interval(cfg, 100, 40, 100, None)
+        assert columns
+        plan = build_query_plan(cfg, 100, columns, 40, 100, None)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert isinstance(clone, QueryPlan)
+        assert clone == plan

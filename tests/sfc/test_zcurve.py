@@ -1,10 +1,15 @@
-"""Z-curve: bijectivity, monotonicity, the rectangle corner property."""
+"""Z-curve: bijectivity, monotonicity, the rectangle corner property,
+and equivalence of the table-driven / batched paths with the reference
+bit loops."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sfc import zc_decode, zc_encode, zc_in_rect, zc_range
+from repro.sfc import (zc_decode, zc_decode_many, zc_encode, zc_encode_many,
+                       zc_in_rect, zc_range)
+from repro.sfc.zcurve import (_compact1by1, _compact1by1_ref, _part1by1,
+                              _part1by1_ref)
 
 coord = st.integers(0, (1 << 16) - 1)
 
@@ -93,3 +98,68 @@ class TestRange:
         z = zc_encode(5, 6)
         assert zc_in_rect(z, 0, 0, 10, 10)
         assert not zc_in_rect(z, 6, 0, 10, 10)
+
+
+class TestTableDrivenPaths:
+    """The precomputed-table interleave must agree with the per-bit
+    reference loops everywhere, including multi-byte inputs."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(coord)
+    def test_part_matches_reference(self, value):
+        assert _part1by1(value, 16) == _part1by1_ref(value, 16)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_compact_matches_reference(self, value):
+        assert _compact1by1(value, 16) == _compact1by1_ref(value, 16)
+
+    def test_exhaustive_single_byte(self):
+        for value in range(256):
+            assert _part1by1(value, 8) == _part1by1_ref(value, 8)
+        for value in range(1 << 16):
+            assert _compact1by1(value, 8) == _compact1by1_ref(value, 8)
+
+    def test_multi_byte_boundaries(self):
+        for value in (0xFF, 0x100, 0x101, 0xFFFF, 0x8000, 0x7FFF):
+            assert _part1by1(value, 16) == _part1by1_ref(value, 16)
+
+
+class TestBatchedCodec:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(coord, coord), max_size=40))
+    def test_encode_many_equals_scalar_loop(self, points):
+        assert zc_encode_many(points) == \
+            [zc_encode(x, y) for x, y in points]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(coord, coord), max_size=40))
+    def test_batch_round_trip(self, points):
+        assert zc_decode_many(zc_encode_many(points)) == points
+
+    def test_decode_many_equals_scalar_loop(self):
+        zs = [0, 1, 2, 3, 255, 1 << 20, (1 << 32) - 1]
+        assert zc_decode_many(zs) == [zc_decode(z) for z in zs]
+
+    def test_empty_batches(self):
+        assert zc_encode_many([]) == []
+        assert zc_decode_many([]) == []
+
+    def test_custom_order_batches(self):
+        points = [(0, 0), (3, 3), (1, 2)]
+        assert zc_encode_many(points, order=2) == \
+            [zc_encode(x, y, order=2) for x, y in points]
+        assert zc_decode_many([15, 6], order=2) == \
+            [zc_decode(z, order=2) for z in [15, 6]]
+
+    def test_encode_many_validates_every_point(self):
+        with pytest.raises(ValueError):
+            zc_encode_many([(0, 0), (1 << 16, 0)])
+        with pytest.raises(ValueError):
+            zc_encode_many([(0, -1)])
+
+    def test_decode_many_validates_every_value(self):
+        with pytest.raises(ValueError):
+            zc_decode_many([0, 1 << 32])
+        with pytest.raises(ValueError):
+            zc_decode_many([-1])
