@@ -24,7 +24,7 @@ from typing import Iterable, Iterator, Sequence
 from ..btree.multisearch import hits_in_ranges, multi_range_search
 from ..btree.tree import BPlusTree
 from ..storage.buffer import BufferPool
-from ..storage.errors import CorruptPageFileError
+from ..storage.errors import CorruptPageFileError, NoCatalogError
 from ..storage.pager import MEMORY, Pager
 from ..storage.stats import IOStats
 from .config import SWSTConfig
@@ -1245,7 +1245,7 @@ class SWSTIndex:
     def _read_catalog(self) -> bytes:
         head = int.from_bytes(self.pager.meta or b"", "little")
         if not head:
-            raise CorruptPageFileError("page file has no saved SWST catalog")
+            raise NoCatalogError("page file has no saved SWST catalog")
         parts: list[bytes] = []
         seen: set[int] = set()
         chunk = self.pager.page_size - _PAGE_CHAIN.size
@@ -1289,6 +1289,23 @@ class SWSTIndex:
                 self.pool.close()
             finally:
                 self.pager.close()
+
+    def abort(self) -> None:
+        """Release the index without flushing or committing anything.
+
+        Crash-equivalent shutdown: dirty buffered pages are dropped and
+        the pager's on-disk header keeps its last durable state.  Warm
+        workers always stop this way — between :meth:`save` calls their
+        durable record is the shard's write-ahead log, so a graceful
+        stop and a SIGKILL must leave the file in the same state for
+        replay to be correct.
+        """
+        if not self._closed:
+            self._closed = True
+            try:
+                self.pool.discard()
+            finally:
+                self.pager.abort()
 
     def __enter__(self) -> "SWSTIndex":
         return self

@@ -8,19 +8,28 @@ and statistics, and coordinates the sliding-window drop epoch across the
 pool.  Persistence is a two-phase epoch commit (``save()`` is atomic for
 the whole directory); query fan-out is resilient (:class:`RetryPolicy`,
 per-shard :class:`CircuitBreaker`, degraded :class:`PartialResult`
-mode).  See ``docs/internals.md`` (engine layer, failure model) for the
-design.
+mode).  :class:`WorkerEngine` keeps the same API but runs every shard
+in a long-lived worker *process* fed through a per-shard write-ahead
+log, so acknowledged writes survive worker crashes (the supervisor
+restarts the worker and replays the WAL tail).  See
+``docs/internals.md`` (engine layer, failure model, warm workers) for
+the design.
 """
 
 from .engine import PartialResult, ShardedEngine, load_manifest
 from .errors import (CircuitOpenError, EngineClosedError, EngineCloseError,
                      EngineError, EpochTornError, ShardFailure,
-                     ShardOpenError, ShardQueryError, TaskTimeoutError)
+                     ShardOpenError, ShardQueryError, TaskTimeoutError,
+                     WalCorruptError, WalError, WorkerCrashError,
+                     WorkerRecoveryError)
 from .executor import (Executor, ProcessExecutor, SerialExecutor,
                        ThreadedExecutor, resolve_executor)
 from .retry import CircuitBreaker, RetryPolicy
 from .scrub import DirectoryScrubReport, scrub_directory
 from .sharding import GridShardMap
+from .wal import (WalReport, WalScan, WalWriter, read_wal, replay,
+                  wal_file_name)
+from .worker import WorkerEngine, WorkerPool
 
 __all__ = [
     "CircuitBreaker",
@@ -42,7 +51,19 @@ __all__ = [
     "ShardedEngine",
     "TaskTimeoutError",
     "ThreadedExecutor",
+    "WalCorruptError",
+    "WalError",
+    "WalReport",
+    "WalScan",
+    "WalWriter",
+    "WorkerCrashError",
+    "WorkerEngine",
+    "WorkerPool",
+    "WorkerRecoveryError",
     "load_manifest",
+    "read_wal",
+    "replay",
     "resolve_executor",
     "scrub_directory",
+    "wal_file_name",
 ]

@@ -105,6 +105,36 @@ def _shard_file_name(shard_id: int) -> str:
     return f"shard-{shard_id:03d}.pages"
 
 
+def write_json_atomic(fops: FileOps, directory: str, path: str,
+                      blob: dict[str, Any]) -> None:
+    """Durable atomic JSON write: temp + fsync, rename, dir fsync."""
+    data = (json.dumps(blob, sort_keys=True) + "\n").encode()
+    tmp_path = path + ".tmp"
+    fops.write_file(tmp_path, data)
+    fops.replace(tmp_path, path)
+    fops.fsync_dir(directory)
+
+
+def probe_prepare_state(
+        prepare: dict[str, Any], shard_paths: list[str]
+) -> tuple[list[int | None], list[int], list[int]]:
+    """Classify shards against a PREPARE marker's expected generations.
+
+    Probes each shard's committed header generation passively (no open,
+    no commit) and splits the ids into ``committed`` (the shard reached
+    the generation the marker said its save would produce) and
+    ``pending`` (it did not, or the file is unreadable).  Shared by
+    :meth:`ShardedEngine._recover_epoch` and the warm-worker engine's
+    marker resolution, so both recoveries classify identically.
+    """
+    observed = [probe_committed_generation(path) for path in shard_paths]
+    committed = [sid for sid, gen in enumerate(observed)
+                 if gen is not None and gen >= prepare["expected"][sid]]
+    pending = [sid for sid in range(len(shard_paths))
+               if sid not in set(committed)]
+    return observed, committed, pending
+
+
 def load_manifest(manifest_path: str) -> dict[str, Any]:
     """Read and validate an engine manifest, normalising across formats.
 
@@ -385,11 +415,7 @@ class ShardedEngine:
     def _write_json_atomic(self, path: str, blob: dict[str, Any]) -> None:
         """Durable atomic JSON write: temp + fsync, rename, dir fsync."""
         assert self._dir is not None
-        data = (json.dumps(blob, sort_keys=True) + "\n").encode()
-        tmp_path = path + ".tmp"
-        self._fops.write_file(tmp_path, data)
-        self._fops.replace(tmp_path, path)
-        self._fops.fsync_dir(self._dir)
+        write_json_atomic(self._fops, self._dir, path, blob)
 
     def _abandon(self) -> None:
         """Close whatever was built so far after a failed init/open.
@@ -1207,11 +1233,8 @@ class ShardedEngine:
                 f"save marker epoch {prepare['epoch']} is inconsistent "
                 f"with manifest epoch {epoch} in {self._dir!r} "
                 f"(external tampering?)")
-        observed = [probe_committed_generation(self.shard_path(sid))
-                    for sid in range(self.n_shards)]
-        committed = [sid for sid in range(self.n_shards)
-                     if observed[sid] is not None
-                     and observed[sid] >= prepare["expected"][sid]]
+        observed, committed, pending = probe_prepare_state(
+            prepare, [self.shard_path(sid) for sid in range(self.n_shards)])
         assert self._dir is not None
         if len(committed) == self.n_shards:
             gens = [gen if gen is not None else 0 for gen in observed]
@@ -1226,8 +1249,6 @@ class ShardedEngine:
             self._fops.unlink(self._prepare_path())
             self._fops.fsync_dir(self._dir)
             return manifest
-        pending = [sid for sid in range(self.n_shards)
-                   if sid not in set(committed)]
         raise EpochTornError(prepare["epoch"], committed, pending)
 
     def _open_shards_v2(self, manifest: dict[str, Any]) -> None:

@@ -143,6 +143,68 @@ class EngineClosedError(EngineError):
     """An operation was attempted on a closed engine."""
 
 
+class WalError(EngineError):
+    """Base class for write-ahead-log failures."""
+
+
+class WalCorruptError(WalError):
+    """A WAL file is unreadable beyond normal torn-tail truncation.
+
+    A torn *tail* (short or CRC-bad final record) is expected after a
+    crash and silently truncated on resume; this error is for damage
+    replay cannot step over: a bad magic/header, a corrupt record in the
+    *middle* of the acknowledged prefix, or a WAL claiming a future
+    epoch the manifest never committed.
+
+    Attributes:
+        path: the damaged WAL file.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(f"write-ahead log {path} is corrupt: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+class WorkerCrashError(EngineError):
+    """A warm worker process died (exit, kill, or heartbeat overrun).
+
+    Raised by the supervisor when a request cannot be completed because
+    the owning worker's process is gone or unresponsive.  Retryable for
+    read-only queries (the supervisor restarts the worker and replays
+    its WAL first); never retried for mutations — the caller cannot
+    know whether the op was fsynced before the crash, so the engine
+    reports it and lets the crash matrix's replay rules decide.
+
+    Attributes:
+        shard_id: shard whose worker died.
+        detail: what the supervisor observed (exit code, deadline, ...).
+    """
+
+    def __init__(self, shard_id: int, detail: str) -> None:
+        super().__init__(f"worker for shard {shard_id} crashed: {detail}")
+        self.shard_id = shard_id
+        self.detail = detail
+
+
+class WorkerRecoveryError(EngineError):
+    """A worker could not rebuild its shard from base + WAL on start.
+
+    Terminal for the shard (restarting again cannot help): the page
+    file is unrecoverable and no base snapshot exists, or the WAL is
+    corrupt beyond its tail.
+
+    Attributes:
+        shard_id: the unrecoverable shard.
+    """
+
+    def __init__(self, shard_id: int, detail: str) -> None:
+        super().__init__(f"worker for shard {shard_id} cannot recover: "
+                         f"{detail}")
+        self.shard_id = shard_id
+        self.detail = detail
+
+
 @dataclasses.dataclass(frozen=True)
 class ShardFailure:
     """Typed record of one shard's failure during a degraded query.

@@ -238,6 +238,24 @@ class ProcessExecutor:
     with ``BrokenExecutor``), the broken pool is discarded so the *next*
     ``map`` call transparently builds a fresh one.  The failed call
     still raises — recovery is the caller's retry policy's job.
+
+    A per-task deadline overrun *abandons* futures instead of breaking
+    the pool: the timed-out task (and any task submitted after it that
+    cannot be cancelled) keeps running on a pool process with nobody
+    waiting for its result.  Each abandoned future occupies one worker
+    slot, so a run of timeouts can quietly starve the pool down to zero
+    usable workers while every later ``map`` still *looks* healthy.
+    The executor therefore counts abandonments (``abandoned_futures``)
+    and, once they could plausibly cover every worker slot, recycles
+    the pool — old processes are left to finish detached and the next
+    ``map`` starts fresh (``pool_recycles`` counts these).
+
+    Attributes:
+        abandoned_futures: tasks abandoned to deadline overruns in the
+            *current* pool (an upper bound: a straggler finishing after
+            its abandonment is not un-counted).
+        pool_recycles: pools discarded because abandonment reached the
+            worker count.
     """
 
     remote = True
@@ -245,6 +263,8 @@ class ProcessExecutor:
     def __init__(self, max_workers: int | None = None) -> None:
         self._max_workers = max_workers
         self._pool: ProcessPoolExecutor | None = None
+        self.abandoned_futures = 0
+        self.pool_recycles = 0
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -268,6 +288,21 @@ class ProcessExecutor:
             # The pool is dead; drop it so the next map self-heals.
             pool.shutdown(wait=False)
             self._pool = None
+            self.abandoned_futures = 0
+            raise
+        except TaskTimeoutError:
+            # Whatever cannot be cancelled is abandoned on a worker.
+            for future in futures:
+                if not future.cancel() and not future.done():
+                    self.abandoned_futures += 1
+            workers = self._max_workers or os.cpu_count() or 1
+            if self.abandoned_futures >= workers:
+                # Every worker slot may be wedged behind an abandoned
+                # task; recycle so the next map gets live processes.
+                pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+                self.abandoned_futures = 0
+                self.pool_recycles += 1
             raise
 
     def close(self) -> None:

@@ -49,6 +49,10 @@ def _zero_rng() -> float:
     return 0.0
 
 
+def _no_observer(_retry_index: int, _error: BaseException) -> None:
+    """Default retry observer: do nothing."""
+
+
 @dataclasses.dataclass(frozen=True)
 class RetryPolicy:
     """Bounded retry with exponential backoff over injected seams.
@@ -68,6 +72,11 @@ class RetryPolicy:
             real backoff (the CLI does).
         rng: the jitter seam; defaults to a constant 0.  Wire
             ``random.Random(seed).random`` for real jitter.
+        on_retry: observer invoked as ``on_retry(retry_index, error)``
+            after a retryable failure, *before* the backoff sleep.
+            Defaults to a no-op.  The warm-worker supervisor hooks its
+            restart accounting here (the observer runs on the calling
+            side, so task callables stay mutation-free per R005).
     """
 
     attempts: int = 3
@@ -78,6 +87,7 @@ class RetryPolicy:
     retryable: tuple[type[BaseException], ...] = _DEFAULT_RETRYABLE
     sleep: Callable[[float], None] = _no_sleep
     rng: Callable[[], float] = _zero_rng
+    on_retry: Callable[[int, BaseException], None] = _no_observer
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -105,7 +115,8 @@ class RetryPolicy:
         for retry_index in range(self.attempts - 1):
             try:
                 return fn()
-            except self.retryable:
+            except self.retryable as exc:
+                self.on_retry(retry_index, exc)
                 self.sleep(self.delay_for(retry_index))
         return fn()
 

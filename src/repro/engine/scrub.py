@@ -8,18 +8,31 @@ shard's committed header generation against the manifest's recorded
 epoch generations.  Like the file-level scrub it never repairs
 anything — a leftover save marker is *reported* but left for
 ``ShardedEngine.open()`` to resolve.
+
+Warm-worker directories additionally hold per-shard write-ahead logs
+(``shard-NNN.wal``) and base snapshots (``shard-NNN.pages.base``); the
+sweep CRC-checks every WAL record, cross-checks the WAL's epoch against
+the manifest (a WAL *ahead* of the committed epoch is damage — replay
+would apply writes the manifest never acknowledged; a WAL *behind* is
+merely stale and is reset at the next worker start), reports torn tails
+(expected after a crash; resume truncates them) and flags orphan WALs
+whose shard id exceeds the manifest's shard count.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import re
 
 from ..storage.errors import StorageError
 from ..storage.scrub import ScrubReport, scrub_page_file
 from .engine import _MANIFEST_NAME, _PREPARE_NAME, _shard_file_name, \
     load_manifest
-from .errors import EngineError
+from .errors import EngineError, WalCorruptError
+from .wal import read_wal, wal_file_name
+
+_WAL_NAME_RE = re.compile(r"^shard-(\d{3})\.wal$")
 
 
 @dataclasses.dataclass
@@ -33,9 +46,12 @@ class DirectoryScrubReport:
             missing or unrecognisable shard files, shards behind the
             manifest's recorded generations.
         notes: non-fatal observations (e.g. a leftover save marker,
-            which ``ShardedEngine.open()`` recovers).
+            which ``ShardedEngine.open()`` recovers, or a stale/torn
+            WAL that worker recovery resets or truncates).
         reports: per-shard file sweeps, in shard-id order (missing
             files have no report; see ``problems``).
+        wal_records: replayable (CRC-whole, current-epoch) WAL records
+            per swept WAL file, keyed by file name.
     """
 
     path: str
@@ -43,6 +59,7 @@ class DirectoryScrubReport:
     problems: list[str]
     notes: list[str]
     reports: list[ScrubReport]
+    wal_records: dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -54,6 +71,9 @@ class DirectoryScrubReport:
         state = "manifest ok" if self.manifest_ok else "manifest INVALID"
         lines = [f"{self.path}: engine directory, {state}, "
                  f"{len(self.reports)} shard file(s) swept"]
+        for name in sorted(self.wal_records):
+            lines.append(f"  wal {name}: "
+                         f"{self.wal_records[name]} replayable record(s)")
         for note in self.notes:
             lines.append(f"  note: {note}")
         for problem in self.problems:
@@ -109,6 +129,73 @@ def scrub_directory(path: str | os.PathLike[str]) -> DirectoryScrubReport:
                 problems.append(
                     f"shard file {name} is behind the manifest: committed "
                     f"generation {observed} < recorded {recorded}")
+    wal_records = _scrub_wals(path, manifest, problems, notes)
     return DirectoryScrubReport(path=path, manifest_ok=manifest is not None,
                                 problems=problems, notes=notes,
-                                reports=reports)
+                                reports=reports, wal_records=wal_records)
+
+
+def _scrub_wals(path: str, manifest: dict | None, problems: list[str],
+                notes: list[str]) -> dict[str, int]:
+    """CRC-sweep every write-ahead log in the directory.
+
+    Appends findings to ``problems``/``notes`` in place and returns the
+    replayable-record count per WAL file name.
+    """
+    wal_records: dict[str, int] = {}
+    if not os.path.isdir(path):
+        return wal_records
+    n_shards = manifest["n_shards"] if manifest is not None else None
+    epoch = manifest["epoch"] if manifest is not None else None
+    for name in sorted(os.listdir(path)):
+        match = _WAL_NAME_RE.match(name)
+        if match is None:
+            continue
+        shard_id = int(match.group(1))
+        wal_path = os.path.join(path, name)
+        if n_shards is not None and shard_id >= n_shards:
+            problems.append(
+                f"orphan WAL {name}: manifest records only {n_shards} "
+                f"shard(s)")
+        try:
+            scan = read_wal(wal_path)
+        except WalCorruptError as exc:
+            problems.append(f"WAL {name} is corrupt: {exc.reason}")
+            continue
+        except OSError as exc:
+            problems.append(f"WAL {name} cannot be read: {exc}")
+            continue
+        wal_records[name] = len(scan.records)
+        if scan.torn:
+            torn = scan.total_bytes - scan.valid_bytes
+            notes.append(
+                f"WAL {name} has a torn tail ({torn} unacknowledged "
+                f"byte(s)); worker recovery truncates it")
+        if epoch is None:
+            continue
+        if scan.epoch > epoch:
+            problems.append(
+                f"WAL {name} claims epoch {scan.epoch} ahead of the "
+                f"manifest's committed epoch {epoch}; replaying it would "
+                f"apply writes the manifest never acknowledged")
+        elif scan.epoch < epoch:
+            notes.append(
+                f"WAL {name} is stale (epoch {scan.epoch} < manifest "
+                f"epoch {epoch}); worker recovery resets it")
+        elif n_shards is not None and shard_id < n_shards \
+                and not os.path.exists(
+                    os.path.join(path, _shard_file_name(shard_id))) \
+                and epoch > 0:
+            problems.append(
+                f"WAL {name} is current but its page file "
+                f"{_shard_file_name(shard_id)} is missing")
+    if manifest is not None:
+        missing = [wal_file_name(shard_id)
+                   for shard_id in range(manifest["n_shards"])
+                   if not os.path.exists(
+                       os.path.join(path, wal_file_name(shard_id)))]
+        if missing and len(missing) < manifest["n_shards"]:
+            notes.append(
+                f"{len(missing)} shard(s) have no WAL "
+                f"({', '.join(missing)}); a worker start creates them")
+    return wal_records

@@ -1,0 +1,357 @@
+"""Per-shard write-ahead log for warm worker processes.
+
+Between two epoch commits (``save()`` calls) a warm worker mutates its
+shard's page file freely: the buffer pool evicts dirty pages mid-session
+and the pager rewrites free-list links in place, so a SIGKILL leaves the
+file unusable until the *next* commit — by design (PR 2's recovery sweep
+refuses generation-ahead pages).  The WAL is what makes acknowledged
+writes survive anyway: every mutation is appended here and fsynced
+*before* it is acknowledged, and on restart the worker rebuilds the
+shard from its last committed snapshot plus a replay of this log.
+
+The sliding-window workload makes this log unusually cheap to reason
+about: entry start times are non-decreasing (the same increasing-ending-
+time structure the interval-index literature exploits), so the log is
+pure append in logical time as well as in file offset — replay is a
+single forward pass with no undo records.
+
+On-disk format (all little-endian)::
+
+    header:  magic "SWAL" | u16 version | u16 reserved | u64 epoch
+    record:  u32 payload_len | u64 seq | u8 op | payload | u32 crc
+
+``payload`` is ``payload_len`` signed 64-bit integers (the op's
+arguments); ``crc`` is the CRC32 of everything before it in the record.
+``epoch`` names the engine manifest epoch the log's *base* snapshot
+belongs to: the two-phase ``save()`` resets each shard's WAL to the new
+epoch right after the manifest FLIP, so a WAL whose epoch matches the
+manifest holds exactly the not-yet-committed tail.
+
+Replay rules:
+
+* a short or CRC-bad **final** record is a torn tail — the crash landed
+  mid-append before the fsync, so the record was never acknowledged;
+  it is silently truncated on resume.
+* damage anywhere **before** the last record, a bad header, or an epoch
+  *ahead* of the manifest is :class:`~repro.engine.errors.WalCorruptError`
+  — the acknowledged prefix itself is unreadable and replay must not
+  guess.
+* a WAL *behind* the manifest epoch is stale (its ops are already in the
+  committed snapshot) and is reset, never replayed.
+
+Every op is one public :class:`~repro.core.index.SWSTIndex` method call,
+so "replay equals direct apply" is structural, not incidental; the
+engine validates arguments against its own mirror *before* logging, so
+replaying a valid log never raises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import struct
+import zlib
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..storage.fileops import DURABLE_FILE_OPS, FileOps
+from .errors import WalCorruptError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..core.index import SWSTIndex
+
+_MAGIC = b"SWAL"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHQ")
+_FIXED = struct.Struct("<IQB")
+_CRC = struct.Struct("<I")
+_ARG = struct.Struct("<q")
+
+HEADER_SIZE = _HEADER.size
+
+#: ``None`` durations/retentions are logged as this sentinel (all real
+#: values are >= 1, so -1 is unambiguous).
+NONE_ARG = -1
+
+OP_ADVANCE = 1    #: (t,) -> advance_time(t)
+OP_INSERT = 2     #: (oid, x, y, s, d|-1) -> insert(...)
+OP_CLOSE = 3      #: (oid, t) -> close_object(oid, t)
+OP_DELETE = 4     #: (oid, x, y, s, d|-1) -> delete(...)
+OP_RETAIN = 5     #: (oid, r|-1) -> set_retention(oid, r)
+OP_FORGET = 6     #: (oid,) -> forget_object(oid)
+OP_RUN = 7        #: (t_max, oid1, x1, y1, t1, ...) -> batched report run
+
+_KNOWN_OPS = frozenset({OP_ADVANCE, OP_INSERT, OP_CLOSE, OP_DELETE,
+                        OP_RETAIN, OP_FORGET, OP_RUN})
+
+
+def wal_file_name(shard_id: int) -> str:
+    """WAL file name of one shard (lives next to its page file)."""
+    return f"shard-{shard_id:03d}.wal"
+
+
+def base_file_name(shard_id: int) -> str:
+    """Base-snapshot file name of one shard.
+
+    The base is a byte copy of the shard's page file taken at the last
+    epoch checkpoint (and refreshed at worker start): the state WAL
+    replay rebuilds from when a crash leaves the live page file
+    unrecoverable (mid-session evictions stamp pages past the committed
+    generation, which recovery-on-open rightly refuses).
+    """
+    return f"shard-{shard_id:03d}.pages.base"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WalRecord:
+    """One logged operation: a sequence number, an op code, int args."""
+
+    seq: int
+    op: int
+    args: tuple[int, ...]
+
+    def encode(self) -> bytes:
+        payload = b"".join(_ARG.pack(arg) for arg in self.args)
+        fixed = _FIXED.pack(len(self.args), self.seq, self.op)
+        return fixed + payload + _CRC.pack(zlib.crc32(fixed + payload))
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WalReport:
+    """Minimal ReportLike for replaying :data:`OP_RUN` batches."""
+
+    oid: int
+    x: int
+    y: int
+    t: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WalScan:
+    """Result of reading a WAL file.
+
+    Attributes:
+        epoch: manifest epoch named by the header.
+        records: every whole, CRC-valid record in order.
+        valid_bytes: file offset just past the last valid record (the
+            resume/truncation point).
+        total_bytes: actual file size; ``> valid_bytes`` iff the file
+            ends in a torn tail.
+    """
+
+    epoch: int
+    records: tuple[WalRecord, ...]
+    valid_bytes: int
+    total_bytes: int
+
+    @property
+    def torn(self) -> bool:
+        return self.total_bytes > self.valid_bytes
+
+
+def _decode_one(blob: bytes, offset: int) -> tuple[WalRecord, int] | None:
+    """Decode the record at ``offset``; None if short or CRC-bad."""
+    end = offset + _FIXED.size
+    if end > len(blob):
+        return None
+    n_args, seq, op = _FIXED.unpack_from(blob, offset)
+    body_end = end + n_args * _ARG.size
+    crc_end = body_end + _CRC.size
+    if crc_end > len(blob):
+        return None
+    (crc,) = _CRC.unpack_from(blob, body_end)
+    if zlib.crc32(blob[offset:body_end]) != crc:
+        return None
+    args = tuple(arg for (arg,) in _ARG.iter_unpack(blob[end:body_end]))
+    return WalRecord(seq, op, args), crc_end
+
+
+def read_wal(path: str) -> WalScan:
+    """Read and verify a WAL file.
+
+    Stops at the first short or CRC-bad record (the torn tail a crash
+    mid-append leaves).  Raises :class:`WalCorruptError` for a bad
+    header, an unknown op code, or a sequence-number discontinuity —
+    damage inside the acknowledged prefix, which replay must not step
+    over.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < HEADER_SIZE:
+        raise WalCorruptError(path, f"header truncated "
+                                    f"({len(blob)} < {HEADER_SIZE} bytes)")
+    magic, version, _reserved, epoch = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise WalCorruptError(path, f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise WalCorruptError(path, f"unsupported version {version}")
+    records: list[WalRecord] = []
+    offset = HEADER_SIZE
+    expected_seq: int | None = None
+    while offset < len(blob):
+        decoded = _decode_one(blob, offset)
+        if decoded is None:
+            break  # torn tail: never acknowledged, dropped on resume
+        record, offset = decoded
+        if record.op not in _KNOWN_OPS:
+            raise WalCorruptError(path, f"unknown op {record.op} at "
+                                        f"seq {record.seq}")
+        if expected_seq is not None and record.seq != expected_seq:
+            raise WalCorruptError(
+                path, f"sequence discontinuity: expected {expected_seq}, "
+                      f"found {record.seq}")
+        expected_seq = record.seq + 1
+        records.append(record)
+    return WalScan(epoch=epoch, records=tuple(records),
+                   valid_bytes=offset, total_bytes=len(blob))
+
+
+def apply_record(shard: "SWSTIndex", record: WalRecord) -> None:
+    """Apply one logged op to ``shard``.
+
+    Total for records logged by the engine: argument validation happened
+    against the engine's mirror before the record was written, and
+    replay starts from the same base snapshot the log was written
+    against, so each call is replayed into exactly the state it
+    originally saw.
+    """
+    op, args = record.op, record.args
+    if op == OP_ADVANCE:
+        shard.advance_time(args[0])
+    elif op == OP_INSERT:
+        oid, x, y, s, d = args
+        shard.insert(oid, x, y, s, None if d == NONE_ARG else d)
+    elif op == OP_CLOSE:
+        shard.close_object(args[0], args[1])
+    elif op == OP_DELETE:
+        oid, x, y, s, d = args
+        shard.delete(oid, x, y, s, None if d == NONE_ARG else d)
+    elif op == OP_RETAIN:
+        oid, retention = args
+        shard.set_retention(oid,
+                            None if retention == NONE_ARG else retention)
+    elif op == OP_FORGET:
+        shard.forget_object(args[0])
+    elif op == OP_RUN:
+        t_max = args[0]
+        reports = [WalReport(*args[base:base + 4])
+                   for base in range(1, len(args), 4)]
+        shard.advance_time(t_max)
+        shard._ingest_run_reports(reports)
+    else:  # pragma: no cover - read_wal rejects unknown ops
+        raise WalCorruptError("<record>", f"unknown op {op}")
+
+
+def replay(shard: "SWSTIndex", records: Iterable[WalRecord]) -> int:
+    """Apply ``records`` to ``shard`` in order; returns the count."""
+    count = 0
+    for record in records:
+        apply_record(shard, record)
+        count += 1
+    return count
+
+
+class WalWriter:
+    """Append-side of one shard's WAL with fsync batching (group commit).
+
+    :meth:`log` buffers encoded records in memory; :meth:`commit` writes
+    the whole buffer with one ``append_file`` and makes it durable with
+    one ``fsync_file`` — the worker's acknowledgement barrier.  Many
+    logged ops per commit cost one fsync, which is where the warm-worker
+    ingest win over a full per-batch ``save()`` comes from.
+    """
+
+    def __init__(self, path: str, fops: FileOps, epoch: int,
+                 next_seq: int = 0) -> None:
+        self.path = path
+        self.fops = fops
+        self.epoch = epoch
+        self.next_seq = next_seq
+        self._pending: list[bytes] = []
+
+    @classmethod
+    def reset(cls, path: str, fops: FileOps | None = None, *,
+              epoch: int) -> "WalWriter":
+        """(Re)create the WAL as an empty log for ``epoch``, atomically.
+
+        The fresh header is written to a temp file, fsynced, renamed over
+        any previous log and the directory fsynced — so a crash during
+        reset leaves either the old complete log or the new empty one,
+        never a half-written header.
+        """
+        ops = fops if fops is not None else DURABLE_FILE_OPS
+        header = _HEADER.pack(_MAGIC, _VERSION, 0, epoch)
+        tmp = path + ".tmp"
+        ops.write_file(tmp, header)
+        ops.replace(tmp, path)
+        ops.fsync_dir(_parent_dir(path))
+        return cls(path, ops, epoch)
+
+    @classmethod
+    def resume(cls, path: str,
+               fops: FileOps | None = None) -> tuple["WalWriter", WalScan]:
+        """Open an existing WAL for appending after replaying it.
+
+        Truncates a torn tail (unacknowledged bytes) so the next append
+        starts on a record boundary, and continues the sequence numbers
+        where the valid prefix ended.
+        """
+        ops = fops if fops is not None else DURABLE_FILE_OPS
+        scan = read_wal(path)
+        if scan.torn:
+            ops.truncate_file(path, scan.valid_bytes)
+        next_seq = scan.records[-1].seq + 1 if scan.records else 0
+        return cls(path, ops, scan.epoch, next_seq), scan
+
+    def log(self, op: int, args: Sequence[int]) -> int:
+        """Buffer one record; returns its sequence number.
+
+        Not durable (or even on disk) until :meth:`commit`.
+        """
+        seq = self.next_seq
+        self.next_seq = seq + 1
+        self._pending.append(WalRecord(seq, op, tuple(args)).encode())
+        return seq
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def commit(self) -> None:
+        """Append and fsync everything logged since the last commit."""
+        if not self._pending:
+            return
+        blob = b"".join(self._pending)
+        self._pending.clear()
+        self.fops.append_file(self.path, blob)
+        self.fops.fsync_file(self.path)
+
+
+def _parent_dir(path: str) -> str:
+    return os.path.dirname(os.path.abspath(path))
+
+
+def rebase_wal(path: str, fops: FileOps | None, epoch: int) -> bool:
+    """Rewrite ``path``'s header to claim ``epoch``, keeping its records.
+
+    Epoch-commit recovery uses this to roll a *pending* shard forward:
+    the shard's page file never committed the new epoch, so its WAL tail
+    (written against the old epoch's base) still holds every
+    acknowledged op — the records stay valid, only the epoch label
+    moves.  The rewrite is atomic (temp + replace + dir fsync) and
+    idempotent; a torn tail is dropped in passing (it was never
+    acknowledged).  Returns False if the file does not exist or already
+    claims ``epoch``.
+    """
+    ops = fops if fops is not None else DURABLE_FILE_OPS
+    if not os.path.exists(path):
+        return False
+    scan = read_wal(path)
+    if scan.epoch == epoch:
+        return False
+    blob = _HEADER.pack(_MAGIC, _VERSION, 0, epoch) \
+        + b"".join(record.encode() for record in scan.records)
+    tmp = path + ".tmp"
+    ops.write_file(tmp, blob)
+    ops.replace(tmp, path)
+    ops.fsync_dir(_parent_dir(path))
+    return True

@@ -1,0 +1,1644 @@
+"""Warm worker pool: per-shard processes, WAL durability, supervision.
+
+:class:`WorkerEngine` is the writable counterpart of a
+:class:`~repro.engine.engine.ShardedEngine` driven by a process
+executor.  Instead of read-only fan-out over saved shards, it runs one
+long-lived **worker process per shard** (shard -> worker affinity) that
+holds its shard's :class:`~repro.core.index.SWSTIndex` open read-write
+across tasks.  The coordinator never touches shard internals; it routes
+operations, mirrors just enough state to validate and route
+(the current-entry table and the clock), and ships each shard a batch
+of :mod:`~repro.engine.wal` ops.
+
+**Durability.**  A worker acknowledges a mutation batch only after the
+ops are appended to the shard's write-ahead log and fsynced (one fsync
+per batch — group commit) *and* applied to the in-memory index.  The
+page file itself is only made consistent at epoch commits
+(:meth:`WorkerEngine.save`, the same two-phase PREPARE/FLIP protocol as
+``ShardedEngine``); between commits the WAL is the durable record.  A
+worker therefore *always* shuts its shard down with
+:meth:`~repro.core.index.SWSTIndex.abort` — a graceful stop and a
+SIGKILL leave the same on-disk state, and restart recovery is one code
+path, not two.
+
+**Recovery (worker start).**
+
+1. Open the page file; if storage recovery refuses it (a crash left
+   evicted pages past the committed generation), restore the shard's
+   *base snapshot* — a byte copy of the page file taken at the last
+   checkpoint — and open that.
+2. Refresh the base from the (now consistent) page file, so the base
+   and the WAL always describe the same starting state.
+3. Read the WAL: epoch behind the manifest -> stale (its ops are inside
+   the committed snapshot), reset it; epoch equal -> replay every
+   record; epoch ahead -> refuse (typed
+   :class:`~repro.engine.errors.WalCorruptError`).
+
+**Supervision.**  The coordinator detects worker death three ways: the
+pipe reports EOF (process exited or was SIGKILLed), a request overruns
+the ``heartbeat_timeout`` deadline (poison task — the worker is then
+killed), or a spawn reports a fatal error.  Dead workers are restarted
+under the engine's :class:`~repro.engine.retry.RetryPolicy` with a
+per-shard :class:`~repro.engine.retry.CircuitBreaker` gating the
+attempts; a restart replays the WAL tail, so every acknowledged write
+survives.  Queries retry across restarts; **mutations never retry**
+(the caller cannot know whether the batch was fsynced before the crash
+— re-submitting position reports is idempotent and converges, but the
+engine will not guess).  ``strict=False`` queries degrade to
+:class:`~repro.engine.engine.PartialResult` while a shard is
+mid-restart or its breaker is open.
+
+**Epoch commit.**  ``save()`` aligns every shard's clock, records each
+worker's expected header generation in the PREPARE marker, saves every
+shard (in-worker ``SWSTIndex.save``), flips the manifest, unlinks the
+marker, then checkpoints each worker (refresh base, reset WAL to the
+new epoch).  A failure anywhere kills every worker and runs the same
+marker resolution ``open()`` uses, so no worker can keep acknowledging
+into a stale-epoch WAL.  Unlike ``ShardedEngine``, a crash *between*
+shard commits is recoverable: pending shards' WALs are rebased to the
+new epoch (their acknowledged tails replay over their old base), so
+``EpochTornError`` cannot happen here — the WAL upgrades the two-phase
+commit from "atomic or typed refusal" to "always roll forward".
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import multiprocessing
+import os
+import signal
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+from ..core.config import SWSTConfig
+from ..core.grid import SpatialGrid
+from ..core.index import SWSTIndex
+from ..core.overlap import classify_interval
+from ..core.plan import PlanCache, QueryPlan, build_query_plan
+from ..core.records import Entry, Rect, ReportLike
+from ..core.results import MultiQueryResult, QueryResult, QueryStats
+from ..storage.errors import NoCatalogError, StorageError
+from ..storage.fault import FaultInjectingFileOps
+from ..storage.fileops import DURABLE_FILE_OPS, FileOps
+from ..storage.stats import IOStats
+from .engine import (_MANIFEST_FORMAT, _MANIFEST_NAME, _PREPARE_NAME,
+                     PartialResult, _load_prepare, _shard_file_name,
+                     load_manifest, probe_prepare_state, write_json_atomic)
+from .errors import (CircuitOpenError, EngineClosedError, EngineCloseError,
+                     EngineError, ShardFailure, ShardQueryError,
+                     WalCorruptError, WorkerCrashError, WorkerRecoveryError)
+from .retry import CircuitBreaker, RetryPolicy
+from .sharding import GridShardMap
+from .wal import (OP_ADVANCE, OP_CLOSE, OP_DELETE, OP_FORGET, OP_INSERT,
+                  OP_RETAIN, OP_RUN, NONE_ARG, WalWriter, apply_record,
+                  base_file_name, read_wal, rebase_wal, wal_file_name,
+                  WalRecord)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from multiprocessing.connection import Connection
+    from multiprocessing.context import BaseContext
+
+#: Failures a degraded query fan-out absorbs into ``ShardFailure``.
+_SHARD_FAILURE_ERRORS = (StorageError, OSError, EngineError)
+
+#: Per-op errors a worker survives (reported, connection stays up).
+_RECOVERABLE_OP_ERRORS = (ValueError, KeyError, AssertionError)
+
+_ERR_TYPES: dict[str, type[Exception]] = {
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "AssertionError": AssertionError,
+}
+
+
+def _mp_context() -> "BaseContext":
+    """Fork where available (configs need no pickling), default elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _copy_file_atomic(src: str, dst: str, fops: FileOps) -> None:
+    """Durably copy ``src`` over ``dst`` (temp + fsync + rename)."""
+    with open(src, "rb") as handle:
+        blob = handle.read()
+    tmp = dst + ".tmp"
+    fops.write_file(tmp, blob)
+    fops.replace(tmp, dst)
+    fops.fsync_dir(os.path.dirname(os.path.abspath(dst)))
+
+
+# -- worker process ----------------------------------------------------------
+
+
+def _die() -> None:
+    """Scripted kill point: die exactly as SIGKILL would."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _worker_fops(spec: dict[str, Any]) -> FileOps:
+    """WAL/base file ops for this worker, fault-injected when scripted."""
+    keys = ("wal_fail_op", "wal_op_errors", "wal_short_writes",
+            "wal_fsync_errors")
+    if not any(key in spec for key in keys):
+        return DURABLE_FILE_OPS
+    return FaultInjectingFileOps(
+        fail_op=spec.get("wal_fail_op"),
+        op_errors=spec.get("wal_op_errors"),
+        short_writes=spec.get("wal_short_writes"),
+        fsync_errors=spec.get("wal_fsync_errors"))
+
+
+def _open_recovered(shard_id: int, config: SWSTConfig, fops: FileOps,
+                    epoch: int, path: str, base_path: str) -> SWSTIndex:
+    """Open the shard's page file, falling back to its base snapshot.
+
+    At epoch 0 nothing was ever committed — the durable starting state
+    is "empty" (a pre-first-save base has no catalog either), which a
+    fresh file plus the epoch-0 WAL reproduces exactly.  At a committed
+    epoch the base snapshot stands in for an unrecoverable page file
+    (mid-session kills leave evicted pages past the committed
+    generation, which storage recovery rightly refuses).
+    """
+
+    def open_from_base() -> SWSTIndex:
+        _copy_file_atomic(base_path, path, fops)
+        try:
+            return SWSTIndex.open(path, config)
+        except NoCatalogError:
+            # The base predates the shard's first commit (a partially
+            # committed first epoch rolled forward): the durable base
+            # state is "empty", and the rebased WAL carries the whole
+            # acknowledged history from there.
+            os.unlink(path)
+            return SWSTIndex(config, path)
+
+    if os.path.exists(path):
+        try:
+            return SWSTIndex.open(path, config)
+        except (StorageError, OSError) as exc:
+            if epoch == 0:
+                os.unlink(path)
+                return SWSTIndex(config, path)
+            if os.path.exists(base_path):
+                return open_from_base()
+            raise WorkerRecoveryError(
+                shard_id, f"page file unrecoverable ({exc!r}) and "
+                          f"no base snapshot exists") from exc
+    if epoch == 0:
+        return SWSTIndex(config, path)
+    if os.path.exists(base_path):
+        return open_from_base()
+    raise WorkerRecoveryError(
+        shard_id, f"page file missing, no base snapshot, and the "
+                  f"manifest claims committed epoch {epoch}")
+
+
+def _recover_shard(shard_id: int, directory: str, config: SWSTConfig,
+                   fops: FileOps,
+                   spec: dict[str, Any]) -> tuple[SWSTIndex, WalWriter, int]:
+    """Rebuild one shard from page file + base snapshot + WAL.
+
+    Returns ``(shard, wal_writer, replayed_record_count)``.  Raises
+    :class:`WorkerRecoveryError` when no recovery path exists (terminal
+    — restarting again cannot help).
+    """
+    path = os.path.join(directory, _shard_file_name(shard_id))
+    base_path = os.path.join(directory, base_file_name(shard_id))
+    wal_path = os.path.join(directory, wal_file_name(shard_id))
+    manifest = load_manifest(os.path.join(directory, _MANIFEST_NAME))
+    epoch: int = manifest["epoch"]
+    shard = _open_recovered(shard_id, config, fops, epoch, path, base_path)
+    try:
+        # Refresh the base *before* replay: from here on, base + WAL is
+        # exactly the state this session acknowledges against.
+        _copy_file_atomic(path, base_path, fops)
+        replayed = 0
+        if os.path.exists(wal_path):
+            scan = read_wal(wal_path)
+            if scan.epoch > epoch:
+                raise WalCorruptError(
+                    wal_path, f"claims epoch {scan.epoch} ahead of "
+                              f"manifest epoch {epoch}")
+            if scan.epoch == epoch:
+                writer, scan = WalWriter.resume(wal_path, fops)
+                kill_after = spec.get("kill_at_replay")
+                for record in scan.records:
+                    apply_record(shard, record)
+                    replayed += 1
+                    if kill_after is not None and replayed == kill_after:
+                        _die()
+            else:
+                writer = WalWriter.reset(wal_path, fops, epoch=epoch)
+        else:
+            writer = WalWriter.reset(wal_path, fops, epoch=epoch)
+    except BaseException:
+        shard.abort()
+        raise
+    return shard, writer, replayed
+
+
+def _apply_batch(shard: SWSTIndex, writer: WalWriter,
+                 batch: list[tuple[int, tuple[int, ...]]],
+                 spec: dict[str, Any], batch_index: int) -> list[Any]:
+    """Log, group-commit, then apply one mutation batch.
+
+    The acknowledgement the caller sends after this returns is the
+    durability barrier: everything here is fsynced and applied, or the
+    worker died and nothing was acknowledged.
+    """
+    if spec.get("hang_at_apply") == batch_index:
+        signal.pause()  # poison task: never answers
+    records = [WalRecord(writer.log(op, args), op, tuple(args))
+               for op, args in batch]
+    if spec.get("kill_before_commit") == batch_index:
+        _die()
+    writer.commit()
+    if spec.get("kill_after_commit") == batch_index:
+        _die()
+    results: list[Any] = []
+    for record in records:
+        if record.op == OP_CLOSE:
+            results.append(shard.close_object(record.args[0],
+                                              record.args[1]))
+        elif record.op == OP_DELETE:
+            oid, x, y, s, d = record.args
+            results.append(shard.delete(
+                oid, x, y, s, None if d == NONE_ARG else d))
+        elif record.op == OP_FORGET:
+            results.append(shard.forget_object(record.args[0]))
+        else:
+            apply_record(shard, record)
+            results.append(None)
+    if spec.get("kill_after_apply") == batch_index:
+        _die()
+    return results
+
+
+def _checkpoint(shard_id: int, directory: str, fops: FileOps,
+                epoch: int) -> WalWriter:
+    """Refresh the base from the just-committed page file, reset the WAL."""
+    path = os.path.join(directory, _shard_file_name(shard_id))
+    base_path = os.path.join(directory, base_file_name(shard_id))
+    wal_path = os.path.join(directory, wal_file_name(shard_id))
+    _copy_file_atomic(path, base_path, fops)
+    return WalWriter.reset(wal_path, fops, epoch=epoch)
+
+
+def _worker_main(shard_id: int, directory: str, config: SWSTConfig,
+                 conn: "Connection",
+                 spec: dict[str, Any] | None) -> None:
+    """Entry point of one warm worker process."""
+    spec = spec or {}
+    fops = _worker_fops(spec)
+    try:
+        shard, writer, replayed = _recover_shard(shard_id, directory,
+                                                 config, fops, spec)
+    except BaseException as exc:
+        with contextlib.suppress(OSError, ValueError):
+            conn.send(("fatal", (type(exc).__name__, str(exc))))
+        os._exit(3)
+    if spec.get("kill_at_ready"):
+        _die()
+    conn.send(("ready", {"now": shard.now,
+                         "current": shard.current_objects(),
+                         "replayed": replayed,
+                         "next_seq": writer.next_seq}))
+    batches_seen = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            # Coordinator is gone; leave crash-equivalent state behind.
+            shard.abort()
+            os._exit(0)
+        kind, payload = message
+        try:
+            if kind == "apply":
+                batches_seen += 1
+                value: Any = (_apply_batch(shard, writer, payload, spec,
+                                           batches_seen), writer.next_seq)
+            elif kind == "query":
+                method, args = payload
+                value = getattr(shard, method)(*args)
+            elif kind == "resync":
+                value = {"now": shard.now,
+                         "current": shard.current_objects()}
+            elif kind == "scan":
+                value = list(shard.scan())
+            elif kind == "len":
+                value = len(shard)
+            elif kind == "stats":
+                value = shard.stats.snapshot()
+            elif kind == "gen_info":
+                value = (shard.pager.generation,
+                         shard.pager.session_marked)
+            elif kind == "save":
+                if spec.get("kill_at_save"):
+                    _die()
+                shard.save()
+                if spec.get("kill_after_save"):
+                    _die()
+                value = shard.pager.generation
+            elif kind == "checkpoint":
+                if spec.get("kill_at_checkpoint"):
+                    _die()
+                writer = _checkpoint(shard_id, directory, fops, payload)
+                value = writer.next_seq
+            elif kind == "stop":
+                conn.send(("ok", None))
+                shard.abort()
+                conn.close()
+                os._exit(0)
+            else:
+                raise ValueError(f"unknown worker request {kind!r}")
+        except _RECOVERABLE_OP_ERRORS as exc:
+            conn.send(("err", (type(exc).__name__, str(exc))))
+            continue
+        except BaseException as exc:
+            # Anything else (storage corruption, injected IO faults) is
+            # fatal: the WAL/page state may be half-written, so the only
+            # safe continuation is a restart-and-replay.
+            with contextlib.suppress(OSError, ValueError):
+                conn.send(("fatal", (type(exc).__name__, str(exc))))
+            os._exit(3)
+        conn.send(("ok", value))
+
+
+# -- coordinator side --------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _Handle:
+    """Coordinator-side record of one live worker.
+
+    ``pending`` counts sent-but-uncollected requests: when a pipelined
+    fan-out aborts between its send and collect loops, the orphaned
+    responses stay queued in the pipe and must be drained before the
+    next request, or they would be mis-read as that request's answer.
+    """
+
+    process: Any
+    conn: "Connection"
+    pending: int = 0
+
+
+class WorkerPool:
+    """Supervised pool of per-shard worker processes.
+
+    Owns process lifecycle only: spawn (with WAL recovery handshake),
+    synchronous request/response over a private pipe, heartbeat
+    deadlines, kill and graceful stop.  Restart *policy* — retries,
+    breakers, engine resynchronisation — lives in
+    :class:`WorkerEngine`, which records outcomes on the gathering side
+    (invariant R005: nothing here mutates engine state from a task).
+
+    Args:
+        directory: the engine's shard directory.
+        config: shared index configuration.
+        heartbeat_timeout: seconds a request (or a spawn handshake) may
+            take before the worker is declared dead and killed; ``None``
+            waits forever.
+        fault_specs: optional per-shard fault scripts passed to the
+            worker at spawn (crash-matrix seam).  A spec is consumed by
+            the first spawn unless it sets ``"persistent": True``.
+    """
+
+    def __init__(self, directory: str, config: SWSTConfig, *,
+                 heartbeat_timeout: float | None = None,
+                 fault_specs: dict[int, dict[str, Any]] | None = None
+                 ) -> None:
+        self.directory = directory
+        self.config = config
+        self.heartbeat_timeout = heartbeat_timeout
+        self.fault_specs = dict(fault_specs or {})
+        self.spawn_counts = [0] * config.n_shards
+        self._handles: dict[int, _Handle] = {}
+        self._ctx = _mp_context()
+
+    def alive(self, shard_id: int) -> bool:
+        handle = self._handles.get(shard_id)
+        return handle is not None and handle.process.is_alive()
+
+    def live_shards(self) -> list[int]:
+        return sorted(sid for sid in self._handles if self.alive(sid))
+
+    def spawn(self, shard_id: int) -> dict[str, Any]:
+        """Start (or restart) one worker; returns its ready info.
+
+        The ready handshake completes WAL recovery first, so a returned
+        worker is fully caught up to its acknowledged state.
+        """
+        if self.alive(shard_id):
+            raise EngineError(f"worker {shard_id} is already running")
+        self._discard(shard_id)
+        spec = self.fault_specs.get(shard_id)
+        if spec is not None and not spec.get("persistent"):
+            del self.fault_specs[shard_id]
+        # The pipe is created immediately before the fork and the child
+        # end closed right after, so no later-forked sibling inherits
+        # it — EOF on the parent end then reliably signals death.
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(shard_id, self.directory, self.config, child_conn, spec),
+            daemon=True, name=f"swst-shard-{shard_id}")
+        process.start()
+        child_conn.close()
+        handle = _Handle(process, parent_conn)
+        self._handles[shard_id] = handle
+        self.spawn_counts[shard_id] += 1
+        tag, value = self._recv(shard_id, handle)
+        if tag == "fatal":
+            self._reap(shard_id)
+            name, detail = value
+            if name in ("WorkerRecoveryError", "WalCorruptError"):
+                raise WorkerRecoveryError(shard_id, f"{name}: {detail}")
+            raise WorkerCrashError(shard_id,
+                                   f"failed to start: {name}: {detail}")
+        if tag != "ready":
+            self._reap(shard_id)
+            raise WorkerCrashError(shard_id,
+                                   f"unexpected handshake {tag!r}")
+        info: dict[str, Any] = value
+        return info
+
+    def send(self, shard_id: int, kind: str, payload: Any = None) -> None:
+        """Queue one request; pair with :meth:`collect`."""
+        self.drain(shard_id)
+        handle = self._handles.get(shard_id)
+        if handle is None:
+            raise WorkerCrashError(shard_id, "no running worker")
+        try:
+            handle.conn.send((kind, payload))
+        except (OSError, ValueError) as exc:
+            raise self._crashed(shard_id, repr(exc)) from exc
+        handle.pending += 1
+
+    def collect(self, shard_id: int,
+                timeout: float | None = None) -> Any:
+        """Receive one response; raises typed errors on failure/death."""
+        handle = self._handles.get(shard_id)
+        if handle is None:
+            raise WorkerCrashError(shard_id, "no running worker")
+        tag, value = self._recv(shard_id, handle, timeout)
+        handle.pending = max(0, handle.pending - 1)
+        if tag == "ok":
+            return value
+        if tag == "err":
+            name, detail = value
+            raise _ERR_TYPES.get(name, EngineError)(detail)
+        self._reap(shard_id)
+        name, detail = value
+        raise WorkerCrashError(shard_id, f"fatal: {name}: {detail}")
+
+    def pending(self, shard_id: int) -> int:
+        """Sent-but-uncollected requests queued at one worker."""
+        handle = self._handles.get(shard_id)
+        return handle.pending if handle is not None else 0
+
+    def drain(self, shard_id: int) -> None:
+        """Discard responses orphaned by an aborted pipelined fan-out."""
+        while True:
+            handle = self._handles.get(shard_id)
+            if handle is None or handle.pending == 0:
+                return
+            try:
+                self.collect(shard_id)
+            except (EngineError, ValueError, KeyError, AssertionError):
+                # A crash reaps the handle (loop exits); per-op errors
+                # just consumed one orphaned response.
+                continue
+
+    def request(self, shard_id: int, kind: str, payload: Any = None,
+                timeout: float | None = None) -> Any:
+        """Synchronous round trip: :meth:`send` + :meth:`collect`."""
+        self.send(shard_id, kind, payload)
+        return self.collect(shard_id, timeout)
+
+    def _recv(self, shard_id: int, handle: _Handle,
+              timeout: float | None = None) -> tuple[str, Any]:
+        deadline = timeout if timeout is not None else self.heartbeat_timeout
+        try:
+            if deadline is not None and not handle.conn.poll(deadline):
+                self.kill(shard_id)
+                raise WorkerCrashError(
+                    shard_id, f"no response within {deadline}s "
+                              f"(heartbeat deadline); worker killed")
+            message: tuple[str, Any] = handle.conn.recv()
+            return message
+        except (EOFError, OSError) as exc:
+            raise self._crashed(shard_id, repr(exc)) from exc
+
+    def _crashed(self, shard_id: int, detail: str) -> WorkerCrashError:
+        """Reap a dead worker and build its typed error."""
+        handle = self._handles.get(shard_id)
+        exitcode = None
+        if handle is not None:
+            handle.process.join(1.0)
+            if handle.process.is_alive():  # pipe broke, process wedged
+                handle.process.kill()
+                handle.process.join(5.0)
+            exitcode = handle.process.exitcode
+        self._reap(shard_id)
+        return WorkerCrashError(shard_id,
+                                f"worker died (exit code {exitcode}): "
+                                f"{detail}")
+
+    def kill(self, shard_id: int) -> None:
+        """SIGKILL one worker and reap it (heartbeat overrun, save abort)."""
+        handle = self._handles.get(shard_id)
+        if handle is None:
+            return
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(5.0)
+        self._reap(shard_id)
+
+    def kill_all(self) -> None:
+        for shard_id in list(self._handles):
+            self.kill(shard_id)
+
+    def stop(self, shard_id: int) -> None:
+        """Graceful stop: the worker aborts its shard and exits cleanly."""
+        handle = self._handles.get(shard_id)
+        if handle is None:
+            return
+        try:
+            handle.conn.send(("stop", None))
+            # Ack then exit; a bounded wait so a wedged worker cannot
+            # hang close() (it is killed below instead).
+            handle.conn.poll(5.0)
+        except (EOFError, OSError):
+            pass
+        handle.process.join(5.0)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(5.0)
+        self._reap(shard_id)
+
+    def stop_all(self) -> list[BaseException]:
+        errors: list[BaseException] = []
+        for shard_id in list(self._handles):
+            try:
+                self.stop(shard_id)
+            except BaseException as exc:
+                errors.append(exc)
+        return errors
+
+    def _reap(self, shard_id: int) -> None:
+        self._discard(shard_id)
+
+    def _discard(self, shard_id: int) -> None:
+        handle = self._handles.pop(shard_id, None)
+        if handle is not None:
+            with contextlib.suppress(OSError):
+                handle.conn.close()
+
+
+class WorkerEngine:
+    """Sharded engine served by a supervised warm worker pool.
+
+    Mirrors the :class:`~repro.engine.engine.ShardedEngine` surface —
+    ingestion (``insert``/``report``/``extend``/``close_object``/
+    ``delete``/``set_retention``/``forget_object``/``advance_time``),
+    queries (``query_timeslice``/``query_interval``/
+    ``query_interval_many``/``count_interval``/``query_knn``/
+    ``density_grid``/``object_history``), persistence (``save``/
+    ``open``) and introspection — but every shard lives in its own
+    process and every acknowledged mutation is WAL-durable.  A saved
+    directory is interchangeable with ``ShardedEngine``'s (same
+    manifest, same page files; the ``.wal``/``.pages.base`` files are
+    additive).
+
+    Always disk-backed: the WAL discipline has no meaning in memory.
+    """
+
+    def __init__(self, config: SWSTConfig | None = None,
+                 path: str | None = None, *,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker_factory: Callable[[], CircuitBreaker] | None
+                 = CircuitBreaker,
+                 heartbeat_timeout: float | None = None,
+                 file_ops: FileOps | None = None,
+                 fault_specs: dict[int, dict[str, Any]] | None = None
+                 ) -> None:
+        if path is None:
+            raise EngineError("a warm-worker engine is always disk-backed; "
+                              "pass a directory path")
+        self.config = config if config is not None else SWSTConfig()
+        self._dir = os.fspath(path)
+        self._init_common(retry_policy, breaker_factory, heartbeat_timeout,
+                          file_ops, fault_specs)
+        self._prepare_directory()
+        try:
+            for shard_id in range(self.n_shards):
+                self._ensure(shard_id)
+            self._resync()
+        except BaseException:
+            self._abandon()
+            raise
+
+    def _init_common(self, retry_policy: RetryPolicy | None,
+                     breaker_factory: Callable[[], CircuitBreaker] | None,
+                     heartbeat_timeout: float | None,
+                     file_ops: FileOps | None,
+                     fault_specs: dict[int, dict[str, Any]] | None) -> None:
+        self.grid = SpatialGrid(self.config.space, self.config.x_partitions,
+                                self.config.y_partitions)
+        self.shard_map = GridShardMap(self.config.x_partitions,
+                                      self.config.y_partitions,
+                                      self.config.n_shards)
+        self._retry_policy = retry_policy if retry_policy is not None \
+            else RetryPolicy()
+        self._breakers: list[CircuitBreaker | None] = [
+            breaker_factory() if breaker_factory is not None else None
+            for _ in range(self.config.n_shards)]
+        self._fops: FileOps = file_ops if file_ops is not None \
+            else DURABLE_FILE_OPS
+        self.pool = WorkerPool(self._dir, self.config,
+                               heartbeat_timeout=heartbeat_timeout,
+                               fault_specs=fault_specs)
+        self._plans = PlanCache(self.config.plan_cache_size)
+        #: oid -> (home shard, x, y, s) mirror of live current entries.
+        self._cur: dict[int, tuple[int, int, int, int]] = {}
+        self._shard_clocks = [0] * self.config.n_shards
+        #: Per-shard expected WAL cursor (mirrors the worker's
+        #: ``writer.next_seq`` after the last acknowledged request).
+        self._next_seq = [0] * self.config.n_shards
+        #: sid -> (seq cursor before the send, op batch) for a dispatch
+        #: whose acknowledgement was lost to a worker crash.  Compared
+        #: against the restarted worker's replayed cursor to re-deliver
+        #: exactly the records that never became durable.
+        self._inflight: dict[int,
+                             tuple[int,
+                                   list[tuple[int, tuple[int, ...]]]]] = {}
+        self._clock = 0
+        self._epoch = 0
+        self._needs_resync = False
+        self._closed = False
+
+    # -- directory ------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.config.n_shards
+
+    @property
+    def directory(self) -> str:
+        return self._dir
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def breakers(self) -> tuple[CircuitBreaker | None, ...]:
+        return tuple(self._breakers)
+
+    def shard_path(self, shard_id: int) -> str:
+        return os.path.join(self._dir, _shard_file_name(shard_id))
+
+    def wal_path(self, shard_id: int) -> str:
+        return os.path.join(self._dir, wal_file_name(shard_id))
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self._dir, _MANIFEST_NAME)
+
+    def _prepare_path(self) -> str:
+        return os.path.join(self._dir, _PREPARE_NAME)
+
+    def _prepare_directory(self) -> None:
+        if os.path.exists(self._dir) and not os.path.isdir(self._dir):
+            raise EngineError(f"engine path {self._dir!r} exists and is "
+                              f"not a directory")
+        os.makedirs(self._dir, exist_ok=True)
+        if os.path.exists(self._prepare_path()):
+            raise EngineError(
+                f"directory {self._dir!r} holds an interrupted save "
+                f"(marker {_PREPARE_NAME}); recover it with "
+                f"WorkerEngine.open() first")
+        manifest_path = self._manifest_path()
+        if os.path.exists(manifest_path):
+            manifest = load_manifest(manifest_path)
+            if manifest["n_shards"] != self.n_shards:
+                raise EngineError(
+                    f"directory {self._dir!r} holds {manifest['n_shards']} "
+                    f"shards but config.n_shards is {self.n_shards}")
+            self._epoch = manifest["epoch"]
+            return
+        write_json_atomic(
+            self._fops, self._dir, manifest_path,
+            {"format": _MANIFEST_FORMAT, "n_shards": self.n_shards,
+             "epoch": 0, "shards": [0] * self.n_shards})
+
+    def _abandon(self) -> None:
+        if getattr(self, "_abandoned", False):
+            return
+        self._abandoned = True
+        self._closed = True
+        with contextlib.suppress(OSError, RuntimeError):
+            self.pool.kill_all()
+
+    # -- supervision ----------------------------------------------------------
+
+    def _ensure(self, shard_id: int) -> None:
+        """Make sure one worker is running, restarting under the policy.
+
+        Restart outcomes feed the shard's circuit breaker: while the
+        breaker is open the shard is failed fast with a typed
+        :class:`CircuitOpenError` (no spawn attempted), which is what
+        lets ``strict=False`` queries degrade instead of blocking on a
+        crash-looping worker.
+        """
+        if self.pool.alive(shard_id):
+            return
+        breaker = self._breakers[shard_id]
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(shard_id)
+        policy = dataclasses.replace(
+            self._retry_policy,
+            retryable=tuple(self._retry_policy.retryable)
+            + (WorkerCrashError,))
+        try:
+            info = policy.call(lambda: self.pool.spawn(shard_id))
+        except BaseException:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        self._absorb_ready(shard_id, info)
+
+    def _absorb_ready(self, shard_id: int, info: dict[str, Any]) -> None:
+        """Catch a restarted worker up to its acknowledged state.
+
+        If a dispatch to this shard lost its acknowledgement to the
+        crash, the replayed WAL cursor tells exactly how much of that
+        batch became durable before the worker died; the non-durable
+        suffix is re-delivered here, record for record, so the shard
+        converges on precisely the state the no-crash run would have
+        reached (sub-batch order is preserved, nothing double-applies).
+
+        The coordinator's mirror is deliberately NOT rebuilt from the
+        worker here: the mirror is write-through and may legitimately
+        run *ahead* of the worker by exactly the ops a caller is about
+        to dispatch (``_ingest_run`` updates it while building the
+        batch).  Folding the worker's older current-table back in would
+        erase those updates and mis-route the stream's next cross-shard
+        finalisation.  Wholesale rebuilds happen only in ``_resync``,
+        where every in-flight batch has been settled first.
+        """
+        self._next_seq[shard_id] = info["next_seq"]
+        worker_now: int = info["now"]
+        inflight = self._inflight.pop(shard_id, None)
+        if inflight is not None:
+            base, batch = inflight
+            durable = max(0, min(len(batch), info["next_seq"] - base))
+            suffix = batch[durable:]
+            if suffix:
+                # Track the redelivery itself: if this request crashes
+                # too, the next restart re-derives the remaining tail.
+                self._inflight[shard_id] = (self._next_seq[shard_id],
+                                            suffix)
+                _, next_seq = self.pool.request(shard_id, "apply", suffix)
+                del self._inflight[shard_id]
+                self._next_seq[shard_id] = next_seq
+                state = self.pool.request(shard_id, "resync")
+                worker_now = state["now"]
+        self._shard_clocks[shard_id] = worker_now
+        if worker_now > self._clock:
+            # The worker replayed acknowledged-but-unreported ops from
+            # an in-flight batch; siblings must catch up before the
+            # next fan-out sees a mixed window boundary.
+            self._clock = worker_now
+            self._plans.invalidate()
+            self._needs_resync = True
+        elif worker_now < self._clock:
+            _, next_seq = self.pool.request(
+                shard_id, "apply", [(OP_ADVANCE, (self._clock,))])
+            self._next_seq[shard_id] = next_seq
+            self._shard_clocks[shard_id] = self._clock
+
+    def _resync(self) -> None:
+        """Re-derive the mirror and clock from every worker.
+
+        Runs after any failed mutation dispatch (the coordinator can no
+        longer know which shards applied their sub-batches) and on
+        ``open()``.  Restarts dead workers, refetches every current
+        table, and realigns straggler clocks with *logged* advances.
+        """
+        self._needs_resync = False
+        try:
+            for shard_id in range(self.n_shards):
+                # Settle a sent-but-uncollected batch on a still-live
+                # worker first: its acknowledgement is queued in the
+                # pipe and carries the WAL cursor — discarding it would
+                # corrupt the durable-suffix accounting.
+                if shard_id in self._inflight \
+                        and self.pool.alive(shard_id) \
+                        and self.pool.pending(shard_id):
+                    try:
+                        _, next_seq = self.pool.collect(shard_id)
+                        self._next_seq[shard_id] = next_seq
+                        del self._inflight[shard_id]
+                    except WorkerCrashError:
+                        pass  # dead after all; _ensure redelivers
+                self._ensure(shard_id)
+            for shard_id in range(self.n_shards):
+                self.pool.send(shard_id, "resync")
+            states = [self.pool.collect(shard_id)
+                      for shard_id in range(self.n_shards)]
+            self._clock = max(self._clock,
+                              *(state["now"] for state in states))
+            self._cur.clear()
+            for shard_id, state in enumerate(states):
+                self._shard_clocks[shard_id] = state["now"]
+                for oid, (x, y, s) in state["current"].items():
+                    other = self._cur.get(oid)
+                    if other is None or other[3] < s:
+                        self._cur[oid] = (shard_id, x, y, s)
+            stragglers = [sid for sid in range(self.n_shards)
+                          if self._shard_clocks[sid] < self._clock]
+            for sid in stragglers:
+                self.pool.send(sid, "apply", [(OP_ADVANCE, (self._clock,))])
+            for sid in stragglers:
+                _, next_seq = self.pool.collect(sid)
+                self._next_seq[sid] = next_seq
+                self._shard_clocks[sid] = self._clock
+        except BaseException:
+            self._needs_resync = True
+            raise
+
+    def _settled(self) -> None:
+        """Resync if the last mutation dispatch ended in a crash."""
+        if self._needs_resync:
+            self._resync()
+
+    # -- mirror ---------------------------------------------------------------
+
+    def _live_cur(self, oid: int) -> tuple[int, int, int, int] | None:
+        """The mirror's current entry for ``oid`` if still in-window.
+
+        Applies the same liveness rule the shards' window drop does
+        (an entry whose start window has been dropped is gone), so the
+        mirror never routes a finalisation at a record the shard
+        already discarded.
+        """
+        cur = self._cur.get(oid)
+        if cur is None:
+            return None
+        w_max = self.config.w_max
+        if cur[3] // w_max < self._clock // w_max - 1:
+            del self._cur[oid]
+            return None
+        return cur
+
+    def _shard_id_of(self, x: int, y: int) -> int:
+        cx, cy = self.grid.cell_of(x, y)
+        return self.shard_map.shard_of_cell(cx, cy)
+
+    def _shards_for_area(self, area: Rect) -> list[int]:
+        ids: set[int] = set()
+        for cell in self.grid.overlapping_cells(area):
+            ids.add(self.shard_map.shard_of_cell(cell.cx, cell.cy))
+            if len(ids) == self.n_shards:
+                break
+        return sorted(ids)
+
+    # -- mutation dispatch -----------------------------------------------------
+
+    def _dispatch(self, batches: dict[int, list[tuple[int,
+                                                      tuple[int, ...]]]],
+                  advance_to: int | None = None) -> dict[int, list[Any]]:
+        """Ship op batches to their shards; one group commit per shard.
+
+        Mutations are never retried: on a worker crash the batch's
+        acknowledgement state is unknown, so the coordinator marks
+        itself for resynchronisation and raises the typed error.  (The
+        workload can safely re-submit position reports — replay of a
+        half-applied report stream converges because a re-report at the
+        same timestamp is a position correction, not a new entry.)
+        """
+        if advance_to is not None:
+            for sid in range(self.n_shards):
+                if self._shard_clocks[sid] < advance_to \
+                        and not batches.get(sid):
+                    batches.setdefault(sid, [])
+        targets = sorted(batches)
+        # Restart dead targets *before* moving the engine clock: a
+        # restart's catch-up advance realigns the worker to the
+        # pre-batch clock, and the batch's own ops (which may reference
+        # times below ``advance_to``) then apply on top of it in order.
+        for sid in targets:
+            self._ensure(sid)
+        if advance_to is not None:
+            if advance_to > self._clock:
+                self._plans.invalidate()
+                self._clock = advance_to
+            for sid in targets:
+                batches[sid].append((OP_ADVANCE, (advance_to,)))
+        try:
+            for sid in targets:
+                self._inflight[sid] = (self._next_seq[sid], batches[sid])
+                self.pool.send(sid, "apply", batches[sid])
+            results = {}
+            for sid in targets:
+                ops_results, next_seq = self.pool.collect(sid)
+                del self._inflight[sid]
+                self._next_seq[sid] = next_seq
+                results[sid] = ops_results
+                if advance_to is not None:
+                    self._shard_clocks[sid] = advance_to
+        except BaseException:
+            self._needs_resync = True
+            raise
+        return results
+
+    # -- ingestion -------------------------------------------------------------
+
+    def insert(self, oid: int, x: int, y: int, s: int,
+               d: int | None = None) -> None:
+        """Insert an entry; ``d=None`` inserts a *current* entry."""
+        self._check_open()
+        self._settled()
+        if not self.config.space.contains(x, y):
+            raise ValueError(f"location ({x}, {y}) outside the spatial "
+                             f"domain {self.config.space}")
+        if s < self._clock:
+            raise ValueError(f"out-of-order start timestamp {s} < current "
+                             f"time {self._clock}")
+        if d is not None and d < 1:
+            raise ValueError(f"duration must be >= 1, got {d}")
+        batches: dict[int, list[tuple[int, tuple[int, ...]]]] = {}
+        dest = self._shard_id_of(x, y)
+        if d is not None:
+            batches[dest] = [(OP_INSERT, (oid, x, y, s, d))]
+            self._dispatch(batches, advance_to=s)
+            return
+        # Pre-advance the mirror clock so liveness matches the shards'
+        # post-advance view before the routing decision is made.
+        probe_clock = max(self._clock, s)
+        cur = self._cur.get(oid)
+        if cur is not None and \
+                cur[3] // self.config.w_max \
+                < probe_clock // self.config.w_max - 1:
+            del self._cur[oid]
+            cur = None
+        if cur is not None and cur[0] != dest:
+            home, px, py, ps = cur
+            if ps == s:
+                batches[home] = [(OP_DELETE, (oid, px, py, ps, NONE_ARG))]
+            else:
+                batches[home] = [(OP_CLOSE, (oid, s))]
+        batches.setdefault(dest, []).append(
+            (OP_INSERT, (oid, x, y, s, NONE_ARG)))
+        self._cur[oid] = (dest, x, y, s)
+        self._dispatch(batches, advance_to=s)
+
+    def report(self, oid: int, x: int, y: int, t: int) -> None:
+        """Position report of a moving object (alias of a current insert)."""
+        self.insert(oid, x, y, t, None)
+
+    def extend(self, reports: Iterable[ReportLike],
+               batch_size: int = 1024) -> int:
+        """Batched ingestion: one WAL group commit per shard per run."""
+        self._check_open()
+        self._settled()
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        count = 0
+        batch: list[ReportLike] = []
+        for report in reports:
+            batch.append(report)
+            if len(batch) >= batch_size:
+                count += self._extend_batch(batch)
+                batch.clear()
+        if batch:
+            count += self._extend_batch(batch)
+        return count
+
+    def _extend_batch(self, batch: list[ReportLike]) -> int:
+        clock = self._clock
+        for report in batch:
+            if not self.config.space.contains(report.x, report.y):
+                raise ValueError(f"location ({report.x}, {report.y}) outside "
+                                 f"the spatial domain {self.config.space}")
+            if report.t < clock:
+                raise ValueError(f"out-of-order start timestamp {report.t} "
+                                 f"< current time {clock}")
+            clock = report.t
+        w_max = self.config.w_max
+        start = 0
+        for idx in range(1, len(batch) + 1):
+            if idx == len(batch) \
+                    or batch[idx].t // w_max != batch[start].t // w_max:
+                self._ingest_run(batch[start:idx])
+                start = idx
+        return len(batch)
+
+    def _ingest_run(self, run: list[ReportLike]) -> None:
+        """One epoch run as per-shard op batches.
+
+        Mirrors ``ShardedEngine._ingest_run``: objects hopping between
+        shards take the decomposed cross-shard protocol (in stream
+        order, *before* the advance so each op's internal clock bump is
+        monotone), the rest ride one batched :data:`OP_RUN` per shard
+        after the advance.
+        """
+        t_max = run[-1].t
+        w_max = self.config.w_max
+        touched: dict[int, set[int]] = {}
+        for report in run:
+            touched.setdefault(report.oid, set()).add(
+                self._shard_id_of(report.x, report.y))
+        cross_shard: set[int] = set()
+        for oid, dests in touched.items():
+            cur = self._live_cur(oid)
+            if cur is not None:
+                dests = dests | {cur[0]}
+            if len(dests) > 1:
+                cross_shard.add(oid)
+        batches: dict[int, list[tuple[int, tuple[int, ...]]]] = {}
+        per_shard: dict[int, list[ReportLike]] = {}
+        for report in run:
+            oid, x, y, t = report.oid, report.x, report.y, report.t
+            dest = self._shard_id_of(x, y)
+            if oid in cross_shard:
+                cur = self._cur.get(oid)
+                if cur is not None \
+                        and cur[3] // w_max < t // w_max - 1:
+                    cur = None
+                if cur is not None and cur[0] != dest:
+                    home, px, py, ps = cur
+                    if ps == t:
+                        batches.setdefault(home, []).append(
+                            (OP_DELETE, (oid, px, py, ps, NONE_ARG)))
+                    else:
+                        batches.setdefault(home, []).append(
+                            (OP_CLOSE, (oid, t)))
+                batches.setdefault(dest, []).append(
+                    (OP_INSERT, (oid, x, y, t, NONE_ARG)))
+            else:
+                per_shard.setdefault(dest, []).append(report)
+            self._cur[oid] = (dest, x, y, t)
+        runs = {sid: [(OP_RUN,
+                       (t_max, *(arg for report in sub_run
+                                 for arg in (report.oid, report.x,
+                                             report.y, report.t))))]
+                for sid, sub_run in per_shard.items()}
+        for sid, ops in runs.items():
+            batches.setdefault(sid, []).extend(ops)
+        self._dispatch(batches, advance_to=t_max)
+
+    def close_object(self, oid: int, t: int) -> bool:
+        """Finalise an object's current entry at end time ``t``."""
+        self._check_open()
+        self._settled()
+        if t < self._clock:
+            raise ValueError(f"clock cannot move backwards "
+                             f"({t} < {self._clock})")
+        probe_clock = max(self._clock, t)
+        cur = self._cur.get(oid)
+        if cur is not None and \
+                cur[3] // self.config.w_max \
+                < probe_clock // self.config.w_max - 1:
+            del self._cur[oid]
+            cur = None
+        if cur is None:
+            self._dispatch({}, advance_to=t)
+            return False
+        if t <= cur[3]:
+            # Let validation fail before anything is logged, exactly as
+            # the shard itself would refuse — the mirror entry stays.
+            raise ValueError(f"object {oid} cannot be finalised at {t} "
+                             f"<= its current start {cur[3]}")
+        home = cur[0]
+        del self._cur[oid]
+        results = self._dispatch({home: [(OP_CLOSE, (oid, t))]},
+                                 advance_to=t)
+        closed: bool = results[home][0]
+        return closed
+
+    def delete(self, oid: int, x: int, y: int, s: int,
+               d: int | None = None) -> bool:
+        """Delete one specific entry from the shard owning its cell."""
+        self._check_open()
+        self._settled()
+        sid = self._shard_id_of(x, y)
+        results = self._dispatch(
+            {sid: [(OP_DELETE,
+                    (oid, x, y, s, NONE_ARG if d is None else d))]})
+        deleted: bool = results[sid][0]
+        if deleted and d is None and self._cur.get(oid) == (sid, x, y, s):
+            del self._cur[oid]
+        return deleted
+
+    def set_retention(self, oid: int, retention: int | None) -> None:
+        """Per-object retention override, applied to every shard."""
+        self._check_open()
+        self._settled()
+        if retention is not None \
+                and not 1 <= retention <= self.config.window:
+            raise ValueError(
+                f"retention must be in [1, W={self.config.window}], "
+                f"got {retention}")
+        arg = NONE_ARG if retention is None else retention
+        self._dispatch({sid: [(OP_RETAIN, (oid, arg))]
+                        for sid in range(self.n_shards)})
+
+    def retention_of(self, oid: int) -> int:
+        """The object's retention time (defaults to the window size)."""
+        self._check_open()
+        self._ensure(0)
+        result: int = self.pool.request(0, "query", ("retention_of", (oid,)))
+        return result
+
+    def forget_object(self, oid: int) -> int:
+        """Delete every queriable entry of one object across all shards."""
+        self._check_open()
+        self._settled()
+        results = self._dispatch({sid: [(OP_FORGET, (oid,))]
+                                  for sid in range(self.n_shards)})
+        self._cur.pop(oid, None)
+        return sum(results[sid][0] for sid in results)
+
+    def advance_time(self, now: int) -> None:
+        """Advance every shard's clock in lockstep (WAL-logged)."""
+        self._check_open()
+        self._settled()
+        if now < self._clock:
+            raise ValueError(f"clock cannot move backwards "
+                             f"({now} < {self._clock})")
+        if now == self._clock \
+                and all(clock == now for clock in self._shard_clocks):
+            return
+        self._dispatch({}, advance_to=now)
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self._clock
+
+    def __len__(self) -> int:
+        self._check_open()
+        total = 0
+        for sid in range(self.n_shards):
+            self._ensure(sid)
+            total += self.pool.request(sid, "len")
+        return total
+
+    @property
+    def stats(self) -> IOStats:
+        """Aggregate IO counters across every worker (a fresh snapshot)."""
+        self._check_open()
+        total = IOStats()
+        for sid in range(self.n_shards):
+            self._ensure(sid)
+            snap = self.pool.request(sid, "stats")
+            for name in vars(snap):
+                setattr(total, name,
+                        getattr(total, name) + getattr(snap, name))
+        return total
+
+    def node_count(self) -> int:
+        self._check_open()
+        total = 0
+        for sid in range(self.n_shards):
+            self._ensure(sid)
+            total += self.pool.request(sid, "query", ("node_count", ()))
+        return total
+
+    def current_objects(self) -> dict[int, tuple[int, int, int]]:
+        """Merged current-entry table: oid -> (x, y, s)."""
+        self._check_open()
+        merged: dict[int, tuple[int, int, int]] = {}
+        for sid in range(self.n_shards):
+            self._ensure(sid)
+            state = self.pool.request(sid, "resync")
+            merged.update(state["current"])
+        return merged
+
+    def scan(self) -> Iterator[Entry]:
+        """Yield every physically stored entry (diagnostics/tests only)."""
+        self._check_open()
+        for sid in range(self.n_shards):
+            self._ensure(sid)
+            yield from self.pool.request(sid, "scan")
+
+    def check_integrity(self) -> None:
+        """Per-shard invariants plus clock agreement across workers."""
+        self._check_open()
+        for sid in range(self.n_shards):
+            self._ensure(sid)
+            self.pool.request(sid, "query", ("check_integrity", ()))
+        clocks = {self.pool.request(sid, "resync")["now"]
+                  for sid in range(self.n_shards)}
+        if clocks != {self._clock}:
+            raise AssertionError(
+                f"worker clocks {sorted(clocks)} disagree with the "
+                f"engine clock {self._clock}")
+
+    # -- queries ---------------------------------------------------------------
+
+    def _plan_for(self, t_lo: int, t_hi: int, window: int | None,
+                  stats: QueryStats) -> QueryPlan | None:
+        entry = self._plans.lookup(t_lo, t_hi, window, self._clock)
+        if entry is not None:
+            stats.plan_cache_hits += 1
+            return entry.plan
+        columns = classify_interval(self.config, self._clock, t_lo, t_hi,
+                                    window)
+        if not columns:
+            return None
+        plan = build_query_plan(self.config, self._clock, columns, t_lo,
+                                t_hi, window)
+        self._plans.store(plan, t_lo, t_hi, window)
+        return plan
+
+    def _fan_out_query(self, shard_ids: list[int], method: str,
+                       args: tuple[Any, ...]
+                       ) -> tuple[list[tuple[int, Any]],
+                                  list[ShardFailure]]:
+        """Scatter one read-only method over the workers, resiliently.
+
+        Round one pipelines the requests over every reachable worker;
+        shards whose worker crashed mid-round are retried serially
+        under the engine's retry policy (each retry restarts the worker
+        and replays its WAL first).  Shards that cannot come back —
+        open breaker, terminal recovery failure, retries exhausted —
+        become typed :class:`ShardFailure` records.
+        """
+        self._settled()
+        successes: list[tuple[int, Any]] = []
+        failures: list[ShardFailure] = []
+        retriable: list[tuple[int, BaseException]] = []
+        sent: list[int] = []
+        for sid in shard_ids:
+            try:
+                self._ensure(sid)
+                self.pool.send(sid, "query", (method, args))
+                sent.append(sid)
+            except WorkerCrashError as exc:
+                retriable.append((sid, exc))
+            except _SHARD_FAILURE_ERRORS as exc:
+                failures.append(ShardFailure(sid, self.shard_path(sid), exc))
+        for sid in sent:
+            try:
+                successes.append((sid, self.pool.collect(sid)))
+            except WorkerCrashError as exc:
+                retriable.append((sid, exc))
+            except _SHARD_FAILURE_ERRORS as exc:
+                failures.append(ShardFailure(sid, self.shard_path(sid), exc))
+        policy = self._retry_policy
+        for sid, first_error in retriable:
+            def attempt(sid: int = sid) -> Any:
+                self._ensure(sid)
+                return self.pool.request(sid, "query", (method, args))
+
+            try:
+                retry_policy = dataclasses.replace(
+                    policy, retryable=tuple(policy.retryable)
+                    + (WorkerCrashError,))
+                successes.append((sid, retry_policy.call(attempt)))
+            except _SHARD_FAILURE_ERRORS as exc:
+                exc.__context__ = first_error
+                failures.append(ShardFailure(sid, self.shard_path(sid), exc))
+        successes.sort(key=lambda item: item[0])
+        return successes, failures
+
+    def _raise_shard_failure(self, failures: list[ShardFailure]) -> None:
+        failure = failures[0]
+        raise ShardQueryError(failure.shard_id, failure.path,
+                              failure.error) from failure.error
+
+    def query_timeslice(self, area: Rect, t: int,
+                        window: int | None = None, *,
+                        strict: bool = True) -> QueryResult:
+        return self.query_interval(area, t, t, window, strict=strict)
+
+    def query_interval(self, area: Rect, t_lo: int, t_hi: int,
+                       window: int | None = None, *,
+                       strict: bool = True) -> QueryResult:
+        self._check_open()
+        if t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
+        self.config.queriable_period(self._clock, window)
+        merged = QueryResult() if strict else PartialResult()
+        shard_ids = self._shards_for_area(area)
+        if not shard_ids:
+            return merged
+        plan = self._plan_for(t_lo, t_hi, window, merged.stats)
+        if plan is None:
+            return merged
+        successes, failures = self._fan_out_query(
+            shard_ids, "_query_area_planned", (area, plan))
+        if failures and strict:
+            self._raise_shard_failure(failures)
+        for _, result in successes:
+            merged.merge(result)
+        if failures:
+            assert isinstance(merged, PartialResult)
+            merged.failures.extend(failures)
+            merged.stats.degraded = True
+        return merged
+
+    def query_interval_many(self, areas: Iterable[Rect], t_lo: int,
+                            t_hi: int, window: int | None = None, *,
+                            strict: bool = True) -> MultiQueryResult:
+        self._check_open()
+        if t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
+        self.config.queriable_period(self._clock, window)
+        areas = list(areas)
+        results: list[QueryResult] = [
+            QueryResult() if strict else PartialResult() for _ in areas]
+        batch = MultiQueryResult(results=results)
+        if not areas:
+            return batch
+        rect_shards = [self._shards_for_area(area) for area in areas]
+        shard_ids = sorted({sid for sids in rect_shards for sid in sids})
+        if not shard_ids:
+            return batch
+        plan = self._plan_for(t_lo, t_hi, window, batch.stats)
+        if plan is None:
+            return batch
+        successes, failures = self._fan_out_query(
+            shard_ids, "_query_area_planned_many", (areas, plan))
+        if failures and strict:
+            self._raise_shard_failure(failures)
+        for _, shard_batch in successes:
+            for result, shard_result in zip(results, shard_batch.results,
+                                            strict=True):
+                result.merge(shard_result)
+            batch.stats.merge(shard_batch.stats)
+        if failures:
+            for idx, sids in enumerate(rect_shards):
+                overlapping = [failure for failure in failures
+                               if failure.shard_id in sids]
+                if not overlapping:
+                    continue
+                result = results[idx]
+                assert isinstance(result, PartialResult)
+                result.failures.extend(overlapping)
+                result.stats.degraded = True
+            batch.stats.degraded = True
+        return batch
+
+    def count_interval(self, area: Rect, t_lo: int, t_hi: int,
+                       window: int | None = None, *,
+                       strict: bool = True) -> tuple[int, QueryStats]:
+        self._check_open()
+        if t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
+        self.config.queriable_period(self._clock, window)
+        total = 0
+        stats = QueryStats()
+        shard_ids = self._shards_for_area(area)
+        if not shard_ids:
+            return total, stats
+        plan = self._plan_for(t_lo, t_hi, window, stats)
+        if plan is None:
+            return total, stats
+        successes, failures = self._fan_out_query(
+            shard_ids, "_count_area_planned", (area, plan))
+        if failures and strict:
+            self._raise_shard_failure(failures)
+        for _, (count, shard_stats) in successes:
+            total += count
+            stats.merge(shard_stats)
+        if failures:
+            stats.degraded = True
+        return total, stats
+
+    def query_knn(self, x: int, y: int, k: int, t_lo: int,
+                  t_hi: int | None = None,
+                  window: int | None = None, *,
+                  strict: bool = True) -> QueryResult:
+        self._check_open()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not self.config.space.contains(x, y):
+            raise ValueError(f"query point ({x}, {y}) outside the domain")
+        if t_hi is not None and t_hi < t_lo:
+            raise ValueError(f"empty query interval [{t_lo}, {t_hi}]")
+        self.config.queriable_period(self._clock, window)
+        merged = QueryResult() if strict else PartialResult()
+        candidates: list[tuple[tuple[int, int, int], Entry]] = []
+        shard_ids = list(range(self.n_shards))
+        successes, failures = self._fan_out_query(
+            shard_ids, "query_knn", (x, y, k, t_lo, t_hi, window))
+        if failures and strict:
+            self._raise_shard_failure(failures)
+        for _, result in successes:
+            merged.stats.merge(result.stats)
+            for entry in result.entries:
+                dist2 = (entry.x - x) ** 2 + (entry.y - y) ** 2
+                candidates.append(((dist2, entry.oid, entry.s), entry))
+        candidates.sort(key=lambda item: item[0])
+        merged.entries.extend(entry for _, entry in candidates[:k])
+        if failures:
+            assert isinstance(merged, PartialResult)
+            merged.failures.extend(failures)
+            merged.stats.degraded = True
+        return merged
+
+    def density_grid(self, area: Rect, t: int,
+                     window: int | None = None) -> dict[tuple[int, int],
+                                                        int]:
+        self._check_open()
+        result = self.query_timeslice(area, t, window)
+        density: dict[tuple[int, int], set[int]] = {}
+        for entry in result:
+            cell = self.grid.cell_of(entry.x, entry.y)
+            density.setdefault(cell, set()).add(entry.oid)
+        counts = {cell: len(oids) for cell, oids in density.items()}
+        for cell_overlap in self.grid.overlapping_cells(area):
+            counts.setdefault((cell_overlap.cx, cell_overlap.cy), 0)
+        return counts
+
+    def object_history(self, oid: int, t_lo: int | None = None,
+                       t_hi: int | None = None,
+                       window: int | None = None) -> list[Entry]:
+        self._check_open()
+        q_lo, q_hi = self.config.queriable_period(self._clock, window)
+        t_lo = q_lo if t_lo is None else t_lo
+        t_hi = q_hi if t_hi is None else t_hi
+        result = self.query_interval(self.config.space, t_lo, t_hi, window)
+        return sorted((e for e in result if e.oid == oid),
+                      key=lambda e: e.s)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self) -> None:
+        """Two-phase epoch commit across the worker pool.
+
+        Same marker protocol as ``ShardedEngine.save`` with two
+        additions: the shard commits run *inside* the workers, and a
+        per-shard **checkpoint** (base refresh + WAL reset to the new
+        epoch) follows the manifest flip.  Any failure up to and
+        including the flip kills every worker and resolves the marker
+        exactly as ``open()`` would — a worker must never keep
+        acknowledging writes into a WAL of a superseded epoch.
+        """
+        self._check_open()
+        self._settled()
+        # Lockstep clocks first so the committed shards agree (and the
+        # directory stays openable by ShardedEngine).
+        self.advance_time(self._clock)
+        for sid in range(self.n_shards):
+            self._ensure(sid)
+        next_epoch = self._epoch + 1
+        try:
+            expected = []
+            for sid in range(self.n_shards):
+                generation, marked = self.pool.request(sid, "gen_info")
+                expected.append(generation + (1 if marked else 2))
+            write_json_atomic(
+                self._fops, self._dir, self._prepare_path(),
+                {"format": _MANIFEST_FORMAT, "epoch": next_epoch,
+                 "n_shards": self.n_shards, "expected": expected})
+            gens = []
+            for sid in range(self.n_shards):
+                gens.append(self.pool.request(sid, "save"))
+            write_json_atomic(
+                self._fops, self._dir, self._manifest_path(),
+                {"format": _MANIFEST_FORMAT, "n_shards": self.n_shards,
+                 "epoch": next_epoch, "shards": gens})
+            self._fops.unlink(self._prepare_path())
+            self._fops.fsync_dir(self._dir)
+        except BaseException:
+            self.pool.kill_all()
+            self._heal()
+            self._needs_resync = True
+            raise
+        self._epoch = next_epoch
+        for sid in range(self.n_shards):
+            try:
+                self._next_seq[sid] = self.pool.request(
+                    sid, "checkpoint", next_epoch)
+            except WorkerCrashError:
+                # The worker died before checkpointing: its WAL is now
+                # one epoch stale and will be reset on respawn; nothing
+                # acknowledged is at risk (the epoch commit holds it).
+                self._needs_resync = True
+
+    def _heal(self) -> dict[str, Any]:
+        """Resolve a leftover PREPARE marker (open-time and post-failure).
+
+        Like ``ShardedEngine._recover_epoch``, with the WAL upgrade: a
+        *partially* committed epoch rolls forward instead of raising
+        ``EpochTornError`` — pending shards' WALs are rebased to the
+        new epoch so their acknowledged tails replay over their old
+        base snapshots, while committed shards' stale WALs are simply
+        reset by their workers on respawn.
+        """
+        manifest = load_manifest(self._manifest_path())
+        if manifest["n_shards"] != self.n_shards:
+            raise EngineError(
+                f"directory {self._dir!r} holds {manifest['n_shards']} "
+                f"shards but config.n_shards is {self.n_shards}")
+        prepare = _load_prepare(self._prepare_path())
+        if prepare is None:
+            self._epoch = manifest["epoch"]
+            return manifest
+        if prepare["n_shards"] != self.n_shards:
+            raise EngineError(
+                f"save marker in {self._dir!r} records "
+                f"{prepare['n_shards']} shards but the manifest holds "
+                f"{self.n_shards}")
+        epoch: int = manifest["epoch"]
+        if prepare["epoch"] == epoch:
+            self._fops.unlink(self._prepare_path())
+            self._fops.fsync_dir(self._dir)
+            self._epoch = epoch
+            return manifest
+        if prepare["epoch"] != epoch + 1:
+            raise EngineError(
+                f"save marker epoch {prepare['epoch']} is inconsistent "
+                f"with manifest epoch {epoch} in {self._dir!r} "
+                f"(external tampering?)")
+        observed, committed, pending = probe_prepare_state(
+            prepare, [self.shard_path(sid) for sid in range(self.n_shards)])
+        if not committed:
+            # Roll back: no shard committed; the old snapshot is intact
+            # and — unlike the executor engine — every acknowledged op
+            # since the last epoch still lives in the shards' WALs.
+            self._fops.unlink(self._prepare_path())
+            self._fops.fsync_dir(self._dir)
+            self._epoch = epoch
+            return manifest
+        # Roll forward: rebase the pending shards' logs onto the new
+        # epoch (idempotent, atomic per shard), then flip the manifest.
+        for sid in pending:
+            rebase_wal(self.wal_path(sid), self._fops, prepare["epoch"])
+        gens = [gen if gen is not None else 0 for gen in observed]
+        rolled = {"format": _MANIFEST_FORMAT, "n_shards": self.n_shards,
+                  "epoch": prepare["epoch"], "shards": gens}
+        write_json_atomic(self._fops, self._dir, self._manifest_path(),
+                          rolled)
+        self._fops.unlink(self._prepare_path())
+        self._fops.fsync_dir(self._dir)
+        self._epoch = prepare["epoch"]
+        return rolled
+
+    @classmethod
+    def open(cls, path: str, config: SWSTConfig, *,
+             retry_policy: RetryPolicy | None = None,
+             breaker_factory: Callable[[], CircuitBreaker] | None
+             = CircuitBreaker,
+             heartbeat_timeout: float | None = None,
+             file_ops: FileOps | None = None,
+             fault_specs: dict[int, dict[str, Any]] | None = None
+             ) -> "WorkerEngine":
+        """Re-open a shard directory, recovering marker and WALs.
+
+        Marker resolution runs first (roll back, roll forward with WAL
+        rebase, or finish a lost cleanup); then one worker per shard is
+        spawned, each replaying its WAL tail, and the coordinator
+        resynchronises its mirror from the recovered workers.
+        """
+        engine = cls.__new__(cls)
+        engine.config = config
+        engine._dir = os.fspath(path)
+        engine._init_common(retry_policy, breaker_factory,
+                            heartbeat_timeout, file_ops, fault_specs)
+        try:
+            engine._heal()
+            for shard_id in range(config.n_shards):
+                engine._ensure(shard_id)
+            engine._resync()
+        except BaseException:
+            engine._abandon()
+            raise
+        return engine
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+
+    def close(self) -> None:
+        """Stop every worker (graceful; shards abort, WALs stay).
+
+        An unsaved engine loses nothing: every acknowledged op is in
+        the WALs, and ``open()`` replays them.  Errors are aggregated
+        exactly like ``ShardedEngine.close``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        errors = self.pool.stop_all()
+        if len(errors) == 1:
+            raise errors[0]
+        if errors:
+            raise EngineCloseError(errors) from errors[0]
+
+    def __enter__(self) -> "WorkerEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

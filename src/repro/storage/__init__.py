@@ -11,10 +11,11 @@ integrity sweep (:mod:`repro.storage.scrub`).
 """
 
 from .buffer import DEFAULT_CAPACITY, BufferPool
-from .errors import (ChecksumError, CorruptPageFileError, PageError,
-                     PagerClosedError, StorageError, TornWriteError)
+from .errors import (ChecksumError, CorruptPageFileError,
+                     NoCatalogError, PageError, PagerClosedError,
+                     StorageError, TornWriteError)
 from .fault import (FaultInjectingFileOps, FaultInjectingPageDevice,
-                    InjectedFault, per_path_device_factory)
+                    InjectedFault, crash_devices, per_path_device_factory)
 from .fileops import DURABLE_FILE_OPS, DurableFileOps, FileOps
 from .page import DEFAULT_PAGE_SIZE, FilePageDevice, MemoryPageDevice
 from .pager import MEMORY, Pager
@@ -38,6 +39,7 @@ __all__ = [
     "InjectedFault",
     "MEMORY",
     "MemoryPageDevice",
+    "NoCatalogError",
     "PageError",
     "Pager",
     "PagerClosedError",
@@ -45,6 +47,7 @@ __all__ = [
     "StatsRecorder",
     "StorageError",
     "TornWriteError",
+    "crash_devices",
     "per_path_device_factory",
     "probe_committed_generation",
     "probe_page_file",

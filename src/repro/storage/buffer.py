@@ -255,6 +255,20 @@ class BufferPool:
             finally:
                 self._closed = True
 
+    def discard(self) -> None:
+        """Close without flushing: dirty pages are dropped, not written.
+
+        The crash-equivalent shutdown.  A warm worker closes its shard
+        this way on purpose — its write-ahead log, not the page file, is
+        the durable record between epoch commits, so flushing here would
+        only smear uncommitted page mutations over the last committed
+        state (exactly what recovery must then undo).
+        """
+        self._closed = True
+        self._cache.clear()
+        self._dirty.clear()
+        self._nodes.clear()
+
     def __enter__(self) -> "BufferPool":
         return self
 

@@ -26,6 +26,16 @@ class CorruptPageFileError(StorageError):
     """The on-disk page file failed a structural sanity check."""
 
 
+class NoCatalogError(CorruptPageFileError):
+    """The page file holds no committed catalog (it was never saved).
+
+    Distinct from damage: a fresh page file whose owner died before its
+    first commit looks exactly like this, and recovery layers that keep
+    a write-ahead log may treat the durable base state as "empty"
+    rather than refusing to open.
+    """
+
+
 class ChecksumError(CorruptPageFileError):
     """A page's stored CRC32 disagrees with its contents."""
 

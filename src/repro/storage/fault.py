@@ -39,6 +39,20 @@ class InjectedFault(OSError):
     """The fault injector fired (distinguishable from real IO errors)."""
 
 
+def crash_devices(devices: MutableSequence["FaultInjectingPageDevice"],
+                  ) -> None:
+    """Simulate a process kill across ``devices``.
+
+    Sets ``crashed`` on every registered wrapper so any further IO — a
+    buffer-pool flush, a pager header commit, the close path — raises
+    :class:`InjectedFault`.  Whatever already reached the disk stays;
+    nothing else gets through.  The crash matrices pair this with the
+    ``registry`` argument of :func:`per_path_device_factory`.
+    """
+    for device in devices:
+        device.crashed = True
+
+
 def per_path_device_factory(
         match: str,
         base_factory: Callable[[str, int], Any] | None = None,
@@ -271,16 +285,34 @@ class FaultInjectingFileOps:
         op_errors: optional map of ordinal -> exception raised instead
             of performing that operation (the ops object stays usable:
             a transient fault, not a kill).
+        short_writes: optional map of op ordinal -> byte count.  When a
+            ``write_file``/``append_file`` lands on a scheduled ordinal,
+            only that many bytes of its payload reach the inner
+            implementation before the process "dies" (``crashed`` is
+            set and :class:`InjectedFault` raised) — a torn small-file
+            write, the failure a WAL's CRC trailers must detect.
+        fsync_errors: optional map of *fsync ordinal* -> exception.  The
+            fsync ordinal counts ``fsync_file`` and ``fsync_dir`` calls
+            only (1-based, separate from the global op counter), so a
+            group-commit barrier can be failed without first counting
+            the appends that led up to it.  Transient: the ops object
+            stays usable, modelling a disk that rejected one barrier.
     """
 
     def __init__(self, inner: FileOps | None = None, *,
                  fail_op: int | None = None,
-                 op_errors: Mapping[int, Exception] | None = None) -> None:
+                 op_errors: Mapping[int, Exception] | None = None,
+                 short_writes: Mapping[int, int] | None = None,
+                 fsync_errors: Mapping[int, Exception] | None = None,
+                 ) -> None:
         self._inner: FileOps = inner if inner is not None \
             else DURABLE_FILE_OPS
         self.fail_op = fail_op
         self.op_errors = dict(op_errors or {})
+        self.short_writes = dict(short_writes or {})
+        self.fsync_errors = dict(fsync_errors or {})
         self.ops: list[tuple[str, str]] = []
+        self.fsyncs_seen = 0
         self.crashed = False
 
     def _next_op(self, name: str, path: str) -> None:
@@ -296,8 +328,26 @@ class FaultInjectingFileOps:
             raise InjectedFault(
                 f"injected crash at file op {ordinal} ({name} {path!r})")
 
+    def _short_write_due(self) -> int | None:
+        """Bytes to let through if this op is a scheduled short write."""
+        return self.short_writes.pop(len(self.ops), None)
+
+    def _next_fsync(self, name: str, path: str) -> None:
+        """Advance the fsync ordinal; raise a scheduled transient error."""
+        self.fsyncs_seen += 1
+        error = self.fsync_errors.pop(self.fsyncs_seen, None)
+        if error is not None:
+            raise error
+
     def write_file(self, path: str, data: bytes) -> None:
         self._next_op("write_file", path)
+        tear = self._short_write_due()
+        if tear is not None:
+            self._inner.write_file(path, data[:tear])
+            self.crashed = True
+            raise InjectedFault(
+                f"injected short write at file op {len(self.ops)} "
+                f"({tear}/{len(data)} bytes of {path!r} reached disk)")
         self._inner.write_file(path, data)
 
     def replace(self, src: str, dst: str) -> None:
@@ -306,8 +356,29 @@ class FaultInjectingFileOps:
 
     def fsync_dir(self, path: str) -> None:
         self._next_op("fsync_dir", path)
+        self._next_fsync("fsync_dir", path)
         self._inner.fsync_dir(path)
 
     def unlink(self, path: str) -> None:
         self._next_op("unlink", path)
         self._inner.unlink(path)
+
+    def append_file(self, path: str, data: bytes) -> None:
+        self._next_op("append_file", path)
+        tear = self._short_write_due()
+        if tear is not None:
+            self._inner.append_file(path, data[:tear])
+            self.crashed = True
+            raise InjectedFault(
+                f"injected short append at file op {len(self.ops)} "
+                f"({tear}/{len(data)} bytes of {path!r} reached disk)")
+        self._inner.append_file(path, data)
+
+    def fsync_file(self, path: str) -> None:
+        self._next_op("fsync_file", path)
+        self._next_fsync("fsync_file", path)
+        self._inner.fsync_file(path)
+
+    def truncate_file(self, path: str, size: int) -> None:
+        self._next_op("truncate_file", path)
+        self._inner.truncate_file(path, size)

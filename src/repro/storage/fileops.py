@@ -40,6 +40,22 @@ class FileOps(Protocol):
         """Remove ``path`` if it exists (missing is not an error)."""
         ...  # pragma: no cover - protocol
 
+    def append_file(self, path: str, data: bytes) -> None:
+        """Append ``data`` to ``path`` (created if missing), *not* fsynced.
+
+        Durability is deferred to an explicit :meth:`fsync_file` so a WAL
+        writer can batch many appends under one fsync (group commit).
+        """
+        ...  # pragma: no cover - protocol
+
+    def fsync_file(self, path: str) -> None:
+        """fsync ``path``'s contents (the group-commit barrier)."""
+        ...  # pragma: no cover - protocol
+
+    def truncate_file(self, path: str, size: int) -> None:
+        """Truncate ``path`` to ``size`` bytes and fsync it."""
+        ...  # pragma: no cover - protocol
+
 
 class DurableFileOps:
     """The real thing: plain ``os`` calls with the full fsync discipline."""
@@ -67,6 +83,26 @@ class DurableFileOps:
             os.unlink(path)
         except FileNotFoundError:
             pass
+
+    def append_file(self, path: str, data: bytes) -> None:
+        with open(path, "ab") as handle:
+            handle.write(data)
+            handle.flush()
+
+    def fsync_file(self, path: str) -> None:
+        fd = -1
+        try:
+            fd = os.open(path, os.O_RDONLY)
+            os.fsync(fd)
+        finally:
+            if fd >= 0:
+                os.close(fd)
+
+    def truncate_file(self, path: str, size: int) -> None:
+        with open(path, "r+b") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
 
 
 #: Shared default instance (the operations are stateless).

@@ -432,6 +432,20 @@ class Pager:
         finally:
             self._device.close()
 
+    def abort(self) -> None:
+        """Close without committing: the header keeps its last durable state.
+
+        The crash-equivalent counterpart of :meth:`close`.  If the session
+        marked the header dirty, the file is left exactly as a kill would
+        leave it — recovery-on-open (or a WAL replay above it) is the
+        only way forward, which is precisely the discipline warm workers
+        rely on.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._device.close()
+
     def _check_open(self) -> None:
         if self._closed:
             raise PagerClosedError("pager is closed")

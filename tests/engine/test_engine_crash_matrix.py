@@ -32,7 +32,7 @@ from repro.core import Rect, SWSTConfig
 from repro.engine import (EngineError, EpochTornError, SerialExecutor,
                           ShardedEngine)
 from repro.storage import (FaultInjectingFileOps, InjectedFault,
-                           per_path_device_factory)
+                           crash_devices, per_path_device_factory)
 
 N_SHARDS = 3
 #: One epoch save = 8 durable file operations: PREPARE (tmp write,
@@ -149,8 +149,7 @@ def crash_save_at(path, config, fail_op, legacy):
         # Simulated kill: every device dies with the process, so close()
         # cannot commit state the "dead" process never made durable —
         # it only releases OS handles.
-        for device in devices:
-            device.crashed = True
+        crash_devices(devices)
         try:
             eng.close()
         except (EngineError, OSError):
@@ -233,8 +232,7 @@ class TestDeviceKillDuringCommit:
             with pytest.raises(OSError):
                 eng.save()
         finally:
-            for device in devices:
-                device.crashed = True
+            crash_devices(devices)
             try:
                 eng.close()
             except (EngineError, OSError):
@@ -263,8 +261,7 @@ class TestDeviceKillDuringCommit:
             with pytest.raises(OSError):
                 eng.save()
         finally:
-            for device in devices:
-                device.crashed = True
+            crash_devices(devices)
             try:
                 eng.close()
             except (EngineError, OSError):

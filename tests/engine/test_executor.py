@@ -130,3 +130,34 @@ class TestPerTaskDeadlines:
             assert excinfo.value.item_index == 0
         finally:
             ex.close()
+
+
+class TestAbandonedFutureRecycle:
+    def test_timeout_counts_abandoned_futures(self):
+        ex = ProcessExecutor(max_workers=2)
+        try:
+            with pytest.raises(TaskTimeoutError):
+                ex.map(_sleepy, [1.0], timeout=0.05)
+            # One task keeps running detached; the pool survives
+            # because a single abandonment cannot wedge both workers.
+            assert ex.abandoned_futures == 1
+            assert ex.pool_recycles == 0
+            assert ex._pool is not None
+        finally:
+            ex.close()
+
+    def test_recycle_when_abandonment_covers_every_worker(self):
+        ex = ProcessExecutor(max_workers=1)
+        try:
+            with pytest.raises(TaskTimeoutError):
+                ex.map(_sleepy, [1.0], timeout=0.05)
+            # The only worker slot may be wedged: the pool is recycled
+            # and the counters reset for the replacement.
+            assert ex.pool_recycles == 1
+            assert ex.abandoned_futures == 0
+            assert ex._pool is None
+            # The next map self-heals on a fresh pool with a live
+            # worker, not the one stuck behind the abandoned task.
+            assert ex.map(_sleepy, [0.0], timeout=30.0) == [0.0]
+        finally:
+            ex.close()

@@ -1,10 +1,13 @@
 """FaultInjectingPageDevice: crash-at-write-k, tearing, error schedules."""
 
+import pathlib
+
 import pytest
 
 from repro.storage import (ChecksumError, CorruptPageFileError,
-                           FaultInjectingPageDevice, FilePageDevice,
-                           InjectedFault, Pager, StorageError)
+                           FaultInjectingFileOps, FaultInjectingPageDevice,
+                           FilePageDevice, InjectedFault, Pager,
+                           StorageError, crash_devices)
 
 PAGE_SIZE = 1024
 
@@ -160,3 +163,69 @@ class TestUnderThePager:
         with Pager(tmp_path / "f.db", page_size=PAGE_SIZE) as pager:
             assert pager.page_count() == committed_pages
             assert pager.read(pid) == b"\x10" * PAGE_SIZE
+
+
+class TestFileOpsSchedules:
+    """FaultInjectingFileOps: the small-file (WAL/manifest) counterpart."""
+
+    def test_op_error_is_transient(self, tmp_path):
+        ops = FaultInjectingFileOps(op_errors={2: OSError("disk says no")})
+        target = str(tmp_path / "a.bin")
+        ops.write_file(target, b"one")
+        with pytest.raises(OSError, match="disk says no"):
+            ops.write_file(target, b"two")
+        # Transient: the schedule entry is consumed, later ops succeed.
+        ops.write_file(target, b"three")
+        assert pathlib.Path(target).read_bytes() == b"three"
+        assert [name for name, _ in ops.ops] == ["write_file"] * 3
+
+    def test_fail_op_kills_the_ops_object(self, tmp_path):
+        ops = FaultInjectingFileOps(fail_op=2)
+        target = str(tmp_path / "a.bin")
+        ops.write_file(target, b"one")
+        with pytest.raises(InjectedFault):
+            ops.append_file(target, b"two")
+        assert ops.crashed
+        # Dead is dead: every further operation fails too.
+        with pytest.raises(InjectedFault):
+            ops.fsync_file(target)
+        assert pathlib.Path(target).read_bytes() == b"one"
+
+    def test_short_write_tears_the_payload_and_crashes(self, tmp_path):
+        ops = FaultInjectingFileOps(short_writes={2: 3})
+        target = str(tmp_path / "a.bin")
+        ops.write_file(target, b"base-")
+        with pytest.raises(InjectedFault, match="short append"):
+            ops.append_file(target, b"0123456789")
+        assert ops.crashed
+        # Exactly the scheduled prefix reached the disk.
+        assert pathlib.Path(target).read_bytes() == b"base-012"
+
+    def test_fsync_ordinal_counts_only_fsyncs(self, tmp_path):
+        ops = FaultInjectingFileOps(
+            fsync_errors={2: OSError("barrier lost")})
+        target = str(tmp_path / "a.bin")
+        ops.write_file(target, b"x")        # op 1: not an fsync
+        ops.fsync_file(target)              # fsync ordinal 1
+        ops.append_file(target, b"y")       # op 3: not an fsync
+        with pytest.raises(OSError, match="barrier lost"):
+            ops.fsync_file(target)          # fsync ordinal 2
+        assert ops.fsyncs_seen == 2
+        # Transient, like a device rejecting one barrier.
+        ops.fsync_file(target)
+
+
+class TestCrashDevices:
+    def test_crash_devices_downs_every_registered_wrapper(self, tmp_path):
+        devices = [_device(tmp_path, name=f"f{i}.db") for i in range(3)]
+        try:
+            for device in devices:
+                device.extend()
+            crash_devices(devices)
+            for device in devices:
+                assert device.crashed
+                with pytest.raises(InjectedFault):
+                    device.extend()
+        finally:
+            for device in devices:
+                device.close()
