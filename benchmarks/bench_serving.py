@@ -1,0 +1,261 @@
+"""Serving front end — coalesced vs uncoalesced async query path.
+
+Both runs drive the *same* serving stack (admission control, deadline
+plumbing, the async facade's engine bridge) over the same engine and
+the same concurrent workload; the only difference is the coalescer
+knob:
+
+* ``uncoalesced`` — ``max_batch=1``: every request takes its own
+  scalar ``query_interval`` call (the A/B baseline).
+* ``coalesced`` — ``max_batch=64``: concurrent requests sharing a
+  temporal signature merge into one ``query_interval_many`` call.
+
+Per-request responses are asserted byte-identical between the two runs
+(same entries for every client/request pair), so the headline
+``speedup_coalesced`` is throughput at *equal correctness*.  A third
+section saturates a deliberately tiny admission window and records
+that overload produced typed 503 rejections (the CI gate checks the
+count is non-zero).
+
+Run directly to (re)generate ``BENCH_serving.json`` at the repository
+root::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+or through pytest (``pytest benchmarks/bench_serving.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import json
+import pathlib
+import random
+import time
+
+from repro.bench import active_params
+from repro.datagen import GSTDGenerator
+from repro.engine import SerialExecutor, ShardedEngine
+from repro.serve import AsyncEngine, Request, ServeApp
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_serving.json"
+
+#: Shard count of the served engine.
+N_SHARDS = 2
+
+#: Concurrent client tasks in the throughput sections.
+CLIENTS = 16
+
+#: Queries each client issues back-to-back.
+QUERIES_PER_CLIENT = 25
+
+#: Distinct temporal signatures cycled by the workload (coalescing
+#: merges within a signature, never across).
+SIGNATURES = 4
+
+#: Distinct dashboard tiles shared by the clients — several clients
+#: poll the same tile, so flushes both batch (distinct rects, one
+#: engine call) and collapse (identical rects evaluated once).
+TILES = 6
+
+
+def _stream(params):
+    config = dataclasses.replace(params.stream,
+                                 num_objects=params.dataset_objects[0])
+    return GSTDGenerator(config).materialize()
+
+
+def _build_workload(engine):
+    """Fixed query mix: clients polling a shared dashboard tile set.
+
+    The shape mirrors the workload coalescing is built for — many
+    dashboard-style clients polling a small set of map tiles at the
+    *same few timestamps* (timeslice queries).  Clients outnumber
+    tiles, so a flush typically holds several requests for the *same*
+    rectangle: the coalescer collapses those to one engine-side
+    evaluation and fans the result back out, and the remaining distinct
+    tiles still share one plan and one fan-out per flush.
+    """
+    rng = random.Random(4321)
+    space = engine.config.space
+    q_lo, q_hi = engine.config.queriable_period(engine.now)
+    signatures = []
+    for _ in range(SIGNATURES):
+        t_lo = rng.randrange(q_lo, q_hi + 1)
+        signatures.append((t_lo, t_lo))
+    side = max(1, (space.x_hi - space.x_lo) // 10)
+    tiles = []
+    for _ in range(TILES):
+        x0 = rng.randrange(space.x_lo, space.x_hi - side)
+        y0 = rng.randrange(space.y_lo, space.y_hi - side)
+        tiles.append((x0, y0, x0 + side, y0 + side))
+    rects = [tiles[i % TILES] for i in range(CLIENTS)]
+    return signatures, rects
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _query_request(rect, t_lo, t_hi):
+    body = json.dumps({"area": list(rect), "t_lo": t_lo, "t_hi": t_hi,
+                       "strict": False}).encode()
+    return Request(method="POST", path="/query", body=body)
+
+
+async def _drive(app, signatures, rects):
+    """CLIENTS concurrent tasks, each issuing its queries in order.
+
+    Returns (elapsed_seconds, per-request latencies, response map
+    keyed by (client, i) -> (status, entries)).
+    """
+    latencies: list[float] = []
+    responses: dict[tuple[int, int], tuple[int, list]] = {}
+
+    async def client(tag):
+        rect = rects[tag]
+        for i in range(QUERIES_PER_CLIENT):
+            t_lo, t_hi = signatures[i % SIGNATURES]
+            started = time.perf_counter()
+            response = await app.handle(_query_request(rect, t_lo,
+                                                       t_hi))
+            latencies.append(time.perf_counter() - started)
+            responses[(tag, i)] = (response.status,
+                                   response.payload.get("entries"))
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client(tag) for tag in range(CLIENTS)))
+    elapsed = time.perf_counter() - started
+    await app.drain()
+    return elapsed, latencies, responses
+
+
+#: Measured repetitions per section (the best round is reported, the
+#: usual defence against scheduler noise on shared runners).
+ROUNDS = 3
+
+
+def _run_throughput(engine, *, max_batch):
+    """One measured section: a warmup drive, then best-of-N rounds."""
+    with contextlib.ExitStack() as stack:
+        facade = AsyncEngine(engine)
+        stack.callback(facade.close)
+        app = ServeApp(facade, capacity=CLIENTS + 4,
+                       max_batch=max_batch, max_linger=0.0)
+        signatures, rects = _build_workload(engine)
+        asyncio.run(_drive(app, signatures, rects))  # warmup
+        best = None
+        for _ in range(ROUNDS):
+            elapsed, latencies, responses = asyncio.run(
+                _drive(app, signatures, rects))
+            assert all(status == 200
+                       for status, _ in responses.values())
+            if best is None or elapsed < best[0]:
+                best = (elapsed, latencies, responses)
+        elapsed, latencies, responses = best
+        total = CLIENTS * QUERIES_PER_CLIENT
+        queries = app.stats.queries
+        calls = app.stats.engine_query_calls
+        return {
+            "queries": total,
+            "queries_per_sec": round(total / elapsed, 1),
+            "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3,
+                                    3),
+            "latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3,
+                                    3),
+            "engine_query_calls": calls,
+            "coalesce_ratio": round(queries / calls, 2),
+            "collapsed_requests": app.stats.collapsed_requests,
+            "_responses": responses,
+        }
+
+
+def _run_overload(engine):
+    """Saturate a tiny admission window; overload must reject typed."""
+    with contextlib.ExitStack() as stack:
+        facade = AsyncEngine(engine)
+        stack.callback(facade.close)
+        app = ServeApp(facade, capacity=2, max_batch=1)
+        signatures, rects = _build_workload(engine)
+        t_lo, t_hi = signatures[0]
+
+        async def burst():
+            requests = [app.handle(_query_request(rects[i % CLIENTS],
+                                                  t_lo, t_hi))
+                        for i in range(24)]
+            responses = await asyncio.gather(*requests)
+            await app.drain()
+            return responses
+
+        responses = asyncio.run(burst())
+        statuses = [r.status for r in responses]
+        rejected = [r for r in responses if r.status == 503]
+        assert all(status in (200, 503) for status in statuses)
+        assert all(r.payload["error"] == "overloaded" for r in rejected)
+        assert all("Retry-After" in r.headers for r in rejected)
+        return {
+            "burst": len(responses),
+            "capacity": 2,
+            "served": sum(1 for s in statuses if s == 200),
+            "typed_rejections": len(rejected),
+        }
+
+
+def run_serving_bench(params=None) -> dict:
+    params = params if params is not None else active_params()
+    stream = _stream(params)
+    config = dataclasses.replace(params.index, n_shards=N_SHARDS)
+    with contextlib.ExitStack() as stack:
+        engine = stack.enter_context(
+            ShardedEngine(config, executor=SerialExecutor()))
+        engine.extend(stream)
+        uncoalesced = _run_throughput(engine, max_batch=1)
+        coalesced = _run_throughput(engine, max_batch=64)
+        overload = _run_overload(engine)
+    baseline = uncoalesced.pop("_responses")
+    assert coalesced.pop("_responses") == baseline, \
+        "coalesced responses diverge from the uncoalesced baseline"
+    speedup = round(coalesced["queries_per_sec"]
+                    / uncoalesced["queries_per_sec"], 2)
+    return {
+        "figure": "serving-coalescing",
+        "scale": params.name,
+        "records": len(stream),
+        "n_shards": N_SHARDS,
+        "clients": CLIENTS,
+        "queries_per_client": QUERIES_PER_CLIENT,
+        "signatures": SIGNATURES,
+        "paths": {"uncoalesced": uncoalesced, "coalesced": coalesced},
+        "overload": overload,
+        "speedup_coalesced": speedup,
+        "coalesce_ratio": coalesced["coalesce_ratio"],
+    }
+
+
+def test_serving(benchmark, params):
+    record = run_serving_bench(params)
+
+    def noop():
+        return record
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    benchmark.extra_info["speedup_coalesced"] = \
+        record["speedup_coalesced"]
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    # Noise guard below the headline figure so shared CI runners don't
+    # flake; the committed BENCH_serving.json carries the real figure.
+    assert record["speedup_coalesced"] >= 1.5
+    assert record["overload"]["typed_rejections"] >= 1
+
+
+if __name__ == "__main__":
+    rec = run_serving_bench()
+    RESULT_PATH.write_text(json.dumps(rec, indent=2) + "\n")
+    print(json.dumps(rec, indent=2))
+    print(f"wrote {RESULT_PATH}")

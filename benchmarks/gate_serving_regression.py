@@ -1,0 +1,87 @@
+"""CI gate: serving-layer coalescing must not regress >20% vs the
+committed ``BENCH_serving.json``, and overload must stay typed.
+
+Re-runs :func:`benchmarks.bench_serving.run_serving_bench` on the
+current tree and compares the *ratio* metrics (coalesced throughput
+over the uncoalesced baseline, queries per engine call) against the
+committed record.  Ratios are machine-independent — both sides of each
+ratio are measured on the same host in the same process — so the gate
+is meaningful on any CI runner.  A metric more than 20% below the
+committed value fails the gate; absolute queries/sec numbers are
+reported but never gated.  The overload section must additionally have
+produced at least one typed 503 rejection (the acceptance criterion
+that saturation is refused, never hung or dropped).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/gate_serving_regression.py
+    PYTHONPATH=src python benchmarks/gate_serving_regression.py --tolerance 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from bench_serving import RESULT_PATH, run_serving_bench  # noqa: E402
+
+#: Ratio metrics gated against the committed record.
+GATED = ("speedup_coalesced", "coalesce_ratio")
+
+
+def check_regression(committed: dict, fresh: dict,
+                     tolerance: float) -> list[str]:
+    """Return one message per gated metric regressing past ``tolerance``."""
+    problems = []
+    for metric in GATED:
+        baseline = committed[metric]
+        current = fresh[metric]
+        floor = baseline * (1.0 - tolerance)
+        if current < floor:
+            problems.append(
+                f"{metric}: {current:.2f} is more than "
+                f"{tolerance:.0%} below the committed {baseline:.2f} "
+                f"(floor {floor:.2f})")
+    if fresh["overload"]["typed_rejections"] < 1:
+        problems.append(
+            "overload.typed_rejections: saturating the admission window "
+            "produced no typed 503 rejection")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional regression (default 0.2)")
+    parser.add_argument("--committed", type=pathlib.Path,
+                        default=RESULT_PATH,
+                        help="committed BENCH_serving.json to gate against")
+    args = parser.parse_args(argv)
+
+    committed = json.loads(args.committed.read_text())
+    fresh = run_serving_bench()
+    print(json.dumps(fresh, indent=2))
+
+    if committed.get("scale") != fresh.get("scale"):
+        print(f"note: committed record is {committed.get('scale')!r} "
+              f"scale, fresh run is {fresh.get('scale')!r}; ratios are "
+              f"still comparable but absolute numbers are not")
+    problems = check_regression(committed, fresh, args.tolerance)
+    for problem in problems:
+        print(f"REGRESSION: {problem}")
+    if problems:
+        return 1
+    summary = ", ".join(f"{m}={fresh[m]:.2f} (committed {committed[m]:.2f})"
+                        for m in GATED)
+    rejections = fresh["overload"]["typed_rejections"]
+    print(f"serving gate passed: {summary}, "
+          f"typed_rejections={rejections}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,10 +2,14 @@
 
 The reproduction's headline claim is that logical node accesses match
 the paper's cost model exactly, independent of machine and run.  Any
-``time``/``random`` use inside ``core/``, ``btree/``, ``storage/`` or
-``engine/`` could leak into eviction order, key layout or query plans
-and break run-to-run reproducibility.  Benchmarks (``bench/``) and data
-generation (``datagen/``, seeded) are deliberately out of scope.
+``time``/``random`` use inside ``core/``, ``btree/``, ``storage/``,
+``engine/`` or ``serve/`` could leak into eviction order, key layout,
+query plans or request batching and break run-to-run reproducibility.
+The serving layer is in scope on purpose: its linger timers and retry
+jitter must come through injected seams (wired at the CLI edge), so a
+test driving the event loop sees identical coalescing every run.
+Benchmarks (``bench/``) and data generation (``datagen/``, seeded) are
+deliberately out of scope.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from ..registry import Rule, register
 from ..runner import FileContext
 from ._util import dotted_name
 
-_SCOPE = frozenset({"core", "btree", "storage", "engine"})
+_SCOPE = frozenset({"core", "btree", "storage", "engine", "serve"})
 _BANNED_MODULES = frozenset({"random", "time", "secrets", "uuid",
                              "datetime"})
 _BANNED_CALLS = frozenset({"os.urandom", "os.getrandom"})
@@ -27,7 +31,8 @@ _BANNED_CALLS = frozenset({"os.urandom", "os.getrandom"})
 @register
 class Nondeterminism(Rule):
     rule_id = "R002"
-    title = "no wall-clock/random nondeterminism in core/btree/storage/engine"
+    title = ("no wall-clock/random nondeterminism in "
+             "core/btree/storage/engine/serve")
     rationale = ("node-access counts must be bit-for-bit reproducible; "
                  "clocks and RNGs belong in bench/ and datagen/ only")
 

@@ -36,7 +36,8 @@ _ACQUIRER_NAMES = frozenset({
     "open",
     "Pager", "FilePageDevice", "MemoryPageDevice", "BufferPool",
     "FaultInjectingPageDevice",
-    "SWSTIndex", "ShardedEngine", "MV3RTree",
+    "SWSTIndex", "ShardedEngine", "WorkerEngine", "MV3RTree",
+    "AsyncEngine",
     "resolve_executor",
 })
 _ACQUIRER_SUFFIX = "Executor"

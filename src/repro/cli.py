@@ -286,6 +286,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import random
+    import time
+
+    from .engine import RetryPolicy
+    from .serve import ServeOptions
+    from .serve.main import run as serve_run
+
+    config = _config_from(args)
+    if config.n_shards < 1:
+        print("serve needs --shards >= 1", file=sys.stderr)
+        return 2
+    # The serving layer itself is clock- and rng-free (invariant R002);
+    # the real clock and a seeded rng are wired in here, at the edge —
+    # retry backoff sleeps, jittered Retry-After hints.
+    retry = RetryPolicy(jitter=0.1, sleep=time.sleep,
+                        rng=random.Random(0).random)
+    options = ServeOptions(
+        index=args.index, config=config, create=args.create,
+        workers=getattr(args, "workers", False), executor=args.executor,
+        host=args.host, port=args.port, capacity=args.capacity,
+        max_batch=args.max_batch, max_linger=args.max_linger,
+        request_timeout=args.request_timeout, retry_policy=retry,
+        rng=random.Random(1).random)
+    return serve_run(options)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -353,6 +380,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--svg", default=None, metavar="DIR",
                        help="also write one SVG chart per figure to DIR")
     bench.set_defaults(func=cmd_bench)
+
+    serve = commands.add_parser(
+        "serve", help="serve an engine directory over HTTP/JSON "
+                      "(async front end: request coalescing, admission "
+                      "control, slide-aware backpressure)")
+    serve.add_argument("index", help="engine directory from 'build' "
+                                     "with --shards, or a new one with "
+                                     "--create")
+    serve.add_argument("--create", action="store_true",
+                       help="create a fresh engine directory instead "
+                            "of opening an existing one")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8781,
+                       help="bind port (0 picks a free one; "
+                            "default 8781)")
+    serve.add_argument("--capacity", type=int, default=64,
+                       help="admission bound: concurrent data-plane "
+                            "requests before 503 (default 64)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="coalescer flush threshold; 1 disables "
+                            "coalescing (default 64)")
+    serve.add_argument("--max-linger", type=float, default=0.0,
+                       help="coalescer linger window in seconds; 0 = "
+                            "one event-loop tick (default 0)")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       help="default per-request deadline in seconds "
+                            "(clients can override with X-Deadline)")
+    _add_config_args(serve)
+    serve.set_defaults(func=cmd_serve)
 
     from .analysis.main import add_lint_arguments
 

@@ -144,6 +144,17 @@ class Executor(Protocol):
         """
         ...  # pragma: no cover - protocol
 
+    def submit(self, fn: Callable[[], Any]) -> "Future[Any]":
+        """Run one zero-argument task, returning its future.
+
+        The asynchronous serving facade bridges these futures into
+        ``asyncio`` (``asyncio.wrap_future``), so blocking engine calls
+        ride the same pluggable pool as the scatter-gather fan-out.
+        ``SerialExecutor`` runs the task inline and returns an
+        already-resolved future (deterministic tests).
+        """
+        ...  # pragma: no cover - protocol
+
     def close(self) -> None:
         """Release pool resources; the executor is unusable afterwards."""
         ...  # pragma: no cover - protocol
@@ -181,6 +192,17 @@ class SerialExecutor:
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
             timeout: float | None = None) -> list[Any]:
         return [fn(item) for item in items]
+
+    def submit(self, fn: Callable[[], Any]) -> "Future[Any]":
+        from concurrent.futures import Future
+
+        future: Future[Any] = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(fn())
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
 
     def close(self) -> None:
         pass
@@ -220,6 +242,9 @@ class ThreadedExecutor:
         pool = self._ensure_pool()
         futures = [pool.submit(fn, item) for item in work]
         return _gather(futures, timeout)
+
+    def submit(self, fn: Callable[[], Any]) -> "Future[Any]":
+        return self._ensure_pool().submit(fn)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -304,6 +329,9 @@ class ProcessExecutor:
                 self.abandoned_futures = 0
                 self.pool_recycles += 1
             raise
+
+    def submit(self, fn: Callable[[], Any]) -> "Future[Any]":
+        return self._ensure_pool().submit(fn)
 
     def close(self) -> None:
         if self._pool is not None:

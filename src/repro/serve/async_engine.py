@@ -1,0 +1,244 @@
+"""Asyncio facade over the sharded engine: the serving data plane.
+
+:class:`AsyncEngine` bridges the blocking engine API
+(:class:`~repro.engine.ShardedEngine` / ``WorkerEngine``) into
+``asyncio`` through the engine layer's :class:`~repro.engine.Executor`
+seam (``submit`` + ``asyncio.wrap_future``), with the concurrency
+contract the stack below actually supports:
+
+* **One engine call at a time.**  The SWST stack is explicitly *not*
+  thread-safe for concurrent callers (buffer-pool LRU state, the plan
+  cache, and circuit-breaker accounting are all unlocked), so every
+  call through the facade holds one internal mutex.  Request-level
+  concurrency comes from *coalescing* — many queries share one
+  ``query_interval_many`` call — and from the engine's own shard-level
+  fan-out inside that single call, not from racing engine calls.
+* **Reads share, mutations serialize.**  Read requests hold the read
+  side of the :class:`~repro.serve.gate.SlideGate`, so any number can
+  be in flight (admitted, queued, coalescing) between slides.
+  Mutations take the exclusive side, forming the single-writer ingest
+  lane: FIFO, one at a time, preserving the report stream's timestamp
+  monotonicity whatever the HTTP-level interleaving.
+* **The slide is a barrier.**  ``advance_time`` is just a writer, so
+  acquiring the exclusive side *is* the barrier: in-flight reads drain,
+  the slide runs, parked requests release.  No extra machinery.
+
+The facade borrows the engine — closing the facade shuts down its own
+executor (if owned) but leaves the engine to its owner (the server's
+``ExitStack``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, Iterable, TypeVar
+
+from ..core.records import Rect, ReportLike
+from ..core.results import MultiQueryResult, QueryResult, QueryStats
+from ..engine.executor import Executor, ThreadedExecutor
+from .errors import ServeClosedError
+from .gate import SlideGate
+from .stats import ServeStats
+
+T = TypeVar("T")
+
+
+class AsyncEngine:
+    """Async facade over one sharded (or warm-worker) engine.
+
+    Args:
+        engine: the engine to serve; must expose the ``ShardedEngine``
+            query/ingest surface (``strict=`` keywords included).  The
+            facade *borrows* it — the caller owns open/close.
+        executor: pool the blocking calls run on, via the Executor
+            seam's ``submit``.  Defaults to an owned
+            :class:`~repro.engine.ThreadedExecutor` with
+            ``max_workers`` threads; remote (process) executors are
+            rejected — they cannot see the live engine.
+        max_workers: size of the owned default pool.  More than one
+            thread only helps overlap a detached straggler (a call
+            whose waiter gave up on its deadline) with the next call;
+            engine calls themselves are mutually exclusive.
+        stats: shared serving counters; a fresh block if omitted.
+    """
+
+    def __init__(self, engine: Any, *, executor: Executor | None = None,
+                 max_workers: int = 2,
+                 stats: ServeStats | None = None) -> None:
+        if executor is not None and getattr(executor, "remote", False):
+            raise ValueError("AsyncEngine needs an in-process executor; "
+                             "remote (process) pools cannot reach the "
+                             "live engine")
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._engine = engine
+        if executor is None:
+            self._executor: Executor = ThreadedExecutor(
+                max_workers=max_workers)
+            self._owns_executor = True
+        else:
+            self._executor = executor
+            self._owns_executor = False
+        self._gate = SlideGate()
+        self._mutex = threading.Lock()
+        self._stats = stats if stats is not None else ServeStats()
+        self._closed = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def engine(self) -> Any:
+        """The wrapped engine (borrowed, not owned)."""
+        return self._engine
+
+    @property
+    def gate(self) -> SlideGate:
+        """The slide barrier (read side = queries, write side = lane)."""
+        return self._gate
+
+    @property
+    def stats(self) -> ServeStats:
+        """Shared serving counters."""
+        return self._stats
+
+    @property
+    def now(self) -> int:
+        """Engine stream time (unsynchronised snapshot, diagnostics)."""
+        return int(self._engine.now)
+
+    @property
+    def config(self) -> Any:
+        return self._engine.config
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServeClosedError("serving facade is closed")
+
+    # -- the bridge ------------------------------------------------------------
+
+    async def _run(self, fn: Callable[[], T]) -> T:
+        """Run one blocking engine call on the pool, mutually excluded.
+
+        The mutex is taken *inside* the pool thread so the event loop
+        never blocks on it; the submitted callable mutates nothing it
+        closes over (R005) — results come back through the future.
+        """
+        mutex = self._mutex
+
+        def call() -> T:
+            with mutex:
+                return fn()
+
+        return await asyncio.wrap_future(self._executor.submit(call))
+
+    async def read(self, fn: Callable[[], T]) -> T:
+        """Run a read-only engine call under the gate's shared side."""
+        self._check_open()
+        async with self._gate.read():
+            return await self._run(fn)
+
+    async def write(self, fn: Callable[[], T]) -> T:
+        """Run a mutating engine call on the single-writer lane."""
+        self._check_open()
+        async with self._gate.write():
+            return await self._run(fn)
+
+    # -- queries (read side) ---------------------------------------------------
+
+    async def query_interval(self, area: Rect, t_lo: int, t_hi: int,
+                             window: int | None = None, *,
+                             strict: bool = True) -> QueryResult:
+        engine = self._engine
+        return await self.read(
+            lambda: engine.query_interval(area, t_lo, t_hi, window,
+                                          strict=strict))
+
+    async def query_timeslice(self, area: Rect, t: int,
+                              window: int | None = None, *,
+                              strict: bool = True) -> QueryResult:
+        return await self.query_interval(area, t, t, window, strict=strict)
+
+    async def query_interval_many(self, areas: Iterable[Rect], t_lo: int,
+                                  t_hi: int, window: int | None = None, *,
+                                  strict: bool = True) -> MultiQueryResult:
+        engine = self._engine
+        areas = list(areas)
+        return await self.read(
+            lambda: engine.query_interval_many(areas, t_lo, t_hi, window,
+                                               strict=strict))
+
+    async def count_interval(self, area: Rect, t_lo: int, t_hi: int,
+                             window: int | None = None, *,
+                             strict: bool = True) -> tuple[int, QueryStats]:
+        engine = self._engine
+        return await self.read(
+            lambda: engine.count_interval(area, t_lo, t_hi, window,
+                                          strict=strict))
+
+    async def query_knn(self, x: int, y: int, k: int, t_lo: int,
+                        t_hi: int | None = None,
+                        window: int | None = None, *,
+                        strict: bool = True) -> QueryResult:
+        engine = self._engine
+        return await self.read(
+            lambda: engine.query_knn(x, y, k, t_lo, t_hi, window,
+                                     strict=strict))
+
+    # -- mutations (single-writer lane) ----------------------------------------
+
+    async def insert(self, oid: int, x: int, y: int, s: int,
+                     d: int | None = None) -> None:
+        engine = self._engine
+        await self.write(lambda: engine.insert(oid, x, y, s, d))
+        self._stats.mutations += 1
+        self._stats.ingested_reports += 1
+
+    async def report(self, oid: int, x: int, y: int, t: int) -> None:
+        await self.insert(oid, x, y, t, None)
+
+    async def extend(self, reports: Iterable[ReportLike]) -> int:
+        engine = self._engine
+        batch = list(reports)
+        count = int(await self.write(lambda: engine.extend(batch)))
+        self._stats.mutations += 1
+        self._stats.ingested_reports += count
+        return count
+
+    async def close_object(self, oid: int, t: int) -> bool:
+        engine = self._engine
+        closed = bool(await self.write(lambda: engine.close_object(oid, t)))
+        self._stats.mutations += 1
+        return closed
+
+    async def advance_time(self, now: int) -> None:
+        """Slide barrier: drain in-flight reads, slide, release."""
+        engine = self._engine
+        await self.write(lambda: engine.advance_time(now))
+        self._stats.slides += 1
+
+    async def save(self) -> None:
+        """Whole-directory save, exclusive like any other mutation."""
+        engine = self._engine
+        await self.write(lambda: engine.save())
+        self._stats.saves += 1
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Wait out every in-flight engine call (a no-op writer pass)."""
+        async with self._gate.write():
+            pass
+
+    def close(self) -> None:
+        """Stop accepting work and shut down the owned pool.
+
+        Synchronous so it slots into the server's ``ExitStack``; the
+        borrowed engine is left open for its owner.  Safe to call more
+        than once.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_executor:
+            self._executor.close()

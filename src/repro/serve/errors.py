@@ -1,0 +1,72 @@
+"""Exception types of the serving layer.
+
+The serving front end sits above the engine layer and gets its own
+small hierarchy rooted at :class:`ServeError`:
+
+* :class:`BadRequest` — the request itself is malformed (unparseable
+  body, missing field, out-of-domain value).  Maps to HTTP 400.
+* :class:`Overloaded` — the bounded admission queue is full; the
+  request was rejected *without* being queued.  Carries the observed
+  depth, the capacity, and a suggested retry delay.  Maps to HTTP 503
+  with a ``Retry-After`` header.
+* :class:`DeadlineExceeded` — the request's deadline elapsed while it
+  was queued, lingering in the coalescer, or waiting out a slide
+  barrier.  Maps to HTTP 504.
+* :class:`ServeClosedError` — the server is shutting down (or already
+  closed) and stopped accepting work.  Maps to HTTP 503.
+
+Engine-layer errors (:class:`~repro.engine.errors.ShardQueryError`,
+:class:`~repro.engine.errors.EngineError`) pass through the facade
+unchanged; the HTTP layer maps them to 5xx responses.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base class for serving-layer failures."""
+
+
+class BadRequest(ServeError):
+    """The request is malformed; nothing was executed."""
+
+
+class Overloaded(ServeError):
+    """The admission queue is full; the request was rejected untried.
+
+    Attributes:
+        depth: in-flight requests observed at rejection time.
+        capacity: the admission queue bound.
+        retry_after: suggested client back-off in seconds (jittered
+            when the admission controller was given an rng seam).
+    """
+
+    def __init__(self, depth: int, capacity: int,
+                 retry_after: float) -> None:
+        super().__init__(
+            f"admission queue full ({depth}/{capacity} in flight); "
+            f"retry in {retry_after:.3f}s")
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(ServeError):
+    """The per-request deadline elapsed before a result was produced.
+
+    The engine call itself is never preempted — a request that timed
+    out while its batch was already executing completes server-side
+    with nobody waiting (same contract as the executor layer's
+    per-task deadlines).
+
+    Attributes:
+        timeout: the request's deadline in seconds.
+    """
+
+    def __init__(self, timeout: float) -> None:
+        super().__init__(f"request exceeded its {timeout}s deadline")
+        self.timeout = timeout
+
+
+class ServeClosedError(ServeError):
+    """An operation was attempted on a closed (or closing) server."""

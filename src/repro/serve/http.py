@@ -1,0 +1,206 @@
+"""Minimal HTTP/1.1 adapter over :class:`~repro.serve.app.ServeApp`.
+
+Built on ``asyncio.start_server`` only — no web framework, no third
+party dependency.  The adapter parses a request line, headers, and an
+optional ``Content-Length`` body; hands the :class:`Request` to the
+application; and writes the JSON response back with keep-alive
+connection reuse.  Anything the parser cannot stomach gets a 400 and
+the connection closes — malformed framing never reaches the app.
+
+Limits are deliberate and small (this is an index server, not a file
+server): request line and headers are capped at 16 KiB, bodies at
+8 MiB; chunked transfer encoding is not supported.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from json import dumps
+from urllib.parse import parse_qsl, urlsplit
+
+from .app import ServeApp
+from .wire import Request, Response
+
+#: Cap on one header line (request line included).
+MAX_LINE = 16 * 1024
+#: Cap on the header block as a whole.
+MAX_HEADER_BYTES = 16 * 1024
+#: Cap on a request body (an ``/extend`` batch is the big one).
+MAX_BODY = 8 * 1024 * 1024
+
+_METHODS = frozenset({"GET", "POST", "PUT", "DELETE", "HEAD"})
+
+
+class _BadFraming(Exception):
+    """The bytes on the wire are not a parseable HTTP/1.1 request."""
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request; ``None`` on clean EOF between requests."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise _BadFraming("truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise _BadFraming("request line too long") from exc
+    if len(line) > MAX_LINE:
+        raise _BadFraming("request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or parts[0] not in _METHODS \
+            or not parts[2].startswith("HTTP/1."):
+        raise _BadFraming(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError) as exc:
+            raise _BadFraming("truncated header block") from exc
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise _BadFraming("header block too large")
+        if line == b"\r\n":
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise _BadFraming(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise _BadFraming("unparseable Content-Length") from exc
+        if length < 0 or length > MAX_BODY:
+            raise _BadFraming(f"Content-Length {length} out of range")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise _BadFraming("truncated body") from exc
+    elif headers.get("transfer-encoding"):
+        raise _BadFraming("chunked transfer encoding not supported")
+
+    return Request(method=method, path=split.path or "/", query=query,
+                   headers=headers, body=body)
+
+
+_REASONS = {200: "OK", 206: "Partial Content", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
+
+
+def _encode_response(response: Response, *, keep_alive: bool) -> bytes:
+    body = dumps(response.payload, separators=(",", ":"),
+                 sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}",
+             "Content-Type: application/json",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    lines.extend(f"{name}: {value}"
+                 for name, value in response.headers.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+class HttpServer:
+    """One listening socket serving a :class:`ServeApp`.
+
+    Args:
+        app: the application to serve.
+        host: bind address (loopback by default).
+        port: bind port; ``0`` picks a free one (read it back from
+            :attr:`port` once started).
+    """
+
+    def __init__(self, app: ServeApp, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._app = app
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def address(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port,
+            limit=MAX_LINE)
+
+    async def aclose(self) -> None:
+        """Stop listening and wait for connection handlers to finish."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _BadFraming as exc:
+                    self._app.stats.requests_total += 1
+                    self._app.stats.bad_requests += 1
+                    self._app.stats.responses_total += 1
+                    writer.write(_encode_response(
+                        Response(400, {"error": "bad_request",
+                                       "detail": str(exc)}),
+                        keep_alive=False))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                keep_alive = request.headers.get(
+                    "connection", "keep-alive").lower() != "close"
+                response = await self._app.handle(request)
+                writer.write(_encode_response(response,
+                                              keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            # The client hung up mid-exchange; nothing to answer.
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+def render_curl_examples(address: str) -> list[str]:
+    """Copy-pasteable smoke commands printed by ``repro serve``."""
+    return [
+        f"curl -s {address}/healthz",
+        f"curl -s -X POST {address}/report "
+        f"-d '{{\"oid\": 1, \"x\": 10, \"y\": 20, \"t\": 0}}'",
+        f"curl -s '{address}/query?area=0,0,63,63&t_lo=0&t_hi=0'",
+        f"curl -s {address}/stats",
+    ]
+
+
+__all__ = ["HttpServer", "render_curl_examples", "MAX_BODY",
+           "MAX_LINE", "MAX_HEADER_BYTES"]

@@ -1,0 +1,18 @@
+"""Route table of the serving front end.
+
+Three routers — read side (:mod:`.query`), the single-writer ingest
+lane (:mod:`.ingest`), and the control plane (:mod:`.admin`) — each
+export a ``ROUTES`` tuple of ``(method, path, handler)``; this package
+concatenates them and re-exports the control plane's ``UNGATED`` set
+(routes that bypass admission so the slide and the health probes work
+under saturation).
+"""
+
+from __future__ import annotations
+
+from . import admin, ingest, query
+from .admin import UNGATED
+
+ROUTES = query.ROUTES + ingest.ROUTES + admin.ROUTES
+
+__all__ = ["ROUTES", "UNGATED", "admin", "ingest", "query"]

@@ -1,0 +1,67 @@
+"""Write-side routes: the single-writer ingest lane over HTTP.
+
+Every handler here runs on the exclusive side of the slide gate, so
+mutations execute one at a time in arrival order — the HTTP surface
+preserves the report stream's timestamp monotonicity contract exactly
+as the in-process engine API does.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..wire import (Request, Response, get_int, get_opt_int,
+                    parse_reports)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..app import ServeApp
+
+
+async def insert(app: "ServeApp", request: Request) -> Response:
+    """Insert one entry with an explicit (possibly known) duration."""
+    obj = request.json()
+    oid = get_int(obj, "oid")
+    x = get_int(obj, "x")
+    y = get_int(obj, "y")
+    s = get_int(obj, "s")
+    d = get_opt_int(obj, "d")
+    await app.engine.insert(oid, x, y, s, d)
+    return Response(200, {"ok": True})
+
+
+async def report(app: "ServeApp", request: Request) -> Response:
+    """Append one position report (current entry, open duration)."""
+    obj = request.json()
+    oid = get_int(obj, "oid")
+    x = get_int(obj, "x")
+    y = get_int(obj, "y")
+    t = get_int(obj, "t")
+    await app.engine.report(oid, x, y, t)
+    return Response(200, {"ok": True})
+
+
+async def close_object(app: "ServeApp", request: Request) -> Response:
+    """Close an object's current entry at time ``t``."""
+    obj = request.json()
+    oid = get_int(obj, "oid")
+    t = get_int(obj, "t")
+    closed = await app.engine.close_object(oid, t)
+    return Response(200, {"ok": True, "closed": closed})
+
+
+async def extend(app: "ServeApp", request: Request) -> Response:
+    """Bulk-append a batch of reports in one exclusive pass."""
+    obj = request.json()
+    reports = parse_reports(obj)
+    accepted = await app.engine.extend(reports)
+    return Response(200, {"ok": True, "accepted": accepted})
+
+
+ROUTES = (
+    ("POST", "/insert", insert),
+    ("POST", "/report", report),
+    ("POST", "/close", close_object),
+    ("POST", "/extend", extend),
+)
+
+__all__ = ["ROUTES", "insert", "report", "close_object", "extend"]

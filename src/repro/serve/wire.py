@@ -1,0 +1,194 @@
+"""Transport-agnostic request/response shapes and JSON (de)serialisers.
+
+The router handlers never see sockets: they receive a :class:`Request`
+(method, path, query string, headers, raw body) and return a
+:class:`Response` (status, JSON-ready payload, extra headers).  The
+HTTP layer is one thin adapter over this pair, and the test suite can
+drive the application object directly with no network at all.
+
+Field extraction helpers raise :class:`~repro.serve.errors.BadRequest`
+(HTTP 400) with a message naming the offending field — malformed input
+is the *client's* typed failure mode, never a stack trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from json import JSONDecodeError, loads
+from typing import Any
+
+from ..core.records import Entry, Rect
+from ..core.results import QueryResult, QueryStats
+from ..engine.errors import ShardFailure
+from .errors import BadRequest
+
+
+@dataclass(frozen=True, slots=True)
+class WireReport:
+    """One position report decoded off the wire (conforms to
+    :class:`~repro.core.records.ReportLike`)."""
+
+    oid: int
+    x: int
+    y: int
+    t: int
+
+
+@dataclass
+class Request:
+    """One request, already parsed off the wire."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict[str, Any]:
+        """The body as a JSON object; ``{}`` for an empty body."""
+        if not self.body:
+            return {}
+        try:
+            payload = loads(self.body)
+        except JSONDecodeError as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise BadRequest("body must be a JSON object")
+        return payload
+
+    def deadline(self, default: float | None) -> float | None:
+        """Per-request deadline from ``X-Deadline`` (seconds)."""
+        raw = self.headers.get("x-deadline")
+        if raw is None:
+            return default
+        try:
+            deadline = float(raw)
+        except ValueError as exc:
+            raise BadRequest(
+                f"X-Deadline is not a number: {raw!r}") from exc
+        if deadline <= 0:
+            raise BadRequest(f"X-Deadline must be > 0, got {deadline}")
+        return deadline
+
+
+@dataclass
+class Response:
+    """One JSON response, ready for the transport adapter."""
+
+    status: int
+    payload: dict[str, Any] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+# -- request field extraction ---------------------------------------------------
+
+
+def get_int(obj: dict[str, Any], key: str) -> int:
+    """A required integer field (bools are *not* integers here)."""
+    if key not in obj:
+        raise BadRequest(f"missing field {key!r}")
+    value = obj[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequest(f"field {key!r} must be an integer, "
+                         f"got {value!r}")
+    return value
+
+
+def get_opt_int(obj: dict[str, Any], key: str) -> int | None:
+    """An optional integer field; absent or ``null`` both mean None."""
+    if obj.get(key) is None:
+        return None
+    return get_int(obj, key)
+
+
+def get_bool(obj: dict[str, Any], key: str, default: bool) -> bool:
+    value = obj.get(key, default)
+    if not isinstance(value, bool):
+        raise BadRequest(f"field {key!r} must be a boolean, "
+                         f"got {value!r}")
+    return value
+
+
+def parse_rect(value: Any, *, key: str = "area") -> Rect:
+    """``[x_lo, y_lo, x_hi, y_hi]`` -> :class:`Rect`."""
+    if (not isinstance(value, (list, tuple)) or len(value) != 4
+            or any(isinstance(v, bool) or not isinstance(v, int)
+                   for v in value)):
+        raise BadRequest(f"field {key!r} must be a 4-integer array "
+                         f"[x_lo, y_lo, x_hi, y_hi], got {value!r}")
+    try:
+        return Rect(value[0], value[1], value[2], value[3])
+    except ValueError as exc:
+        raise BadRequest(f"field {key!r}: {exc}") from exc
+
+
+def get_rect(obj: dict[str, Any], key: str = "area") -> Rect:
+    if key not in obj:
+        raise BadRequest(f"missing field {key!r}")
+    return parse_rect(obj[key], key=key)
+
+
+def get_rects(obj: dict[str, Any], key: str = "areas") -> list[Rect]:
+    value = obj.get(key)
+    if not isinstance(value, list) or not value:
+        raise BadRequest(f"field {key!r} must be a non-empty array "
+                         f"of rectangles")
+    return [parse_rect(item, key=f"{key}[{i}]")
+            for i, item in enumerate(value)]
+
+
+def parse_reports(obj: dict[str, Any],
+                  key: str = "reports") -> list[WireReport]:
+    """``[[oid, x, y, t], ...]`` -> report records for ``extend``."""
+    value = obj.get(key)
+    if not isinstance(value, list):
+        raise BadRequest(f"field {key!r} must be an array of "
+                         f"[oid, x, y, t] reports")
+    reports: list[WireReport] = []
+    for i, item in enumerate(value):
+        if (not isinstance(item, (list, tuple)) or len(item) != 4
+                or any(isinstance(v, bool) or not isinstance(v, int)
+                       for v in item)):
+            raise BadRequest(f"field {key}[{i}] must be a 4-integer "
+                             f"array [oid, x, y, t], got {item!r}")
+        reports.append(WireReport(item[0], item[1], item[2], item[3]))
+    return reports
+
+
+# -- response serialisation -----------------------------------------------------
+
+
+def entry_json(entry: Entry) -> list[int | None]:
+    """Wire shape of one entry: ``[oid, x, y, s, d]`` (``d`` null when
+    the entry is still current)."""
+    return [entry.oid, entry.x, entry.y, entry.s, entry.d]
+
+
+def stats_json(stats: QueryStats) -> dict[str, Any]:
+    return {
+        "node_accesses": stats.node_accesses,
+        "candidates": stats.candidates,
+        "plan_cache_hits": stats.plan_cache_hits,
+        "degraded": stats.degraded,
+    }
+
+
+def failure_json(failure: ShardFailure) -> dict[str, Any]:
+    return {
+        "shard_id": failure.shard_id,
+        "path": failure.path,
+        "error": repr(failure.error),
+    }
+
+
+def result_json(result: QueryResult) -> dict[str, Any]:
+    """Wire shape of one query result (degraded metadata included)."""
+    failures = list(getattr(result, "failures", ()))
+    payload: dict[str, Any] = {
+        "entries": [entry_json(e) for e in result.entries],
+        "stats": stats_json(result.stats),
+        "degraded": bool(failures),
+    }
+    if failures:
+        payload["failures"] = [failure_json(f) for f in failures]
+    return payload

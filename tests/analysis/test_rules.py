@@ -97,6 +97,23 @@ class TestR002Nondeterminism:
             """
         assert lint(source, "src/repro/btree/x.py", "R002") == []
 
+    def test_must_flag_in_serve(self):
+        # The serving layer is in scope: linger timers and retry
+        # jitter must come through injected seams, not module imports.
+        findings = lint(self.FLAGGED, "src/repro/serve/linger.py",
+                        "R002")
+        assert rule_ids(findings) == ["R002"]
+
+    def test_must_pass_asyncio_in_serve(self):
+        source = """\
+            import asyncio
+            import threading
+
+            def loop_time():
+                return asyncio.get_running_loop().time()
+            """
+        assert lint(source, "src/repro/serve/timing.py", "R002") == []
+
 
 # -- R003: typed errors only in storage/ and engine/ --------------------------
 

@@ -1,0 +1,148 @@
+"""SlideGate: write preference, drain accounting, cancellation safety."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import SlideGate
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_idle_readers_share():
+    async def main():
+        gate = SlideGate()
+        async with gate.read():
+            async with gate.read():
+                assert gate.active_readers == 2
+                assert gate.state == "idle"
+        assert gate.active_readers == 0
+
+    run(main())
+
+
+def test_writer_is_exclusive_and_fifo():
+    async def main():
+        gate = SlideGate()
+        order = []
+
+        async def writer(tag):
+            async with gate.write():
+                order.append(tag)
+
+        await asyncio.gather(*(writer(i) for i in range(5)))
+        assert order == [0, 1, 2, 3, 4]
+
+    run(main())
+
+
+def test_pending_writer_drains_readers_then_runs():
+    async def main():
+        gate = SlideGate()
+        events = []
+        reader_entered = asyncio.Event()
+        release_reader = asyncio.Event()
+
+        async def reader(tag, before_writer):
+            async with gate.read():
+                events.append(("read", tag))
+                if before_writer:
+                    reader_entered.set()
+                    await release_reader.wait()
+
+        async def writer():
+            await reader_entered.wait()
+            async with gate.write():
+                events.append(("write",))
+
+        first = asyncio.create_task(reader(0, True))
+        wtask = asyncio.create_task(writer())
+        await reader_entered.wait()
+        await asyncio.sleep(0)  # writer queues -> gate starts draining
+        while gate.state != "draining":
+            await asyncio.sleep(0)
+        # A reader arriving during the drain parks behind the writer.
+        late = asyncio.create_task(reader(1, False))
+        while gate.waiting_readers != 1:
+            await asyncio.sleep(0)
+        release_reader.set()
+        await asyncio.gather(first, wtask, late)
+        assert events == [("read", 0), ("write",), ("read", 1)]
+        assert gate.state == "idle"
+
+    run(main())
+
+
+def test_exclusive_state_reported():
+    async def main():
+        gate = SlideGate()
+        async with gate.write():
+            assert gate.state == "exclusive"
+            assert gate.writer_active
+        assert gate.state == "idle"
+
+    run(main())
+
+
+def test_cancelled_parked_reader_leaves_gate_consistent():
+    async def main():
+        gate = SlideGate()
+        hold = asyncio.Event()
+
+        async def writer():
+            async with gate.write():
+                await hold.wait()
+
+        wtask = asyncio.create_task(writer())
+        await asyncio.sleep(0)
+        parked = asyncio.create_task(gate.acquire_read())
+        await asyncio.sleep(0)
+        assert gate.waiting_readers == 1
+        parked.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await parked
+        assert gate.waiting_readers == 0
+        hold.set()
+        await wtask
+        assert gate.state == "idle"
+        # The gate still works after the cancellation.
+        async with gate.read():
+            assert gate.active_readers == 1
+
+    run(main())
+
+
+def test_cancelled_queued_writer_does_not_block_readers():
+    async def main():
+        gate = SlideGate()
+        hold = asyncio.Event()
+
+        async def reader():
+            async with gate.read():
+                await hold.wait()
+
+        rtask = asyncio.create_task(reader())
+        await asyncio.sleep(0)
+        queued = asyncio.create_task(gate.acquire_write())
+        await asyncio.sleep(0)
+        assert gate.state == "draining"
+        queued.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await queued
+        assert gate.state == "idle"
+        async with gate.read():  # admitted immediately again
+            pass
+        hold.set()
+        await rtask
+
+    run(main())
+
+
+def test_release_without_acquire_raises():
+    gate = SlideGate()
+    with pytest.raises(AssertionError):
+        gate.release_read()
+    with pytest.raises(AssertionError):
+        gate.release_write()
