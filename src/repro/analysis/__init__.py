@@ -6,6 +6,15 @@ storage layer owns all raw page I/O, errors cross module boundaries only
 through the typed hierarchies, and the executor fan-out must stay free of
 shared-state races.  This package machine-checks them.
 
+Rules come in two shapes.  Per-file rules (R001-R007) see one parsed
+module at a time through :class:`FileContext`.  Project rules
+(R008-R010, plus any rule with ``project = True``) see the whole tree at
+once through :class:`ProjectContext` — a symbol table and call graph
+built once per run by :mod:`repro.analysis.callgraph` — because the
+concurrency and durability invariants (lock-order cycles, blocking calls
+reachable from coroutines, fsync-before-acknowledgement) are properties
+of call *paths*, not of single files.
+
 Entry points:
 
 * ``python -m repro.analysis [paths...]`` — standalone runner,
@@ -20,13 +29,18 @@ findings are pinned without blocking CI; any *new* finding fails the run.
 from __future__ import annotations
 
 from .baseline import compare_to_baseline, load_baseline, write_baseline
+from .callgraph import ClassInfo, FunctionInfo, ProjectContext
 from .findings import Finding
 from .registry import Rule, all_rules, get_rule, register
-from .runner import FileContext, lint_file, lint_paths, lint_source
+from .runner import (FileContext, lint_file, lint_paths, lint_source,
+                     lint_sources)
 
 __all__ = [
+    "ClassInfo",
     "Finding",
     "FileContext",
+    "FunctionInfo",
+    "ProjectContext",
     "Rule",
     "all_rules",
     "compare_to_baseline",
@@ -34,6 +48,7 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "load_baseline",
     "register",
     "write_baseline",

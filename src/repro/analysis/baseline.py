@@ -50,11 +50,43 @@ def load_baseline(path: str | Path) -> list[str]:
     return lines
 
 
+def _existing_header(path: Path) -> str | None:
+    """The leading comment block of an existing baseline, if any.
+
+    ``--update-baseline`` must not clobber hand-written justification
+    comments: everything from the top of the file down to the first
+    non-comment, non-blank line is preserved verbatim on rewrite.
+    """
+    if not path.exists():
+        return None
+    kept: list[str] = []
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        stripped = raw.strip()
+        if stripped and not stripped.startswith("#"):
+            break
+        kept.append(raw)
+    # Trim trailing blank lines so the header abuts the findings.
+    while kept and not kept[-1].strip():
+        kept.pop()
+    if not kept:
+        return None
+    return "\n".join(kept) + "\n"
+
+
 def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
-    """Write ``findings`` as the new baseline at ``path``."""
+    """Write ``findings`` as the new baseline at ``path``.
+
+    An existing file's leading comment block (the header plus any
+    per-entry justification comments kept up there) survives the
+    rewrite; a fresh file gets the default header.
+    """
+    path = Path(path)
+    header = _existing_header(path)
+    if header is None:
+        header = _HEADER
     body = "".join(finding.render() + "\n"
                    for finding in sorted(set(findings)))
-    Path(path).write_text(_HEADER + body, encoding="utf-8")
+    path.write_text(header + body, encoding="utf-8")
 
 
 def compare_to_baseline(findings: Iterable[Finding],

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import IO, Iterable, Sequence
 
 from .baseline import compare_to_baseline, load_baseline, write_baseline
+from .formats import FORMATS, render_github, render_sarif
 from .registry import all_rules
 from .runner import lint_paths
 
@@ -26,10 +28,21 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="report every finding, ignoring the baseline")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from this run's "
-                             "findings and exit 0")
+                             "findings (header comments preserved) and "
+                             "exit 0")
     parser.add_argument("--select", default=None, metavar="IDS",
                         help="comma-separated rule ids to run "
                              "(default: all)")
+    parser.add_argument("--format", default="text", choices=FORMATS,
+                        dest="output_format",
+                        help="report format: text (default), github "
+                             "(workflow-command annotations), sarif")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run per-file rules on N worker processes "
+                             "(call-graph pass stays single-pass; "
+                             "default: 1)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="report file count and wall time on stderr")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
 
@@ -54,10 +67,20 @@ def run_lint(args: argparse.Namespace,
     rules = all_rules() if selected is None else [
         rule for rule in all_rules() if rule.rule_id in selected]
 
+    if args.jobs < 1:
+        emit(f"--jobs must be >= 1, got {args.jobs}")
+        return 2
+
     # Anchor finding paths at the baseline's directory so entries match
     # the committed file no matter where the lint is invoked from.
     root = Path(args.baseline).resolve().parent
-    findings = lint_paths(args.paths, root=root, rules=rules)
+    started = time.monotonic()
+    findings = lint_paths(args.paths, root=root, rules=rules,
+                          jobs=args.jobs)
+    if args.verbose:
+        elapsed = time.monotonic() - started
+        print(f"[repro lint] {len(rules)} rule(s), jobs={args.jobs}, "
+              f"{elapsed:.2f}s wall", file=sys.stderr)
 
     if args.update_baseline:
         write_baseline(args.baseline, findings)
@@ -67,15 +90,34 @@ def run_lint(args: argparse.Namespace,
     baseline = [] if args.no_baseline else load_baseline(args.baseline)
     diff = compare_to_baseline(findings, baseline)
 
-    for finding in diff.new:
-        emit(finding.render())
+    if args.output_format == "github":
+        for line in render_github(diff.new):
+            emit(line)
+    elif args.output_format == "sarif":
+        emit(render_sarif(diff.new, rules))
+    else:
+        for finding in diff.new:
+            emit(finding.render())
     if diff.pinned:
         emit(f"[{len(diff.pinned)} pinned finding(s) allowed by "
              f"{args.baseline}]")
+    failed = False
     for entry in diff.stale:
-        emit(f"stale baseline entry (fixed? remove it): {entry}")
+        if args.output_format == "github":
+            emit(f"::error title=stale baseline entry::{entry} is "
+                 f"pinned in {args.baseline} but no longer fires — "
+                 f"remove it (or run --update-baseline)")
+        else:
+            emit(f"stale baseline entry (fixed? run --update-baseline "
+                 f"to drop it): {entry}")
+        failed = True
     if diff.new:
         emit(f"{len(diff.new)} new finding(s)")
+        failed = True
+    if failed:
+        if diff.stale and not diff.new:
+            emit(f"{len(diff.stale)} stale baseline entr"
+                 f"{'y' if len(diff.stale) == 1 else 'ies'}")
         return 1
     emit("ok")
     return 0

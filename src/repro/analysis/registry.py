@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable, ClassVar, Iterator, TypeVar
 from .findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .callgraph import ProjectContext
     from .runner import FileContext
 
 
@@ -31,8 +32,16 @@ class Rule:
     title: ClassVar[str] = ""
     #: Which invariant the rule guards and why it matters.
     rationale: ClassVar[str] = ""
+    #: Project-level rules see the whole tree at once: the runner calls
+    #: :meth:`check_project` exactly once per run with the shared
+    #: :class:`~repro.analysis.callgraph.ProjectContext` instead of
+    #: calling :meth:`check` per file.
+    project: ClassVar[bool] = False
 
     def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(self, ctx: "FileContext", line: int, col: int,

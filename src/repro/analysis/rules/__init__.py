@@ -9,6 +9,10 @@ from .r004_resource_guard import ResourceGuard
 from .r005_executor_closures import ExecutorClosures
 from .r006_swallowed_errors import SwallowedErrors
 from .r007_plan_purity import PlanPurity
+from .r008_lock_order import LockOrder
+from .r009_async_blocking import AsyncBlocking
+from .r010_fsync_discipline import FsyncDiscipline
+from .r011_await_lock import AwaitHoldingLock
 
 __all__ = [
     "RawPageIO",
@@ -18,4 +22,8 @@ __all__ = [
     "ExecutorClosures",
     "SwallowedErrors",
     "PlanPurity",
+    "LockOrder",
+    "AsyncBlocking",
+    "FsyncDiscipline",
+    "AwaitHoldingLock",
 ]

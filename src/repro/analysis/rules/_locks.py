@@ -1,0 +1,149 @@
+"""Shared lock/seam identification for the concurrency rules.
+
+The concurrency rules (R008-R011) all need to answer the same two
+questions about an expression: *is this a synchronous lock?* and *is
+this one side of the slide gate?*  Identification is by receiver-name
+heuristics — the codebase's locks are few and consistently named
+(``threading.Lock`` instances called ``*mutex*``/``*lock*``, the one
+:class:`~repro.serve.gate.SlideGate` always reachable through a name
+containing ``gate``) — so the heuristics survive aliasing
+(``mutex = self._mutex``) that defeats type-based resolution.
+
+A :class:`LockId` names a lock for the acquisition-order graph.  Sync
+locks are qualified by the module and class that use them (two classes'
+``self._mutex`` are different locks; one class's aliased ``mutex`` is
+the same lock), while the gate's two sides are global — there is one
+slide gate per serving facade and the rules reason about its order
+against every other lock in the process.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from ._util import name_tokens
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..callgraph import FunctionInfo
+
+#: Name tokens (underscores stripped) that mark a synchronous lock.
+LOCK_TOKENS = frozenset({"lock", "rlock", "mutex", "cond", "condition"})
+
+#: Constructor names whose result is a synchronous lock.
+LOCK_CONSTRUCTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                               "BoundedSemaphore"})
+
+#: Gate acquisition methods, by side.
+GATE_SHARED_ATTRS = frozenset({"read", "acquire_read"})
+GATE_EXCLUSIVE_ATTRS = frozenset({"write", "acquire_write"})
+
+GATE_SHARED_KEY = "SlideGate.shared"
+GATE_EXCLUSIVE_KEY = "SlideGate.exclusive"
+
+
+@dataclass(frozen=True, slots=True)
+class LockId:
+    """One node of the lock-acquisition graph."""
+
+    key: str          # stable identity ("serve.async_engine.…mutex")
+    subpackage: str   # where the lock lives (engine-side check needs this)
+    display: str      # short human name for messages
+
+    @property
+    def is_gate_exclusive(self) -> bool:
+        return self.key == GATE_EXCLUSIVE_KEY
+
+    @property
+    def reentrant(self) -> bool:
+        return "rlock" in self.key.lower()
+
+
+def is_lock_token(token: str) -> bool:
+    """True if a (stripped) identifier names a synchronous lock."""
+    return (token in LOCK_TOKENS
+            or token.endswith("lock") or token.endswith("mutex"))
+
+
+def sync_lock_token(node: ast.AST) -> str | None:
+    """The lock token of a plain Name/Attribute chain, if lock-ish."""
+    if not isinstance(node, (ast.Name, ast.Attribute)):
+        return None
+    tokens = name_tokens(node)
+    if tokens and is_lock_token(tokens[-1]):
+        return tokens[-1]
+    return None
+
+
+def gate_side_of_call(node: ast.AST) -> str | None:
+    """``"shared"``/``"exclusive"`` for a ``<gate>.read()/.write()``-shaped
+    call (including ``acquire_read``/``acquire_write``), else ``None``."""
+    if not (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)):
+        return None
+    attr = node.func.attr
+    if attr not in GATE_SHARED_ATTRS and attr not in GATE_EXCLUSIVE_ATTRS:
+        return None
+    receiver = name_tokens(node.func.value)
+    if not any(token == "gate" or token.endswith("gate")
+               for token in receiver):
+        return None
+    return "shared" if attr in GATE_SHARED_ATTRS else "exclusive"
+
+
+def gate_lock_id(side: str) -> LockId:
+    key = GATE_SHARED_KEY if side == "shared" else GATE_EXCLUSIVE_KEY
+    return LockId(key=key, subpackage="serve", display=key)
+
+
+def sync_lock_id(fn: "FunctionInfo", token: str) -> LockId:
+    """Identity of a sync lock used inside ``fn``.
+
+    Locks are collapsed per (module, class, token): ``self._mutex`` and
+    a local alias ``mutex`` inside the same class are one lock; the
+    same token in two classes is two.  A deliberate over-merge — a
+    false *shared* identity can at worst report a cycle one function
+    too early, never hide one.
+    """
+    owner = (f"{fn.module}.{fn.class_name}" if fn.class_name
+             else fn.module) or "<toplevel>"
+    return LockId(key=f"{owner}.{token}", subpackage=fn.subpackage,
+                  display=f"{fn.class_name or fn.module}.{token}")
+
+
+def direct_region(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body, stopping at nested defs and lambdas.
+
+    Statements inside a nested ``def``/``lambda`` execute when the
+    closure is *called*, not where it is defined — rules that reason
+    about what one stack frame does must skip them.
+    """
+    body = getattr(fn_node, "body", [])
+    stack: list[ast.AST] = list(body) if isinstance(body, list) else []
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def with_lock_items(node: ast.With | ast.AsyncWith
+                    ) -> Iterator[tuple[str | None, str | None]]:
+    """Classify each ``with`` item as ``(lock_token, gate_side)``.
+
+    ``(token, None)`` for a sync lock (identity needs the enclosing
+    function — callers qualify it via :func:`sync_lock_id`),
+    ``(None, side)`` for a gate side, ``(None, None)`` otherwise.
+    """
+    for item in node.items:
+        expr = item.context_expr
+        token = sync_lock_token(expr)
+        if token is None and isinstance(expr, ast.Call) \
+                and isinstance(expr.func, ast.Attribute) \
+                and expr.func.attr == "acquire":
+            token = sync_lock_token(expr.func.value)
+        side = gate_side_of_call(expr)
+        yield (token, side)

@@ -1,0 +1,299 @@
+"""R008 — the lock-acquisition graph over serve/ + engine/ is a DAG.
+
+The serving stack holds locks across calls into other layers: a read
+request holds the :class:`~repro.serve.gate.SlideGate`'s shared side
+while the facade takes ``AsyncEngine._mutex`` on a pool thread, a slide
+holds the exclusive side across the same path.  That is safe exactly as
+long as every thread acquires locks in one global order — the moment
+two code paths nest the same pair of locks in opposite directions, a
+scheduler interleaving exists that deadlocks both, and no test is
+guaranteed to find it.
+
+This rule extracts the acquisition-order graph interprocedurally: an
+edge ``A -> B`` means some call path acquires ``B`` while ``A`` is
+held (``with A:`` around code whose transitive callees acquire ``B``).
+Sync locks (``threading.Lock``/``RLock``/``Condition``, matched by
+receiver-name heuristics that survive aliasing) and the gate's two
+sides are all nodes.  Findings:
+
+* any **cycle** in the graph (the deadlock precondition);
+* acquiring an **engine-side lock while the gate's exclusive side is
+  held** — the slide barrier must stay leaf-like: it already excludes
+  every reader, so blocking inside it on an engine-layer lock hands
+  the whole serving plane to whoever holds that lock.
+
+Unknown callees contribute no edges (under-approximate, per the
+project soundness posture); nested closures *do* contribute — a
+closure defined under a lock is conservatively assumed to run there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from ..callgraph import ClassInfo, FunctionInfo, ProjectContext
+from ..findings import Finding
+from ..registry import Rule, register
+from ._locks import (LockId, gate_lock_id, gate_side_of_call, sync_lock_id,
+                     sync_lock_token, with_lock_items)
+
+_SCOPE = frozenset({"serve", "engine"})
+
+
+def _direct_acquisitions(fn: FunctionInfo) -> list[tuple[LockId, ast.AST]]:
+    """Every lock acquisition in ``fn``'s own subtree (nested included:
+    a closure's acquisition happens on whatever thread runs it, and the
+    function that created the closure is how it got there)."""
+    found: list[tuple[LockId, ast.AST]] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for token, side in with_lock_items(node):
+                if token is not None:
+                    found.append((sync_lock_id(fn, token), node))
+                elif side is not None:
+                    found.append((gate_lock_id(side), node))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute):
+            side = gate_side_of_call(node)
+            if side is not None:
+                found.append((gate_lock_id(side), node))
+            elif node.func.attr == "acquire":
+                token = sync_lock_token(node.func.value)
+                if token is not None:
+                    found.append((sync_lock_id(fn, token), node))
+    return found
+
+
+class _Graph:
+    """Acquisition-order digraph with one representative site per edge."""
+
+    def __init__(self) -> None:
+        self.edges: dict[str, dict[str, tuple[LockId, LockId,
+                                              str, int, int]]] = {}
+        self.locks: dict[str, LockId] = {}
+
+    def add(self, held: LockId, acquired: LockId, path: str,
+            line: int, col: int) -> None:
+        self.locks[held.key] = held
+        self.locks[acquired.key] = acquired
+        self.edges.setdefault(held.key, {}).setdefault(
+            acquired.key, (held, acquired, path, line, col))
+
+    def cycles(self) -> list[list[str]]:
+        """Elementary cycles, one per strongly connected component.
+
+        The graph is tiny (a handful of locks), so a DFS that returns
+        the first cycle found inside each multi-node SCC — plus every
+        self-loop — names the problem without enumerating permutations.
+        """
+        sccs = _tarjan(self.edges)
+        cycles: list[list[str]] = []
+        for component in sccs:
+            members = set(component)
+            if len(component) == 1:
+                node = component[0]
+                if node in self.edges.get(node, {}):
+                    cycles.append([node, node])
+                continue
+            cycles.append(_first_cycle(self.edges, members))
+        return cycles
+
+
+def _tarjan(edges: Mapping[str, Mapping[str, object]]) -> list[list[str]]:
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+    nodes = set(edges)
+    for targets in edges.values():
+        nodes.update(targets)
+
+    def strongconnect(node: str) -> None:
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in edges.get(node, {}):
+            if succ not in index:
+                strongconnect(succ)
+                low[node] = min(low[node], low[succ])
+            elif succ in on_stack:
+                low[node] = min(low[node], index[succ])
+        if low[node] == index[node]:
+            component: list[str] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            sccs.append(component)
+
+    for node in sorted(nodes):
+        if node not in index:
+            strongconnect(node)
+    return sccs
+
+
+def _first_cycle(edges: Mapping[str, Mapping[str, object]],
+                 members: set[str]) -> list[str]:
+    start = min(members)
+    path = [start]
+    seen = {start}
+    node = start
+    while True:
+        succ = min(s for s in edges.get(node, {}) if s in members)
+        if succ == start:
+            return path + [start]
+        if succ in seen:
+            return path[path.index(succ):] + [succ]
+        path.append(succ)
+        seen.add(succ)
+        node = succ
+
+
+@register
+class LockOrder(Rule):
+    rule_id = "R008"
+    title = "lock-acquisition order over serve/ and engine/ is cycle-free"
+    rationale = ("two call paths nesting the same locks in opposite "
+                 "order can deadlock under some interleaving; the slide "
+                 "gate's exclusive side must additionally never wait on "
+                 "an engine-side lock")
+    project = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        scoped = [fn for fn in project.iter_functions()
+                  if fn.subpackage in _SCOPE]
+        acquires = self._transitive_acquisitions(project)
+        graph = _Graph()
+        for fn in scoped:
+            self._add_edges(project, fn, acquires, graph)
+        yield from self._report(graph)
+
+    # -- transitive acquisition sets (fixpoint over the call graph) --------
+
+    def _transitive_acquisitions(self, project: ProjectContext
+                                 ) -> dict[FunctionInfo, dict[str, LockId]]:
+        direct: dict[FunctionInfo, dict[str, LockId]] = {}
+        callees: dict[FunctionInfo, list[FunctionInfo]] = {}
+        for fn in project.iter_functions():
+            direct[fn] = {lock.key: lock
+                          for lock, _ in _direct_acquisitions(fn)}
+            targets = []
+            for call in fn.direct_calls:
+                resolved = project.resolve_call(fn, call)
+                if isinstance(resolved, ClassInfo):
+                    resolved = resolved.methods.get("__init__")
+                if isinstance(resolved, FunctionInfo):
+                    targets.append(resolved)
+            for nested in fn.nested:
+                targets.append(nested)
+            callees[fn] = targets
+        # Worklist fixpoint: recursion-safe, and the lattice (sets of
+        # locks) is finite, so it terminates.
+        changed = True
+        while changed:
+            changed = False
+            for fn, targets in callees.items():
+                mine = direct[fn]
+                before = len(mine)
+                for target in targets:
+                    mine.update(direct.get(target, {}))
+                if len(mine) != before:
+                    changed = True
+        return direct
+
+    # -- edges -------------------------------------------------------------
+
+    def _add_edges(self, project: ProjectContext, fn: FunctionInfo,
+                   acquires: dict[FunctionInfo, dict[str, LockId]],
+                   graph: _Graph) -> None:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            held: list[LockId] = []
+            for token, side in with_lock_items(node):
+                if token is not None:
+                    held.append(sync_lock_id(fn, token))
+                elif side is not None:
+                    held.append(gate_lock_id(side))
+            if not held:
+                continue
+            # The with-statement's own context expressions are the
+            # acquisition of ``held`` itself, not an inner acquisition.
+            item_nodes = {id(sub) for item in node.items
+                          for sub in ast.walk(item.context_expr)}
+            for inner in ast.walk(node):
+                if inner is node or id(inner) in item_nodes:
+                    continue
+                if isinstance(inner, (ast.With, ast.AsyncWith)):
+                    for token, side in with_lock_items(inner):
+                        lock = (sync_lock_id(fn, token)
+                                if token is not None
+                                else gate_lock_id(side)
+                                if side is not None else None)
+                        if lock is not None:
+                            for outer in held:
+                                graph.add(outer, lock, fn.ctx.path,
+                                          inner.lineno, inner.col_offset)
+                elif isinstance(inner, ast.Call):
+                    side = gate_side_of_call(inner)
+                    if side is not None:
+                        for outer in held:
+                            graph.add(outer, gate_lock_id(side),
+                                      fn.ctx.path, inner.lineno,
+                                      inner.col_offset)
+                        continue
+                    resolved = project.resolve_call(fn, inner)
+                    if isinstance(resolved, ClassInfo):
+                        resolved = resolved.methods.get("__init__")
+                    if not isinstance(resolved, FunctionInfo):
+                        continue
+                    for lock in acquires.get(resolved, {}).values():
+                        for outer in held:
+                            graph.add(outer, lock, fn.ctx.path,
+                                      inner.lineno, inner.col_offset)
+
+    # -- findings ----------------------------------------------------------
+
+    def _report(self, graph: _Graph) -> Iterator[Finding]:
+        reported: set[frozenset[str]] = set()
+        for cycle in graph.cycles():
+            key = frozenset(cycle)
+            if key in reported:
+                continue
+            reported.add(key)
+            if len(key) == 1:
+                lock = graph.locks[cycle[0]]
+                if lock.reentrant:
+                    continue
+                _, _, path, line, col = graph.edges[cycle[0]][cycle[0]]
+                yield Finding(
+                    path=path, line=line, col=col, rule_id=self.rule_id,
+                    message=f"lock {lock.display} re-acquired while "
+                            f"already held — self-deadlock for "
+                            f"non-reentrant locks")
+                continue
+            rendered = " -> ".join(graph.locks[k].display for k in cycle)
+            first, second = cycle[0], cycle[1]
+            _, _, path, line, col = graph.edges[first][second]
+            yield Finding(
+                path=path, line=line, col=col, rule_id=self.rule_id,
+                message=f"lock-order cycle {rendered} — opposite "
+                        f"nesting orders can deadlock under some "
+                        f"thread interleaving")
+        for sources in graph.edges.values():
+            for held, acquired, path, line, col in sources.values():
+                if held.is_gate_exclusive \
+                        and acquired.subpackage == "engine":
+                    yield Finding(
+                        path=path, line=line, col=col,
+                        rule_id=self.rule_id,
+                        message=f"engine-side lock {acquired.display} "
+                                f"acquired while holding the slide "
+                                f"gate's exclusive side — the barrier "
+                                f"must not wait on engine locks")

@@ -1,0 +1,192 @@
+"""R010 — durable-write paths follow the fsync discipline.
+
+The crash-consistency story (PR 2's recovery, PR 5's two-phase epoch
+commit, PR 7's WAL acknowledgement barrier) rests on a small set of
+filesystem orderings, all routed through the
+:class:`~repro.storage.fileops.FileOps` seam:
+
+* **tmp -> fsync -> replace -> dirfsync** for every metadata file: the
+  bytes are durable before the name flips (``write_file`` fsyncs by
+  contract), the flip is atomic (``replace``), and the flip itself is
+  durable (``fsync_dir``).  A ``write_file`` straight onto the final
+  path, or a ``replace``/``unlink`` with no directory fsync after it,
+  silently re-opens the torn-state window ALICE-style checkers exist
+  to catch.
+* **append -> fsync before acknowledgement** for the WAL: a worker may
+  only ack a batch after ``fsync_file`` (group commit); an
+  ``append_file`` with no fsync on the path to the return, or a
+  ``WalWriter.log`` with no ``commit``, can acknowledge a write that a
+  crash then forgets — exactly the redelivery contract violation the
+  worker crash matrix exists to rule out.
+
+Checks are per durable-write function, ordered by source position, but
+*interprocedural in the satisfying direction*: a later call to a
+helper whose transitive callees perform the required fsync counts —
+the common ``commit(); self._finish_cleanup()`` shape stays clean.
+Receivers are matched by name (``fops``/``ops``/``file_ops`` and
+``wal``/``writer``), so delegating wrappers (``self._inner.replace``)
+and raw ``os`` calls (the seam's own implementation) stay out of
+scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..callgraph import ClassInfo, FunctionInfo, ProjectContext
+from ..findings import Finding
+from ..registry import Rule, register
+from ._util import name_tokens
+
+_SCOPE = frozenset({"storage", "engine", "core"})
+
+_FOPS_RECEIVERS = frozenset({"fops", "ops", "fileops", "file_ops"})
+_FOPS_OPS = frozenset({"write_file", "append_file", "fsync_file",
+                       "fsync_dir", "truncate_file", "replace", "unlink"})
+_WAL_RECEIVERS = frozenset({"wal", "writer", "walwriter", "wal_writer"})
+
+
+def _fops_receiver(node: ast.AST) -> bool:
+    tokens = name_tokens(node)
+    return bool(tokens) and tokens[-1] in _FOPS_RECEIVERS
+
+
+def _wal_receiver(node: ast.AST) -> bool:
+    tokens = name_tokens(node)
+    return bool(tokens) and (tokens[-1] in _WAL_RECEIVERS
+                             or tokens[-1].endswith("wal"))
+
+
+def _fops_calls(fn: FunctionInfo) -> list[tuple[str, ast.Call]]:
+    """``(op, call)`` pairs for FileOps/WAL calls in ``fn``'s own frame,
+    in source order."""
+    found: list[tuple[str, ast.Call]] = []
+    for call in fn.direct_calls:
+        if not isinstance(call.func, ast.Attribute):
+            continue
+        attr = call.func.attr
+        if attr in _FOPS_OPS and _fops_receiver(call.func.value):
+            found.append((attr, call))
+        elif attr in ("log", "commit") and _wal_receiver(call.func.value):
+            found.append((f"wal.{attr}", call))
+    found.sort(key=lambda pair: (pair[1].lineno, pair[1].col_offset))
+    return found
+
+
+def _has_tmp_target(call: ast.Call) -> bool:
+    """True if the write's destination looks like a temp file."""
+    if not call.args:
+        return False
+    for node in ast.walk(call.args[0]):
+        if isinstance(node, ast.Name) and "tmp" in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and "tmp" in node.attr.lower():
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+                and "tmp" in node.value.lower():
+            return True
+    return False
+
+
+@register
+class FsyncDiscipline(Rule):
+    rule_id = "R010"
+    title = "durable writes follow tmp→fsync→replace→dirfsync; WAL " \
+            "appends reach fsync before acknowledgement"
+    rationale = ("a rename or unlink that is never made durable, or a "
+                 "WAL append acked before its fsync, re-opens the torn-"
+                 "state windows the crash matrices exist to rule out")
+    project = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        ops_of = self._transitive_ops(project)
+        for fn in project.iter_functions():
+            if fn.subpackage not in _SCOPE:
+                continue
+            yield from self._check_function(project, fn, ops_of)
+
+    # -- transitive op sets ------------------------------------------------
+
+    def _transitive_ops(self, project: ProjectContext
+                        ) -> dict[FunctionInfo, set[str]]:
+        """Which FileOps/WAL ops each function performs, transitively."""
+        direct: dict[FunctionInfo, set[str]] = {}
+        callees: dict[FunctionInfo, list[FunctionInfo]] = {}
+        for fn in project.iter_functions():
+            direct[fn] = {op for op, _ in _fops_calls(fn)}
+            targets: list[FunctionInfo] = list(fn.nested)
+            for call in fn.direct_calls:
+                resolved = project.resolve_call(fn, call)
+                if isinstance(resolved, ClassInfo):
+                    resolved = resolved.methods.get("__init__")
+                if isinstance(resolved, FunctionInfo):
+                    targets.append(resolved)
+            callees[fn] = targets
+        changed = True
+        while changed:
+            changed = False
+            for fn, targets in callees.items():
+                mine = direct[fn]
+                before = len(mine)
+                for target in targets:
+                    mine |= direct.get(target, set())
+                if len(mine) != before:
+                    changed = True
+        return direct
+
+    # -- per-function checks -----------------------------------------------
+
+    def _check_function(self, project: ProjectContext, fn: FunctionInfo,
+                        ops_of: dict[FunctionInfo, set[str]]
+                        ) -> Iterator[Finding]:
+        calls = _fops_calls(fn)
+        if not calls:
+            return
+
+        def later_ops(after: ast.Call) -> set[str]:
+            """Ops performed at or after ``after``'s position, in this
+            frame or inside any later-called helper."""
+            position = (after.lineno, after.col_offset)
+            found = {op for op, call in calls
+                     if (call.lineno, call.col_offset) > position}
+            for call in fn.direct_calls:
+                if (call.lineno, call.col_offset) <= position:
+                    continue
+                resolved = project.resolve_call(fn, call)
+                if isinstance(resolved, ClassInfo):
+                    resolved = resolved.methods.get("__init__")
+                if isinstance(resolved, FunctionInfo):
+                    found |= ops_of.get(resolved, set())
+            return found
+
+        for op, call in calls:
+            if op == "write_file" and not _has_tmp_target(call) \
+                    and "replace" not in later_ops(call):
+                yield self._site(fn, call,
+                                 "durable write lands on its final path "
+                                 "— write a tmp file and os.replace it "
+                                 "(tmp→fsync→replace→dirfsync)")
+            elif op in ("replace", "unlink") \
+                    and "fsync_dir" not in later_ops(call):
+                yield self._site(fn, call,
+                                 f".{op}() never followed by a directory "
+                                 f"fsync — the rename/removal is not "
+                                 f"durable across a crash")
+            elif op == "append_file" \
+                    and "fsync_file" not in later_ops(call):
+                yield self._site(fn, call,
+                                 "WAL append with no fsync_file barrier "
+                                 "before return — an acknowledged write "
+                                 "could vanish in a crash")
+            elif op == "wal.log" and "wal.commit" not in later_ops(call):
+                yield self._site(fn, call,
+                                 "WAL .log() with no .commit() on the "
+                                 "path to acknowledgement — the group-"
+                                 "commit fsync is the durability barrier")
+
+    def _site(self, fn: FunctionInfo, call: ast.Call,
+              message: str) -> Finding:
+        return Finding(path=fn.ctx.path, line=call.lineno,
+                       col=call.col_offset, rule_id=self.rule_id,
+                       message=message)

@@ -55,6 +55,12 @@ class FileContext:
     # -- helpers rules lean on --------------------------------------------
 
     @property
+    def module(self) -> str:
+        """Dotted module name inside the package ("serve.app")."""
+        from .callgraph import module_name_of
+        return module_name_of(self.package_parts)
+
+    @property
     def subpackage(self) -> str:
         """First package directory under ``repro`` ('' for top level)."""
         if len(self.package_parts) > 1:
@@ -102,16 +108,72 @@ class FileContext:
         return finding.rule_id in {r.strip() for r in rules.split(",")}
 
 
+def _check_files(contexts: Sequence[FileContext],
+                 rules: Sequence[Rule]) -> list[Finding]:
+    """Run the per-file rules over already-parsed contexts."""
+    per_file = [rule for rule in rules if not rule.project]
+    return [finding
+            for ctx in contexts
+            for rule in per_file
+            for finding in rule.check(ctx)
+            if not ctx.is_suppressed(finding)]
+
+
+def _check_project(contexts: Sequence[FileContext],
+                   rules: Sequence[Rule]) -> list[Finding]:
+    """Run the project-level rules over one shared ``ProjectContext``.
+
+    The symbol table and call graph are built exactly once per run,
+    however many project rules are active; suppression comments still
+    apply at the finding's own file/line.
+    """
+    project_rules = [rule for rule in rules if rule.project]
+    if not project_rules:
+        return []
+    from .callgraph import ProjectContext
+    project = ProjectContext(contexts)
+    findings = []
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            ctx = project.files.get(finding.path)
+            if ctx is None or not ctx.is_suppressed(finding):
+                findings.append(finding)
+    return findings
+
+
+def lint_sources(sources: dict[str, str],
+                 rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint a set of in-memory modules as one project.
+
+    ``sources`` maps fake in-repo paths to source text; this is the
+    entry point for multi-file fixtures exercising the interprocedural
+    rules (a call chain split across modules).
+    """
+    contexts = [FileContext.from_source(source, path)
+                for path, source in sorted(sources.items())]
+    active = list(rules) if rules is not None else all_rules()
+    return sorted(_check_files(contexts, active)
+                  + _check_project(contexts, active))
+
+
 def lint_source(source: str, path: str,
                 rules: Iterable[Rule] | None = None) -> list[Finding]:
-    """Lint one in-memory source blob (the fixture tests' entry point)."""
-    ctx = FileContext.from_source(source, path)
-    active = list(rules) if rules is not None else all_rules()
-    findings = [finding
-                for rule in active
-                for finding in rule.check(ctx)
-                if not ctx.is_suppressed(finding)]
-    return sorted(findings)
+    """Lint one in-memory source blob (the fixture tests' entry point).
+
+    Project rules run too, over a one-file project — a fixture whose
+    whole call chain lives in one module needs nothing more.
+    """
+    return lint_sources({path: source}, rules=rules)
+
+
+def _shown_path(path: Path, root: str | Path | None) -> str:
+    """Best-effort relativisation so baseline paths stay stable."""
+    if root is not None:
+        try:
+            return str(path.resolve().relative_to(Path(root).resolve()))
+        except ValueError:
+            pass
+    return str(path)
 
 
 def lint_file(path: str | Path, *, root: str | Path | None = None,
@@ -123,14 +185,8 @@ def lint_file(path: str | Path, *, root: str | Path | None = None,
     on the command line (absolute, relative, symlinked).
     """
     path = Path(path)
-    shown = path
-    if root is not None:
-        try:
-            shown = path.resolve().relative_to(Path(root).resolve())
-        except ValueError:
-            pass
-    return lint_source(path.read_text(encoding="utf-8"), str(shown),
-                       rules=rules)
+    return lint_source(path.read_text(encoding="utf-8"),
+                       _shown_path(path, root), rules=rules)
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -144,12 +200,57 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             yield entry
 
 
+def _read_sources(paths: Iterable[str | Path],
+                  root: str | Path | None) -> dict[str, str]:
+    return {_shown_path(file_path, root):
+            file_path.read_text(encoding="utf-8")
+            for file_path in iter_python_files(paths)}
+
+
+def _lint_batch(batch: Sequence[tuple[str, str]],
+                rule_ids: Sequence[str] | None) -> list[Finding]:
+    """Worker entry point for ``--jobs``: per-file rules on one batch.
+
+    Must stay module-level (picklable) and re-instantiate rules from
+    their ids — rule objects themselves never cross the process
+    boundary.
+    """
+    from .registry import all_rules as _all_rules
+    rules = _all_rules(None if rule_ids is None
+                       else lambda cls: cls.rule_id in set(rule_ids))
+    contexts = [FileContext.from_source(source, path)
+                for path, source in batch]
+    return _check_files(contexts, rules)
+
+
 def lint_paths(paths: Iterable[str | Path], *,
                root: str | Path | None = None,
-               rules: Iterable[Rule] | None = None) -> list[Finding]:
-    """Lint every python file under ``paths`` (files or directories)."""
+               rules: Iterable[Rule] | None = None,
+               jobs: int = 1) -> list[Finding]:
+    """Lint every python file under ``paths`` (files or directories).
+
+    With ``jobs > 1`` the per-file rule passes fan out over a process
+    pool (one batch of files per worker); the interprocedural pass
+    (symbol table + call graph + project rules) always runs single-pass
+    in the parent — it needs every file at once and is cheap relative
+    to the per-file sweeps.
+    """
     active = list(rules) if rules is not None else all_rules()
-    findings: list[Finding] = []
-    for file_path in iter_python_files(paths):
-        findings.extend(lint_file(file_path, root=root, rules=active))
+    sources = _read_sources(paths, root)
+    items = sorted(sources.items())
+    contexts = [FileContext.from_source(source, path)
+                for path, source in items]
+    if jobs > 1 and len(items) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        jobs = min(jobs, len(items))
+        batches = [items[index::jobs] for index in range(jobs)]
+        rule_ids = [rule.rule_id for rule in active]
+        findings: list[Finding] = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for batch_findings in pool.map(
+                    _lint_batch, batches, [rule_ids] * len(batches)):
+                findings.extend(batch_findings)
+    else:
+        findings = _check_files(contexts, active)
+    findings.extend(_check_project(contexts, active))
     return sorted(findings)

@@ -413,7 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     from .analysis.main import add_lint_arguments
 
     lint = commands.add_parser(
-        "lint", help="run the project-invariant lint (rules R001-R006)")
+        "lint", help="run the project-invariant lint (rules R001-R011)")
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
     return parser

@@ -1,0 +1,186 @@
+"""The interprocedural layer: symbol table, import maps, call resolution.
+
+These tests build :class:`ProjectContext` directly from in-memory
+sources (the same path ``lint_sources`` uses) and assert on the graph
+itself rather than on rule findings — the rules' own fixture tests live
+in ``test_concurrency_rules.py``.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis import ClassInfo, FunctionInfo, ProjectContext
+from repro.analysis.callgraph import module_name_of, subpackage_of
+from repro.analysis.runner import FileContext
+
+
+def build(sources: dict[str, str]) -> ProjectContext:
+    return ProjectContext(
+        FileContext.from_source(textwrap.dedent(source), path)
+        for path, source in sorted(sources.items()))
+
+
+def call_in(fn: FunctionInfo, callee: str) -> ast.Call:
+    """The first direct call site in ``fn`` whose rendered callee
+    contains ``callee``."""
+    for call in fn.direct_calls:
+        if callee in ast.unparse(call.func):
+            return call
+    raise AssertionError(f"no call to {callee!r} in {fn.qualname}")
+
+
+class TestModuleNames:
+    def test_plain_module(self):
+        assert module_name_of(("serve", "app.py")) == "serve.app"
+
+    def test_init_names_the_package(self):
+        assert module_name_of(("core", "__init__.py")) == "core"
+
+    def test_top_level_file(self):
+        assert module_name_of(("cli.py",)) == "cli"
+
+    def test_subpackage(self):
+        assert subpackage_of("serve.app") == "serve"
+        assert subpackage_of("cli") == ""
+
+
+class TestSymbolTable:
+    SOURCES = {
+        "src/repro/serve/app.py": """\
+            class App:
+                def handle(self):
+                    return self.render()
+
+                def render(self):
+                    return 1
+
+                async def arun(self):
+                    await self.aclose()
+
+                async def aclose(self):
+                    pass
+
+            def main():
+                app = App()
+                return app.handle()
+            """,
+    }
+
+    def test_methods_and_functions_get_distinct_qualnames(self):
+        project = build(self.SOURCES)
+        assert "serve.app.App.handle" in project.functions
+        assert "serve.app.main" in project.functions
+        assert "serve.app.App" in project.classes
+        cls = project.classes["serve.app.App"]
+        assert set(cls.methods) == {"handle", "render", "arun", "aclose"}
+
+    def test_async_tagging(self):
+        project = build(self.SOURCES)
+        assert project.functions["serve.app.App.arun"].is_async
+        assert not project.functions["serve.app.App.handle"].is_async
+
+    def test_self_method_resolves(self):
+        project = build(self.SOURCES)
+        handle = project.functions["serve.app.App.handle"]
+        target = project.resolve_call(handle, call_in(handle, "render"))
+        assert isinstance(target, FunctionInfo)
+        assert target.qualname == "serve.app.App.render"
+
+    def test_awaited_calls_tracked(self):
+        project = build(self.SOURCES)
+        arun = project.functions["serve.app.App.arun"]
+        call = call_in(arun, "aclose")
+        assert call in arun.awaited_calls
+
+    def test_local_constructor_types_the_receiver(self):
+        project = build(self.SOURCES)
+        main = project.functions["serve.app.main"]
+        ctor = project.resolve_call(main, call_in(main, "App"))
+        assert isinstance(ctor, ClassInfo)
+        method = project.resolve_call(main, call_in(main, "app.handle"))
+        assert isinstance(method, FunctionInfo)
+        assert method.qualname == "serve.app.App.handle"
+
+
+class TestImportResolution:
+    SOURCES = {
+        "src/repro/engine/helper.py": """\
+            def deep():
+                return 0
+            """,
+        "src/repro/engine/worker.py": """\
+            from .helper import deep
+            from repro.engine import helper as h
+
+            def run():
+                return deep() + h.deep()
+            """,
+    }
+
+    def test_relative_and_absolute_imports_resolve(self):
+        project = build(self.SOURCES)
+        run = project.functions["engine.worker.run"]
+        direct = project.resolve_call(run, call_in(run, "deep"))
+        assert isinstance(direct, FunctionInfo)
+        assert direct.qualname == "engine.helper.deep"
+        aliased = project.resolve_call(run, call_in(run, "h.deep"))
+        assert aliased is direct
+
+    def test_self_attr_constructor_types_the_attribute(self):
+        project = build({
+            "src/repro/engine/wal.py": """\
+                class WalWriter:
+                    def commit(self):
+                        pass
+                """,
+            "src/repro/engine/worker.py": """\
+                from .wal import WalWriter
+
+                class Worker:
+                    def __init__(self):
+                        self.writer = WalWriter()
+
+                    def flush(self):
+                        self.writer.commit()
+                """,
+        })
+        flush = project.functions["engine.worker.Worker.flush"]
+        target = project.resolve_call(flush, call_in(flush, "commit"))
+        assert isinstance(target, FunctionInfo)
+        assert target.qualname == "engine.wal.WalWriter.commit"
+
+
+class TestConservatism:
+    def test_unknown_callee_resolves_to_none(self):
+        project = build({
+            "src/repro/serve/app.py": """\
+                def run(conn):
+                    conn.execute("x")
+                    mystery()
+                """,
+        })
+        run = project.functions["serve.app.run"]
+        assert project.resolve_call(run, call_in(run, "execute")) is None
+        assert project.resolve_call(run, call_in(run, "mystery")) is None
+
+    def test_nested_defs_belong_to_their_own_scope(self):
+        project = build({
+            "src/repro/serve/app.py": """\
+                def outer():
+                    def inner():
+                        helper()
+                    return inner
+
+                def helper():
+                    pass
+                """,
+        })
+        outer = project.functions["serve.app.outer"]
+        inner = project.functions["serve.app.outer.<locals>.inner"]
+        # The helper() call sits in inner's direct region, not outer's.
+        assert not any("helper" in ast.unparse(c.func)
+                       for c in outer.direct_calls)
+        target = project.resolve_call(inner, call_in(inner, "helper"))
+        assert isinstance(target, FunctionInfo)
+        assert target.qualname == "serve.app.helper"
+        assert outer.nested == [inner]

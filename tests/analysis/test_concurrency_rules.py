@@ -1,0 +1,407 @@
+"""Fixture tests for the interprocedural concurrency/durability rules.
+
+Each rule gets at least three snippets it must flag and three
+closely-related snippets it must pass.  Single-module fixtures go
+through :func:`lint_source`; the call chains that span modules (the
+whole point of R008/R009's interprocedural reach) go through
+:func:`lint_sources` with a dict of fake in-repo paths.
+"""
+
+import textwrap
+
+from repro.analysis import all_rules, lint_source, lint_sources
+
+
+def lint(source: str, path: str, rule_id: str):
+    rules = all_rules(only=lambda cls: cls.rule_id == rule_id)
+    return lint_source(textwrap.dedent(source), path, rules=rules)
+
+
+def lint_many(sources: dict[str, str], rule_id: str):
+    rules = all_rules(only=lambda cls: cls.rule_id == rule_id)
+    return lint_sources({path: textwrap.dedent(source)
+                         for path, source in sources.items()},
+                        rules=rules)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# -- R008: lock-acquisition order is cycle-free -------------------------------
+
+
+class TestR008LockOrder:
+    def test_must_flag_opposite_nesting_cycle(self):
+        source = """\
+            class Engine:
+                def read(self):
+                    with self._mutex:
+                        with self._cache_lock:
+                            return self._data
+
+                def refresh(self):
+                    with self._cache_lock:
+                        with self._mutex:
+                            self._data = {}
+            """
+        findings = lint(source, "src/repro/engine/cache.py", "R008")
+        assert rule_ids(findings) == ["R008"]
+        assert "lock-order cycle" in findings[0].message
+
+    def test_must_flag_interprocedural_self_deadlock(self):
+        source = """\
+            class Engine:
+                def save(self):
+                    with self._mutex:
+                        self._flush()
+
+                def _flush(self):
+                    self._mutex.acquire()
+            """
+        findings = lint(source, "src/repro/engine/store.py", "R008")
+        assert rule_ids(findings) == ["R008"]
+        assert "re-acquired while already held" in findings[0].message
+
+    def test_must_flag_engine_lock_under_gate_exclusive(self):
+        findings = lint_many({
+            "src/repro/engine/state.py": """\
+                def flush_state(state):
+                    with state.flush_lock:
+                        state.sync()
+                """,
+            "src/repro/serve/app.py": """\
+                from repro.engine.state import flush_state
+
+                class App:
+                    async def slide(self, state):
+                        async with self._gate.write():
+                            flush_state(state)
+                """,
+        }, "R008")
+        assert rule_ids(findings) == ["R008"]
+        assert "gate's exclusive side" in findings[0].message
+        assert findings[0].path == "src/repro/serve/app.py"
+
+    def test_must_pass_consistent_order(self):
+        source = """\
+            class Engine:
+                def read(self):
+                    with self._mutex:
+                        with self._cache_lock:
+                            return self._data
+
+                def refresh(self):
+                    with self._mutex:
+                        with self._cache_lock:
+                            self._data = {}
+            """
+        assert lint(source, "src/repro/engine/cache.py", "R008") == []
+
+    def test_must_pass_reentrant_reacquire(self):
+        source = """\
+            class Engine:
+                def save(self):
+                    with self._rlock:
+                        self._flush()
+
+                def _flush(self):
+                    with self._rlock:
+                        pass
+            """
+        assert lint(source, "src/repro/engine/store.py", "R008") == []
+
+    def test_must_pass_engine_lock_under_gate_shared(self):
+        findings = lint_many({
+            "src/repro/engine/state.py": """\
+                def snapshot(state):
+                    with state.snap_lock:
+                        return state.data
+                """,
+            "src/repro/serve/app.py": """\
+                from repro.engine.state import snapshot
+
+                class App:
+                    async def read(self, state):
+                        async with self._gate.read():
+                            return snapshot(state)
+                """,
+        }, "R008")
+        assert findings == []
+
+    def test_must_pass_unknown_callee_under_lock(self):
+        source = """\
+            class Engine:
+                def save(self, conn):
+                    with self._mutex:
+                        conn.execute("flush")
+            """
+        assert lint(source, "src/repro/engine/store.py", "R008") == []
+
+
+# -- R009: no blocking call reachable from a serve/ coroutine -----------------
+
+
+class TestR009AsyncBlocking:
+    def test_must_flag_direct_sleep(self):
+        source = """\
+            import time
+
+            async def handle(request):
+                time.sleep(0.1)
+            """
+        findings = lint(source, "src/repro/serve/app.py", "R009")
+        assert rule_ids(findings) == ["R009"]
+        assert "time.sleep" in findings[0].message
+        assert "directly in async def" in findings[0].message
+
+    def test_must_flag_transitive_two_hop_path_across_modules(self):
+        findings = lint_many({
+            "src/repro/serve/util.py": """\
+                import time
+
+                def deep():
+                    time.sleep(0.5)
+                """,
+            "src/repro/serve/app.py": """\
+                from .util import deep
+
+                def helper():
+                    deep()
+
+                async def handle(request):
+                    helper()
+                """,
+        }, "R009")
+        assert rule_ids(findings) == ["R009"]
+        assert findings[0].path == "src/repro/serve/util.py"
+        assert ("reachable from async def serve.app.handle "
+                "via serve.app.helper -> serve.util.deep"
+                in findings[0].message)
+
+    def test_must_flag_unawaited_engine_call(self):
+        source = """\
+            class Facade:
+                async def query(self, q):
+                    return self.engine.query_interval(q)
+            """
+        findings = lint(source, "src/repro/serve/facade.py", "R009")
+        assert rule_ids(findings) == ["R009"]
+        assert "outside the Executor seam" in findings[0].message
+
+    def test_must_flag_blocking_lock_acquire(self):
+        source = """\
+            async def handle(self):
+                self._mutex.acquire()
+            """
+        findings = lint(source, "src/repro/serve/app.py", "R009")
+        assert rule_ids(findings) == ["R009"]
+        assert "lock .acquire()" in findings[0].message
+
+    def test_must_pass_executor_seam(self):
+        source = """\
+            import time
+
+            def blocking_work():
+                time.sleep(1.0)
+
+            async def handle(loop):
+                return await loop.run_in_executor(None, blocking_work)
+            """
+        assert lint(source, "src/repro/serve/app.py", "R009") == []
+
+    def test_must_pass_awaited_facade_call(self):
+        source = """\
+            class Facade:
+                async def query(self, q):
+                    return await self.engine.query_interval(q)
+            """
+        assert lint(source, "src/repro/serve/facade.py", "R009") == []
+
+    def test_must_pass_asyncio_sleep(self):
+        source = """\
+            import asyncio
+
+            async def backoff():
+                await asyncio.sleep(0.1)
+            """
+        assert lint(source, "src/repro/serve/retry.py", "R009") == []
+
+    def test_must_pass_blocking_code_in_submitted_closure(self):
+        source = """\
+            import time
+
+            async def handle(executor):
+                def work():
+                    time.sleep(1.0)
+                return executor.submit(work)
+            """
+        assert lint(source, "src/repro/serve/app.py", "R009") == []
+
+    def test_must_pass_outside_serve(self):
+        source = """\
+            import time
+
+            async def tick():
+                time.sleep(0.1)
+            """
+        assert lint(source, "src/repro/bench/clock.py", "R009") == []
+
+
+# -- R010: fsync discipline on durable-write paths ----------------------------
+
+
+class TestR010FsyncDiscipline:
+    def test_must_flag_write_onto_final_path(self):
+        source = """\
+            def save_manifest(fops, path, data):
+                fops.write_file(path, data)
+            """
+        findings = lint(source, "src/repro/storage/manifest.py", "R010")
+        assert rule_ids(findings) == ["R010"]
+        assert "final path" in findings[0].message
+
+    def test_must_flag_replace_without_dir_fsync(self):
+        source = """\
+            def flip(fops, tmp, path):
+                fops.replace(tmp, path)
+            """
+        findings = lint(source, "src/repro/storage/manifest.py", "R010")
+        assert rule_ids(findings) == ["R010"]
+        assert "directory" in findings[0].message
+
+    def test_must_flag_append_without_fsync_barrier(self):
+        source = """\
+            def append_record(fops, path, record):
+                fops.append_file(path, record)
+            """
+        findings = lint(source, "src/repro/engine/journal.py", "R010")
+        assert rule_ids(findings) == ["R010"]
+        assert "fsync_file barrier" in findings[0].message
+
+    def test_must_flag_wal_log_without_commit(self):
+        source = """\
+            class Worker:
+                def apply(self, batch):
+                    for record in batch:
+                        self.wal.log(record)
+                    return len(batch)
+            """
+        findings = lint(source, "src/repro/engine/worker.py", "R010")
+        assert rule_ids(findings) == ["R010"]
+        assert ".commit()" in findings[0].message
+
+    def test_must_pass_full_discipline(self):
+        source = """\
+            def save_manifest(fops, tmp_path, path, parent, data):
+                fops.write_file(tmp_path, data)
+                fops.replace(tmp_path, path)
+                fops.fsync_dir(parent)
+            """
+        assert lint(source, "src/repro/storage/manifest.py", "R010") == []
+
+    def test_must_pass_fsync_in_later_helper(self):
+        source = """\
+            class Journal:
+                def append(self, record):
+                    self.fops.append_file(self.path, record)
+                    self._barrier()
+
+                def _barrier(self):
+                    self.fops.fsync_file(self.path)
+            """
+        assert lint(source, "src/repro/engine/journal.py", "R010") == []
+
+    def test_must_pass_wal_group_commit(self):
+        source = """\
+            class Worker:
+                def apply(self, batch):
+                    for record in batch:
+                        self.wal.log(record)
+                    self.wal.commit()
+                    return len(batch)
+            """
+        assert lint(source, "src/repro/engine/worker.py", "R010") == []
+
+    def test_must_pass_outside_scope(self):
+        source = """\
+            def save(fops, path, data):
+                fops.write_file(path, data)
+            """
+        assert lint(source, "src/repro/bench/report.py", "R010") == []
+
+
+# -- R011: no await while holding a sync lock ---------------------------------
+
+
+class TestR011AwaitHoldingLock:
+    def test_must_flag_await_under_sync_lock(self):
+        source = """\
+            class Facade:
+                async def refresh(self):
+                    with self._mutex:
+                        await self._reload()
+            """
+        findings = lint(source, "src/repro/serve/facade.py", "R011")
+        assert rule_ids(findings) == ["R011"]
+        assert "'mutex'" in findings[0].message
+
+    def test_must_flag_in_engine_subpackage(self):
+        source = """\
+            class Pool:
+                async def drain(self):
+                    with self._state_lock:
+                        await self._queue.get()
+            """
+        findings = lint(source, "src/repro/engine/pool.py", "R011")
+        assert rule_ids(findings) == ["R011"]
+
+    def test_must_flag_every_await_in_the_block(self):
+        source = """\
+            async def swap(lock, queue):
+                with lock:
+                    first = await queue.get()
+                    second = await queue.get()
+                return first, second
+            """
+        findings = lint(source, "src/repro/serve/swap.py", "R011")
+        assert rule_ids(findings) == ["R011", "R011"]
+        assert findings[0].line == 3 and findings[1].line == 4
+
+    def test_must_pass_async_with_gate(self):
+        source = """\
+            class Facade:
+                async def read(self, q):
+                    async with self._gate.read():
+                        return await self._query(q)
+            """
+        assert lint(source, "src/repro/serve/facade.py", "R011") == []
+
+    def test_must_pass_await_outside_the_lock(self):
+        source = """\
+            class Facade:
+                async def refresh(self):
+                    with self._mutex:
+                        self._dirty = True
+                    await self._reload()
+            """
+        assert lint(source, "src/repro/serve/facade.py", "R011") == []
+
+    def test_must_pass_nested_coroutine_under_lock(self):
+        source = """\
+            class Facade:
+                async def schedule(self):
+                    with self._mutex:
+                        async def later():
+                            await self._reload()
+                        self._pending = later
+            """
+        assert lint(source, "src/repro/serve/facade.py", "R011") == []
+
+    def test_must_pass_outside_scope(self):
+        source = """\
+            async def swap(lock, queue):
+                with lock:
+                    return await queue.get()
+            """
+        assert lint(source, "src/repro/core/swap.py", "R011") == []

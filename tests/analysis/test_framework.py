@@ -34,7 +34,7 @@ class TestRegistry:
     def test_builtin_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == ["R001", "R002", "R003", "R004", "R005", "R006",
-                       "R007"]
+                       "R007", "R008", "R009", "R010", "R011"]
         assert ids == sorted(ids)
 
     def test_every_rule_documented(self):
@@ -124,7 +124,7 @@ class TestRunLint:
             [str(src), "--baseline", baseline])) == 0
         assert "pinned finding(s) allowed" in capsys.readouterr().out
 
-    def test_stale_entry_warns_but_passes(self, tmp_path, capsys):
+    def test_stale_entry_fails(self, tmp_path, capsys):
         src = tmp_path / "src" / "repro" / "storage"
         src.mkdir(parents=True)
         (src / "clean.py").write_text("x = 1\n")
@@ -132,8 +132,39 @@ class TestRunLint:
         baseline.write_text("src/repro/storage/old.py:1:0: R006 gone\n")
         args = parse_lint_args(
             [str(tmp_path / "src"), "--baseline", str(baseline)])
-        assert run_lint(args) == 0
-        assert "stale baseline entry" in capsys.readouterr().out
+        assert run_lint(args) == 1
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+        assert "1 stale baseline entry" in out
+
+    def test_update_baseline_clears_stale_and_passes(self, tmp_path):
+        src = tmp_path / "src" / "repro" / "storage"
+        src.mkdir(parents=True)
+        (src / "clean.py").write_text("x = 1\n")
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("src/repro/storage/old.py:1:0: R006 gone\n")
+        assert run_lint(parse_lint_args(
+            [str(tmp_path / "src"), "--baseline", str(baseline),
+             "--update-baseline"])) == 0
+        assert run_lint(parse_lint_args(
+            [str(tmp_path / "src"), "--baseline", str(baseline)])) == 0
+
+    def test_update_baseline_preserves_header_comments(self, tmp_path):
+        src = self.write_tree(tmp_path)
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(
+            "# custom justification block\n"
+            "# scrub.py swallow is deliberate: probing for torn pages\n"
+            "\n"
+            "src/repro/storage/old.py:1:0: R006 gone\n")
+        assert run_lint(parse_lint_args(
+            [str(src), "--baseline", str(baseline),
+             "--update-baseline"])) == 0
+        text = baseline.read_text()
+        assert text.startswith("# custom justification block\n"
+                               "# scrub.py swallow is deliberate")
+        assert "old.py" not in text      # stale entry dropped
+        assert "R006" in text            # live finding re-pinned
 
     def test_select_restricts_rules(self, tmp_path):
         src = self.write_tree(tmp_path)
@@ -144,5 +175,101 @@ class TestRunLint:
     def test_list_rules(self, capsys):
         assert run_lint(parse_lint_args(["--list-rules"])) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006",
+                        "R007", "R008", "R009", "R010", "R011"):
             assert rule_id in out
+
+
+class TestOutputFormats:
+    def write_tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "storage"
+        pkg.mkdir(parents=True)
+        (pkg / "scrub.py").write_text(TestRunLint.BAD_SOURCE)
+        return tmp_path / "src"
+
+    def test_github_format_emits_workflow_commands(self, tmp_path, capsys):
+        src = self.write_tree(tmp_path)
+        args = parse_lint_args(
+            [str(src), "--no-baseline", "--format", "github"])
+        assert run_lint(args) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=R006" in out
+
+    def test_github_escapes_newlines_and_commas(self):
+        from repro.analysis.formats import render_github
+        finding = make_finding(path="src/a,b.py",
+                               message="line one\nline two")
+        [line] = render_github([finding])
+        assert "\n" not in line
+        assert "%0A" in line
+        assert "file=src/a%2Cb.py" in line
+
+    def test_sarif_format_is_valid_json(self, tmp_path, capsys):
+        import json
+        src = self.write_tree(tmp_path)
+        args = parse_lint_args(
+            [str(src), "--no-baseline", "--format", "sarif"])
+        assert run_lint(args) == 1
+        out = capsys.readouterr().out
+        log = json.loads(out[:out.rindex("}") + 1])
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        result = run["results"][0]
+        assert result["ruleId"] == "R006"
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == "R006"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("scrub.py")
+
+    def test_stale_entry_rendered_as_github_error(self, tmp_path, capsys):
+        src = tmp_path / "src" / "repro" / "storage"
+        src.mkdir(parents=True)
+        (src / "clean.py").write_text("x = 1\n")
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("src/repro/storage/old.py:1:0: R006 gone\n")
+        args = parse_lint_args(
+            [str(tmp_path / "src"), "--baseline", str(baseline),
+             "--format", "github"])
+        assert run_lint(args) == 1
+        assert "::error title=stale baseline entry::" \
+            in capsys.readouterr().out
+
+
+class TestParallelRunner:
+    def write_tree(self, tmp_path, files=4):
+        pkg = tmp_path / "src" / "repro" / "storage"
+        pkg.mkdir(parents=True)
+        for index in range(files):
+            (pkg / f"mod{index}.py").write_text(TestRunLint.BAD_SOURCE)
+        return tmp_path / "src"
+
+    def test_jobs_matches_serial_findings(self, tmp_path):
+        from repro.analysis import lint_paths
+        src = self.write_tree(tmp_path)
+        serial = lint_paths([src], root=tmp_path)
+        parallel = lint_paths([src], root=tmp_path, jobs=2)
+        assert serial == parallel
+        assert len(serial) == 4
+
+    def test_jobs_flag_end_to_end(self, tmp_path, capsys):
+        src = self.write_tree(tmp_path)
+        args = parse_lint_args(
+            [str(src), "--no-baseline", "--jobs", "2"])
+        assert run_lint(args) == 1
+        assert "4 new finding(s)" in capsys.readouterr().out
+
+    def test_bad_jobs_rejected(self, tmp_path):
+        src = self.write_tree(tmp_path, files=1)
+        args = parse_lint_args(
+            [str(src), "--no-baseline", "--jobs", "0"])
+        assert run_lint(args) == 2
+
+    def test_verbose_reports_wall_time(self, tmp_path, capsys):
+        src = self.write_tree(tmp_path, files=1)
+        args = parse_lint_args(
+            [str(src), "--no-baseline", "--verbose"])
+        assert run_lint(args) == 1
+        err = capsys.readouterr().err
+        assert "[repro lint]" in err and "wall" in err
