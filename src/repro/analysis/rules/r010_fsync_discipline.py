@@ -12,6 +12,13 @@ filesystem orderings, all routed through the
   path, or a ``replace``/``unlink`` with no directory fsync after it,
   silently re-opens the torn-state window ALICE-style checkers exist
   to catch.
+* **directory-entry mutation -> dirfsync** for the structural ops the
+  reshard/snapshot machinery (PR 10) leans on: ``copy_file``,
+  ``mkdir`` and ``rmdir`` each create or remove a directory entry, and
+  until the parent directory is fsynced a crash can forget the entry —
+  a generation directory or snapshot copy that silently vanishes on
+  reboot is exactly the "mixed generation" state the reshard crash
+  matrix rules out.
 * **append -> fsync before acknowledgement** for the WAL: a worker may
   only ack a batch after ``fsync_file`` (group commit); an
   ``append_file`` with no fsync on the path to the return, or a
@@ -43,7 +50,8 @@ _SCOPE = frozenset({"storage", "engine", "core"})
 
 _FOPS_RECEIVERS = frozenset({"fops", "ops", "fileops", "file_ops"})
 _FOPS_OPS = frozenset({"write_file", "append_file", "fsync_file",
-                       "fsync_dir", "truncate_file", "replace", "unlink"})
+                       "fsync_dir", "truncate_file", "replace", "unlink",
+                       "copy_file", "mkdir", "rmdir"})
 _WAL_RECEIVERS = frozenset({"wal", "writer", "walwriter", "wal_writer"})
 
 
@@ -173,6 +181,12 @@ class FsyncDiscipline(Rule):
                                  f".{op}() never followed by a directory "
                                  f"fsync — the rename/removal is not "
                                  f"durable across a crash")
+            elif op in ("copy_file", "mkdir", "rmdir") \
+                    and "fsync_dir" not in later_ops(call):
+                yield self._site(fn, call,
+                                 f".{op}() never followed by a directory "
+                                 f"fsync — the new or removed directory "
+                                 f"entry can vanish across a crash")
             elif op == "append_file" \
                     and "fsync_file" not in later_ops(call):
                 yield self._site(fn, call,

@@ -237,6 +237,25 @@ def cmd_scrub(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_reshard(args: argparse.Namespace) -> int:
+    import os
+
+    from .engine import ReshardError, reshard
+
+    if not os.path.isdir(args.index):
+        print(f"{args.index}: not an engine directory (only sharded "
+              f"directories can be resharded)", file=sys.stderr)
+        return 2
+    config = _config_from(args)
+    try:
+        report = reshard(args.index, args.to, config)
+    except ReshardError as exc:
+        print(f"{args.index}: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    return 0
+
+
 #: Figures with (series name -> value column) mappings for --chart.
 _CHARTABLE = {
     "Fig.9": {"SWST": 1, "MV3R": 2},
@@ -366,6 +385,16 @@ def build_parser() -> argparse.ArgumentParser:
     scrub.add_argument("index", help="page file or engine directory to "
                                      "verify")
     scrub.set_defaults(func=cmd_scrub)
+
+    reshard = commands.add_parser(
+        "reshard", help="rewrite an engine directory at a new shard "
+                        "count (side-by-side build, atomic flip)")
+    reshard.add_argument("index", help="engine directory from 'build' "
+                                       "with --shards")
+    reshard.add_argument("--to", type=int, required=True, metavar="M",
+                         help="target shard count")
+    _add_config_args(reshard)
+    reshard.set_defaults(func=cmd_reshard)
 
     bench = commands.add_parser(
         "bench", help="regenerate the paper's figures")

@@ -18,12 +18,13 @@ the design.
 
 from .engine import PartialResult, ShardedEngine, load_manifest
 from .errors import (CircuitOpenError, EngineClosedError, EngineCloseError,
-                     EngineError, EpochTornError, ShardFailure,
-                     ShardOpenError, ShardQueryError, TaskTimeoutError,
-                     WalCorruptError, WalError, WorkerCrashError,
-                     WorkerRecoveryError)
+                     EngineError, EpochTornError, ReshardError,
+                     ReshardInProgressError, ShardFailure, ShardOpenError,
+                     ShardQueryError, TaskTimeoutError, WalCorruptError,
+                     WalError, WorkerCrashError, WorkerRecoveryError)
 from .executor import (Executor, ProcessExecutor, SerialExecutor,
                        ThreadedExecutor, resolve_executor)
+from .reshard import GenerationBuild, ReshardReport, reshard
 from .retry import CircuitBreaker, RetryPolicy
 from .scrub import DirectoryScrubReport, scrub_directory
 from .sharding import GridShardMap
@@ -40,9 +41,13 @@ __all__ = [
     "EngineError",
     "EpochTornError",
     "Executor",
+    "GenerationBuild",
     "GridShardMap",
     "PartialResult",
     "ProcessExecutor",
+    "ReshardError",
+    "ReshardInProgressError",
+    "ReshardReport",
     "RetryPolicy",
     "SerialExecutor",
     "ShardFailure",
@@ -63,6 +68,7 @@ __all__ = [
     "load_manifest",
     "read_wal",
     "replay",
+    "reshard",
     "resolve_executor",
     "scrub_directory",
     "wal_file_name",

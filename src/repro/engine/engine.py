@@ -31,10 +31,14 @@ On disk an engine is a *directory*::
 
     index.d/
       engine.json          # manifest: {"format": 2, "n_shards": N,
-      shard-000.pages      #            "epoch": E, "shards": [gen...]}
-      shard-001.pages      # one crash-safe format-v2 page file per shard
-      ...
+      shard-000.pages      #            "epoch": E, "shards": [gen...],
+      shard-001.pages      #            "generation": G}
+      ...                  # one crash-safe format-v2 page file per shard
       engine.prepare.json  # transient save marker (two-phase commit)
+      snapshots/<E>/       # CoW copies of the shard files at epoch E
+      gen-001/             # shard files of manifest generation 1
+                           # (resharded directories; generation 0 lives
+                           # at the directory root)
 
 **Two-phase epoch commit.**  ``save()`` makes the whole directory one
 atomic unit: it first durably writes a PREPARE marker recording the next
@@ -46,10 +50,22 @@ classifies the directory deterministically from the marker: if no shard
 committed the new epoch it *rolls back* (the old snapshot is intact);
 if every shard committed it *rolls forward* (finishing the manifest
 flip); if the crash landed between shard commits — the one window the
-in-place storage layer cannot undo — it raises a typed
+in-place storage layer cannot undo — it restores the committed shards
+from the previous epoch's copy-on-write snapshot (``snapshots/<E>/``,
+written at the end of the save that committed epoch ``E``, while the
+shard files are provably clean) and rolls the whole directory back;
+only when no snapshot exists (``snapshots=False`` engines, or
+pre-snapshot directories) does it raise a typed
 :class:`~repro.engine.errors.EpochTornError` naming both shard groups
 instead of silently serving a mixed snapshot.  Format-1 manifests (no
 epoch) still open; their first ``save()`` upgrades them.
+
+**Generations.**  ``repro.engine.reshard`` rewrites a saved directory
+to a different shard count by streaming the entries into a fresh set of
+shard files built side-by-side under ``gen-<G>/`` and atomically
+flipping the manifest to the new generation; ``generation`` in the
+manifest names the subdirectory the live shard files inhabit
+(generation 0 is the directory root).
 
 **Resilient fan-out.**  Read-only query fan-out wraps each per-shard
 task in the engine's :class:`~repro.engine.retry.RetryPolicy`
@@ -101,8 +117,24 @@ _MANIFEST_FORMAT = 2
 _SHARD_FAILURE_ERRORS = (StorageError, OSError, EngineError)
 
 
+_SNAPSHOTS_DIR = "snapshots"
+_GEN_DIR_PREFIX = "gen-"
+
+
 def _shard_file_name(shard_id: int) -> str:
     return f"shard-{shard_id:03d}.pages"
+
+
+def generation_dir(directory: str, generation: int) -> str:
+    """Directory holding one generation's shard files (root for gen 0)."""
+    if generation == 0:
+        return directory
+    return os.path.join(directory, f"{_GEN_DIR_PREFIX}{generation:03d}")
+
+
+def snapshot_dir(directory: str, epoch: int) -> str:
+    """Directory holding the CoW shard snapshots of one epoch."""
+    return os.path.join(directory, _SNAPSHOTS_DIR, f"{epoch:06d}")
 
 
 def write_json_atomic(fops: FileOps, directory: str, path: str,
@@ -138,8 +170,11 @@ def probe_prepare_state(
 def load_manifest(manifest_path: str) -> dict[str, Any]:
     """Read and validate an engine manifest, normalising across formats.
 
-    Returns ``{"format", "n_shards", "epoch", "shards"}``; format-1
-    manifests (pre-epoch) normalise to epoch 0 with ``shards=None``.
+    Returns ``{"format", "n_shards", "epoch", "shards", "generation"}``;
+    format-1 manifests (pre-epoch) normalise to epoch 0 with
+    ``shards=None``.  ``generation`` (the subdirectory the live shard
+    files inhabit — see :func:`generation_dir`) is optional in the file
+    and defaults to 0, so pre-reshard format-2 manifests keep opening.
     """
     try:
         with open(manifest_path) as handle:
@@ -156,18 +191,21 @@ def load_manifest(manifest_path: str) -> dict[str, Any]:
     fmt = manifest.get("format")
     if fmt == 1:
         return {"format": 1, "n_shards": n_shards, "epoch": 0,
-                "shards": None}
+                "shards": None, "generation": 0}
     if fmt == _MANIFEST_FORMAT:
         epoch = manifest.get("epoch")
         gens = manifest.get("shards")
+        generation = manifest.get("generation", 0)
         if not isinstance(epoch, int) or epoch < 0 \
                 or not isinstance(gens, list) or len(gens) != n_shards \
-                or not all(isinstance(g, int) and g >= 0 for g in gens):
+                or not all(isinstance(g, int) and g >= 0 for g in gens) \
+                or not isinstance(generation, int) or generation < 0:
             raise EngineError(f"engine manifest {manifest_path!r} is a "
                               f"malformed format-{_MANIFEST_FORMAT} "
                               f"manifest")
         return {"format": _MANIFEST_FORMAT, "n_shards": n_shards,
-                "epoch": epoch, "shards": list(gens)}
+                "epoch": epoch, "shards": list(gens),
+                "generation": generation}
     raise EngineError(f"engine manifest {manifest_path!r} has unsupported "
                       f"format {fmt!r}")
 
@@ -291,6 +329,11 @@ class ShardedEngine:
             retried — an abandoned worker may still hold its shard.
         file_ops: durable filesystem seam for the manifest protocol;
             tests substitute a fault-injecting implementation.
+        snapshots: when True (default), every ``save()`` first CoW-copies
+            the shard files into ``snapshots/<epoch>/`` so a save torn
+            between in-place shard commits rolls back on ``open()``
+            instead of raising :class:`EpochTornError`.  ``False``
+            restores the pre-snapshot protocol (and its torn window).
 
     The engine exposes the full ``SWSTIndex`` query surface
     (``query_timeslice``, ``query_interval``, ``count_interval``,
@@ -308,10 +351,12 @@ class ShardedEngine:
                  breaker_factory: Callable[[], CircuitBreaker] | None
                  = CircuitBreaker,
                  task_timeout: float | None = None,
-                 file_ops: FileOps | None = None) -> None:
+                 file_ops: FileOps | None = None,
+                 snapshots: bool = True) -> None:
         self.config = config if config is not None else SWSTConfig()
         self._init_common(executor, retry_policy, breaker_factory,
                           task_timeout, file_ops)
+        self._snapshots = snapshots
         self._dir: str | None = None
         if os.fspath(path) != MEMORY:
             self._dir = os.fspath(path)
@@ -321,6 +366,10 @@ class ShardedEngine:
             for shard_id in range(self.n_shards):
                 self._shards.append(
                     SWSTIndex(self.config, self.shard_path(shard_id)))
+            if self._dir is not None and self._snapshots \
+                    and all(shard.pager.format_version == 2
+                            for shard in self._shards):
+                self._ensure_snapshot()
         except BaseException:
             self._abandon()
             raise
@@ -354,6 +403,8 @@ class ShardedEngine:
         self._plans = PlanCache(self.config.plan_cache_size)
         self._clock = 0
         self._epoch = 0
+        self._generation = 0
+        self._snapshots = True
         self._mutated = False
         self._closed = False
 
@@ -373,11 +424,17 @@ class ShardedEngine:
         """Manifest epoch of the last whole-directory save (0 = never)."""
         return self._epoch
 
+    @property
+    def generation(self) -> int:
+        """Manifest generation the live shard files inhabit (0 = root)."""
+        return self._generation
+
     def shard_path(self, shard_id: int) -> str:
         """Page-file path of one shard (``":memory:"`` when memory-backed)."""
         if self._dir is None:
             return MEMORY
-        return os.path.join(self._dir, _shard_file_name(shard_id))
+        return os.path.join(generation_dir(self._dir, self._generation),
+                            _shard_file_name(shard_id))
 
     def _manifest_path(self) -> str:
         assert self._dir is not None
@@ -406,11 +463,12 @@ class ShardedEngine:
                     f"directory {self._dir!r} holds {manifest['n_shards']} "
                     f"shards but config.n_shards is {self.n_shards}")
             self._epoch = manifest["epoch"]
+            self._generation = manifest["generation"]
             return
         self._write_json_atomic(
             manifest_path,
             {"format": _MANIFEST_FORMAT, "n_shards": self.n_shards,
-             "epoch": 0, "shards": [0] * self.n_shards})
+             "epoch": 0, "shards": [0] * self.n_shards, "generation": 0})
 
     def _write_json_atomic(self, path: str, blob: dict[str, Any]) -> None:
         """Durable atomic JSON write: temp + fsync, rename, dir fsync."""
@@ -1109,11 +1167,23 @@ class ShardedEngine:
            header sync), in shard order.
         3. **FLIP** — atomically rewrite the manifest with the new epoch
            and the observed generations, then unlink the marker.
+        4. **SNAPSHOT** (``snapshots=True`` engines) — CoW-copy the
+           just-committed shard files into ``snapshots/<new epoch>/``
+           and prune older epochs' snapshots.
 
-        A crash anywhere in the protocol leaves a directory that
-        ``open()`` classifies deterministically from the marker: roll
-        back (no shard committed), roll forward (all did), or a typed
-        :class:`EpochTornError` for the unrecoverable middle.
+        The snapshot runs *after* the commit, while every page file is
+        provably clean — a pre-save copy could capture uncommitted
+        pages the buffer pool evicted over the committed state during
+        normal mutation, and restoring such a copy reproduces the
+        corruption instead of undoing it.  A crash anywhere in the
+        protocol leaves a directory that ``open()`` classifies
+        deterministically from the marker: roll back (no shard
+        committed), roll forward (all did), or — for the middle window
+        of mixed in-place commits — restore every shard from the
+        previous epoch's snapshot and roll back.  Without a snapshot
+        that middle is unrecoverable and raises a typed
+        :class:`EpochTornError`.  A crash after the flip at worst loses
+        the new epoch's snapshot, which ``open()`` rewrites.
 
         Memory-backed engines and legacy v1 shard files skip the
         protocol and save each shard directly (no generations to
@@ -1141,12 +1211,88 @@ class ShardedEngine:
         self._write_json_atomic(
             self._manifest_path(),
             {"format": _MANIFEST_FORMAT, "n_shards": self.n_shards,
-             "epoch": next_epoch, "shards": gens})
+             "epoch": next_epoch, "shards": gens,
+             "generation": self._generation})
         self._fops.unlink(self._prepare_path())
         assert self._dir is not None
         self._fops.fsync_dir(self._dir)
         self._epoch = next_epoch
         self._mutated = False
+        if self._snapshots:
+            self._write_epoch_snapshot()
+            self._prune_snapshots(keep_epoch=next_epoch)
+
+    def _snapshot_root(self) -> str:
+        assert self._dir is not None
+        return os.path.join(self._dir, _SNAPSHOTS_DIR)
+
+    def _ensure_snapshot(self) -> None:
+        """Write ``snapshots/<epoch>/`` when absent or incomplete.
+
+        Runs at construction and after every successful ``open()`` —
+        the two other moments (besides a completed save) when every
+        shard file is provably clean-committed.  Covers directories
+        saved before snapshots existed, a crash between the manifest
+        flip and the snapshot step, and a freshly resharded or
+        rolled-forward directory.  Copies are atomic, so presence of
+        all ``n_shards`` files means the snapshot is whole.
+        """
+        assert self._dir is not None
+        snap = snapshot_dir(self._dir, self._epoch)
+        if all(os.path.exists(os.path.join(snap, _shard_file_name(sid)))
+               for sid in range(self.n_shards)):
+            return
+        self._write_epoch_snapshot()
+
+    def _write_epoch_snapshot(self) -> None:
+        """CoW-copy every shard file into ``snapshots/<epoch>/``.
+
+        Only runs while every page file is clean-committed (right
+        after a save, at open, at construction), so the copies freeze
+        exactly the committed state of ``self._epoch``.  A later save
+        torn between in-place shard commits — or a mid-session crash
+        that left uncommitted evicted pages over a committed file —
+        restores every shard from here (:meth:`_restore_snapshot`)
+        instead of raising :class:`EpochTornError` or refusing to
+        open.
+        """
+        assert self._dir is not None
+        fops = self._fops
+        snap_root = self._snapshot_root()
+        snap = snapshot_dir(self._dir, self._epoch)
+        fops.mkdir(snap_root)
+        fops.mkdir(snap)
+        for shard_id in range(self.n_shards):
+            fops.copy_file(self.shard_path(shard_id),
+                           os.path.join(snap, _shard_file_name(shard_id)))
+        fops.fsync_dir(snap)
+        fops.fsync_dir(snap_root)
+        fops.fsync_dir(self._dir)
+
+    def _prune_snapshots(self, keep_epoch: int) -> None:
+        """Drop snapshot directories of epochs older than ``keep_epoch``.
+
+        Runs after the flip committed, so a crash anywhere in here costs
+        only disk space — stale directories are re-pruned by the next
+        save.
+        """
+        snap_root = self._snapshot_root()
+        try:
+            names = sorted(os.listdir(snap_root))
+        except OSError:
+            return
+        fops = self._fops
+        pruned = False
+        for name in names:
+            if not name.isdigit() or int(name) >= keep_epoch:
+                continue
+            stale = os.path.join(snap_root, name)
+            for file_name in sorted(os.listdir(stale)):
+                fops.unlink(os.path.join(stale, file_name))
+            fops.rmdir(stale)
+            pruned = True
+        if pruned:
+            fops.fsync_dir(snap_root)
 
     @classmethod
     def open(cls, path: str, config: SWSTConfig,
@@ -1155,14 +1301,17 @@ class ShardedEngine:
              breaker_factory: Callable[[], CircuitBreaker] | None
              = CircuitBreaker,
              task_timeout: float | None = None,
-             file_ops: FileOps | None = None) -> "ShardedEngine":
+             file_ops: FileOps | None = None,
+             snapshots: bool = True) -> "ShardedEngine":
         """Re-open a saved shard directory, recovering it as one unit.
 
         A leftover PREPARE marker (crashed save) is resolved *before*
         any shard opens: the marker's expected generations are compared
         against each shard's committed header generation — probed
         passively, without opening (opening itself commits a header) —
-        and the directory rolls back, rolls forward, or raises a typed
+        and the directory rolls back, rolls forward, restores the
+        committed shards from the epoch's CoW snapshot (mixed commits
+        with a complete ``snapshots/<epoch>/``), or raises a typed
         :class:`EpochTornError`.  Then each shard runs the storage
         layer's full recovery-on-open; the first shard that fails raises
         :class:`ShardOpenError` naming it.  Under a format-2 manifest
@@ -1176,6 +1325,7 @@ class ShardedEngine:
         engine.config = config
         engine._init_common(executor, retry_policy, breaker_factory,
                             task_timeout, file_ops)
+        engine._snapshots = snapshots
         engine._dir = os.fspath(path)
         engine._shards = []
         try:
@@ -1186,12 +1336,16 @@ class ShardedEngine:
                     f"directory {engine._dir!r} holds "
                     f"{manifest['n_shards']} shards but config.n_shards "
                     f"is {config.n_shards}")
+            engine._generation = manifest["generation"]
             # Marker recovery runs for *both* formats: a crashed save
             # from a legacy directory leaves a marker next to a still-
             # format-1 manifest (the flip is what upgrades it).
             manifest = engine._recover_epoch(manifest)
             if manifest["format"] >= 2:
                 engine._open_shards_v2(manifest)
+                if snapshots and all(shard.pager.format_version == 2
+                                     for shard in engine._shards):
+                    engine._ensure_snapshot()
             else:
                 engine._open_shards_legacy()
         except BaseException:
@@ -1211,7 +1365,10 @@ class ShardedEngine:
         * every shard reached it: the save fully committed, only the
           flip was lost — **roll forward** (rewrite the manifest).
         * anything in between: the in-place storage layer cannot undo a
-          committed shard, so neither snapshot is whole — raise
+          committed shard, so the directory mixes epochs.  When the
+          save left a complete CoW snapshot of the old epoch, the
+          committed shards are **restored** from it and the whole
+          directory rolls back; otherwise raise
           :class:`EpochTornError`.
         """
         prepare = _load_prepare(self._prepare_path())
@@ -1240,27 +1397,90 @@ class ShardedEngine:
             gens = [gen if gen is not None else 0 for gen in observed]
             rolled = {"format": _MANIFEST_FORMAT,
                       "n_shards": self.n_shards,
-                      "epoch": prepare["epoch"], "shards": gens}
+                      "epoch": prepare["epoch"], "shards": gens,
+                      "generation": self._generation}
             self._write_json_atomic(self._manifest_path(), rolled)
             self._fops.unlink(self._prepare_path())
             self._fops.fsync_dir(self._dir)
             return rolled
         if not committed:
+            # Even with no shard committed, the crashed save's write
+            # window may have evicted uncommitted pages over the
+            # committed snapshot in place (the storage layer's sweep
+            # refuses such a file); restoring from the epoch snapshot —
+            # when one exists — makes the rollback exact regardless.
+            self._restore_snapshot(epoch)
+            self._fops.unlink(self._prepare_path())
+            self._fops.fsync_dir(self._dir)
+            return manifest
+        if self._restore_snapshot(epoch):
             self._fops.unlink(self._prepare_path())
             self._fops.fsync_dir(self._dir)
             return manifest
         raise EpochTornError(prepare["epoch"], committed, pending)
 
-    def _open_shards_v2(self, manifest: dict[str, Any]) -> None:
-        """Open every shard and verify it sits at the manifest epoch."""
+    def _restore_snapshot(self, epoch: int) -> bool:
+        """Roll every shard back to its ``snapshots/<epoch>/`` copy.
+
+        Returns False (directory untouched) unless the snapshot holds a
+        copy for *every* shard — a partial restore would just move the
+        tear.  All shards are restored, not only the ones that committed
+        the interrupted epoch: a shard that never committed may still
+        have had uncommitted pages evicted over its committed state in
+        place, which the storage layer's recovery sweep refuses to open.
+        Each restore is an atomic durable copy, so a crash mid-restore
+        re-enters recovery and converges.
+        """
+        assert self._dir is not None
+        snap = snapshot_dir(self._dir, epoch)
+        sources = {sid: os.path.join(snap, _shard_file_name(sid))
+                   for sid in range(self.n_shards)}
+        if not all(os.path.exists(source) for source in sources.values()):
+            return False
+        fops = self._fops
+        for sid, source in sources.items():
+            fops.copy_file(source, self.shard_path(sid))
+        fops.fsync_dir(generation_dir(self._dir, self._generation))
+        return True
+
+    def _open_shard_files(self) -> None:
+        """Open every shard file; on failure close what was opened."""
+        opened: list[SWSTIndex] = []
         try:
             for shard_id in range(self.n_shards):
                 shard_path = self.shard_path(shard_id)
                 try:
-                    self._shards.append(
-                        SWSTIndex.open(shard_path, self.config))
+                    opened.append(SWSTIndex.open(shard_path, self.config))
                 except Exception as exc:
-                    raise ShardOpenError(shard_id, shard_path, exc) from exc
+                    raise ShardOpenError(shard_id, shard_path,
+                                         exc) from exc
+        except BaseException:
+            for shard in opened:
+                with contextlib.suppress(StorageError, OSError):
+                    shard.close()
+            raise
+        self._shards.extend(opened)
+
+    def _open_shards_v2(self, manifest: dict[str, Any]) -> None:
+        """Open every shard and verify it sits at the manifest epoch.
+
+        A shard that refuses to open — typically a mid-session crash
+        after the buffer pool evicted uncommitted pages over the
+        committed state in place, which the storage layer's recovery
+        sweep rejects — is retried once after restoring *every* shard
+        from the committed epoch's CoW snapshot.  The snapshot was
+        written while the files were clean, so the retry reopens the
+        exact last-saved state; without a usable snapshot the original
+        :class:`ShardOpenError` propagates.
+        """
+        try:
+            try:
+                self._open_shard_files()
+            except ShardOpenError:
+                if not self._snapshots \
+                        or not self._restore_snapshot(manifest["epoch"]):
+                    raise
+                self._open_shard_files()
         except BaseException:
             self._abandon()
             raise

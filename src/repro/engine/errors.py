@@ -143,6 +143,26 @@ class EngineClosedError(EngineError):
     """An operation was attempted on a closed engine."""
 
 
+class ReshardError(EngineError):
+    """A directory cannot be resharded in its current state.
+
+    Raised before anything is written: the directory has never been
+    saved, holds an unresolved save marker, or its write-ahead logs
+    carry acknowledged records that only a checkpoint (``save()``)
+    would fold into the page files — resharding from the page files
+    alone would silently drop them.
+    """
+
+
+class ReshardInProgressError(ReshardError):
+    """A second reshard (or a save) raced an in-flight online reshard.
+
+    The serving layer runs at most one reshard at a time and parks
+    ``save()`` while one is running — the reshard's own commit is the
+    epoch flip, and a concurrent save would race it for the manifest.
+    """
+
+
 class WalError(EngineError):
     """Base class for write-ahead-log failures."""
 

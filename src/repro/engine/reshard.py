@@ -1,0 +1,467 @@
+"""Generation-flip resharding of a saved engine directory.
+
+``reshard(directory, new_n_shards, config)`` rewrites a saved
+:class:`~repro.engine.engine.ShardedEngine` directory to a different
+shard count without ever modifying the live generation: the new shard
+files are built side-by-side under ``gen-<G+1>/`` (see
+:func:`~repro.engine.engine.generation_dir`) and the directory switches
+over in a single atomic manifest write.  Until that write lands the
+old generation is byte-for-byte untouched — a crash at *any* file
+operation of the protocol reopens as exactly the old directory; from
+the manifest flip on it reopens as exactly the new one (the reshard
+crash matrix proves both arms op-by-op).
+
+The build reads from *copies* of the committed shard files, not the
+files themselves.  That keeps the protocol read-only with respect to
+the old generation (even opening a page file commits a header) and
+lets an online caller keep serving from its live engine while the
+build streams in the background: the copies freeze the save-point
+state, so nothing races the pagers the serving engine holds open.
+
+Protocol (all durable steps through the :class:`FileOps` seam):
+
+1. **STAGE** — ``mkdir gen-<G+1>/`` + parent fsync; clear any debris a
+   previously crashed reshard left there; copy every committed shard
+   file to ``gen-<G+1>/source-<sid>.pages``.
+2. **BUILD** — open the copies, verify their clocks agree, stream every
+   physical entry through the *new* :class:`GridShardMap` into fresh
+   shard files, carry over the current-entry table and per-object
+   retentions, then drop the source copies.  No manifest state changes.
+3. **FLIP** — save every new shard, fsync the generation directory,
+   atomically rewrite ``engine.json`` with the new shard count, epoch
+   ``E+1`` and generation ``G+1``.  This single rename is the commit
+   point.  The just-committed (clean) new shard files are then
+   CoW-copied into ``snapshots/<E+1>/`` so the new generation is
+   crash-recoverable immediately.
+4. **CLEANUP** — unlink the old generation's shard/WAL/base files and
+   the stale CoW snapshots of older epochs (they copy old-generation
+   files).  A crash in here costs disk space only; the next save
+   re-prunes.
+
+Preconditions (checked before anything is written, typed
+:class:`~repro.engine.errors.ReshardError` on violation): the
+directory holds a committed format-2 manifest (epoch >= 1), no
+unresolved save marker, and no write-ahead log with acknowledged
+records at the current epoch — those records live only in the WAL, so
+resharding from the page files alone would drop them; a
+``WorkerEngine`` checkpoint (``save()``) folds them in first.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+
+from ..core.config import SWSTConfig
+from ..core.index import SWSTIndex
+from ..storage.errors import StorageError
+from ..storage.fileops import DURABLE_FILE_OPS, FileOps
+from .engine import (_MANIFEST_FORMAT, _MANIFEST_NAME, _PREPARE_NAME,
+                     _SNAPSHOTS_DIR, ShardedEngine, _shard_file_name,
+                     generation_dir, load_manifest, write_json_atomic)
+from .errors import ReshardError
+from .executor import Executor
+from .retry import CircuitBreaker
+from .sharding import GridShardMap
+from .wal import base_file_name, read_wal, wal_file_name
+
+
+def _source_file_name(shard_id: int) -> str:
+    """Staging copy of one old shard (never matches ``shard-*`` globs)."""
+    return f"source-{shard_id:03d}.pages"
+
+
+@dataclasses.dataclass(frozen=True)
+class ReshardReport:
+    """Outcome of one committed reshard.
+
+    Attributes:
+        directory: the resharded engine directory.
+        old_n_shards / new_n_shards: shard counts before and after.
+        epoch: manifest epoch after the flip (old epoch + 1).
+        generation: manifest generation after the flip.
+        entries: physical entries streamed into the new generation.
+        currents: live current-entry records carried over.
+        old_imbalance / new_imbalance: (max, min) cells-per-shard of
+            the grid placement before and after (see
+            :meth:`GridShardMap.imbalance`).
+    """
+
+    directory: str
+    old_n_shards: int
+    new_n_shards: int
+    epoch: int
+    generation: int
+    entries: int
+    currents: int
+    old_imbalance: tuple[int, int]
+    new_imbalance: tuple[int, int]
+
+    def render(self) -> str:
+        lines = [
+            f"resharded {self.directory}",
+            f"  shards:     {self.old_n_shards} -> {self.new_n_shards}",
+            f"  epoch:      {self.epoch}  (generation {self.generation})",
+            f"  streamed:   {self.entries} entries "
+            f"({self.currents} current)",
+            f"  cell imbalance (max/min per shard): "
+            f"{self.old_imbalance[0]}/{self.old_imbalance[1]} -> "
+            f"{self.new_imbalance[0]}/{self.new_imbalance[1]}",
+        ]
+        return "\n".join(lines)
+
+
+class GenerationBuild:
+    """One staged reshard: validate, build side-by-side, flip, clean up.
+
+    Split into :meth:`build` and :meth:`commit` so an online caller can
+    run the (long) build off its write path and take its exclusive
+    section only around the (short) commit; :func:`reshard` drives both
+    back-to-back for the offline case.  After :meth:`build` the new
+    engine is live at :attr:`engine` and accepts the full mutation API
+    — an online caller replays its catch-up journal into it *before*
+    :meth:`commit`, so the flip loses nothing.
+
+    Constructing the build validates every precondition but writes
+    nothing; :meth:`abort` after a failure only releases handles (a
+    real crash could not do more), leaving debris the next build or
+    scrub recognises.
+    """
+
+    def __init__(self, directory: str, new_n_shards: int,
+                 config: SWSTConfig, *,
+                 executor: Executor | None = None,
+                 file_ops: FileOps | None = None,
+                 snapshots: bool = True) -> None:
+        if new_n_shards < 1:
+            raise ValueError(f"new_n_shards must be >= 1, "
+                             f"got {new_n_shards}")
+        self._dir = os.fspath(directory)
+        self._fops: FileOps = file_ops if file_ops is not None \
+            else DURABLE_FILE_OPS
+        self._executor = executor
+        self._snapshots = snapshots
+        manifest = load_manifest(os.path.join(self._dir, _MANIFEST_NAME))
+        if manifest["format"] < _MANIFEST_FORMAT or manifest["epoch"] < 1:
+            raise ReshardError(
+                f"directory {self._dir!r} has never completed an epoch "
+                f"save (format {manifest['format']}, epoch "
+                f"{manifest['epoch']}); save it once first")
+        if os.path.exists(os.path.join(self._dir, _PREPARE_NAME)):
+            raise ReshardError(
+                f"directory {self._dir!r} holds an interrupted save "
+                f"(marker {_PREPARE_NAME}); recover it with "
+                f"ShardedEngine.open() before resharding")
+        self._old_n: int = manifest["n_shards"]
+        self._epoch: int = manifest["epoch"]
+        self._old_generation: int = manifest["generation"]
+        self._new_generation = self._old_generation + 1
+        self._old_config = dataclasses.replace(config, n_shards=self._old_n)
+        self._new_config = dataclasses.replace(config,
+                                               n_shards=new_n_shards)
+        self._check_wals_quiescent()
+        self._gen_dir = generation_dir(self._dir, self._new_generation)
+        self._old_gen_dir = generation_dir(self._dir, self._old_generation)
+        self._sources: list[SWSTIndex] = []
+        self._source_paths: list[str] = []
+        self._staged = False
+        self._engine: ShardedEngine | None = None
+        self._entries = 0
+        self._currents = 0
+        self._committed = False
+
+    def _check_wals_quiescent(self) -> None:
+        """Refuse WALs whose acknowledged records the page files lack.
+
+        A ``WorkerEngine`` acknowledges writes into per-shard WALs and
+        folds them into the page files only at checkpoint; records at
+        the manifest epoch exist *nowhere else*, so streaming from the
+        page files would silently drop them.  Stale WALs (older epoch)
+        are already folded in and merely await cleanup.
+        """
+        old_dir = generation_dir(self._dir, self._old_generation)
+        for shard_id in range(self._old_n):
+            path = os.path.join(old_dir, wal_file_name(shard_id))
+            if not os.path.exists(path):
+                continue
+            scan = read_wal(path)
+            if scan.epoch > self._epoch:
+                raise ReshardError(
+                    f"write-ahead log {path!r} claims epoch "
+                    f"{scan.epoch} past the manifest epoch "
+                    f"{self._epoch}; the directory mixes snapshots")
+            if scan.epoch == self._epoch and scan.records:
+                raise ReshardError(
+                    f"write-ahead log {path!r} holds "
+                    f"{len(scan.records)} acknowledged records not yet "
+                    f"checkpointed into the page files; open the "
+                    f"directory with WorkerEngine and save() first")
+
+    @property
+    def engine(self) -> ShardedEngine:
+        """The new-generation engine (live after :meth:`build`)."""
+        assert self._engine is not None, "build() has not run"
+        return self._engine
+
+    @property
+    def new_generation(self) -> int:
+        return self._new_generation
+
+    # -- stage 1+2: side-by-side build ----------------------------------------
+
+    def stage(self) -> None:
+        """Freeze the committed shard files into staging copies.
+
+        Must run while nothing can dirty the old shard files — i.e.
+        right after a save, before new mutations (a live engine's
+        buffer pool may evict uncommitted pages into the files at any
+        time).  The offline driver has the directory to itself; an
+        online caller takes its exclusive section around
+        ``save() + stage()`` and only then lets writers resume while
+        :meth:`build` streams from the frozen copies.
+        """
+        fops = self._fops
+        fops.mkdir(self._gen_dir)
+        fops.fsync_dir(self._dir)
+        self._clear_debris()
+        for shard_id in range(self._old_n):
+            src = os.path.join(self._old_gen_dir,
+                               _shard_file_name(shard_id))
+            dst = os.path.join(self._gen_dir,
+                               _source_file_name(shard_id))
+            fops.copy_file(src, dst)
+            self._source_paths.append(dst)
+        fops.fsync_dir(self._gen_dir)
+        self._staged = True
+
+    def build(self) -> None:
+        """Stream the staged copies into the new generation (no flip yet)."""
+        if not self._staged:
+            self.stage()
+        fops = self._fops
+        source_paths = self._source_paths
+        try:
+            for path in source_paths:
+                self._sources.append(
+                    SWSTIndex.open(path, self._old_config))
+        except BaseException:
+            for source in self._sources:
+                with contextlib.suppress(StorageError, OSError):
+                    source.close()
+            self._sources.clear()
+            raise
+        clocks = {source.now for source in self._sources}
+        if len(clocks) > 1:
+            raise ReshardError(
+                f"shard clocks disagree in {self._dir!r}: "
+                f"{sorted(clocks)}; the directory mixes snapshots")
+        self._engine = self._new_engine()
+        self._engine.advance_time(self._sources[0].now)
+        self._stream_entries()
+        self._carry_over_state()
+        for source in self._sources:
+            source.close()
+        self._sources.clear()
+        for path in source_paths:
+            fops.unlink(path)
+        self._source_paths = []
+        fops.fsync_dir(self._gen_dir)
+
+    def _clear_debris(self) -> None:
+        """Drop files a previously crashed build left in the gen dir."""
+        fops = self._fops
+        cleared = False
+        names = [_source_file_name(sid) for sid in range(self._old_n)]
+        names += [_shard_file_name(sid)
+                  for sid in range(self._new_config.n_shards)]
+        for name in names:
+            path = os.path.join(self._gen_dir, name)
+            if os.path.exists(path):
+                fops.unlink(path)
+                cleared = True
+        if cleared:
+            fops.fsync_dir(self._gen_dir)
+
+    def _new_engine(self) -> ShardedEngine:
+        """Fresh empty engine over the new generation's shard files."""
+        engine = ShardedEngine.__new__(ShardedEngine)
+        engine.config = self._new_config
+        engine._init_common(self._executor, None, CircuitBreaker, None,
+                            self._fops)
+        engine._snapshots = self._snapshots
+        engine._dir = self._dir
+        engine._generation = self._new_generation
+        engine._epoch = self._epoch
+        engine._shards = []
+        try:
+            for shard_id in range(self._new_config.n_shards):
+                engine._shards.append(
+                    SWSTIndex(self._new_config,
+                              engine.shard_path(shard_id)))
+        except BaseException:
+            engine._abandon()
+            raise
+        return engine
+
+    def _stream_entries(self) -> None:
+        """Route every physical entry through the new shard map."""
+        engine = self.engine
+        shards = engine._shards
+        for source in self._sources:
+            for entry in source.scan():
+                shards[engine._shard_id_of(entry.x,
+                                           entry.y)]._physical_insert(entry)
+                self._entries += 1
+
+    def _carry_over_state(self) -> None:
+        """Current-entry table, home map and retentions follow the data."""
+        engine = self.engine
+        retentions: dict[int, int] = {}
+        currents: dict[int, tuple[int, int, int]] = {}
+        for source in self._sources:
+            retentions.update(source._retentions)
+            currents.update(source.current_objects())
+        for oid, (x, y, s) in currents.items():
+            shard_id = engine._shard_id_of(x, y)
+            engine._shards[shard_id]._current[oid] = (x, y, s)
+            engine._home[oid] = shard_id
+        for shard in engine._shards:
+            shard._retentions.update(retentions)
+        self._currents = len(currents)
+
+    # -- stage 3+4: flip and cleanup ------------------------------------------
+
+    def commit(self) -> ReshardReport:
+        """Save the new shards, flip the manifest, drop the old files.
+
+        The manifest rewrite is the single commit point: the old
+        generation is untouched before it, the new one is durable when
+        it lands.  No PREPARE marker is written — a marker names a shard
+        count, and a reopen mid-flip must classify against whichever
+        manifest survived, not against a count that may not match it.
+        """
+        engine = self.engine
+        fops = self._fops
+        for shard in engine._shards:
+            shard.save()
+        gens = [shard.pager.generation for shard in engine._shards]
+        fops.fsync_dir(self._gen_dir)
+        write_json_atomic(
+            fops, self._dir, os.path.join(self._dir, _MANIFEST_NAME),
+            {"format": _MANIFEST_FORMAT,
+             "n_shards": self._new_config.n_shards,
+             "epoch": self._epoch + 1, "shards": gens,
+             "generation": self._new_generation})
+        engine._epoch = self._epoch + 1
+        engine._mutated = False
+        self._committed = True
+        if self._snapshots:
+            # The new shard files are clean (just saved): snapshot them
+            # so the next save's torn window — or a mid-session crash —
+            # stays recoverable without waiting for another save.
+            engine._write_epoch_snapshot()
+        self._cleanup_old_generation()
+        fops.fsync_dir(self._dir)
+        old_map = GridShardMap(self._old_config.x_partitions,
+                               self._old_config.y_partitions, self._old_n)
+        return ReshardReport(
+            directory=self._dir,
+            old_n_shards=self._old_n,
+            new_n_shards=self._new_config.n_shards,
+            epoch=engine._epoch,
+            generation=self._new_generation,
+            entries=self._entries,
+            currents=self._currents,
+            old_imbalance=old_map.imbalance(),
+            new_imbalance=engine.shard_map.imbalance())
+
+    def _cleanup_old_generation(self) -> None:
+        """Post-flip: unlink the old generation and stale snapshots.
+
+        Every step here is redundant with the flip — a crash costs only
+        disk space, and reopening serves the new generation regardless.
+        CoW snapshots of *older* epochs copy old-generation shard
+        files, so they are stale as a unit; only the freshly written
+        ``snapshots/<new epoch>/`` (new-generation copies) survives.
+        """
+        fops = self._fops
+        for shard_id in range(self._old_n):
+            for name in (_shard_file_name(shard_id),
+                         wal_file_name(shard_id),
+                         base_file_name(shard_id)):
+                path = os.path.join(self._old_gen_dir, name)
+                if os.path.exists(path):
+                    fops.unlink(path)
+        fops.fsync_dir(self._old_gen_dir)
+        if self._old_generation > 0:
+            fops.rmdir(self._old_gen_dir)
+        snap_root = os.path.join(self._dir, _SNAPSHOTS_DIR)
+        if os.path.isdir(snap_root):
+            keep = f"{self._epoch + 1:06d}"
+            for name in sorted(os.listdir(snap_root)):
+                stale = os.path.join(snap_root, name)
+                if name == keep or not os.path.isdir(stale):
+                    continue
+                for file_name in sorted(os.listdir(stale)):
+                    fops.unlink(os.path.join(stale, file_name))
+                fops.rmdir(stale)
+            if os.listdir(snap_root):
+                fops.fsync_dir(snap_root)
+            else:
+                fops.rmdir(snap_root)
+                fops.fsync_dir(self._dir)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the built engine (offline callers; online ones adopt it)."""
+        if self._engine is not None:
+            engine, self._engine = self._engine, None
+            engine.close()
+
+    def detach_engine(self) -> ShardedEngine:
+        """Hand the built engine to the caller (it owns closing it now)."""
+        engine = self.engine
+        self._engine = None
+        return engine
+
+    def abort(self) -> None:
+        """Release every handle after a failure; never raises.
+
+        Only handles: a genuine crash could not delete staged files
+        either, and the protocol tolerates the debris (the old
+        generation still opens; the next build clears the staging
+        directory; scrub reports it).
+        """
+        for source in self._sources:
+            with contextlib.suppress(StorageError, OSError, ValueError):
+                source.close()
+        self._sources.clear()
+        if self._engine is not None:
+            engine, self._engine = self._engine, None
+            engine._abandon()
+
+
+def reshard(directory: str, new_n_shards: int, config: SWSTConfig, *,
+            executor: Executor | None = None,
+            file_ops: FileOps | None = None,
+            snapshots: bool = True) -> ReshardReport:
+    """Offline reshard: build, flip and clean up in one call.
+
+    ``config`` supplies the index parameters (its ``n_shards`` is
+    ignored — the old count comes from the manifest, the new one from
+    ``new_n_shards``).  Returns a :class:`ReshardReport`; on any
+    failure the directory still opens as the old generation.
+    """
+    build = GenerationBuild(directory, new_n_shards, config,
+                            executor=executor, file_ops=file_ops,
+                            snapshots=snapshots)
+    try:
+        build.build()
+        report = build.commit()
+    except BaseException:
+        build.abort()
+        raise
+    build.close()
+    return report

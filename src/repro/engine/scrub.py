@@ -27,8 +27,9 @@ import re
 
 from ..storage.errors import StorageError
 from ..storage.scrub import ScrubReport, scrub_page_file
-from .engine import _MANIFEST_NAME, _PREPARE_NAME, _shard_file_name, \
-    load_manifest
+from .engine import (_GEN_DIR_PREFIX, _MANIFEST_NAME, _PREPARE_NAME,
+                     _load_prepare, _shard_file_name, generation_dir,
+                     load_manifest, probe_prepare_state, snapshot_dir)
 from .errors import EngineError, WalCorruptError
 from .wal import read_wal, wal_file_name
 
@@ -98,9 +99,11 @@ def scrub_directory(path: str | os.PathLike[str]) -> DirectoryScrubReport:
         manifest = load_manifest(manifest_path)
     except EngineError as exc:
         problems.append(str(exc))
+    shard_dir = generation_dir(
+        path, manifest["generation"] if manifest is not None else 0)
     if os.path.exists(os.path.join(path, _PREPARE_NAME)):
-        notes.append(f"interrupted save marker {_PREPARE_NAME} present; "
-                     f"ShardedEngine.open() will roll it back or forward")
+        _classify_marker(path, shard_dir, manifest, problems, notes)
+    _note_staged_generations(path, manifest, notes)
     if manifest is not None:
         shard_files = [_shard_file_name(shard_id)
                        for shard_id in range(manifest["n_shards"])]
@@ -111,7 +114,7 @@ def scrub_directory(path: str | os.PathLike[str]) -> DirectoryScrubReport:
             if name.startswith("shard-") and name.endswith(".pages")
         ) if os.path.isdir(path) else []
     for shard_id, name in enumerate(shard_files):
-        shard_path = os.path.join(path, name)
+        shard_path = os.path.join(shard_dir, name)
         if not os.path.exists(shard_path):
             problems.append(f"shard file {name} is missing")
             continue
@@ -129,10 +132,102 @@ def scrub_directory(path: str | os.PathLike[str]) -> DirectoryScrubReport:
                 problems.append(
                     f"shard file {name} is behind the manifest: committed "
                     f"generation {observed} < recorded {recorded}")
-    wal_records = _scrub_wals(path, manifest, problems, notes)
+    wal_records = _scrub_wals(shard_dir, manifest, problems, notes)
     return DirectoryScrubReport(path=path, manifest_ok=manifest is not None,
                                 problems=problems, notes=notes,
                                 reports=reports, wal_records=wal_records)
+
+
+def _classify_marker(path: str, shard_dir: str, manifest: dict | None,
+                     problems: list[str], notes: list[str]) -> None:
+    """Classify a leftover PREPARE marker the way ``open()`` would.
+
+    Mirrors :meth:`ShardedEngine._recover_epoch` without writing
+    anything: a marker that rolls back, rolls forward, or restores from
+    a complete ``snapshots/<epoch>/`` copy set is a *note* (recovery is
+    deterministic), while a torn save with no usable snapshot is a
+    *problem* — ``open()`` would raise :class:`EpochTornError`.
+    """
+    marker_path = os.path.join(path, _PREPARE_NAME)
+    try:
+        prepare = _load_prepare(marker_path)
+    except EngineError as exc:
+        problems.append(str(exc))
+        return
+    if prepare is None:  # pragma: no cover - raced unlink
+        return
+    if manifest is None:
+        notes.append(
+            f"interrupted save marker {_PREPARE_NAME} present; "
+            f"ShardedEngine.open() will roll it back or forward")
+        return
+    epoch: int = manifest["epoch"]
+    if prepare["n_shards"] != manifest["n_shards"] \
+            or prepare["epoch"] not in (epoch, epoch + 1):
+        problems.append(
+            f"save marker {_PREPARE_NAME} is inconsistent with the "
+            f"manifest (marker epoch {prepare['epoch']} / "
+            f"{prepare['n_shards']} shard(s) vs manifest epoch {epoch} "
+            f"/ {manifest['n_shards']} shard(s)); open() refuses the "
+            f"directory")
+        return
+    if prepare["epoch"] == epoch:
+        notes.append(
+            f"save marker {_PREPARE_NAME} outlived its committed epoch "
+            f"{epoch}; open() finishes the cleanup")
+        return
+    shard_paths = [os.path.join(shard_dir, _shard_file_name(shard_id))
+                   for shard_id in range(manifest["n_shards"])]
+    _, committed, pending = probe_prepare_state(prepare, shard_paths)
+    if not committed:
+        notes.append(
+            f"interrupted save marker for epoch {prepare['epoch']}: no "
+            f"shard committed it; open() rolls the directory back")
+        return
+    if not pending:
+        notes.append(
+            f"interrupted save marker for epoch {prepare['epoch']}: "
+            f"every shard committed it; open() rolls the manifest "
+            f"forward")
+        return
+    snap = snapshot_dir(path, epoch)
+    if all(os.path.exists(os.path.join(snap, _shard_file_name(shard_id)))
+           for shard_id in range(manifest["n_shards"])):
+        notes.append(
+            f"torn save of epoch {prepare['epoch']} (shards {committed} "
+            f"committed, {pending} pending) is RECOVERABLE: snapshot "
+            f"generation {epoch:06d} holds copies of every committed "
+            f"shard; open() restores them and rolls back")
+        return
+    problems.append(
+        f"torn save of epoch {prepare['epoch']}: shards {committed} "
+        f"committed it, shards {pending} did not, and no complete "
+        f"snapshot of epoch {epoch} exists; open() raises "
+        f"EpochTornError (restore the directory from backup)")
+
+
+def _note_staged_generations(path: str, manifest: dict | None,
+                             notes: list[str]) -> None:
+    """Note ``gen-*`` directories the manifest does not point at.
+
+    A crashed reshard leaves its half-built target generation behind;
+    ``open()`` never looks inside it and the next reshard clears it, so
+    the debris is informational only.
+    """
+    if not os.path.isdir(path):
+        return
+    live = manifest["generation"] if manifest is not None else None
+    for name in sorted(os.listdir(path)):
+        if not name.startswith(_GEN_DIR_PREFIX) \
+                or not os.path.isdir(os.path.join(path, name)):
+            continue
+        suffix = name[len(_GEN_DIR_PREFIX):]
+        if live is not None and suffix.isdigit() and int(suffix) == live:
+            continue
+        notes.append(
+            f"staged generation directory {name} is not referenced by "
+            f"the manifest (crashed reshard?); open() ignores it and "
+            f"the next reshard clears it")
 
 
 def _scrub_wals(path: str, manifest: dict | None, problems: list[str],

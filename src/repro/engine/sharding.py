@@ -59,19 +59,40 @@ class GridShardMap:
         # the plain cell index — i.e. striping, not hashing.
         return (hashed * self.n_shards) >> 32
 
+    def placement(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Cells grouped by owning shard, from *one* pass over the grid.
+
+        The tuple is computed lazily on first use and cached on the
+        instance, so :meth:`cells_of_shard`, :meth:`shard_counts`, and
+        :meth:`imbalance` all share a single O(cells) scan instead of
+        each caller re-walking the grid.  The cache is not a dataclass
+        field, so equality/hashing of the frozen map are unaffected.
+        """
+        cached: tuple[tuple[tuple[int, int], ...], ...] | None = \
+            getattr(self, "_placement", None)
+        if cached is None:
+            buckets: list[list[tuple[int, int]]] = \
+                [[] for _ in range(self.n_shards)]
+            for cx in range(self.x_partitions):
+                for cy in range(self.y_partitions):
+                    buckets[self.shard_of_cell(cx, cy)].append((cx, cy))
+            cached = tuple(tuple(cells) for cells in buckets)
+            object.__setattr__(self, "_placement", cached)
+        return cached
+
     def cells_of_shard(self, shard_id: int) -> list[tuple[int, int]]:
         """Every grid cell owned by ``shard_id`` (diagnostics/tests)."""
         if not 0 <= shard_id < self.n_shards:
             raise ValueError(f"shard {shard_id} outside [0, {self.n_shards})")
-        return [(cx, cy)
-                for cx in range(self.x_partitions)
-                for cy in range(self.y_partitions)
-                if self.shard_of_cell(cx, cy) == shard_id]
+        return list(self.placement()[shard_id])
 
     def shard_counts(self) -> list[int]:
         """Cells owned per shard (balance diagnostics)."""
-        counts = [0] * self.n_shards
-        for cx in range(self.x_partitions):
-            for cy in range(self.y_partitions):
-                counts[self.shard_of_cell(cx, cy)] += 1
-        return counts
+        return [len(cells) for cells in self.placement()]
+
+    def imbalance(self) -> tuple[int, int]:
+        """``(max, min)`` cells-per-shard — the resharder's split planner
+        uses the spread to report how evenly a target shard count divides
+        the grid before committing to it."""
+        counts = self.shard_counts()
+        return (max(counts), min(counts))

@@ -83,7 +83,8 @@ from ..storage.fileops import DURABLE_FILE_OPS, FileOps
 from ..storage.stats import IOStats
 from .engine import (_MANIFEST_FORMAT, _MANIFEST_NAME, _PREPARE_NAME,
                      PartialResult, _load_prepare, _shard_file_name,
-                     load_manifest, probe_prepare_state, write_json_atomic)
+                     generation_dir, load_manifest, probe_prepare_state,
+                     write_json_atomic)
 from .errors import (CircuitOpenError, EngineClosedError, EngineCloseError,
                      EngineError, ShardFailure, ShardQueryError,
                      WalCorruptError, WorkerCrashError, WorkerRecoveryError)
@@ -196,17 +197,18 @@ def _open_recovered(shard_id: int, config: SWSTConfig, fops: FileOps,
 
 
 def _recover_shard(shard_id: int, directory: str, config: SWSTConfig,
-                   fops: FileOps,
-                   spec: dict[str, Any]) -> tuple[SWSTIndex, WalWriter, int]:
+                   fops: FileOps, spec: dict[str, Any],
+                   generation: int) -> tuple[SWSTIndex, WalWriter, int]:
     """Rebuild one shard from page file + base snapshot + WAL.
 
     Returns ``(shard, wal_writer, replayed_record_count)``.  Raises
     :class:`WorkerRecoveryError` when no recovery path exists (terminal
     — restarting again cannot help).
     """
-    path = os.path.join(directory, _shard_file_name(shard_id))
-    base_path = os.path.join(directory, base_file_name(shard_id))
-    wal_path = os.path.join(directory, wal_file_name(shard_id))
+    gen_dir = generation_dir(directory, generation)
+    path = os.path.join(gen_dir, _shard_file_name(shard_id))
+    base_path = os.path.join(gen_dir, base_file_name(shard_id))
+    wal_path = os.path.join(gen_dir, wal_file_name(shard_id))
     manifest = load_manifest(os.path.join(directory, _MANIFEST_NAME))
     epoch: int = manifest["epoch"]
     shard = _open_recovered(shard_id, config, fops, epoch, path, base_path)
@@ -277,24 +279,26 @@ def _apply_batch(shard: SWSTIndex, writer: WalWriter,
 
 
 def _checkpoint(shard_id: int, directory: str, fops: FileOps,
-                epoch: int) -> WalWriter:
+                epoch: int, generation: int) -> WalWriter:
     """Refresh the base from the just-committed page file, reset the WAL."""
-    path = os.path.join(directory, _shard_file_name(shard_id))
-    base_path = os.path.join(directory, base_file_name(shard_id))
-    wal_path = os.path.join(directory, wal_file_name(shard_id))
+    gen_dir = generation_dir(directory, generation)
+    path = os.path.join(gen_dir, _shard_file_name(shard_id))
+    base_path = os.path.join(gen_dir, base_file_name(shard_id))
+    wal_path = os.path.join(gen_dir, wal_file_name(shard_id))
     _copy_file_atomic(path, base_path, fops)
     return WalWriter.reset(wal_path, fops, epoch=epoch)
 
 
 def _worker_main(shard_id: int, directory: str, config: SWSTConfig,
-                 conn: "Connection",
-                 spec: dict[str, Any] | None) -> None:
+                 conn: "Connection", spec: dict[str, Any] | None,
+                 generation: int = 0) -> None:
     """Entry point of one warm worker process."""
     spec = spec or {}
     fops = _worker_fops(spec)
     try:
         shard, writer, replayed = _recover_shard(shard_id, directory,
-                                                 config, fops, spec)
+                                                 config, fops, spec,
+                                                 generation)
     except BaseException as exc:
         with contextlib.suppress(OSError, ValueError):
             conn.send(("fatal", (type(exc).__name__, str(exc))))
@@ -344,7 +348,8 @@ def _worker_main(shard_id: int, directory: str, config: SWSTConfig,
             elif kind == "checkpoint":
                 if spec.get("kill_at_checkpoint"):
                     _die()
-                writer = _checkpoint(shard_id, directory, fops, payload)
+                writer = _checkpoint(shard_id, directory, fops, payload,
+                                     generation)
                 value = writer.next_seq
             elif kind == "stop":
                 conn.send(("ok", None))
@@ -403,16 +408,20 @@ class WorkerPool:
         fault_specs: optional per-shard fault scripts passed to the
             worker at spawn (crash-matrix seam).  A spec is consumed by
             the first spawn unless it sets ``"persistent": True``.
+        generation: manifest generation whose shard files the workers
+            serve (see :func:`~repro.engine.engine.generation_dir`);
+            the engine updates it from the manifest before any spawn.
     """
 
     def __init__(self, directory: str, config: SWSTConfig, *,
                  heartbeat_timeout: float | None = None,
-                 fault_specs: dict[int, dict[str, Any]] | None = None
-                 ) -> None:
+                 fault_specs: dict[int, dict[str, Any]] | None = None,
+                 generation: int = 0) -> None:
         self.directory = directory
         self.config = config
         self.heartbeat_timeout = heartbeat_timeout
         self.fault_specs = dict(fault_specs or {})
+        self.generation = generation
         self.spawn_counts = [0] * config.n_shards
         self._handles: dict[int, _Handle] = {}
         self._ctx = _mp_context()
@@ -442,7 +451,8 @@ class WorkerPool:
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(shard_id, self.directory, self.config, child_conn, spec),
+            args=(shard_id, self.directory, self.config, child_conn, spec,
+                  self.generation),
             daemon=True, name=f"swst-shard-{shard_id}")
         process.start()
         child_conn.close()
@@ -676,6 +686,7 @@ class WorkerEngine:
                                    list[tuple[int, tuple[int, ...]]]]] = {}
         self._clock = 0
         self._epoch = 0
+        self._generation = 0
         self._needs_resync = False
         self._closed = False
 
@@ -694,14 +705,26 @@ class WorkerEngine:
         return self._epoch
 
     @property
+    def generation(self) -> int:
+        """Manifest generation the live shard files inhabit (0 = root)."""
+        return self._generation
+
+    @property
     def breakers(self) -> tuple[CircuitBreaker | None, ...]:
         return tuple(self._breakers)
 
+    def _set_generation(self, generation: int) -> None:
+        """Adopt the manifest generation (before any worker spawns)."""
+        self._generation = generation
+        self.pool.generation = generation
+
     def shard_path(self, shard_id: int) -> str:
-        return os.path.join(self._dir, _shard_file_name(shard_id))
+        return os.path.join(generation_dir(self._dir, self._generation),
+                            _shard_file_name(shard_id))
 
     def wal_path(self, shard_id: int) -> str:
-        return os.path.join(self._dir, wal_file_name(shard_id))
+        return os.path.join(generation_dir(self._dir, self._generation),
+                            wal_file_name(shard_id))
 
     def _manifest_path(self) -> str:
         return os.path.join(self._dir, _MANIFEST_NAME)
@@ -727,11 +750,12 @@ class WorkerEngine:
                     f"directory {self._dir!r} holds {manifest['n_shards']} "
                     f"shards but config.n_shards is {self.n_shards}")
             self._epoch = manifest["epoch"]
+            self._set_generation(manifest["generation"])
             return
         write_json_atomic(
             self._fops, self._dir, manifest_path,
             {"format": _MANIFEST_FORMAT, "n_shards": self.n_shards,
-             "epoch": 0, "shards": [0] * self.n_shards})
+             "epoch": 0, "shards": [0] * self.n_shards, "generation": 0})
 
     def _abandon(self) -> None:
         if getattr(self, "_abandoned", False):
@@ -1506,7 +1530,8 @@ class WorkerEngine:
             write_json_atomic(
                 self._fops, self._dir, self._manifest_path(),
                 {"format": _MANIFEST_FORMAT, "n_shards": self.n_shards,
-                 "epoch": next_epoch, "shards": gens})
+                 "epoch": next_epoch, "shards": gens,
+                 "generation": self._generation})
             self._fops.unlink(self._prepare_path())
             self._fops.fsync_dir(self._dir)
         except BaseException:
@@ -1540,6 +1565,7 @@ class WorkerEngine:
             raise EngineError(
                 f"directory {self._dir!r} holds {manifest['n_shards']} "
                 f"shards but config.n_shards is {self.n_shards}")
+        self._set_generation(manifest["generation"])
         prepare = _load_prepare(self._prepare_path())
         if prepare is None:
             self._epoch = manifest["epoch"]
@@ -1576,7 +1602,8 @@ class WorkerEngine:
             rebase_wal(self.wal_path(sid), self._fops, prepare["epoch"])
         gens = [gen if gen is not None else 0 for gen in observed]
         rolled = {"format": _MANIFEST_FORMAT, "n_shards": self.n_shards,
-                  "epoch": prepare["epoch"], "shards": gens}
+                  "epoch": prepare["epoch"], "shards": gens,
+                  "generation": self._generation}
         write_json_atomic(self._fops, self._dir, self._manifest_path(),
                           rolled)
         self._fops.unlink(self._prepare_path())

@@ -24,6 +24,7 @@ Failure model (every row tested):
     degraded (partial) result   206     payload + ``degraded: true``
     admission queue full        503     ``error: overloaded``,
                                         ``Retry-After`` header
+    reshard already in flight   409     ``error: reshard_in_progress``
     server closing              503     ``error: closed``
     deadline elapsed            504     ``error: deadline_exceeded``
     strict shard failure        500     ``error: shard_failure`` + shard
@@ -36,7 +37,8 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Awaitable, Callable
 
-from ..engine.errors import EngineClosedError, EngineError, ShardQueryError
+from ..engine.errors import (EngineClosedError, EngineError,
+                             ReshardInProgressError, ShardQueryError)
 from .admission import AdmissionController
 from .async_engine import AsyncEngine
 from .coalesce import Coalescer, Timer
@@ -160,6 +162,9 @@ class ServeApp:
                 500, {"error": "shard_failure",
                       "shard_id": exc.shard_id, "path": exc.path,
                       "detail": str(exc)})
+        except ReshardInProgressError as exc:
+            response = Response(409, {"error": "reshard_in_progress",
+                                      "detail": str(exc)})
         except (ServeClosedError, EngineClosedError) as exc:
             response = Response(503, {"error": "closed",
                                       "detail": str(exc)})

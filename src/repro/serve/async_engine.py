@@ -31,12 +31,16 @@ executor (if owned) but leaves the engine to its owner (the server's
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import threading
 from typing import Any, Callable, Iterable, TypeVar
 
 from ..core.records import Rect, ReportLike
 from ..core.results import MultiQueryResult, QueryResult, QueryStats
+from ..engine.errors import ReshardError, ReshardInProgressError
 from ..engine.executor import Executor, ThreadedExecutor
+from ..engine.reshard import GenerationBuild, ReshardReport
+from ..engine.worker import WorkerEngine
 from .errors import ServeClosedError
 from .gate import SlideGate
 from .stats import ServeStats
@@ -84,6 +88,15 @@ class AsyncEngine:
         self._mutex = threading.Lock()
         self._stats = stats if stats is not None else ServeStats()
         self._closed = False
+        # Online-reshard state: the facade borrows the engine it was
+        # built around, but *owns* any engine it swapped in itself.
+        self._owns_engine = False
+        self._resharding = False
+        #: Catch-up journal: while a reshard's background build runs,
+        #: every mutation applied to the live engine is also recorded
+        #: here and replayed into the new generation before the flip.
+        #: Touched only on pool threads under ``_mutex``.
+        self._journal: list[tuple[str, tuple[Any, ...]]] | None = None
 
     # -- introspection ---------------------------------------------------------
 
@@ -149,10 +162,12 @@ class AsyncEngine:
     async def query_interval(self, area: Rect, t_lo: int, t_hi: int,
                              window: int | None = None, *,
                              strict: bool = True) -> QueryResult:
-        engine = self._engine
+        # Every closure resolves ``self._engine`` *inside* the pool
+        # thread (under the mutex), never at call-build time: an online
+        # reshard may swap the engine while this request waits its turn.
         return await self.read(
-            lambda: engine.query_interval(area, t_lo, t_hi, window,
-                                          strict=strict))
+            lambda: self._engine.query_interval(area, t_lo, t_hi, window,
+                                                strict=strict))
 
     async def query_timeslice(self, area: Rect, t: int,
                               window: int | None = None, *,
@@ -162,35 +177,46 @@ class AsyncEngine:
     async def query_interval_many(self, areas: Iterable[Rect], t_lo: int,
                                   t_hi: int, window: int | None = None, *,
                                   strict: bool = True) -> MultiQueryResult:
-        engine = self._engine
         areas = list(areas)
         return await self.read(
-            lambda: engine.query_interval_many(areas, t_lo, t_hi, window,
-                                               strict=strict))
+            lambda: self._engine.query_interval_many(areas, t_lo, t_hi,
+                                                     window, strict=strict))
 
     async def count_interval(self, area: Rect, t_lo: int, t_hi: int,
                              window: int | None = None, *,
                              strict: bool = True) -> tuple[int, QueryStats]:
-        engine = self._engine
         return await self.read(
-            lambda: engine.count_interval(area, t_lo, t_hi, window,
-                                          strict=strict))
+            lambda: self._engine.count_interval(area, t_lo, t_hi, window,
+                                                strict=strict))
 
     async def query_knn(self, x: int, y: int, k: int, t_lo: int,
                         t_hi: int | None = None,
                         window: int | None = None, *,
                         strict: bool = True) -> QueryResult:
-        engine = self._engine
         return await self.read(
-            lambda: engine.query_knn(x, y, k, t_lo, t_hi, window,
-                                     strict=strict))
+            lambda: self._engine.query_knn(x, y, k, t_lo, t_hi, window,
+                                           strict=strict))
 
     # -- mutations (single-writer lane) ----------------------------------------
 
+    def _mutate(self, name: str, *args: Any) -> Callable[[], Any]:
+        """Closure applying one mutation and journaling it if it took.
+
+        Runs on a pool thread under the mutex; the journal append comes
+        *after* the engine call, so a rejected mutation is never
+        replayed into a resharding build.
+        """
+        def op() -> Any:
+            result = getattr(self._engine, name)(*args)
+            if self._journal is not None:
+                self._journal.append((name, args))
+            return result
+
+        return op
+
     async def insert(self, oid: int, x: int, y: int, s: int,
                      d: int | None = None) -> None:
-        engine = self._engine
-        await self.write(lambda: engine.insert(oid, x, y, s, d))
+        await self.write(self._mutate("insert", oid, x, y, s, d))
         self._stats.mutations += 1
         self._stats.ingested_reports += 1
 
@@ -198,30 +224,137 @@ class AsyncEngine:
         await self.insert(oid, x, y, t, None)
 
     async def extend(self, reports: Iterable[ReportLike]) -> int:
-        engine = self._engine
         batch = list(reports)
-        count = int(await self.write(lambda: engine.extend(batch)))
+        count = int(await self.write(self._mutate("extend", batch)))
         self._stats.mutations += 1
         self._stats.ingested_reports += count
         return count
 
     async def close_object(self, oid: int, t: int) -> bool:
-        engine = self._engine
-        closed = bool(await self.write(lambda: engine.close_object(oid, t)))
+        closed = bool(await self.write(
+            self._mutate("close_object", oid, t)))
         self._stats.mutations += 1
         return closed
 
     async def advance_time(self, now: int) -> None:
         """Slide barrier: drain in-flight reads, slide, release."""
-        engine = self._engine
-        await self.write(lambda: engine.advance_time(now))
+        await self.write(self._mutate("advance_time", now))
         self._stats.slides += 1
 
     async def save(self) -> None:
-        """Whole-directory save, exclusive like any other mutation."""
-        engine = self._engine
-        await self.write(lambda: engine.save())
+        """Whole-directory save, exclusive like any other mutation.
+
+        Refused while a reshard is in flight: the reshard's own commit
+        is the next epoch flip, and a concurrent save would race it for
+        the manifest (and invalidate the frozen staging copies).
+        """
+        if self._resharding:
+            raise ReshardInProgressError(
+                "a reshard is in flight; its commit is the next epoch "
+                "flip — retry save() after it completes")
+        await self.write(lambda: self._engine.save())
         self._stats.saves += 1
+
+    # -- online reshard --------------------------------------------------------
+
+    async def reshard(self, new_n_shards: int) -> ReshardReport:
+        """Reshard the served directory while continuing to serve.
+
+        Three-phase protocol over the slide gate:
+
+        1. **Freeze** (exclusive): checkpoint (``save()``), validate the
+           reshard preconditions, stage the source copies
+           (:meth:`GenerationBuild.stage`), install the catch-up
+           journal.  Bounded work — one save plus one file copy per
+           shard.
+        2. **Build** (off-gate): stream the frozen copies into the new
+           generation on a pool thread.  Reads and writes run normally
+           throughout; every mutation is journaled.
+        3. **Flip** (exclusive): replay the journal into the new
+           generation, commit the generation flip, swap the served
+           engine, close the old one.
+
+        A failure in any phase uninstalls the journal and aborts the
+        build; the old generation keeps serving untouched.
+        """
+        self._check_open()
+        if self._resharding:
+            raise ReshardInProgressError(
+                "a reshard is already in flight; retry after it "
+                "completes")
+        directory = getattr(self._engine, "_dir", None)
+        if directory is None:
+            raise ReshardError(
+                "only disk-backed engines can reshard; this engine has "
+                "no directory")
+        self._resharding = True
+        try:
+            async with self._gate.write():
+                build = await self._run(
+                    lambda: self._freeze_reshard(directory, new_n_shards))
+            try:
+                await asyncio.wrap_future(self._executor.submit(build.build))
+                async with self._gate.write():
+                    report = await self._run(
+                        lambda: self._flip_reshard(build))
+            except BaseException:
+                def drop() -> None:
+                    self._journal = None
+                    build.abort()
+
+                await self._run(drop)
+                raise
+        finally:
+            self._resharding = False
+        self._stats.reshards += 1
+        return report
+
+    def _freeze_reshard(self, directory: str,
+                        new_n_shards: int) -> GenerationBuild:
+        """Phase 1 body (pool thread, exclusive): checkpoint + stage."""
+        engine = self._engine
+        engine.save()
+        executor = None
+        if not isinstance(engine, WorkerEngine) \
+                and not getattr(engine, "_owns_executor", True):
+            # The new generation can share a caller-owned executor; an
+            # engine-owned one dies with the old engine at the swap.
+            executor = engine._executor
+        build = GenerationBuild(
+            directory, new_n_shards, engine.config, executor=executor,
+            file_ops=engine._fops,
+            snapshots=getattr(engine, "_snapshots", True))
+        build.stage()
+        self._journal = []
+        return build
+
+    def _flip_reshard(self, build: GenerationBuild) -> ReshardReport:
+        """Phase 3 body (pool thread, exclusive): replay, flip, swap."""
+        journal, self._journal = self._journal, None
+        target = build.engine
+        for name, args in journal or ():
+            getattr(target, name)(*args)
+        report = build.commit()
+        old = self._engine
+        if isinstance(old, WorkerEngine):
+            # The worker engine's process pool must be respawned around
+            # the new shard layout; the build's in-process engine only
+            # carried the data.
+            build.close()
+            self._engine = WorkerEngine.open(
+                report.directory,
+                dataclasses.replace(old.config,
+                                    n_shards=report.new_n_shards),
+                retry_policy=old._retry_policy, file_ops=old._fops)
+        else:
+            self._engine = build.detach_engine()
+        self._owns_engine = True
+        # If the old engine was borrowed, its owner (the server's exit
+        # stack) still calls close() at shutdown — close is idempotent —
+        # but its workers/pagers must stop serving the dropped
+        # generation now.
+        old.close()
+        return report
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -234,11 +367,14 @@ class AsyncEngine:
         """Stop accepting work and shut down the owned pool.
 
         Synchronous so it slots into the server's ``ExitStack``; the
-        borrowed engine is left open for its owner.  Safe to call more
-        than once.
+        borrowed engine is left open for its owner — but an engine the
+        facade swapped in itself (online reshard) is the facade's to
+        close.  Safe to call more than once.
         """
         if self._closed:
             return
         self._closed = True
         if self._owns_executor:
             self._executor.close()
+        if self._owns_engine:
+            self._engine.close()

@@ -32,6 +32,26 @@ async def save(app: "ServeApp", request: Request) -> Response:
     return Response(200, {"ok": True})
 
 
+async def reshard(app: "ServeApp", request: Request) -> Response:
+    """Online reshard: rebuild the directory at a new shard count.
+
+    Serving continues throughout — reads never park, writes stall only
+    for the checkpoint/stage and flip sections.  A second reshard (or a
+    save) racing an in-flight one gets a 409.
+    """
+    obj = request.json()
+    n_shards = get_int(obj, "n_shards")
+    report = await app.engine.reshard(n_shards)
+    return Response(200, {
+        "ok": True,
+        "old_n_shards": report.old_n_shards,
+        "n_shards": report.new_n_shards,
+        "epoch": report.epoch,
+        "generation": report.generation,
+        "entries": report.entries,
+    })
+
+
 async def healthz(app: "ServeApp", request: Request) -> Response:
     """Liveness: answers from loop state only, no engine call."""
     return Response(200, {
@@ -49,6 +69,7 @@ async def stats(app: "ServeApp", request: Request) -> Response:
 ROUTES = (
     ("POST", "/slide", slide),
     ("POST", "/save", save),
+    ("POST", "/reshard", reshard),
     ("GET", "/healthz", healthz),
     ("GET", "/stats", stats),
 )
@@ -57,4 +78,5 @@ ROUTES = (
 UNGATED = frozenset(
     (method, path) for method, path, _ in ROUTES)
 
-__all__ = ["ROUTES", "UNGATED", "slide", "save", "healthz", "stats"]
+__all__ = ["ROUTES", "UNGATED", "slide", "save", "reshard", "healthz",
+           "stats"]

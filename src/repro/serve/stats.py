@@ -39,6 +39,7 @@ class ServeStats:
         bad_requests: malformed requests (400).
         slides: window slides executed through the facade.
         saves: whole-directory saves executed through the facade.
+        reshards: online generation flips committed through the facade.
         ingested_reports: reports accepted by insert/report/extend.
         queue_depth: current in-flight (admitted, unfinished) requests.
         queue_depth_peak: high-water mark of ``queue_depth``.
@@ -60,6 +61,7 @@ class ServeStats:
     bad_requests: int = 0
     slides: int = 0
     saves: int = 0
+    reshards: int = 0
     ingested_reports: int = 0
     queue_depth: int = 0
     queue_depth_peak: int = 0
@@ -95,8 +97,8 @@ class ServeStats:
                 "plan_cache_hits",
                 "degraded_responses", "strict_failures",
                 "overload_rejections", "deadline_rejections",
-                "bad_requests", "slides", "saves", "ingested_reports",
-                "queue_depth", "queue_depth_peak")}
+                "bad_requests", "slides", "saves", "reshards",
+                "ingested_reports", "queue_depth", "queue_depth_peak")}
         record["coalesce_ratio"] = round(self.coalesce_ratio, 4)
         record.update(self.extra)
         return record

@@ -382,3 +382,15 @@ class FaultInjectingFileOps:
     def truncate_file(self, path: str, size: int) -> None:
         self._next_op("truncate_file", path)
         self._inner.truncate_file(path, size)
+
+    def copy_file(self, src: str, dst: str) -> None:
+        self._next_op("copy_file", dst)
+        self._inner.copy_file(src, dst)
+
+    def mkdir(self, path: str) -> None:
+        self._next_op("mkdir", path)
+        self._inner.mkdir(path)
+
+    def rmdir(self, path: str) -> None:
+        self._next_op("rmdir", path)
+        self._inner.rmdir(path)

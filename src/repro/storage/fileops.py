@@ -56,6 +56,25 @@ class FileOps(Protocol):
         """Truncate ``path`` to ``size`` bytes and fsync it."""
         ...  # pragma: no cover - protocol
 
+    def copy_file(self, src: str, dst: str) -> None:
+        """Durably copy ``src`` over ``dst``.
+
+        The copy itself must be atomic with respect to crashes: either
+        ``dst`` keeps its old bytes (or stays absent) or it holds a
+        complete, fsynced copy of ``src``.  The containing directory is
+        *not* fsynced here — callers batch that behind one
+        :meth:`fsync_dir`, the same discipline as :meth:`replace`.
+        """
+        ...  # pragma: no cover - protocol
+
+    def mkdir(self, path: str) -> None:
+        """Create directory ``path`` (already existing is not an error)."""
+        ...  # pragma: no cover - protocol
+
+    def rmdir(self, path: str) -> None:
+        """Remove empty directory ``path`` (missing is not an error)."""
+        ...  # pragma: no cover - protocol
+
 
 class DurableFileOps:
     """The real thing: plain ``os`` calls with the full fsync discipline."""
@@ -103,6 +122,22 @@ class DurableFileOps:
             handle.truncate(size)
             handle.flush()
             os.fsync(handle.fileno())
+
+    def copy_file(self, src: str, dst: str) -> None:
+        with open(src, "rb") as handle:
+            blob = handle.read()
+        tmp = dst + ".tmp"
+        self.write_file(tmp, blob)
+        self.replace(tmp, dst)
+
+    def mkdir(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def rmdir(self, path: str) -> None:
+        try:
+            os.rmdir(path)
+        except FileNotFoundError:
+            pass
 
 
 #: Shared default instance (the operations are stateless).

@@ -291,6 +291,33 @@ class TestR010FsyncDiscipline:
         assert rule_ids(findings) == ["R010"]
         assert ".commit()" in findings[0].message
 
+    def test_must_flag_copy_without_dir_fsync(self):
+        source = """\
+            def snapshot_shard(fops, src, dst):
+                fops.copy_file(src, dst)
+            """
+        findings = lint(source, "src/repro/engine/engine.py", "R010")
+        assert rule_ids(findings) == ["R010"]
+        assert "directory entry" in findings[0].message
+
+    def test_must_flag_mkdir_without_dir_fsync(self):
+        source = """\
+            def stage_generation(fops, gen_dir):
+                fops.mkdir(gen_dir)
+            """
+        findings = lint(source, "src/repro/engine/reshard.py", "R010")
+        assert rule_ids(findings) == ["R010"]
+        assert ".mkdir()" in findings[0].message
+
+    def test_must_flag_rmdir_without_dir_fsync(self):
+        source = """\
+            def drop_generation(fops, gen_dir):
+                fops.rmdir(gen_dir)
+            """
+        findings = lint(source, "src/repro/engine/reshard.py", "R010")
+        assert rule_ids(findings) == ["R010"]
+        assert ".rmdir()" in findings[0].message
+
     def test_must_pass_full_discipline(self):
         source = """\
             def save_manifest(fops, tmp_path, path, parent, data):
@@ -311,6 +338,29 @@ class TestR010FsyncDiscipline:
                     self.fops.fsync_file(self.path)
             """
         assert lint(source, "src/repro/engine/journal.py", "R010") == []
+
+    def test_must_pass_snapshot_copy_with_dir_fsync(self):
+        source = """\
+            def snapshot_shards(fops, paths, snap_dir, parent):
+                fops.mkdir(snap_dir)
+                for src, dst in paths:
+                    fops.copy_file(src, dst)
+                fops.fsync_dir(snap_dir)
+                fops.fsync_dir(parent)
+            """
+        assert lint(source, "src/repro/engine/engine.py", "R010") == []
+
+    def test_must_pass_dir_fsync_in_later_helper(self):
+        source = """\
+            class Build:
+                def stage(self):
+                    self.fops.mkdir(self.gen_dir)
+                    self._settle()
+
+                def _settle(self):
+                    self.fops.fsync_dir(self.parent)
+            """
+        assert lint(source, "src/repro/engine/reshard.py", "R010") == []
 
     def test_must_pass_wal_group_commit(self):
         source = """\

@@ -20,6 +20,11 @@ The matrix runs twice: once over a fresh format-2 directory and once
 over a directory downgraded to a format-1 manifest (the legacy-upgrade
 path).  Device-level kills *between* shard commits are the documented
 typed-error arm (EpochTornError) and are asserted separately.
+
+Every engine here runs with ``snapshots=False``: this file pins down
+the bare 8-op manifest protocol and its one unrecoverable middle.  The
+snapshot-enabled protocol (CoW epoch snapshots, no torn state) has its
+own matrix in tests/engine/test_reshard_crash_matrix.py.
 """
 
 import dataclasses
@@ -76,7 +81,8 @@ def entry_key(entry):
 
 def build_phase1(path, config):
     """Fault-free phase-1 directory: extend + save (epoch 1)."""
-    with ShardedEngine(config, path, executor=SerialExecutor()) as eng:
+    with ShardedEngine(config, path, executor=SerialExecutor(),
+                       snapshots=False) as eng:
         eng.extend(PHASE_1())
         eng.save()
 
@@ -112,8 +118,8 @@ def oracles(tmp_path_factory):
     post_dir = tmp_path_factory.mktemp("oracle") / "post.d"
     build_phase1(pre_dir, config)
     build_phase1(post_dir, config)
-    with ShardedEngine.open(post_dir, config,
-                            executor=SerialExecutor()) as eng:
+    with ShardedEngine.open(post_dir, config, executor=SerialExecutor(),
+                            snapshots=False) as eng:
         apply_phase2_and_save(eng)
     return {"pre": snapshot(pre_dir, config),
             "post": snapshot(post_dir, config)}
@@ -141,7 +147,7 @@ def crash_save_at(path, config, fail_op, legacy):
         device_factory=per_path_device_factory("shard", registry=devices))
     ops = FaultInjectingFileOps(fail_op=fail_op)
     eng = ShardedEngine.open(path, faulty, executor=SerialExecutor(),
-                             file_ops=ops)
+                             file_ops=ops, snapshots=False)
     try:
         with pytest.raises(InjectedFault):
             apply_phase2_and_save(eng)
@@ -186,7 +192,7 @@ class TestFileOpKillMatrix:
         build_phase1(path, config)
         ops = FaultInjectingFileOps()
         with ShardedEngine.open(path, config, executor=SerialExecutor(),
-                                file_ops=ops) as eng:
+                                file_ops=ops, snapshots=False) as eng:
             apply_phase2_and_save(eng)
         assert len(ops.ops) == SAVE_FILE_OPS
         assert [name for name, _ in ops.ops] == [
@@ -220,7 +226,8 @@ class TestDeviceKillDuringCommit:
             config,
             device_factory=per_path_device_factory(
                 "shard", registry=devices))
-        eng = ShardedEngine.open(path, faulty, executor=SerialExecutor())
+        eng = ShardedEngine.open(path, faulty, executor=SerialExecutor(),
+                                 snapshots=False)
         try:
             eng.extend(PHASE_2())
             # Arm the fault *after* ingestion so the kill lands on
@@ -250,7 +257,8 @@ class TestDeviceKillDuringCommit:
             config,
             device_factory=per_path_device_factory(
                 "shard", registry=devices))
-        eng = ShardedEngine.open(path, faulty, executor=SerialExecutor())
+        eng = ShardedEngine.open(path, faulty, executor=SerialExecutor(),
+                                 snapshots=False)
         try:
             eng.extend(PHASE_2())
             # Arm the fault after ingestion: the kill lands on the last

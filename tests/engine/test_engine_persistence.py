@@ -51,11 +51,18 @@ class TestDirectoryLayout:
             eng.save()
         names = sorted(os.listdir(path))
         assert names == ["engine.json", "shard-000.pages",
-                         "shard-001.pages", "shard-002.pages"]
+                         "shard-001.pages", "shard-002.pages",
+                         "snapshots"]
+        # The save's CoW snapshot froze the just-committed (clean)
+        # state of epoch 1; construction's epoch-0 snapshot is pruned.
+        assert sorted(os.listdir(path / "snapshots")) == ["000001"]
+        assert sorted(os.listdir(path / "snapshots" / "000001")) == [
+            "shard-000.pages", "shard-001.pages", "shard-002.pages"]
         manifest = json.loads((path / "engine.json").read_text())
         assert manifest["format"] == 2
         assert manifest["n_shards"] == 3
         assert manifest["epoch"] == 1  # one save() = one epoch commit
+        assert manifest["generation"] == 0  # shard files at the root
         # One committed header generation recorded per shard.
         assert len(manifest["shards"]) == 3
         assert all(isinstance(g, int) and g >= 1

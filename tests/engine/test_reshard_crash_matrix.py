@@ -1,0 +1,314 @@
+"""Reshard and snapshot-enabled-save crash matrices.
+
+Two atomicity claims, proved op-by-op:
+
+* ``reshard()`` flips a directory to a new shard count in a single
+  manifest write.  A :class:`FaultInjectingFileOps` kills the protocol
+  at every file-operation ordinal; the reopened directory must be
+  *exactly* the old generation (before the manifest replace) or
+  *exactly* the new one (from the replace on) — same data either way,
+  never a mix, never an error.
+
+* a snapshot-enabled ``save()`` (the default) has **no** unrecoverable
+  window: the CoW snapshot of the *previous* committed epoch — written
+  at the end of the save that committed it, while every page file was
+  provably clean — lets recovery restore all shards and roll the whole
+  directory back.  Device kills at *every* in-place shard commit —
+  including the mixed middle that is a typed :class:`EpochTornError`
+  for ``snapshots=False`` engines (see
+  tests/engine/test_engine_crash_matrix.py) — must reopen as exactly
+  the pre-save state, and a file-op kill matrix over the
+  snapshot-enabled protocol must land on the pre/post boundary
+  deterministically.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.core import Rect, SWSTConfig
+from repro.engine import (EngineError, SerialExecutor, ShardedEngine,
+                          reshard)
+from repro.storage import (FaultInjectingFileOps, InjectedFault,
+                           crash_devices, per_path_device_factory)
+
+OLD_SHARDS = 3
+NEW_SHARDS = 5
+#: One reshard of a 3-shard directory (built with snapshots on) to 5
+#: shards = 34 durable file operations (stage 6, build 4, flip 4,
+#: new-generation snapshot 10, cleanup 10); pinned by the probe below.
+RESHARD_FILE_OPS = 34
+#: The manifest replace — the single commit point — is op 13 of 34.
+RESHARD_FLIP_OP = 13
+#: A snapshot-enabled 3-shard save of an already-snapshotted directory
+#: = the 8-op manifest protocol + 8 snapshot ops (two mkdirs, three
+#: copies, three fsyncs) copying the just-committed epoch + 5 prune
+#: ops dropping the previous epoch's snapshot.
+SNAP_SAVE_FILE_OPS = 21
+#: Last file op before the save's point of no return: the in-place
+#: shard commits land between the PREPARE fsync (op 3) and the FLIP
+#: write (op 4), so a file-op kill from 4 on finds every shard
+#: committed and recovery rolls *forward*.
+SNAP_SAVE_COMMIT_BOUNDARY = 3
+#: Ordinal of the FLIP's manifest replace in the op stream.
+SNAP_SAVE_FLIP_OP = 5
+
+
+def make_config(n_shards=OLD_SHARDS, **overrides):
+    params = dict(window=200, slide=20, x_partitions=4, y_partitions=4,
+                  d_max=40, duration_interval=10, space=Rect(0, 0, 99, 99),
+                  page_size=512, n_shards=n_shards)
+    params.update(overrides)
+    return SWSTConfig(**params)
+
+
+class R:
+    def __init__(self, oid, x, y, t):
+        self.oid, self.x, self.y, self.t = oid, x, y, t
+
+
+def workload(seed, count, t0=0):
+    rng = random.Random(seed)
+    t = t0
+    reports = []
+    for _ in range(count):
+        t += rng.choice([0, 1, 1, 2])
+        reports.append(R(rng.randrange(25), rng.randrange(100),
+                         rng.randrange(100), t))
+    return reports
+
+
+PHASE_1 = lambda: workload(11, 150)  # noqa: E731
+PHASE_2 = lambda: workload(12, 100, t0=PHASE_1()[-1].t)  # noqa: E731
+
+
+def entry_key(entry):
+    return (entry.oid, entry.x, entry.y, entry.s,
+            -1 if entry.d is None else entry.d)
+
+
+def build_phase1(path, config):
+    """Fault-free phase-1 directory: extend + save (epoch 1)."""
+    with ShardedEngine(config, path, executor=SerialExecutor()) as eng:
+        eng.extend(PHASE_1())
+        eng.save()
+
+
+def snapshot(path, n_shards):
+    """Observable state of a directory: full scan plus query results."""
+    config = make_config(n_shards)
+    with ShardedEngine.open(path, config,
+                            executor=SerialExecutor()) as eng:
+        q_lo, q_hi = config.queriable_period(eng.now)
+        full = eng.query_interval(config.space, q_lo, q_hi)
+        sub = eng.query_interval(Rect(10, 10, 60, 60), q_lo, q_hi)
+        count, _ = eng.count_interval(config.space, q_lo, q_hi)
+        return {
+            "now": eng.now,
+            "len": len(eng),
+            "scan": sorted(entry_key(e) for e in eng.scan()),
+            "full": sorted(entry_key(e) for e in full),
+            "sub": sorted(entry_key(e) for e in sub),
+            "count": count,
+        }
+
+
+def read_manifest(path):
+    return json.loads((path / "engine.json").read_text())
+
+
+class TestReshardFileOpKillMatrix:
+    """Kill reshard() at every durable file op; reopen must be a whole
+    old or whole new generation with identical data."""
+
+    @pytest.fixture(scope="class")
+    def oracle(self, tmp_path_factory):
+        """Query-state oracle (identical for both generations) plus the
+        exact old/new manifests a crash must resolve to."""
+        path = tmp_path_factory.mktemp("oracle") / "idx.d"
+        build_phase1(path, make_config())
+        old_manifest = read_manifest(path)
+        state = snapshot(path, OLD_SHARDS)
+        reshard(path, NEW_SHARDS, make_config())
+        new_manifest = read_manifest(path)
+        assert snapshot(path, NEW_SHARDS) == state
+        return {"state": state, "old": old_manifest, "new": new_manifest}
+
+    @pytest.mark.parametrize("fail_op", range(1, RESHARD_FILE_OPS + 1))
+    def test_reopen_is_whole_old_or_new_generation(self, tmp_path, oracle,
+                                                   fail_op):
+        path = tmp_path / "victim.d"
+        build_phase1(path, make_config())
+        ops = FaultInjectingFileOps(fail_op=fail_op)
+        with pytest.raises(InjectedFault):
+            reshard(path, NEW_SHARDS, make_config(), file_ops=ops)
+        manifest = read_manifest(path)
+        # Deterministic boundary: the single manifest replace commits.
+        arm = "old" if fail_op <= RESHARD_FLIP_OP else "new"
+        assert manifest == oracle[arm], (
+            f"fault point {fail_op}: manifest matches neither "
+            f"generation exactly")
+        assert snapshot(path, manifest["n_shards"]) == oracle["state"], (
+            f"fault point {fail_op}: reopened data diverged")
+
+    def test_protocol_length_matches_matrix(self, tmp_path):
+        """The matrix covers every op: a fault-free reshard is 34 ops,
+        with the manifest replace at ordinal 13."""
+        path = tmp_path / "probe.d"
+        build_phase1(path, make_config())
+        ops = FaultInjectingFileOps()
+        reshard(path, NEW_SHARDS, make_config(), file_ops=ops)
+        names = [name for name, _ in ops.ops]
+        assert len(names) == RESHARD_FILE_OPS
+        assert names == (
+            ["mkdir", "fsync_dir"]                    # STAGE: gen dir
+            + ["copy_file"] * OLD_SHARDS + ["fsync_dir"]
+            + ["unlink"] * OLD_SHARDS + ["fsync_dir"]  # BUILD: drop copies
+            + ["fsync_dir", "write_file", "replace",   # FLIP
+               "fsync_dir"]
+            + ["mkdir", "mkdir"]                       # SNAPSHOT: new gen
+            + ["copy_file"] * NEW_SHARDS
+            + ["fsync_dir", "fsync_dir", "fsync_dir"]
+            + ["unlink"] * OLD_SHARDS + ["fsync_dir"]  # CLEANUP: old gen
+            + ["unlink"] * OLD_SHARDS + ["rmdir"]      # stale snapshot
+            + ["fsync_dir", "fsync_dir"])              # snap root + dir
+        assert names[RESHARD_FLIP_OP - 1] == "replace"
+
+    def test_crashed_reshard_then_retry_succeeds(self, tmp_path, oracle):
+        """Debris from a mid-build crash never blocks the next attempt."""
+        path = tmp_path / "victim.d"
+        build_phase1(path, make_config())
+        with pytest.raises(InjectedFault):
+            reshard(path, NEW_SHARDS, make_config(),
+                    file_ops=FaultInjectingFileOps(fail_op=4))
+        report = reshard(path, NEW_SHARDS, make_config())
+        assert report.new_n_shards == NEW_SHARDS
+        assert snapshot(path, NEW_SHARDS) == oracle["state"]
+
+    def test_reshard_from_nonzero_generation(self, tmp_path, oracle):
+        """gen-1 -> gen-2 keeps the same crash-free equivalence."""
+        path = tmp_path / "victim.d"
+        build_phase1(path, make_config())
+        reshard(path, NEW_SHARDS, make_config())
+        report = reshard(path, 2, make_config())
+        assert report.generation == 2
+        assert snapshot(path, 2) == oracle["state"]
+        assert not (path / "gen-001").exists()
+
+
+@pytest.fixture(scope="module")
+def save_oracles(tmp_path_factory):
+    """Pre-save and post-save oracle snapshots (fault-free runs)."""
+    pre_dir = tmp_path_factory.mktemp("oracle") / "pre.d"
+    post_dir = tmp_path_factory.mktemp("oracle") / "post.d"
+    build_phase1(pre_dir, make_config())
+    build_phase1(post_dir, make_config())
+    with ShardedEngine.open(post_dir, make_config(),
+                            executor=SerialExecutor()) as eng:
+        eng.extend(PHASE_2())
+        eng.save()
+    return {"pre": snapshot(pre_dir, OLD_SHARDS),
+            "post": snapshot(post_dir, OLD_SHARDS)}
+
+
+class TestSnapshotSaveDeviceKillMatrix:
+    """Device kills at every in-place shard commit of a snapshot-enabled
+    save: always a clean rollback, never EpochTornError."""
+
+    @pytest.mark.parametrize("kill_shard", range(OLD_SHARDS))
+    def test_kill_at_shard_commit_rolls_back(self, tmp_path, save_oracles,
+                                             kill_shard):
+        path = tmp_path / "victim.d"
+        build_phase1(path, make_config())
+        devices = []
+        faulty = dataclasses.replace(
+            make_config(),
+            device_factory=per_path_device_factory(
+                "shard", registry=devices))
+        eng = ShardedEngine.open(path, faulty, executor=SerialExecutor())
+        try:
+            eng.extend(PHASE_2())
+            # Arm after ingestion so the kill lands on this shard's
+            # first write of the commit phase — i.e. after every
+            # earlier shard already committed the new epoch in place.
+            device = devices[kill_shard]
+            device.fail_write = device.writes_seen + 1
+            with pytest.raises(OSError):
+                eng.save()
+        finally:
+            crash_devices(devices)
+            try:
+                eng.close()
+            except (EngineError, OSError):
+                pass
+        # The previous epoch's snapshot (written while its files were
+        # clean) makes every arm — including the snapshots=False torn
+        # middle — a rollback.
+        first = snapshot(path, OLD_SHARDS)
+        assert first == save_oracles["pre"], (
+            f"kill at shard {kill_shard}: reopen is not the pre-save "
+            f"state")
+        # Recovery is idempotent and leaves a directory that can save.
+        assert snapshot(path, OLD_SHARDS) == first
+        with ShardedEngine.open(path, make_config(),
+                                executor=SerialExecutor()) as eng:
+            eng.extend(PHASE_2())
+            eng.save()
+        assert snapshot(path, OLD_SHARDS) == save_oracles["post"]
+
+
+class TestSnapshotSaveFileOpKillMatrix:
+    """File-op kills over the snapshot-enabled save protocol."""
+
+    @pytest.mark.parametrize("fail_op", range(1, SNAP_SAVE_FILE_OPS + 1))
+    def test_reopen_yields_pre_or_post_snapshot(self, tmp_path,
+                                                save_oracles, fail_op):
+        path = tmp_path / "victim.d"
+        build_phase1(path, make_config())
+        devices = []
+        faulty = dataclasses.replace(
+            make_config(),
+            device_factory=per_path_device_factory(
+                "shard", registry=devices))
+        ops = FaultInjectingFileOps(fail_op=fail_op)
+        eng = ShardedEngine.open(path, faulty, executor=SerialExecutor(),
+                                 file_ops=ops)
+        try:
+            with pytest.raises(InjectedFault):
+                eng.extend(PHASE_2())
+                eng.save()
+        finally:
+            crash_devices(devices)
+            try:
+                eng.close()
+            except (EngineError, OSError):
+                pass
+        expected = "pre" if fail_op <= SNAP_SAVE_COMMIT_BOUNDARY \
+            else "post"
+        assert snapshot(path, OLD_SHARDS) == save_oracles[expected], (
+            f"fault point {fail_op}: expected the {expected}-save "
+            f"oracle")
+
+    def test_protocol_length_matches_matrix(self, tmp_path):
+        """Manifest protocol (8) + snapshot (8) + prune (5) = 21 ops."""
+        path = tmp_path / "probe.d"
+        build_phase1(path, make_config())
+        ops = FaultInjectingFileOps()
+        with ShardedEngine.open(path, make_config(),
+                                executor=SerialExecutor(),
+                                file_ops=ops) as eng:
+            eng.extend(PHASE_2())
+            eng.save()
+        names = [name for name, _ in ops.ops]
+        assert len(names) == SNAP_SAVE_FILE_OPS
+        assert names == (
+            ["write_file", "replace", "fsync_dir"]           # PREPARE
+            + ["write_file", "replace", "fsync_dir"]         # FLIP
+            + ["unlink", "fsync_dir"]                        # cleanup
+            + ["mkdir", "mkdir"] + ["copy_file"] * OLD_SHARDS  # SNAPSHOT
+            + ["fsync_dir", "fsync_dir", "fsync_dir"]
+            + ["unlink"] * OLD_SHARDS + ["rmdir",            # prune old
+               "fsync_dir"])                                 # snapshot
+        assert names[SNAP_SAVE_FLIP_OP - 1] == "replace"

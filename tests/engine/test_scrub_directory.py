@@ -117,3 +117,79 @@ class TestNotes:
         # The marker alone does not fail the scrub: open() resolves it.
         assert report.ok
         assert "note:" in report.render()
+
+
+def tear_save(path, snapshots):
+    """Crash shard-002's device mid-save, leaving a torn epoch behind."""
+    import dataclasses
+
+    from repro.storage import per_path_device_factory
+
+    faulty = dataclasses.replace(
+        make_config(),
+        device_factory=per_path_device_factory("shard-002", fail_write=1))
+    eng = ShardedEngine.open(path, faulty, executor=SerialExecutor(),
+                             snapshots=snapshots)
+    try:
+        t = eng.now
+        for oid in range(20):
+            eng.report(oid, (oid * 13) % 100, (oid * 29) % 100, t)
+        with pytest.raises(OSError):
+            eng.save()
+    finally:
+        with pytest.raises(OSError):
+            eng.close()
+
+
+class TestTornEpochClassification:
+    def test_torn_epoch_with_snapshot_is_recoverable_note(self, saved_dir):
+        manifest = json.loads((saved_dir / "engine.json").read_text())
+        tear_save(saved_dir, snapshots=True)
+        report = scrub_directory(saved_dir)
+        # The snapshot generation written before the crashed save makes
+        # the tear recoverable: a note naming the generation, not a
+        # problem, and the scrub exits clean.
+        assert report.ok
+        note = next(note for note in report.notes if "RECOVERABLE" in note)
+        assert f"snapshot generation {manifest['epoch']:06d}" in note
+        with ShardedEngine.open(saved_dir, make_config(),
+                                executor=SerialExecutor()) as eng:
+            eng.check_integrity()
+
+    def test_torn_epoch_without_snapshot_is_a_problem(self, tmp_path):
+        path = tmp_path / "index.d"
+        rng = random.Random(21)
+        t = 0
+        reports = []
+        for _ in range(200):
+            t += rng.choice([0, 1, 1, 2])
+            reports.append(R(rng.randrange(25), rng.randrange(100),
+                             rng.randrange(100), t))
+        with ShardedEngine(make_config(), path, executor=SerialExecutor(),
+                           snapshots=False) as eng:
+            eng.extend(reports)
+            eng.save()
+        tear_save(path, snapshots=False)
+        report = scrub_directory(path)
+        assert not report.ok
+        assert any("EpochTornError" in problem
+                   for problem in report.problems)
+        assert "PROBLEM" in report.render()
+
+
+class TestGenerations:
+    def test_resharded_directory_scrubs_clean(self, saved_dir):
+        from repro.engine import reshard
+
+        reshard(saved_dir, 5, make_config())
+        report = scrub_directory(saved_dir)
+        assert report.ok
+        assert len(report.reports) == 5
+        assert "gen-001" in report.reports[0].path
+
+    def test_staged_generation_debris_is_a_note(self, saved_dir):
+        (saved_dir / "gen-007").mkdir()
+        report = scrub_directory(saved_dir)
+        assert report.ok
+        assert any("gen-007" in note and "crashed reshard" in note
+                   for note in report.notes)
